@@ -1,0 +1,44 @@
+//! Criterion bench behind E7 / Fig. 4: DPE flow stages — analysis,
+//! HLS estimation, MDC composition and DSE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use myrtus::dpe::dse::{explore, standard_edge_platform};
+use myrtus::dpe::flow::{run_flow, step1_analyze};
+use myrtus::dpe::hls::estimate_graph;
+use myrtus::dpe::kernels::{detect_cnn, fusion, pose_cnn, preproc};
+use myrtus::dpe::mdc::compose;
+use myrtus::workload::scenarios;
+
+fn bench_flow(c: &mut Criterion) {
+    let app = scenarios::telerehab();
+    c.bench_function("dpe-step1-analyze", |b| {
+        b.iter(|| step1_analyze(std::hint::black_box(&app)).expect("valid"));
+    });
+    let mut group = c.benchmark_group("dpe-full-flow");
+    group.sample_size(10);
+    group.bench_function("telerehab", |b| {
+        b.iter(|| run_flow(std::hint::black_box(&app)).expect("valid"));
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let pose = pose_cnn();
+    c.bench_function("hls-estimate-pose", |b| {
+        b.iter(|| estimate_graph(std::hint::black_box(&pose)).expect("valid"));
+    });
+    let kernels = [pose_cnn(), detect_cnn(), preproc(), fusion()];
+    c.bench_function("mdc-compose-4-kernels", |b| {
+        b.iter(|| compose(std::hint::black_box(&kernels)).expect("valid"));
+    });
+    let platform = standard_edge_platform();
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    group.bench_function("pose-exhaustive-2187", |b| {
+        b.iter(|| explore(&pose, &platform, 1, 0).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow, bench_kernels);
+criterion_main!(benches);

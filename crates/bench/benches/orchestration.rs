@@ -1,0 +1,65 @@
+//! Criterion bench behind E1: wall-clock cost of a full orchestrated
+//! simulation per policy (decision-making overhead of the cognitive
+//! engine vs the baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use myrtus::continuum::time::SimTime;
+use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+use myrtus::mirto::policies::{GreedyBestFit, KubeLike, PlacementPolicy, RoundRobin};
+use myrtus::mirto::swarm::PsoPlacement;
+use myrtus::workload::scenarios;
+
+#[allow(clippy::type_complexity)]
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrate-1s-telerehab");
+    group.sample_size(10);
+    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn PlacementPolicy + Send>>)> = vec![
+        ("round-robin", Box::new(|| Box::new(RoundRobin::new()) as _)),
+        ("kube-like", Box::new(|| Box::new(KubeLike::new()) as _)),
+        ("greedy", Box::new(|| Box::new(GreedyBestFit::new()) as _)),
+        (
+            "pso",
+            Box::new(|| Box::new(PsoPlacement::new(1).with_iterations(20)) as _),
+        ),
+    ];
+    for (label, factory) in cases {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                run_orchestration(
+                    factory(),
+                    EngineConfig::default(),
+                    vec![scenarios::telerehab_with(1)],
+                    SimTime::from_secs(2),
+                )
+                .expect("placeable")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_core(c: &mut Criterion) {
+    use myrtus::continuum::engine::NullDriver;
+    use myrtus::continuum::task::TaskInstance;
+    use myrtus::continuum::topology::ContinuumBuilder;
+
+    c.bench_function("simcore-10k-tasks", |b| {
+        b.iter(|| {
+            let mut cont = ContinuumBuilder::new().build();
+            let nodes: Vec<_> = cont.all_nodes();
+            {
+                let sim = cont.sim_mut();
+                for i in 0..10_000u64 {
+                    let node = nodes[(i % nodes.len() as u64) as usize];
+                    let t = TaskInstance::new(sim.fresh_task_id(), 0.5);
+                    sim.submit_local(node, t).expect("up");
+                }
+                sim.run_until(SimTime::from_secs(5), &mut NullDriver);
+            }
+            cont
+        });
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_simulator_core);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench behind Table II: real AEAD seal/open and hashing
+//! throughput of the three security levels, per payload size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use myrtus::security::suite::SecurityLevel;
+
+fn bench_seal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seal");
+    group.sample_size(20);
+    for level in SecurityLevel::ALL {
+        let suite = level.suite();
+        let key = vec![7u8; suite.encryption.key_len()];
+        for size in [1usize << 10, 1 << 14, 1 << 17] {
+            let payload = vec![0xA5u8; size];
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(level.to_string(), size),
+                &payload,
+                |b, p| {
+                    b.iter(|| suite.seal(&key, &[1u8; 12], b"", std::hint::black_box(p)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_open(c: &mut Criterion) {
+    let mut group = c.benchmark_group("open");
+    group.sample_size(20);
+    for level in SecurityLevel::ALL {
+        let suite = level.suite();
+        let key = vec![7u8; suite.encryption.key_len()];
+        let payload = vec![0xA5u8; 1 << 14];
+        let ct = suite.seal(&key, &[1u8; 12], b"", &payload);
+        group.throughput(Throughput::Bytes(payload.len() as u64));
+        group.bench_with_input(BenchmarkId::new(level.to_string(), 1 << 14), &ct, |b, ct| {
+            b.iter(|| {
+                suite
+                    .open(&key, &[1u8; 12], b"", std::hint::black_box(ct))
+                    .expect("authentic")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_digest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest");
+    group.sample_size(20);
+    let payload = vec![0x42u8; 1 << 16];
+    for level in SecurityLevel::ALL {
+        let suite = level.suite();
+        group.throughput(Throughput::Bytes(payload.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(level.to_string(), 1 << 16),
+            &payload,
+            |b, p| {
+                b.iter(|| suite.digest(std::hint::black_box(p)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seal, bench_open, bench_digest);
+criterion_main!(benches);

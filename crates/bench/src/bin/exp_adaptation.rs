@@ -1,0 +1,167 @@
+//! E3 — Dynamic adaptation (paper OBJ2): node failures and load spikes
+//! mid-run; the cognitive engine reallocates and retries, the static
+//! deployment does not. Reports survival rate and recovery behaviour as
+//! the number of failed edge nodes grows.
+
+use myrtus::continuum::fault::FaultPlan;
+use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::continuum::topology::ContinuumBuilder;
+use myrtus::mirto::engine::{EngineConfig, OrchestrationEngine, OrchestrationReport};
+use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::workload::scenarios;
+use myrtus_bench::{num, render_table};
+
+fn run(failures: usize, outage_ms: Option<u64>, adaptive: bool) -> OrchestrationReport {
+    let mut continuum = ContinuumBuilder::new().build();
+    let victims: Vec<_> = continuum.edge().iter().copied().take(failures).collect();
+    for v in victims {
+        FaultPlan::new()
+            .crash(
+                v,
+                SimTime::from_millis(400),
+                outage_ms.map(SimDuration::from_millis),
+            )
+            .apply(continuum.sim_mut());
+    }
+    let cfg = if adaptive {
+        EngineConfig::default()
+    } else {
+        EngineConfig {
+            reallocation: false,
+            node_adaptation: false,
+            network_management: false,
+            ..EngineConfig::default()
+        }
+    };
+    OrchestrationEngine::new(Box::new(GreedyBestFit::new()), cfg)
+        .run(
+            &mut continuum,
+            vec![scenarios::telerehab_with(3)],
+            SimTime::from_secs(6),
+        )
+        .expect("placeable")
+}
+
+fn main() {
+    // Sweep permanent failures 0..6 of the 8 edge nodes.
+    let mut rows = Vec::new();
+    for failures in [0usize, 1, 2, 4, 6] {
+        let adaptive = run(failures, None, true);
+        let static_ = run(failures, None, false);
+        let (a, s) = (&adaptive.apps[0], &static_.apps[0]);
+        rows.push(vec![
+            failures.to_string(),
+            format!("{} / {}", a.completed, a.failed),
+            format!("{} / {}", s.completed, s.failed),
+            adaptive.reallocations.to_string(),
+            num(
+                a.completed as f64 / (a.completed + a.failed).max(1) as f64 * 100.0,
+                1,
+            ),
+            num(
+                s.completed as f64 / (s.completed + s.failed).max(1) as f64 * 100.0,
+                1,
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E3a — permanent edge failures at t=400 ms (telerehab, 90 frames)",
+            &[
+                "failed nodes",
+                "MIRTO done/failed",
+                "static done/failed",
+                "MIRTO reallocs",
+                "MIRTO survival %",
+                "static survival %",
+            ],
+            &rows
+        )
+    );
+
+    // Transient outage: how both recover after nodes return.
+    let mut rows = Vec::new();
+    for outage_ms in [200u64, 1_000, 3_000] {
+        let adaptive = run(3, Some(outage_ms), true);
+        let static_ = run(3, Some(outage_ms), false);
+        rows.push(vec![
+            format!("{outage_ms} ms"),
+            format!("{} / {}", adaptive.apps[0].completed, adaptive.apps[0].failed),
+            format!("{} / {}", static_.apps[0].completed, static_.apps[0].failed),
+            adaptive.lost_tasks.to_string(),
+            static_.lost_tasks.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E3b — transient 3-node outage (crash at 400 ms, recover after the outage)",
+            &["outage", "MIRTO done/failed", "static done/failed", "MIRTO lost tasks", "static lost tasks"],
+            &rows
+        )
+    );
+    // E3c: backhaul cut — the gateway↔FMDC trunk goes down for a second;
+    // routing detours via the cloud and service continues degraded.
+    let mut rows = Vec::new();
+    for (label, cut) in [("no fault", false), ("gw↔fmdc cut 0.5–1.5 s", true)] {
+        let mut continuum = ContinuumBuilder::new().build();
+        if cut {
+            let (gw, fmdc) = (continuum.gateways()[0], continuum.fmdcs()[0]);
+            let trunk: Vec<_> = continuum
+                .sim()
+                .network()
+                .iter_links()
+                .filter(|(_, spec, _)| {
+                    (spec.from() == gw && spec.to() == fmdc)
+                        || (spec.from() == fmdc && spec.to() == gw)
+                })
+                .map(|(id, _, _)| id)
+                .collect();
+            let mut plan = FaultPlan::new();
+            for l in trunk {
+                plan = plan.cut_link(
+                    l,
+                    SimTime::from_millis(500),
+                    Some(SimDuration::from_secs(1)),
+                );
+            }
+            plan.apply(continuum.sim_mut());
+        }
+        // Pin the heavy stage onto the FMDC so traffic crosses the trunk.
+        let mut app = scenarios::telerehab_with(3);
+        for c in &mut app.components {
+            if c.name == "pose" {
+                c.requirements.preferred_layer =
+                    Some(myrtus::continuum::node::Layer::Fog);
+            }
+        }
+        let report = OrchestrationEngine::new(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+        )
+        .run(&mut continuum, vec![app], SimTime::from_secs(6))
+        .expect("placeable");
+        let a = &report.apps[0];
+        rows.push(vec![
+            label.to_string(),
+            format!("{} / {}", a.completed, a.failed),
+            num(a.latency_ms.as_ref().map(|l| l.p95).unwrap_or(f64::NAN), 1),
+            num(a.latency_ms.as_ref().map(|l| l.max).unwrap_or(f64::NAN), 1),
+            report.reallocations.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E3c — backhaul (gw↔fmdc) outage: detour via cloud + reallocation",
+            &["scenario", "done/failed", "p95 ms", "max ms", "reallocs"],
+            &rows
+        )
+    );
+    println!(
+        "shape check: MIRTO's survival stays near 100% until the edge is mostly gone,\n\
+         while the static deployment loses every request routed through a dead host;\n\
+         a backhaul cut shows as a tail-latency spike, not as lost requests."
+    );
+}

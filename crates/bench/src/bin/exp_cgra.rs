@@ -1,0 +1,119 @@
+//! E11 — The ONNX-to-CGRA flow (ref \[26\] analog): import a NN model,
+//! lower it to dataflow, and compare spatial CGRA mappings against HLS
+//! FPGA pipelining and plain software across fabrics.
+
+use myrtus::dpe::cgra::{map_graph, CgraFabric};
+use myrtus::dpe::dse::{evaluate_mapping, standard_edge_platform};
+use myrtus::dpe::hls::estimate_graph;
+use myrtus::dpe::nn::{pose_backbone, Layer, NnModel, Shape};
+use myrtus_bench::{num, render_table};
+
+fn main() {
+    // Import & lower (Fig. 4's ONNX front-end).
+    let model = pose_backbone();
+    let graph = model.lower().expect("lowers");
+    println!(
+        "model {:?}: {} layers, {:.1} Mops/inference → dataflow graph with {} actors",
+        model.name,
+        model.layers.len(),
+        model.total_ops().expect("valid") as f64 / 1e6,
+        graph.actors().len()
+    );
+
+    // Fabric sweep: spatial CGRA mappings.
+    let mut rows = Vec::new();
+    for (label, fabric) in [
+        ("4x4 RISC-V overlay", CgraFabric::overlay_4x4()),
+        ("8x8 standalone", CgraFabric::standalone_8x8()),
+        (
+            "16x16 datacenter",
+            CgraFabric { rows: 16, cols: 16, clock_mhz: 500, config_bits_per_pe: 96 },
+        ),
+    ] {
+        let m = map_graph(&graph, fabric).expect("maps");
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", fabric.pes()),
+            m.contexts.to_string(),
+            num(m.coverage() * 100.0, 0),
+            num(m.cycles_per_iteration as f64 / 1_000.0, 1),
+            num(m.throughput_hz(), 0),
+            m.config_bytes.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E11 — pose backbone on CGRA fabrics",
+            &["fabric", "PEs", "contexts", "coverage %", "kcycles/inf", "inf/s", "config bytes"],
+            &rows
+        )
+    );
+
+    // Cross-target comparison at the graph level: CGRA vs FPGA HLS vs CPU.
+    let hls = estimate_graph(&graph).expect("estimates");
+    let platform = standard_edge_platform();
+    let all_cpu = vec![0usize; graph.actors().len()];
+    let cpu_eval = evaluate_mapping(&graph, &platform, &all_cpu).expect("evaluates");
+    let cgra = map_graph(&graph, CgraFabric::overlay_4x4()).expect("maps");
+    let rows = vec![
+        vec![
+            "CPU 1.5 GHz (software)".into(),
+            num(cpu_eval.latency_us, 1),
+            "-".into(),
+        ],
+        vec![
+            "FPGA 250 MHz (HLS pipeline)".into(),
+            num(hls.cycles_per_iteration as f64 / 250.0, 1),
+            format!("{} LUT / {} DSP", hls.total_resources.luts, hls.total_resources.dsps),
+        ],
+        vec![
+            "CGRA 4x4 @600 MHz".into(),
+            num(cgra.cycles_per_iteration as f64 / 600.0, 1),
+            format!("{} contexts, {} config B", cgra.contexts, cgra.config_bytes),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            "E11 — one inference across targets",
+            &["target", "latency µs", "footprint"],
+            &rows
+        )
+    );
+
+    // Depth sweep: where the overlay runs out of spatial room and must
+    // time-multiplex contexts.
+    let mut rows = Vec::new();
+    for depth in [2usize, 4, 8, 16] {
+        let mut m = NnModel::new(format!("cnn-d{depth}"), Shape::new(3, 32, 32));
+        for _ in 0..depth {
+            m = m.with_layer(Layer::Conv2d { out_channels: 16, kernel: 3 });
+        }
+        m = m.with_layer(Layer::Dense { outputs: 10 });
+        let g = m.lower().expect("lowers");
+        let small = map_graph(&g, CgraFabric::overlay_4x4()).expect("maps");
+        let big = map_graph(&g, CgraFabric::standalone_8x8()).expect("maps");
+        rows.push(vec![
+            format!("{depth} conv layers"),
+            num(m.total_ops().expect("valid") as f64 / 1e6, 1),
+            small.contexts.to_string(),
+            num(small.cycles_per_iteration as f64 / 1e3, 1),
+            big.contexts.to_string(),
+            num(big.cycles_per_iteration as f64 / 1e3, 1),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E11 — depth sweep: 4x4 overlay vs 8x8 fabric",
+            &["model", "Mops", "ctx 4x4", "kcyc 4x4", "ctx 8x8", "kcyc 8x8"],
+            &rows
+        )
+    );
+    println!(
+        "shape check: the FPGA pipeline wins raw latency, the CGRA overlay follows within a\n\
+         small factor at a fraction of the configuration size, software trails both; larger\n\
+         models force time-multiplexed contexts on the small overlay first."
+    );
+}

@@ -1,0 +1,131 @@
+//! E5 — Federated Learning across MIRTO edge agents (paper Sect. IV):
+//! non-IID agents (each sees only its own hardware class) fit local
+//! latency models; FedAvg aggregation generalizes across the fleet where
+//! isolated models do not.
+
+use myrtus::mirto::fl::{fed_avg, fed_least_squares, federated_rounds, LatencyModel, LocalLearner, FEATURES};
+use myrtus_bench::{num, render_table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ground-truth latency: compute + transfer + fixed overhead, with mild
+/// observation noise.
+fn sample(rng: &mut StdRng, speed_mc_per_us: f64) -> ([f64; FEATURES], f64) {
+    let work = rng.gen_range(1.0..60.0);
+    let kib = rng.gen_range(1.0..800.0);
+    let x = LatencyModel::features(work, kib, speed_mc_per_us);
+    let noise = rng.gen_range(-10.0..10.0);
+    let y = work / speed_mc_per_us + 1.8 * kib + 40.0 + noise;
+    (x, y)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(20_250_706);
+    // Five agents on distinct hardware classes (non-IID by construction).
+    let speeds = [0.6e-3, 1.2e-3, 1.5e-3, 2.6e-3, 3.0e-3];
+    let names = ["riscv", "hmpsoc", "multicore", "fmdc", "cloud"];
+    let mut learners: Vec<LocalLearner> = Vec::new();
+    for &s in &speeds {
+        let mut l = LocalLearner::new();
+        for _ in 0..120 {
+            let (x, y) = sample(&mut rng, s);
+            l.observe(x, y);
+        }
+        learners.push(l);
+    }
+    // A global test set spanning every hardware class.
+    let test: Vec<([f64; FEATURES], f64)> = (0..400)
+        .map(|i| sample(&mut rng, speeds[i % speeds.len()]))
+        .collect();
+
+    // Isolated agents vs the federated model.
+    let mut rows = Vec::new();
+    for (i, l) in learners.iter().enumerate() {
+        let local = l.fit(1e-6);
+        let own: Vec<_> = test
+            .iter()
+            .filter(|_| true)
+            .enumerate()
+            .filter(|(j, _)| j % speeds.len() == i)
+            .map(|(_, s)| *s)
+            .collect();
+        rows.push(vec![
+            format!("isolated {}", names[i]),
+            num(local.mse(&own).sqrt(), 1),
+            num(local.mse(&test).sqrt(), 1),
+        ]);
+    }
+    let locals: Vec<(LatencyModel, usize)> =
+        learners.iter().map(|l| (l.fit(1e-6), l.sample_count())).collect();
+    let fed = fed_avg(&locals);
+    rows.push(vec![
+        "FedAvg one-shot".into(),
+        "-".into(),
+        num(fed.mse(&test).sqrt(), 1),
+    ]);
+    let (prox, _) = federated_rounds(&learners, 1e-6, 50.0, 8);
+    rows.push(vec![
+        "FedProx ×8 rounds".into(),
+        "-".into(),
+        num(prox.mse(&test).sqrt(), 1),
+    ]);
+    let ls = fed_least_squares(&learners, 1e-6);
+    rows.push(vec![
+        "Fed least-squares (stats)".into(),
+        "-".into(),
+        num(ls.mse(&test).sqrt(), 1),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            "E5 — latency-model RMSE (µs): own hardware vs the whole fleet",
+            &["model", "RMSE own class", "RMSE fleet-wide"],
+            &rows
+        )
+    );
+
+    // Convergence over federation rounds.
+    let (_, history) = federated_rounds(&learners, 1e-6, 50.0, 5);
+    let rows: Vec<Vec<String>> = history
+        .iter()
+        .enumerate()
+        .map(|(r, mse)| vec![format!("round {}", r + 1), num(mse.sqrt(), 2)])
+        .collect();
+    println!(
+        "{}",
+        render_table("E5 — federation rounds (global RMSE, µs)", &["round", "RMSE"], &rows)
+    );
+
+    // Data-efficiency: agents with little local data benefit the most.
+    let mut rows = Vec::new();
+    for n in [10usize, 30, 120] {
+        let mut tiny = LocalLearner::new();
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..n {
+            let (x, y) = sample(&mut r2, speeds[0]);
+            tiny.observe(x, y);
+        }
+        let alone = tiny.fit(1e-6).mse(&test).sqrt();
+        let mut pool = learners.clone();
+        pool[0] = tiny;
+        let fed_model = fed_least_squares(&pool, 1e-6);
+        rows.push(vec![
+            format!("{n} samples"),
+            num(alone, 1),
+            num(fed_model.mse(&test).sqrt(), 1),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E5 — data efficiency: a data-poor riscv agent, alone vs federated",
+            &["local data", "isolated RMSE", "federated RMSE"],
+            &rows
+        )
+    );
+    println!(
+        "shape check: isolated agents are accurate on their own hardware but degrade\n\
+         fleet-wide; FedProx improves monotonically over rounds and statistic-sharing\n\
+         federation reaches the centralized noise floor, rescuing data-poor agents."
+    );
+}

@@ -1,0 +1,141 @@
+//! E2 — CH1 crossover: where does offloading pay? One kernel executed at
+//! edge / fog / cloud while input size and uplink bandwidth sweep; the
+//! completion time shows the crossover points the continuum exists to
+//! exploit.
+
+use myrtus::continuum::engine::NullDriver;
+use myrtus::continuum::net::Protocol;
+use myrtus::continuum::task::TaskInstance;
+use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::continuum::topology::{ContinuumBuilder, HopSpec};
+use myrtus_bench::{num, render_table};
+
+/// Completion time of one `work_mc` task with `input` bytes at `dst`.
+fn probe(bw_mbps: f64, work_mc: f64, input: u64, which: &str) -> f64 {
+    let mut c = ContinuumBuilder::new()
+        .edge_fog_hop(HopSpec::new(SimDuration::from_millis(2), bw_mbps))
+        .build();
+    let src = c.edge()[0];
+    let dst = match which {
+        "edge" => src,
+        "fog" => c.fmdcs()[0],
+        _ => c.cloud()[0],
+    };
+    let task = {
+        let sim = c.sim_mut();
+        TaskInstance::new(sim.fresh_task_id(), work_mc).with_io_bytes(input, 0)
+    };
+    if src == dst {
+        c.sim_mut().submit_local(dst, task).expect("up");
+    } else {
+        c.sim_mut()
+            .submit_via_network(src, dst, task, Protocol::Mqtt)
+            .expect("routable");
+    }
+    let mut t = SimTime::ZERO;
+    while c.sim().node(dst).map(|n| n.completed()).unwrap_or(0) == 0 {
+        t += SimDuration::from_millis(1);
+        c.sim_mut().run_until(t, &mut NullDriver);
+        if t > SimTime::from_secs(600) {
+            return f64::NAN;
+        }
+    }
+    c.sim().now().as_millis_f64()
+}
+
+fn main() {
+    // Sweep 1: input size at fixed work (50 Mc) and bandwidth (100 Mbit/s).
+    let mut rows = Vec::new();
+    for kb in [1u64, 16, 256, 1_024, 8_192, 65_536] {
+        let input = kb * 1024;
+        let e = probe(100.0, 50.0, input, "edge");
+        let f = probe(100.0, 50.0, input, "fog");
+        let cl = probe(100.0, 50.0, input, "cloud");
+        let winner = if e <= f && e <= cl {
+            "edge"
+        } else if f <= cl {
+            "fog"
+        } else {
+            "cloud"
+        };
+        rows.push(vec![
+            format!("{kb} KiB"),
+            num(e, 1),
+            num(f, 1),
+            num(cl, 1),
+            winner.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E2a — completion ms vs input size (50 Mc task, 100 Mbit/s uplink)",
+            &["input", "edge", "fog", "cloud", "winner"],
+            &rows
+        )
+    );
+
+    // Sweep 2: work at fixed input (256 KiB).
+    let mut rows = Vec::new();
+    for work in [5.0f64, 20.0, 50.0, 200.0, 1_000.0, 5_000.0] {
+        let e = probe(100.0, work, 256 * 1024, "edge");
+        let f = probe(100.0, work, 256 * 1024, "fog");
+        let cl = probe(100.0, work, 256 * 1024, "cloud");
+        let winner = if e <= f && e <= cl {
+            "edge"
+        } else if f <= cl {
+            "fog"
+        } else {
+            "cloud"
+        };
+        rows.push(vec![
+            format!("{work} Mc"),
+            num(e, 1),
+            num(f, 1),
+            num(cl, 1),
+            winner.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E2b — completion ms vs compute (256 KiB input, 100 Mbit/s uplink)",
+            &["work", "edge", "fog", "cloud", "winner"],
+            &rows
+        )
+    );
+
+    // Sweep 3: uplink bandwidth at fixed work/input.
+    let mut rows = Vec::new();
+    for bw in [1.0f64, 10.0, 50.0, 100.0, 500.0, 1_000.0] {
+        let e = probe(bw, 200.0, 1_024 * 1024, "edge");
+        let f = probe(bw, 200.0, 1_024 * 1024, "fog");
+        let cl = probe(bw, 200.0, 1_024 * 1024, "cloud");
+        let winner = if e <= f && e <= cl {
+            "edge"
+        } else if f <= cl {
+            "fog"
+        } else {
+            "cloud"
+        };
+        rows.push(vec![
+            format!("{bw} Mbit/s"),
+            num(e, 1),
+            num(f, 1),
+            num(cl, 1),
+            winner.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "E2c — completion ms vs uplink bandwidth (200 Mc, 1 MiB input)",
+            &["uplink", "edge", "fog", "cloud", "winner"],
+            &rows
+        )
+    );
+    println!(
+        "shape check: small-data/heavy-compute offloads up the continuum; big-data/light-compute\n\
+         stays at the edge; starving the uplink pulls the crossover back toward the edge."
+    );
+}

@@ -1,0 +1,95 @@
+//! Reproduces paper Fig. 4: the DPE's three steps. Pushes both use-case
+//! applications through modeling/analysis → portioning → node-level
+//! generation and prints the artifact/KPI flow between the steps.
+
+use myrtus::dpe::flow::{step1_analyze, step2_portion, step3_generate};
+use myrtus::dpe::mdc::compose;
+use myrtus::workload::scenarios;
+use myrtus_bench::{num, render_table};
+
+fn main() {
+    for app in [scenarios::telerehab_with(1), scenarios::smart_mobility()] {
+        println!("\n########## {} ##########", app.name);
+
+        let analysis = step1_analyze(&app).expect("valid model");
+        println!(
+            "{}",
+            render_table(
+                "Step 1 — continuum modeling, simulation and analysis",
+                &["KPI / threat quantity", "value"],
+                &[
+                    vec!["critical-path latency (ms, model)".into(), num(analysis.critical_path_us / 1e3, 2)],
+                    vec!["ADT base risk".into(), num(analysis.base_risk, 3)],
+                    vec!["ADT residual risk".into(), num(analysis.residual_risk, 3)],
+                    vec!["countermeasures".into(), analysis.countermeasures.join(", ")],
+                ],
+            )
+        );
+
+        let portioned = step2_portion(&app).expect("kernels resolve");
+        let mut rows = Vec::new();
+        for name in &portioned.sw_components {
+            rows.push(vec![name.clone(), "software (Program Code)".into(), "-".into()]);
+        }
+        for (name, g) in &portioned.hw_kernels {
+            rows.push(vec![
+                name.clone(),
+                "portioned app (accelerated)".into(),
+                format!("{} actors / {} ops-iter", g.actors().len(), g.ops_per_iteration().expect("valid")),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table("Step 2 — model to implementation", &["component", "path", "kernel"], &rows)
+        );
+        if portioned.hw_kernels.len() >= 2 {
+            let graphs: Vec<_> = portioned.hw_kernels.iter().map(|(_, g)| g.clone()).collect();
+            let comp = compose(&graphs).expect("kernels compose");
+            let area = comp.area_report();
+            println!(
+                "  MDC reconfigurable datapath: {} configs, {} shared actors, {} % area saved",
+                comp.configs,
+                area.shared_actors,
+                num(area.savings() * 100.0, 1)
+            );
+        }
+
+        let result = step3_generate(&portioned, &analysis).expect("generates");
+        let rows: Vec<Vec<String>> = result
+            .spec
+            .artifacts
+            .iter()
+            .map(|a| {
+                vec![
+                    a.name.clone(),
+                    format!("{:?}", a.kind),
+                    a.component.clone(),
+                    a.size_bytes.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Step 3 — node-level optimisation and deployment",
+                &["artifact", "kind", "component", "bytes"],
+                &rows
+            )
+        );
+        for (kernel, dse) in &result.dse {
+            println!(
+                "  DSE {kernel}: {} feasible points, {} on the Pareto front",
+                dse.points.len(),
+                dse.front.len()
+            );
+        }
+        let pkg = result.spec.to_package();
+        println!(
+            "  deployment specification: {} bytes, {} operating points, est. latency {} ms",
+            pkg.len(),
+            result.spec.operating_points.len(),
+            num(result.spec.estimated_latency_us / 1e3, 2)
+        );
+    }
+    println!("\ninterface to pillar 2: the package parses back via DeploymentSpec::from_package\nand its application feeds the MIRTO engine (see tests/end_to_end.rs).");
+}

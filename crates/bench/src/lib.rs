@@ -1,0 +1,127 @@
+//! Shared experiment-harness helpers for the table/figure reproduction
+//! binaries: aligned table rendering and policy-comparison sweeps.
+
+use myrtus::continuum::time::SimTime;
+use myrtus::mirto::engine::{EngineConfig, OrchestrationReport, run_orchestration};
+use myrtus::mirto::policies::{
+    GreedyBestFit, KubeLike, LayerPinned, PlacementPolicy, RandomPlacement, RoundRobin,
+};
+use myrtus::mirto::agent::AuctionPlacement;
+use myrtus::mirto::swarm::{AcoPlacement, PsoPlacement};
+use myrtus::workload::tosca::Application;
+
+/// Renders a padded text table with a header rule.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = format!("\n== {title} ==\n");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// The standard policy roster of the orchestration experiments:
+/// `(label, factory, cognitive?)`.
+#[allow(clippy::type_complexity)]
+pub fn policy_roster() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn PlacementPolicy + Send>>, bool)>
+{
+    vec![
+        ("cloud-only", Box::new(|| Box::new(LayerPinned::cloud_only()) as _), false),
+        ("edge-only", Box::new(|| Box::new(LayerPinned::edge_only()) as _), false),
+        ("round-robin", Box::new(|| Box::new(RoundRobin::new()) as _), false),
+        ("random", Box::new(|| Box::new(RandomPlacement::new(7)) as _), false),
+        ("kube-like", Box::new(|| Box::new(KubeLike::new()) as _), false),
+        ("greedy", Box::new(|| Box::new(GreedyBestFit::new()) as _), true),
+        (
+            "mirto-pso",
+            Box::new(|| Box::new(PsoPlacement::new(7).with_iterations(25)) as _),
+            true,
+        ),
+        (
+            "mirto-aco",
+            Box::new(|| Box::new(AcoPlacement::new(7).with_iterations(25)) as _),
+            true,
+        ),
+        ("mirto-auction", Box::new(|| Box::new(AuctionPlacement::new()) as _), true),
+    ]
+}
+
+/// Runs one labelled policy on a fresh continuum; cognitive policies get
+/// the full loop, baselines the static configuration.
+pub fn run_policy(
+    label: &str,
+    factory: &dyn Fn() -> Box<dyn PlacementPolicy + Send>,
+    cognitive: bool,
+    apps: Vec<Application>,
+    horizon: SimTime,
+) -> OrchestrationReport {
+    let cfg = if cognitive { EngineConfig::default() } else { EngineConfig::static_baseline() };
+    run_orchestration(factory(), cfg, apps, horizon)
+        .unwrap_or_else(|e| panic!("{label}: {e}"))
+}
+
+/// Formats a float with the given precision, rendering non-finite values
+/// as a dash.
+pub fn num(v: f64, prec: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.prec$}")
+    } else {
+        "—".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("demo"));
+        assert!(t.contains("longer-name"));
+        let lines: Vec<&str> = t.lines().filter(|l| !l.is_empty()).collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn roster_has_baselines_and_cognitive_policies() {
+        let roster = policy_roster();
+        assert!(roster.len() >= 9);
+        assert!(roster.iter().any(|(_, _, c)| *c));
+        assert!(roster.iter().any(|(_, _, c)| !*c));
+    }
+
+    #[test]
+    fn num_handles_non_finite() {
+        assert_eq!(num(1.2345, 2), "1.23");
+        assert_eq!(num(f64::INFINITY, 2), "—");
+    }
+}

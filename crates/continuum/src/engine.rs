@@ -1,0 +1,752 @@
+//! The discrete-event simulation core.
+//!
+//! [`SimCore`] owns the logical clock, the event queue, all node states
+//! and the network fabric. An external [`Driver`] — typically the MIRTO
+//! cognitive engine — receives [`SimEvent`] notifications and reacts by
+//! scheduling further work. The event queue is strictly deterministic:
+//! ties in time are broken by insertion order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::{MsgId, NodeId, TaskId, TimerId};
+use crate::net::{Message, Network, NetworkError, Protocol};
+use crate::node::{ExecutionMode, NodeSpec, NodeState};
+use crate::task::{TaskInstance, TaskOutcome};
+use crate::time::{SimDuration, SimTime};
+
+/// Internal queue entry.
+#[derive(Debug)]
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Internal event kinds driven through the queue.
+#[derive(Debug)]
+enum EventKind {
+    TaskArrival { node: NodeId, task: TaskInstance },
+    TaskFinish { node: NodeId, task: TaskId, epoch: u64 },
+    MsgDeliver { msg: Message },
+    NodeDown(NodeId),
+    NodeUp(NodeId),
+    LinkDown(crate::ids::LinkId),
+    LinkUp(crate::ids::LinkId),
+    Timer { id: TimerId, tag: u64 },
+}
+
+/// Notifications surfaced to the [`Driver`].
+#[derive(Debug)]
+pub enum SimEvent {
+    /// A task started service on a node (after queueing/transfer).
+    TaskStarted {
+        /// Executing node.
+        node: NodeId,
+        /// The started task id.
+        task: TaskId,
+        /// Software or accelerated execution.
+        mode: ExecutionMode,
+    },
+    /// A task completed; the outcome carries latency and deadline info.
+    TaskCompleted(TaskOutcome),
+    /// Tasks were lost because their node went down.
+    TasksLost {
+        /// The failed node.
+        node: NodeId,
+        /// The tasks that were running or queued there.
+        tasks: Vec<TaskInstance>,
+    },
+    /// A node came (back) up.
+    NodeRestored(NodeId),
+    /// A link was cut or restored.
+    LinkChanged {
+        /// The link.
+        link: crate::ids::LinkId,
+        /// Its new state.
+        up: bool,
+    },
+    /// A message reached its destination.
+    MessageDelivered(Message),
+    /// A timer registered with [`SimCore::set_timer`] fired.
+    Timer {
+        /// The timer id returned at registration.
+        id: TimerId,
+        /// The opaque tag passed at registration.
+        tag: u64,
+    },
+}
+
+/// Reacts to simulation events; implemented by orchestration engines and
+/// test harnesses.
+pub trait Driver {
+    /// Called once per surfaced event, with the core mutable so the driver
+    /// can schedule follow-up work.
+    fn on_event(&mut self, sim: &mut SimCore, event: SimEvent);
+}
+
+/// A driver that ignores every event; useful for open-loop simulations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullDriver;
+
+impl Driver for NullDriver {
+    fn on_event(&mut self, _sim: &mut SimCore, _event: SimEvent) {}
+}
+
+/// Errors returned by [`SimCore`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The referenced node does not exist.
+    UnknownNode(NodeId),
+    /// The referenced node is down.
+    NodeDown(NodeId),
+    /// A network routing failure.
+    Network(NetworkError),
+    /// The requested operating point does not exist on the node.
+    UnknownOperatingPoint {
+        /// The node.
+        node: NodeId,
+        /// The out-of-range index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SimError::NodeDown(n) => write!(f, "node {n} is down"),
+            SimError::Network(e) => write!(f, "network error: {e}"),
+            SimError::UnknownOperatingPoint { node, index } => {
+                write!(f, "node {node} has no operating point {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetworkError> for SimError {
+    fn from(e: NetworkError) -> Self {
+        SimError::Network(e)
+    }
+}
+
+/// The simulation core: clock, event queue, nodes and network.
+///
+/// # Examples
+///
+/// ```
+/// use myrtus_continuum::engine::{NullDriver, SimCore};
+/// use myrtus_continuum::node::NodeSpec;
+/// use myrtus_continuum::task::TaskInstance;
+/// use myrtus_continuum::time::SimTime;
+///
+/// let mut sim = SimCore::new();
+/// let node = sim.add_node(NodeSpec::preset_edge_multicore("e0"));
+/// let task = TaskInstance::new(sim.fresh_task_id(), 1.5);
+/// sim.submit_local(node, task)?;
+/// sim.run_until(SimTime::from_secs(1), &mut NullDriver);
+/// assert_eq!(sim.node(node).unwrap().completed(), 1);
+/// # Ok::<(), myrtus_continuum::engine::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SimCore {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+    nodes: Vec<NodeState>,
+    network: Network,
+    next_task: u64,
+    next_msg: u64,
+    next_timer: u64,
+    processed_events: u64,
+}
+
+impl SimCore {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        SimCore::default()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed_events(&self) -> u64 {
+        self.processed_events
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
+        let id = NodeId::from_raw(self.nodes.len() as u32);
+        self.nodes.push(NodeState::new(id, spec));
+        id
+    }
+
+    /// The state of a node.
+    pub fn node(&self, id: NodeId) -> Option<&NodeState> {
+        self.nodes.get(id.index())
+    }
+
+    /// Mutable state of a node (prefer the dedicated operations below).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeState> {
+        self.nodes.get_mut(id.index())
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[NodeState] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The network fabric.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mutable network fabric (topology construction).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Hands out a fresh unique task id.
+    pub fn fresh_task_id(&mut self) -> TaskId {
+        let id = TaskId::from_raw(self.next_task);
+        self.next_task += 1;
+        id
+    }
+
+    /// Hands out a fresh unique message id.
+    pub fn fresh_msg_id(&mut self) -> MsgId {
+        let id = MsgId::from_raw(self.next_msg);
+        self.next_msg += 1;
+        id
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    }
+
+    /// Registers a timer that fires `after` from now, carrying `tag`.
+    pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId::from_raw(self.next_timer);
+        self.next_timer += 1;
+        self.push(self.now + after, EventKind::Timer { id, tag });
+        id
+    }
+
+    /// Submits a task directly onto a node's local queue (no network
+    /// transfer — the data is already there).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] / [`SimError::NodeDown`].
+    pub fn submit_local(&mut self, node: NodeId, task: TaskInstance) -> Result<(), SimError> {
+        let st = self.nodes.get(node.index()).ok_or(SimError::UnknownNode(node))?;
+        if !st.is_up() {
+            return Err(SimError::NodeDown(node));
+        }
+        self.push(self.now, EventKind::TaskArrival { node, task });
+        Ok(())
+    }
+
+    /// Submits a task whose input must first travel from `src` to `node`
+    /// over the network with the given protocol. The task arrives (and
+    /// starts queueing) at the delivery instant; its output is *not*
+    /// automatically returned — drivers model that with
+    /// [`SimCore::send_message`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Network`] when no route exists, and node errors
+    /// as for [`SimCore::submit_local`].
+    pub fn submit_via_network(
+        &mut self,
+        src: NodeId,
+        node: NodeId,
+        task: TaskInstance,
+        protocol: Protocol,
+    ) -> Result<SimTime, SimError> {
+        let st = self.nodes.get(node.index()).ok_or(SimError::UnknownNode(node))?;
+        if !st.is_up() {
+            return Err(SimError::NodeDown(node));
+        }
+        let path = self.network.route(src, node)?;
+        let eta = self.network.transfer(self.now, &path, task.input_bytes, protocol);
+        self.push(eta, EventKind::TaskArrival { node, task });
+        Ok(eta)
+    }
+
+    /// Submits a task whose input travels along an explicit link path
+    /// (Network-Manager route override) instead of the shortest path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Network`] if the path references unknown
+    /// links, and node errors as for [`SimCore::submit_local`].
+    pub fn submit_via_path(
+        &mut self,
+        node: NodeId,
+        task: TaskInstance,
+        path: &[crate::ids::LinkId],
+        protocol: Protocol,
+    ) -> Result<SimTime, SimError> {
+        let st = self.nodes.get(node.index()).ok_or(SimError::UnknownNode(node))?;
+        if !st.is_up() {
+            return Err(SimError::NodeDown(node));
+        }
+        for l in path {
+            if self.network.link(*l).is_none() {
+                return Err(SimError::Network(NetworkError::UnknownLink(*l)));
+            }
+        }
+        if !self.network.path_up(path) {
+            return Err(SimError::Network(NetworkError::NoRoute {
+                from: path.first().map(|l| self.network.link(*l).expect("checked").from()).unwrap_or(node),
+                to: node,
+            }));
+        }
+        let eta = self.network.transfer(self.now, path, task.input_bytes, protocol);
+        self.push(eta, EventKind::TaskArrival { node, task });
+        Ok(eta)
+    }
+
+    /// Sends an application message; the driver is notified on delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Network`] when no route exists.
+    pub fn send_message(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u64,
+        protocol: Protocol,
+        tag: u64,
+    ) -> Result<MsgId, SimError> {
+        let path = self.network.route(src, dst)?;
+        let id = self.fresh_msg_id();
+        let msg = Message {
+            id,
+            src,
+            dst,
+            payload_bytes,
+            protocol,
+            sent: self.now,
+            tag,
+        };
+        let eta = self.network.transfer(self.now, &path, payload_bytes, protocol);
+        self.push(eta, EventKind::MsgDeliver { msg });
+        Ok(id)
+    }
+
+    /// Sends a message along an explicit path (Network-Manager override).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Network`] if the path references unknown links.
+    pub fn send_message_via(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        path: &[crate::ids::LinkId],
+        payload_bytes: u64,
+        protocol: Protocol,
+        tag: u64,
+    ) -> Result<MsgId, SimError> {
+        for l in path {
+            if self.network.link(*l).is_none() {
+                return Err(SimError::Network(NetworkError::UnknownLink(*l)));
+            }
+        }
+        let id = self.fresh_msg_id();
+        let msg = Message {
+            id,
+            src,
+            dst,
+            payload_bytes,
+            protocol,
+            sent: self.now,
+            tag,
+        };
+        let eta = self.network.transfer(self.now, path, payload_bytes, protocol);
+        self.push(eta, EventKind::MsgDeliver { msg });
+        Ok(id)
+    }
+
+    /// Switches a node's DVFS operating point, rescaling running tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownOperatingPoint`] for an out-of-range
+    /// index and node errors as for [`SimCore::submit_local`].
+    pub fn switch_operating_point(&mut self, node: NodeId, idx: usize) -> Result<(), SimError> {
+        let st = self.nodes.get_mut(node.index()).ok_or(SimError::UnknownNode(node))?;
+        if !st.is_up() {
+            return Err(SimError::NodeDown(node));
+        }
+        if idx >= st.spec().points().len() {
+            return Err(SimError::UnknownOperatingPoint { node, index: idx });
+        }
+        let now = self.now;
+        let rescheduled = st.switch_point(now, idx);
+        for (task, epoch, eta) in rescheduled {
+            self.push(now + eta, EventKind::TaskFinish { node, task, epoch });
+        }
+        Ok(())
+    }
+
+    /// Schedules a link cut at `at`.
+    pub fn schedule_link_down(&mut self, link: crate::ids::LinkId, at: SimTime) {
+        self.push(at, EventKind::LinkDown(link));
+    }
+
+    /// Schedules a link restoration at `at`.
+    pub fn schedule_link_up(&mut self, link: crate::ids::LinkId, at: SimTime) {
+        self.push(at, EventKind::LinkUp(link));
+    }
+
+    /// Schedules a node failure at `at`.
+    pub fn schedule_node_down(&mut self, node: NodeId, at: SimTime) {
+        self.push(at, EventKind::NodeDown(node));
+    }
+
+    /// Schedules a node recovery at `at`.
+    pub fn schedule_node_up(&mut self, node: NodeId, at: SimTime) {
+        self.push(at, EventKind::NodeUp(node));
+    }
+
+    /// Runs the simulation until `end` (inclusive), surfacing events to
+    /// `driver`. Afterwards every node's energy meter is advanced to
+    /// `end` so energy figures are directly comparable.
+    pub fn run_until<D: Driver>(&mut self, end: SimTime, driver: &mut D) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > end {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.processed_events += 1;
+            self.dispatch(ev.kind, driver);
+        }
+        self.now = end;
+        for n in &mut self.nodes {
+            n.refresh_energy(end);
+        }
+    }
+
+    /// Runs until the event queue drains or `end` is reached, whichever
+    /// comes first; returns the final simulation time.
+    pub fn run_to_quiescence<D: Driver>(&mut self, end: SimTime, driver: &mut D) -> SimTime {
+        self.run_until(end, driver);
+        self.now
+    }
+
+    fn dispatch<D: Driver>(&mut self, kind: EventKind, driver: &mut D) {
+        match kind {
+            EventKind::TaskArrival { node, task } => {
+                let now = self.now;
+                let Some(st) = self.nodes.get_mut(node.index()) else { return };
+                if !st.is_up() {
+                    driver.on_event(self, SimEvent::TasksLost { node, tasks: vec![task] });
+                    return;
+                }
+                let tid = task.id;
+                if let Some((epoch, service, mode)) = st.admit(now, task) {
+                    self.push(now + service, EventKind::TaskFinish { node, task: tid, epoch });
+                    driver.on_event(self, SimEvent::TaskStarted { node, task: tid, mode });
+                }
+            }
+            EventKind::TaskFinish { node, task, epoch } => {
+                let now = self.now;
+                let Some(st) = self.nodes.get_mut(node.index()) else { return };
+                let Some((done, next)) = st.finish(now, task, epoch) else { return };
+                if let Some((next_id, ep, service, mode)) = next {
+                    self.push(now + service, EventKind::TaskFinish { node, task: next_id, epoch: ep });
+                    driver.on_event(self, SimEvent::TaskStarted { node, task: next_id, mode });
+                }
+                let latency = now.saturating_since(done.released);
+                let outcome = TaskOutcome {
+                    deadline_met: !done.misses_deadline(now),
+                    task: done,
+                    node,
+                    at: now,
+                    completed: true,
+                    latency,
+                };
+                driver.on_event(self, SimEvent::TaskCompleted(outcome));
+            }
+            EventKind::MsgDeliver { msg } => {
+                driver.on_event(self, SimEvent::MessageDelivered(msg));
+            }
+            EventKind::NodeDown(node) => {
+                let now = self.now;
+                let Some(st) = self.nodes.get_mut(node.index()) else { return };
+                let lost = st.set_up(now, false);
+                driver.on_event(self, SimEvent::TasksLost { node, tasks: lost });
+            }
+            EventKind::NodeUp(node) => {
+                let now = self.now;
+                let Some(st) = self.nodes.get_mut(node.index()) else { return };
+                st.set_up(now, true);
+                driver.on_event(self, SimEvent::NodeRestored(node));
+            }
+            EventKind::LinkDown(link) => {
+                self.network.set_link_up(link, false);
+                driver.on_event(self, SimEvent::LinkChanged { link, up: false });
+            }
+            EventKind::LinkUp(link) => {
+                self.network.set_link_up(link, true);
+                driver.on_event(self, SimEvent::LinkChanged { link, up: true });
+            }
+            EventKind::Timer { id, tag } => {
+                driver.on_event(self, SimEvent::Timer { id, tag });
+            }
+        }
+    }
+}
+
+/// Convenience: builds a [`SimCore`] with the given node specs already
+/// added, returning the core and the node ids in the input order.
+pub fn core_with_nodes(specs: impl IntoIterator<Item = NodeSpec>) -> (SimCore, Vec<NodeId>) {
+    let mut sim = SimCore::new();
+    let ids = specs.into_iter().map(|s| sim.add_node(s)).collect();
+    (sim, ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Default)]
+    struct Recorder {
+        started: Vec<TaskId>,
+        completed: Vec<TaskOutcome>,
+        lost: Vec<TaskInstance>,
+        messages: Vec<Message>,
+        timers: Vec<u64>,
+    }
+
+    impl Driver for Recorder {
+        fn on_event(&mut self, _sim: &mut SimCore, event: SimEvent) {
+            match event {
+                SimEvent::TaskStarted { task, .. } => self.started.push(task),
+                SimEvent::TaskCompleted(o) => self.completed.push(o),
+                SimEvent::TasksLost { tasks, .. } => self.lost.extend(tasks),
+                SimEvent::MessageDelivered(m) => self.messages.push(m),
+                SimEvent::Timer { tag, .. } => self.timers.push(tag),
+                SimEvent::NodeRestored(_) | SimEvent::LinkChanged { .. } => {}
+            }
+        }
+    }
+
+    fn one_node_sim() -> (SimCore, NodeId) {
+        let mut sim = SimCore::new();
+        let id = sim.add_node(NodeSpec::preset_edge_multicore("n"));
+        (sim, id)
+    }
+
+    #[test]
+    fn single_task_completes_with_expected_latency() {
+        let (mut sim, node) = one_node_sim();
+        let t = TaskInstance::new(sim.fresh_task_id(), 1.5);
+        sim.submit_local(node, t).expect("submit");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.completed.len(), 1);
+        // 1.5 mc at 1.5e-3 mc/µs = 1000 µs.
+        assert_eq!(rec.completed[0].latency, SimDuration::from_micros(1_000));
+        assert!(rec.completed[0].deadline_met);
+    }
+
+    #[test]
+    fn queueing_is_fifo_and_latency_grows() {
+        let (mut sim, node) = one_node_sim(); // 4 cores
+        for _ in 0..8 {
+            let t = TaskInstance::new(sim.fresh_task_id(), 15.0);
+            sim.submit_local(node, t).expect("submit");
+        }
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.completed.len(), 8);
+        let first = rec.completed[0].latency;
+        let last = rec.completed[7].latency;
+        assert!(last > first, "queued tasks wait");
+        assert_eq!(sim.node(node).map(|n| n.completed()), Some(8));
+    }
+
+    #[test]
+    fn network_submission_adds_transfer_delay() {
+        let mut sim = SimCore::new();
+        let gw = sim.add_node(NodeSpec::preset_fog_gateway("gw"));
+        let cloud = sim.add_node(NodeSpec::preset_cloud_server("dc"));
+        sim.network_mut()
+            .add_duplex(gw, cloud, SimDuration::from_millis(20), 100.0);
+        let t = TaskInstance::new(sim.fresh_task_id(), 3.0).with_io_bytes(125_000, 0);
+        let eta = sim
+            .submit_via_network(gw, cloud, t, Protocol::Http)
+            .expect("routable");
+        assert!(eta.as_millis_f64() > 20.0, "transfer takes ≥ propagation");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.completed.len(), 1);
+        assert!(rec.completed[0].latency.as_millis_f64() > 20.0);
+    }
+
+    #[test]
+    fn node_failure_loses_running_tasks_and_recovery_restores_service() {
+        let (mut sim, node) = one_node_sim();
+        for _ in 0..2 {
+            let t = TaskInstance::new(sim.fresh_task_id(), 1_500_000.0); // ~1 s each
+            sim.submit_local(node, t).expect("submit");
+        }
+        sim.schedule_node_down(node, SimTime::from_millis(100));
+        sim.schedule_node_up(node, SimTime::from_millis(200));
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(5), &mut rec);
+        assert_eq!(rec.lost.len(), 2);
+        assert_eq!(rec.completed.len(), 0);
+        // Node is back: new work completes.
+        let t = TaskInstance::new(sim.fresh_task_id(), 1.5);
+        sim.submit_local(node, t).expect("node is back up");
+        sim.run_until(SimTime::from_secs(6), &mut rec);
+        assert_eq!(rec.completed.len(), 1);
+    }
+
+    #[test]
+    fn submit_to_down_node_errors() {
+        let (mut sim, node) = one_node_sim();
+        sim.schedule_node_down(node, SimTime::ZERO);
+        sim.run_until(SimTime::from_millis(1), &mut NullDriver);
+        let t = TaskInstance::new(sim.fresh_task_id(), 1.0);
+        assert_eq!(sim.submit_local(node, t), Err(SimError::NodeDown(node)));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let (mut sim, _node) = one_node_sim();
+        sim.set_timer(SimDuration::from_millis(5), 2);
+        sim.set_timer(SimDuration::from_millis(1), 1);
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.timers, vec![1, 2]);
+    }
+
+    #[test]
+    fn messages_are_delivered() {
+        let mut sim = SimCore::new();
+        let a = sim.add_node(NodeSpec::preset_edge_multicore("a"));
+        let b = sim.add_node(NodeSpec::preset_fog_gateway("b"));
+        sim.network_mut().add_duplex(a, b, SimDuration::from_millis(3), 50.0);
+        sim.send_message(a, b, 512, Protocol::Mqtt, 7).expect("routable");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.messages.len(), 1);
+        assert_eq!(rec.messages[0].tag, 7);
+        assert_eq!(rec.messages[0].dst, b);
+    }
+
+    #[test]
+    fn operating_point_switch_delays_completion() {
+        let (mut sim, node) = one_node_sim();
+        let t = TaskInstance::new(sim.fresh_task_id(), 1.5);
+        sim.submit_local(node, t).expect("submit");
+        // Let it start, then slow the node down mid-flight.
+        sim.run_until(SimTime::from_micros(500), &mut NullDriver);
+        sim.switch_operating_point(node, 1).expect("eco point exists");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.completed.len(), 1);
+        assert!(
+            rec.completed[0].latency > SimDuration::from_micros(1_000),
+            "slowdown stretches completion: {:?}",
+            rec.completed[0].latency
+        );
+    }
+
+    #[test]
+    fn invalid_operating_point_is_rejected() {
+        let (mut sim, node) = one_node_sim();
+        let err = sim.switch_operating_point(node, 99).expect_err("out of range");
+        assert!(matches!(err, SimError::UnknownOperatingPoint { .. }));
+    }
+
+    #[test]
+    fn deterministic_event_order_under_ties() {
+        let (mut sim, node) = one_node_sim();
+        // Two identical tasks submitted at the same instant must start in
+        // submission order.
+        let t1 = sim.fresh_task_id();
+        let t2 = sim.fresh_task_id();
+        sim.submit_local(node, TaskInstance::new(t1, 100.0)).expect("submit");
+        sim.submit_local(node, TaskInstance::new(t2, 100.0)).expect("submit");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.started, vec![t1, t2]);
+    }
+
+    #[test]
+    fn scheduled_link_cut_notifies_and_blocks_explicit_paths() {
+        let mut sim = SimCore::new();
+        let a = sim.add_node(NodeSpec::preset_edge_multicore("a"));
+        let b = sim.add_node(NodeSpec::preset_fog_gateway("b"));
+        let (ab, _) = sim
+            .network_mut()
+            .add_duplex(a, b, SimDuration::from_millis(1), 100.0);
+        sim.schedule_link_down(ab, SimTime::from_millis(5));
+        sim.schedule_link_up(ab, SimTime::from_millis(20));
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_millis(10), &mut rec);
+        assert!(!sim.network().link_state(ab).expect("exists").is_up());
+        // Explicit-path submission over the cut link is rejected.
+        let t = TaskInstance::new(sim.fresh_task_id(), 1.0);
+        assert!(sim
+            .submit_via_path(b, t, &[ab], Protocol::Mqtt)
+            .is_err());
+        sim.run_until(SimTime::from_millis(25), &mut rec);
+        assert!(sim.network().link_state(ab).expect("exists").is_up());
+    }
+
+    #[test]
+    fn energy_accumulates_even_when_idle() {
+        let (mut sim, node) = one_node_sim();
+        sim.run_until(SimTime::from_secs(10), &mut NullDriver);
+        let e = sim.node(node).map(|n| n.energy_j()).unwrap_or_default();
+        // 10 s at 1.5 W idle.
+        assert!((e - 15.0).abs() < 1e-6, "idle energy: {e}");
+    }
+}

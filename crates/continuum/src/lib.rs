@@ -1,0 +1,57 @@
+//! # myrtus-continuum
+//!
+//! Deterministic discrete-event simulator of the MYRTUS cloud–fog–edge
+//! *computing continuum* (paper Fig. 2): heterogeneous nodes with DVFS
+//! operating points and reconfigurable accelerators, a store-and-forward
+//! network with protocol overhead models, Kubernetes-like low-level
+//! orchestration with LIQO-like federation, monitoring, and failure
+//! injection.
+//!
+//! This crate is the physical substrate everything else runs on: the
+//! `myrtus-kb` knowledge base replicates over its message fabric, and the
+//! `myrtus-mirto` cognitive engine drives it through the [`engine::Driver`]
+//! trait.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use myrtus_continuum::engine::NullDriver;
+//! use myrtus_continuum::task::TaskInstance;
+//! use myrtus_continuum::time::SimTime;
+//! use myrtus_continuum::topology::ContinuumBuilder;
+//!
+//! // Build the paper's reference infrastructure and run a task at the edge.
+//! let mut c = ContinuumBuilder::new().build();
+//! let edge = c.edge()[0];
+//! let task = {
+//!     let sim = c.sim_mut();
+//!     TaskInstance::new(sim.fresh_task_id(), 2.0)
+//! };
+//! c.sim_mut().submit_local(edge, task)?;
+//! c.sim_mut().run_until(SimTime::from_secs(1), &mut NullDriver);
+//! assert_eq!(c.sim().node(edge).unwrap().completed(), 1);
+//! # Ok::<(), myrtus_continuum::engine::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod energy;
+pub mod engine;
+pub mod fault;
+pub mod ids;
+pub mod monitor;
+pub mod net;
+pub mod node;
+pub mod stats;
+pub mod task;
+pub mod time;
+pub mod topology;
+
+pub use engine::{Driver, SimCore, SimError, SimEvent};
+pub use ids::{ClusterId, LinkId, MsgId, NodeId, PodId, TaskId, TimerId};
+pub use node::{Layer, NodeKind, NodeSpec};
+pub use task::{TaskInstance, TaskOutcome};
+pub use time::{SimDuration, SimTime};
+pub use topology::{Continuum, ContinuumBuilder};

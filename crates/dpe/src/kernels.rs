@@ -1,0 +1,128 @@
+//! Kernel library: dataflow graphs for the use-case accelerator
+//! configurations.
+//!
+//! The workload scenarios request acceleration by configuration id
+//! (`myrtus_workload::scenarios::accel_cfg`); this library provides the
+//! matching dataflow networks the DPE synthesizes bitstreams from, and
+//! that MDC merges into one reconfigurable datapath for the HMPSoC.
+
+use crate::ir::{Actor, ActorKind, DataflowGraph};
+
+/// Pose-estimation CNN backbone (telerehabilitation).
+pub fn pose_cnn() -> DataflowGraph {
+    let mut g = DataflowGraph::new("pose-cnn");
+    let src = g.add_actor(Actor::new("frame-reader", ActorKind::Source, 32));
+    let norm = g.add_actor(Actor::new("normalize", ActorKind::Map, 3_000));
+    let conv1 = g.add_actor(Actor::new("conv3x3", ActorKind::Stencil, 60_000).with_state_bytes(9 * 1024));
+    let pool = g.add_actor(Actor::new("maxpool", ActorKind::Reduce, 4_000));
+    let conv2 = g.add_actor(Actor::new("conv1x1", ActorKind::Stencil, 20_000).with_state_bytes(4 * 1024));
+    let head = g.add_actor(Actor::new("keypoint-head", ActorKind::Control, 6_000));
+    let sink = g.add_actor(Actor::new("result-writer", ActorKind::Sink, 32));
+    g.connect(src, 1, norm, 1, 4_096);
+    g.connect(norm, 1, conv1, 1, 4_096);
+    g.connect(conv1, 4, pool, 4, 1_024);
+    g.connect(pool, 1, conv2, 1, 1_024);
+    g.connect(conv2, 1, head, 1, 512);
+    g.connect(head, 1, sink, 1, 128);
+    g
+}
+
+/// Object-detection CNN (smart mobility).
+pub fn detect_cnn() -> DataflowGraph {
+    let mut g = DataflowGraph::new("detect-cnn");
+    let src = g.add_actor(Actor::new("frame-reader", ActorKind::Source, 32));
+    let norm = g.add_actor(Actor::new("normalize", ActorKind::Map, 3_000));
+    let conv1 = g.add_actor(Actor::new("conv3x3", ActorKind::Stencil, 60_000).with_state_bytes(9 * 1024));
+    let conv2 = g.add_actor(Actor::new("conv5x5", ActorKind::Stencil, 90_000).with_state_bytes(25 * 1024));
+    let nms = g.add_actor(Actor::new("nms", ActorKind::Control, 8_000));
+    let sink = g.add_actor(Actor::new("result-writer", ActorKind::Sink, 32));
+    g.connect(src, 1, norm, 1, 4_096);
+    g.connect(norm, 1, conv1, 1, 4_096);
+    g.connect(conv1, 1, conv2, 1, 2_048);
+    g.connect(conv2, 1, nms, 1, 1_024);
+    g.connect(nms, 1, sink, 1, 256);
+    g
+}
+
+/// Video pre-processing: resize + colour conversion.
+pub fn preproc() -> DataflowGraph {
+    let mut g = DataflowGraph::new("preproc");
+    let src = g.add_actor(Actor::new("frame-reader", ActorKind::Source, 32));
+    let resize = g.add_actor(Actor::new("resize", ActorKind::Stencil, 12_000));
+    let csc = g.add_actor(Actor::new("colour-convert", ActorKind::Map, 5_000));
+    let sink = g.add_actor(Actor::new("result-writer", ActorKind::Sink, 32));
+    g.connect(src, 1, resize, 1, 8_192);
+    g.connect(resize, 1, csc, 1, 2_048);
+    g.connect(csc, 1, sink, 1, 2_048);
+    g
+}
+
+/// Kalman-style multi-sensor fusion.
+pub fn fusion() -> DataflowGraph {
+    let mut g = DataflowGraph::new("fusion");
+    let imu = g.add_actor(Actor::new("imu-reader", ActorKind::Source, 16));
+    let gps = g.add_actor(Actor::new("gps-reader", ActorKind::Source, 16));
+    let predict = g.add_actor(Actor::new("kf-predict", ActorKind::Map, 2_500).with_state_bytes(512));
+    let update = g.add_actor(Actor::new("kf-update", ActorKind::Map, 3_500).with_state_bytes(512));
+    let sink = g.add_actor(Actor::new("result-writer", ActorKind::Sink, 16));
+    g.connect(imu, 1, predict, 1, 64);
+    g.connect(gps, 1, update, 1, 32);
+    g.connect(predict, 1, update, 1, 128);
+    g.connect(update, 1, sink, 1, 64);
+    g
+}
+
+/// Resolves a scenario accelerator-configuration id to its kernel graph.
+pub fn kernel_for(accel_cfg: u32) -> Option<DataflowGraph> {
+    use myrtus_workload::scenarios::accel_cfg as ids;
+    match accel_cfg {
+        ids::POSE_CNN => Some(pose_cnn()),
+        ids::DETECT_CNN => Some(detect_cnn()),
+        ids::PREPROC => Some(preproc()),
+        ids::FUSION => Some(fusion()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_validate() {
+        for g in [pose_cnn(), detect_cnn(), preproc(), fusion()] {
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        }
+    }
+
+    #[test]
+    fn ids_resolve() {
+        use myrtus_workload::scenarios::accel_cfg as ids;
+        assert_eq!(kernel_for(ids::POSE_CNN).map(|g| g.name), Some("pose-cnn".into()));
+        assert_eq!(kernel_for(ids::FUSION).map(|g| g.name), Some("fusion".into()));
+        assert!(kernel_for(999).is_none());
+    }
+
+    #[test]
+    fn cnn_kernels_share_frontend_actors() {
+        let comp = crate::mdc::compose(&[pose_cnn(), detect_cnn()]).expect("valid");
+        let shared = comp.shared_actor_names();
+        assert!(shared.contains(&"frame-reader"));
+        assert!(shared.contains(&"normalize"));
+        assert!(shared.contains(&"conv3x3"));
+        assert!(comp.area_report().savings() > 0.2, "{}", comp.area_report().savings());
+    }
+
+    #[test]
+    fn fusion_has_two_sources() {
+        let g = fusion();
+        let sources = g
+            .actors()
+            .iter()
+            .filter(|a| a.kind == ActorKind::Source)
+            .count();
+        assert_eq!(sources, 2);
+        let reps = g.repetition_vector().expect("consistent");
+        assert!(reps.iter().all(|&r| r == 1));
+    }
+}

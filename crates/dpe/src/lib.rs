@@ -1,0 +1,47 @@
+//! # myrtus-dpe
+//!
+//! The MYRTUS Design and Programming Environment (paper Fig. 4, technical
+//! pillar 3): a synchronous-dataflow IR with validation and SDF balance
+//! analysis (the dfg-mlir analog), fusion and partitioning passes,
+//! HLS-style latency/area estimation (CIRCT-hls / Vitis-HLS stand-in),
+//! the Multi-Dataflow Composer merging kernels into reconfigurable
+//! datapaths, a design-space explorer over heterogeneous CPU / FPGA /
+//! CGRA-RISC-V targets (the Mocasin analog), Attack-Defence-Tree driven
+//! countermeasure synthesis, and CSAR-like deployment-specification
+//! packages with operating-point metadata for the MIRTO engine.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use myrtus_dpe::flow::run_flow;
+//! use myrtus_workload::scenarios;
+//!
+//! let result = run_flow(&scenarios::telerehab())?;
+//! assert!(!result.spec.artifacts.is_empty());
+//! assert!(result.spec.residual_risk < 1.0);
+//! # Ok::<(), myrtus_dpe::flow::FlowError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cgra;
+pub mod codegen;
+pub mod deploy;
+pub mod dse;
+pub mod flow;
+pub mod hls;
+pub mod ir;
+pub mod kernels;
+pub mod mdc;
+pub mod nn;
+pub mod transform;
+
+pub use deploy::{Artifact, ArtifactKind, DeploymentSpec};
+pub use dse::{explore, standard_edge_platform, DseResult, Pe};
+pub use flow::{run_flow, AnalysisReport, FlowError, PortionedApp};
+pub use hls::{estimate_graph, GraphEstimate, Resources};
+pub use ir::{Actor, ActorKind, DataflowGraph};
+pub use cgra::{map_graph, CgraFabric, CgraMapping};
+pub use mdc::{compose, Composition};
+pub use nn::{Layer, NnModel, Shape};

@@ -1,0 +1,158 @@
+//! The Knowledge Base facade used by MIRTO agents.
+//!
+//! Paper Sect. III: "all layers will share one ontological KB (logical
+//! view), which can be distributed in different layers (implementation
+//! view)". [`KnowledgeBase`] is that logical view — a KV store hosting
+//! the Resource Registry plus a historical time-series store — while the
+//! [`raft`](crate::raft) module provides the distributed implementation
+//! view whose consistency the experiments measure.
+
+use myrtus_continuum::ids::NodeId;
+use myrtus_continuum::monitor::MonitoringReport;
+use myrtus_continuum::node::Layer;
+use myrtus_continuum::time::SimTime;
+
+use crate::history::HistoryStore;
+use crate::registry::{NodeRecord, RegistryView};
+use crate::store::KvStore;
+
+/// The logical, agent-facing Knowledge Base.
+///
+/// # Examples
+///
+/// ```
+/// use myrtus_kb::facade::KnowledgeBase;
+/// use myrtus_continuum::time::SimTime;
+///
+/// let mut kb = KnowledgeBase::new();
+/// kb.history_mut().append("cloud-0/util", SimTime::from_millis(1), 0.4);
+/// assert_eq!(kb.history().len("cloud-0/util"), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    store: KvStore,
+    history: HistoryStore,
+}
+
+impl KnowledgeBase {
+    /// Creates an empty KB with a 10 000-sample retention per series.
+    pub fn new() -> Self {
+        KnowledgeBase { store: KvStore::new(), history: HistoryStore::new(10_000) }
+    }
+
+    /// The underlying KV store (registry keys live under `/registry/`).
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// Mutable KV store access.
+    pub fn store_mut(&mut self) -> &mut KvStore {
+        &mut self.store
+    }
+
+    /// The historical time-series store.
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// Mutable history access.
+    pub fn history_mut(&mut self) -> &mut HistoryStore {
+        &mut self.history
+    }
+
+    /// The registry read view.
+    pub fn registry(&self) -> RegistryView<'_> {
+        RegistryView::new(&self.store)
+    }
+
+    /// Ingests a monitoring report: upserts every node's registry record
+    /// and appends utilization/energy series. `security_tier_of` supplies
+    /// each node's supported security tier (paper Table II capability).
+    pub fn ingest_report(
+        &mut self,
+        report: &MonitoringReport,
+        mut security_tier_of: impl FnMut(NodeId) -> u8,
+    ) {
+        for snap in &report.nodes {
+            let tier = security_tier_of(snap.node);
+            let record = NodeRecord::from_snapshot(snap, tier, report.at);
+            self.store.apply(&record.to_command(), report.at);
+            self.history
+                .append(format!("{}/util", snap.name), report.at, snap.utilization);
+            self.history
+                .append(format!("{}/energy_j", snap.name), report.at, snap.energy_j);
+            self.history
+                .append(format!("{}/queue", snap.name), report.at, snap.queue_len as f64);
+        }
+        for link in &report.links {
+            self.history.append(
+                format!("link-{}/util", link.link.as_raw()),
+                report.at,
+                link.utilization,
+            );
+        }
+    }
+
+    /// Up registry nodes in a layer, least-utilized first.
+    pub fn available_in_layer(&self, layer: Layer) -> Vec<NodeRecord> {
+        self.registry().available_in_layer(layer)
+    }
+
+    /// Records an application-level KPI sample.
+    pub fn record_kpi(&mut self, app: &str, kpi: &str, at: SimTime, value: f64) {
+        self.history.append(format!("app/{app}/{kpi}"), at, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use myrtus_continuum::engine::{NullDriver, SimCore};
+    use myrtus_continuum::node::NodeSpec;
+    use myrtus_continuum::task::TaskInstance;
+
+    #[test]
+    fn ingest_populates_registry_and_history() {
+        let mut sim = SimCore::new();
+        let a = sim.add_node(NodeSpec::preset_edge_multicore("edge-0"));
+        let t = TaskInstance::new(sim.fresh_task_id(), 1.5);
+        sim.submit_local(a, t).expect("submit");
+        sim.run_until(SimTime::from_secs(1), &mut NullDriver);
+
+        let mut kb = KnowledgeBase::new();
+        let report = MonitoringReport::collect(&sim);
+        kb.ingest_report(&report, |_| 1);
+
+        let rec = kb.registry().node(a).expect("record exists");
+        assert_eq!(rec.name, "edge-0");
+        assert_eq!(rec.max_security_tier, 1);
+        assert!(rec.energy_j > 0.0);
+        assert_eq!(kb.history().len("edge-0/util"), 1);
+        assert_eq!(kb.available_in_layer(Layer::Edge).len(), 1);
+        assert!(kb.available_in_layer(Layer::Cloud).is_empty());
+    }
+
+    #[test]
+    fn repeated_ingest_updates_not_duplicates() {
+        let mut sim = SimCore::new();
+        let a = sim.add_node(NodeSpec::preset_edge_multicore("edge-0"));
+        let mut kb = KnowledgeBase::new();
+        for t in [1u64, 2] {
+            sim.run_until(SimTime::from_secs(t), &mut NullDriver);
+            kb.ingest_report(&MonitoringReport::collect(&sim), |_| 0);
+        }
+        assert_eq!(kb.registry().all().len(), 1, "one record per node");
+        assert_eq!(kb.history().len("edge-0/util"), 2, "two history samples");
+        assert_eq!(
+            kb.registry().node(a).map(|r| r.updated_at),
+            Some(SimTime::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn kpi_samples_are_namespaced() {
+        let mut kb = KnowledgeBase::new();
+        kb.record_kpi("telerehab", "latency_us", SimTime::from_millis(1), 42.0);
+        assert_eq!(kb.history().latest("app/telerehab/latency_us").map(|s| s.value), Some(42.0));
+    }
+}

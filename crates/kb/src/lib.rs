@@ -1,0 +1,42 @@
+//! # myrtus-kb
+//!
+//! The MYRTUS shared Knowledge Base: a from-scratch Raft-replicated,
+//! strongly consistent key-value store (the ETCD contract the paper
+//! considers), hosting the Resource Registry/Status, watches and leases,
+//! plus a historical time-series store for learning agents.
+//!
+//! The [`facade::KnowledgeBase`] is the *logical view* MIRTO agents use;
+//! [`raft::RaftCluster`] is the *distributed implementation view* whose
+//! consistency and scalability the experiments measure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use myrtus_kb::command::KvCommand;
+//! use myrtus_kb::raft::RaftCluster;
+//! use myrtus_continuum::time::{SimDuration, SimTime};
+//!
+//! let mut cluster = RaftCluster::new(3, 1, SimDuration::from_millis(5));
+//! let leader = cluster.await_leader(SimTime::from_secs(3)).expect("elects");
+//! cluster.propose(leader, KvCommand::put("/registry/nodes/0", b"up"))?;
+//! cluster.run_for(SimDuration::from_millis(500));
+//! assert!(cluster.committed_value(leader, "/registry/nodes/0").is_some());
+//! # Ok::<(), myrtus_kb::raft::NotLeaderError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod command;
+pub mod facade;
+pub mod history;
+pub mod raft;
+pub mod registry;
+pub mod store;
+
+pub use command::{KvCommand, WatchEvent};
+pub use facade::KnowledgeBase;
+pub use history::HistoryStore;
+pub use raft::{RaftCluster, RaftConfig, RaftNode};
+pub use registry::{NodeRecord, RegistryView};
+pub use store::KvStore;

@@ -1,0 +1,252 @@
+//! The MIRTO API Daemon (Fig. 3).
+//!
+//! "Creates a MIRTO API Daemon defining the MIRTO agent as a
+//! (web-)service … This REST-like API establishes how users will request
+//! orchestration activities to the MIRTO agent using a TOSCA Object
+//! Model. It also provides a security module for user authentication
+//! (Authentication Module) and TOSCA description validation (TOSCA
+//! Validation Processor)." Requests carry a bearer token and a TOSCA-lite
+//! profile; the daemon authenticates, authorizes the scope, parses and
+//! validates, and hands a typed [`Application`] to the manager.
+
+use myrtus_continuum::time::SimTime;
+use myrtus_security::authn::{AuthnError, Principal, TokenAuthenticator};
+use myrtus_workload::tosca::{Application, ParseProfileError, ValidateAppError};
+
+/// REST-like operations the daemon accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// `POST /deployments` with a TOSCA-lite profile body.
+    Deploy {
+        /// The TOSCA-lite profile text.
+        profile: String,
+    },
+    /// `GET /status`.
+    Status,
+}
+
+/// One API request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiRequest {
+    /// Bearer token.
+    pub token: String,
+    /// Requested operation.
+    pub operation: Operation,
+}
+
+/// Daemon responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiResponse {
+    /// Deployment accepted: the validated application model.
+    Accepted {
+        /// The authenticated principal.
+        principal: Principal,
+        /// The parsed, validated application.
+        application: Application,
+    },
+    /// Status snapshot.
+    Status {
+        /// The authenticated principal.
+        principal: Principal,
+    },
+}
+
+/// API errors, mapped onto HTTP-like statuses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// 401: authentication failed.
+    Unauthorized(AuthnError),
+    /// 403: authenticated but missing the required scope.
+    Forbidden {
+        /// The missing scope.
+        scope: &'static str,
+    },
+    /// 400: the TOSCA profile does not parse.
+    InvalidProfile(ParseProfileError),
+    /// 422: the topology parses but fails validation.
+    InvalidTopology(ValidateAppError),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Unauthorized(e) => write!(f, "401 unauthorized: {e}"),
+            ApiError::Forbidden { scope } => write!(f, "403 forbidden: missing scope {scope}"),
+            ApiError::InvalidProfile(e) => write!(f, "400 bad request: {e}"),
+            ApiError::InvalidTopology(e) => write!(f, "422 unprocessable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// The daemon: Authentication Module + TOSCA Validation Processor.
+#[derive(Debug, Clone)]
+pub struct ApiDaemon {
+    authn: TokenAuthenticator,
+    deployments_accepted: u64,
+}
+
+impl ApiDaemon {
+    /// Creates a daemon with the agent's token secret.
+    pub fn new(secret: &[u8]) -> Self {
+        ApiDaemon { authn: TokenAuthenticator::new(secret), deployments_accepted: 0 }
+    }
+
+    /// The token authenticator (for issuing test/operator tokens).
+    pub fn authenticator(&self) -> &TokenAuthenticator {
+        &self.authn
+    }
+
+    /// Deployments accepted so far.
+    pub fn deployments_accepted(&self) -> u64 {
+        self.deployments_accepted
+    }
+
+    /// Handles one request at logical time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ApiError`] mirroring the failing HTTP status.
+    pub fn handle(&mut self, request: &ApiRequest, now: SimTime) -> Result<ApiResponse, ApiError> {
+        let principal = self
+            .authn
+            .verify(&request.token, now)
+            .map_err(ApiError::Unauthorized)?;
+        match &request.operation {
+            Operation::Status => Ok(ApiResponse::Status { principal }),
+            Operation::Deploy { profile } => {
+                if !principal.has_scope("deploy") {
+                    return Err(ApiError::Forbidden { scope: "deploy" });
+                }
+                let application =
+                    Application::from_profile(profile).map_err(ApiError::InvalidProfile)?;
+                application.validate().map_err(ApiError::InvalidTopology)?;
+                self.deployments_accepted += 1;
+                Ok(ApiResponse::Accepted { principal, application })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use myrtus_workload::scenarios;
+
+    fn daemon_and_token(scopes: &[&str]) -> (ApiDaemon, String) {
+        let daemon = ApiDaemon::new(b"agent-secret");
+        let token = daemon
+            .authenticator()
+            .issue("operator", scopes, SimTime::from_secs(3_600));
+        (daemon, token)
+    }
+
+    #[test]
+    fn valid_deployment_is_accepted() {
+        let (mut daemon, token) = daemon_and_token(&["deploy"]);
+        let profile = scenarios::telerehab().to_profile();
+        let resp = daemon
+            .handle(
+                &ApiRequest { token, operation: Operation::Deploy { profile } },
+                SimTime::ZERO,
+            )
+            .expect("accepted");
+        match resp {
+            ApiResponse::Accepted { principal, application } => {
+                assert_eq!(principal.name, "operator");
+                assert_eq!(application.name, "telerehab");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(daemon.deployments_accepted(), 1);
+    }
+
+    #[test]
+    fn bad_token_is_401() {
+        let (mut daemon, _) = daemon_and_token(&["deploy"]);
+        let err = daemon
+            .handle(
+                &ApiRequest {
+                    token: "garbage".into(),
+                    operation: Operation::Status,
+                },
+                SimTime::ZERO,
+            )
+            .expect_err("rejected");
+        assert!(matches!(err, ApiError::Unauthorized(_)));
+        assert!(err.to_string().starts_with("401"));
+    }
+
+    #[test]
+    fn missing_scope_is_403() {
+        let (mut daemon, token) = daemon_and_token(&["observe"]);
+        let err = daemon
+            .handle(
+                &ApiRequest {
+                    token,
+                    operation: Operation::Deploy { profile: String::new() },
+                },
+                SimTime::ZERO,
+            )
+            .expect_err("rejected");
+        assert_eq!(err, ApiError::Forbidden { scope: "deploy" });
+    }
+
+    #[test]
+    fn unparsable_profile_is_400() {
+        let (mut daemon, token) = daemon_and_token(&["deploy"]);
+        let err = daemon
+            .handle(
+                &ApiRequest {
+                    token,
+                    operation: Operation::Deploy { profile: "component ???".into() },
+                },
+                SimTime::ZERO,
+            )
+            .expect_err("rejected");
+        assert!(matches!(err, ApiError::InvalidProfile(_)));
+    }
+
+    #[test]
+    fn invalid_topology_is_422() {
+        let (mut daemon, token) = daemon_and_token(&["deploy"]);
+        // Parses, but references an unknown component.
+        let profile = "app broken\narrival periodic period_us=1000 count=1\n\
+                       component a kind=sensor\nconnect a -> ghost bytes=1\n";
+        let err = daemon
+            .handle(
+                &ApiRequest {
+                    token,
+                    operation: Operation::Deploy { profile: profile.into() },
+                },
+                SimTime::ZERO,
+            )
+            .expect_err("rejected");
+        assert!(matches!(err, ApiError::InvalidTopology(_)));
+        assert_eq!(daemon.deployments_accepted(), 0);
+    }
+
+    #[test]
+    fn status_needs_no_scope() {
+        let (mut daemon, token) = daemon_and_token(&[]);
+        let resp = daemon
+            .handle(&ApiRequest { token, operation: Operation::Status }, SimTime::ZERO)
+            .expect("ok");
+        assert!(matches!(resp, ApiResponse::Status { .. }));
+    }
+
+    #[test]
+    fn expired_token_is_401() {
+        let daemon = ApiDaemon::new(b"k");
+        let token = daemon.authenticator().issue("op", &["deploy"], SimTime::from_secs(1));
+        let mut daemon = daemon;
+        let err = daemon
+            .handle(
+                &ApiRequest { token, operation: Operation::Status },
+                SimTime::from_secs(2),
+            )
+            .expect_err("expired");
+        assert!(matches!(err, ApiError::Unauthorized(AuthnError::Expired { .. })));
+    }
+}

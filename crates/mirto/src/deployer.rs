@@ -1,0 +1,251 @@
+//! The deployment proxy (Fig. 3's LIQO/Kubernetes interface).
+//!
+//! MIRTO "constitutes the interface among MIRTO agents and
+//! Kubernetes-based orchestration achieving seamless virtualization of
+//! the underlying infrastructure". The cognitive engine *decides*
+//! placements; this proxy *executes* them on the low-level layer: one
+//! Kubernetes-like cluster per continuum layer, peered LIQO-style
+//! (edge → fog → cloud), with every placed component materialized as a
+//! bound pod and every reallocation as an evict + rebind.
+
+use std::collections::HashMap;
+
+use myrtus_continuum::cluster::{Federation, PodSpec, ScheduleError};
+use myrtus_continuum::engine::SimCore;
+use myrtus_continuum::ids::{ClusterId, NodeId, PodId};
+use myrtus_continuum::node::Layer;
+use myrtus_workload::tosca::Application;
+
+use crate::placement::Placement;
+
+/// Executes MIRTO placements on the per-layer cluster federation.
+#[derive(Debug)]
+pub struct DeploymentProxy {
+    federation: Federation,
+    cluster_of_layer: [ClusterId; 3],
+    layer_of_node: HashMap<NodeId, Layer>,
+    pods: HashMap<(u16, usize), (ClusterId, PodId, NodeId)>,
+    binds: u64,
+    moves: u64,
+}
+
+fn layer_index(layer: Layer) -> usize {
+    match layer {
+        Layer::Edge => 0,
+        Layer::Fog => 1,
+        Layer::Cloud => 2,
+    }
+}
+
+impl DeploymentProxy {
+    /// Builds the federation over the given core: one cluster per layer,
+    /// peered upward (edge → fog → cloud) like LIQO virtual nodes.
+    pub fn new(sim: &SimCore) -> Self {
+        let mut by_layer: [Vec<NodeId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut layer_of_node = HashMap::new();
+        for n in sim.nodes() {
+            let layer = n.spec().layer();
+            by_layer[layer_index(layer)].push(n.id());
+            layer_of_node.insert(n.id(), layer);
+        }
+        let mut federation = Federation::new();
+        let edge = federation.add_cluster(by_layer[0].clone());
+        let fog = federation.add_cluster(by_layer[1].clone());
+        let cloud = federation.add_cluster(by_layer[2].clone());
+        federation.peer(edge, fog);
+        federation.peer(fog, cloud);
+        federation.peer(edge, cloud);
+        DeploymentProxy {
+            federation,
+            cluster_of_layer: [edge, fog, cloud],
+            layer_of_node,
+            pods: HashMap::new(),
+            binds: 0,
+            moves: 0,
+        }
+    }
+
+    /// The underlying federation.
+    pub fn federation(&self) -> &Federation {
+        &self.federation
+    }
+
+    /// Pods bound so far.
+    pub fn binds(&self) -> u64 {
+        self.binds
+    }
+
+    /// Pod migrations executed so far.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Pod currently backing a component.
+    pub fn pod_of(&self, app: u16, component: usize) -> Option<(ClusterId, PodId, NodeId)> {
+        self.pods.get(&(app, component)).copied()
+    }
+
+    fn pod_spec(app: &Application, component: usize) -> PodSpec {
+        let comp = &app.components[component];
+        // Request: one millicore per 0.01 Mc of per-request work, floored
+        // at 100m — a simple sizing heuristic in lieu of profiling.
+        let cpu = ((comp.requirements.work_mc * 100.0) as u32).clamp(100, 4_000);
+        PodSpec::new(format!("{}-{}", app.name, comp.name), cpu, comp.requirements.mem_mb)
+    }
+
+    /// Materializes a full placement: binds one pod per component onto
+    /// its decided node's layer cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::UnknownCluster`] when a node belongs to
+    /// no known layer (cannot happen for nodes created via the core).
+    pub fn apply_placement(
+        &mut self,
+        app_id: u16,
+        app: &Application,
+        placement: &Placement,
+    ) -> Result<(), ScheduleError> {
+        for comp in 0..placement.len() {
+            let node = placement.node_of(comp);
+            self.bind_component(app_id, app, comp, node)?;
+        }
+        Ok(())
+    }
+
+    fn cluster_for(&self, node: NodeId) -> Result<ClusterId, ScheduleError> {
+        self.layer_of_node
+            .get(&node)
+            .map(|l| self.cluster_of_layer[layer_index(*l)])
+            .ok_or(ScheduleError::UnknownCluster(ClusterId::from_raw(u32::MAX)))
+    }
+
+    /// Binds (or rebinds) one component to `node`, evicting a previous
+    /// pod if the component moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster errors.
+    pub fn bind_component(
+        &mut self,
+        app_id: u16,
+        app: &Application,
+        component: usize,
+        node: NodeId,
+    ) -> Result<(), ScheduleError> {
+        if let Some((cl, pod, old_node)) = self.pods.get(&(app_id, component)).copied() {
+            if old_node == node {
+                return Ok(());
+            }
+            let cluster = self
+                .federation
+                .cluster_mut(cl)
+                .ok_or(ScheduleError::UnknownCluster(cl))?;
+            cluster.evict(pod)?;
+            self.moves += 1;
+        }
+        let target = self.cluster_for(node)?;
+        let spec = Self::pod_spec(app, component);
+        let cluster = self
+            .federation
+            .cluster_mut(target)
+            .ok_or(ScheduleError::UnknownCluster(target))?;
+        let pod = cluster.bind(spec, node);
+        self.binds += 1;
+        self.pods.insert((app_id, component), (target, pod, node));
+        Ok(())
+    }
+
+    /// Components (as `(app, component)`) whose pods sit on `node`.
+    pub fn components_on(&self, node: NodeId) -> Vec<(u16, usize)> {
+        let mut v: Vec<(u16, usize)> = self
+            .pods
+            .iter()
+            .filter(|(_, (_, _, n))| *n == node)
+            .map(|(k, _)| *k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total CPU millicores requested on a node across the federation.
+    pub fn requested_cpu_millis(&self, node: NodeId) -> u32 {
+        self.federation
+            .clusters()
+            .iter()
+            .map(|c| c.requested_cpu_millis(node))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use myrtus_continuum::topology::ContinuumBuilder;
+    use myrtus_workload::scenarios;
+
+    fn fixture() -> (myrtus_continuum::topology::Continuum, Application, Placement) {
+        let c = ContinuumBuilder::new().build();
+        let app = scenarios::telerehab();
+        let edge = c.edge()[0];
+        let cloud = c.cloud()[0];
+        let mut assignment = vec![edge; app.components.len()];
+        *assignment.last_mut().expect("non-empty") = cloud;
+        (c, app, Placement::new(assignment))
+    }
+
+    #[test]
+    fn placement_materializes_as_pods() {
+        let (c, app, placement) = fixture();
+        let mut proxy = DeploymentProxy::new(c.sim());
+        proxy.apply_placement(0, &app, &placement).expect("binds");
+        assert_eq!(proxy.binds(), app.components.len() as u64);
+        assert_eq!(proxy.moves(), 0);
+        // Edge components land in the edge cluster, the store in cloud.
+        let (edge_cl, ..) = proxy.pod_of(0, 0).expect("bound");
+        let (cloud_cl, _, cloud_node) = proxy.pod_of(0, 4).expect("bound");
+        assert_ne!(edge_cl, cloud_cl);
+        assert_eq!(cloud_node, c.cloud()[0]);
+        assert_eq!(proxy.components_on(c.edge()[0]).len(), 4);
+    }
+
+    #[test]
+    fn rebinding_moves_the_pod_and_frees_requests() {
+        let (c, app, placement) = fixture();
+        let mut proxy = DeploymentProxy::new(c.sim());
+        proxy.apply_placement(0, &app, &placement).expect("binds");
+        let before = proxy.requested_cpu_millis(c.edge()[0]);
+        proxy
+            .bind_component(0, &app, 2, c.fmdcs()[0])
+            .expect("rebinds");
+        assert_eq!(proxy.moves(), 1);
+        assert!(proxy.requested_cpu_millis(c.edge()[0]) < before);
+        assert!(proxy.requested_cpu_millis(c.fmdcs()[0]) > 0);
+        let (_, _, node) = proxy.pod_of(0, 2).expect("bound");
+        assert_eq!(node, c.fmdcs()[0]);
+    }
+
+    #[test]
+    fn rebinding_to_the_same_node_is_a_noop() {
+        let (c, app, placement) = fixture();
+        let mut proxy = DeploymentProxy::new(c.sim());
+        proxy.apply_placement(0, &app, &placement).expect("binds");
+        let binds = proxy.binds();
+        proxy
+            .bind_component(0, &app, 0, placement.node_of(0))
+            .expect("noop");
+        assert_eq!(proxy.binds(), binds);
+        assert_eq!(proxy.moves(), 0);
+    }
+
+    #[test]
+    fn federation_layers_are_peered_upward() {
+        let (c, _, _) = fixture();
+        let proxy = DeploymentProxy::new(c.sim());
+        assert_eq!(proxy.federation().clusters().len(), 3);
+        // Edge cluster members are exactly the edge nodes.
+        let edge_cluster = &proxy.federation().clusters()[0];
+        assert_eq!(edge_cluster.members().len(), c.edge().len());
+    }
+}

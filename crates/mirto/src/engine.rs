@@ -1,0 +1,1201 @@
+//! The MIRTO orchestration engine: the four-step dynamic loop.
+//!
+//! Paper Sect. IV: "This dynamic orchestration entails four steps
+//! executed in loops: 1) sensing of internal and external triggers;
+//! 2) evaluation of aggregated local and global information; 3) decision
+//! for resource allocation/configuration to improve KPIs; and
+//! 4) reconfiguration/reallocation." [`OrchestrationEngine`] implements
+//! that loop as a [`Driver`] over the continuum simulator:
+//!
+//! * **sense** — periodic monitoring reports ingested into the KB, plus
+//!   task/failure events;
+//! * **evaluate** — registry, trust and congestion state;
+//! * **decide** — WL Manager placement/reallocation, Node Manager
+//!   operating points, Network Manager routes, Privacy & Security
+//!   Manager constraints;
+//! * **reconfigure** — operating-point switches, re-placements and task
+//!   resubmissions on the simulator.
+
+use std::collections::HashMap;
+
+use myrtus_continuum::engine::{Driver, SimCore, SimEvent};
+use myrtus_continuum::ids::NodeId;
+use myrtus_continuum::monitor::{ApplicationMonitor, MonitoringReport};
+use myrtus_continuum::net::Protocol;
+use myrtus_continuum::node::Layer;
+use myrtus_continuum::stats::Summary;
+use myrtus_continuum::task::TaskInstance;
+use myrtus_continuum::time::{SimDuration, SimTime};
+use myrtus_continuum::topology::Continuum;
+use myrtus_kb::KnowledgeBase;
+use myrtus_workload::compile::{compile_requests, CompiledRequest, Tag};
+use myrtus_workload::opset::AppPointSet;
+use myrtus_workload::graph::RequestDag;
+use myrtus_workload::tosca::Application;
+
+use crate::deployer::DeploymentProxy;
+use crate::managers::node::NodeManager;
+use crate::managers::network::NetworkManager;
+use crate::managers::privsec::{node_security_level, PrivacySecurityManager};
+use crate::managers::wl::WlManager;
+use crate::placement::PlanContext;
+use crate::policies::{PlaceError, PlacementPolicy};
+
+/// Monitoring-timer sentinel tag.
+const MONITOR_TAG: u64 = u64::MAX;
+/// Stage field value marking a request-arrival timer.
+const ARRIVAL_STAGE: u16 = 0xFFFF;
+/// Stage field value marking a deferred application deployment.
+const DEPLOY_STAGE: u16 = 0xFFFE;
+
+/// Tunable thresholds of the runtime managers — the "local rules" the
+/// FREVO-analog evolutionary search optimizes (see [`crate::frevo`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagerTuning {
+    /// Node Manager: utilization below which a node may drop to eco.
+    pub eco_threshold: f64,
+    /// Node Manager: utilization above which a node boosts.
+    pub boost_threshold: f64,
+    /// WL Manager: utilization above which a node counts as overloaded.
+    pub overload_threshold: f64,
+    /// WL Manager: queue depth above which a node counts as overloaded.
+    pub queue_threshold: usize,
+}
+
+impl Default for ManagerTuning {
+    fn default() -> Self {
+        ManagerTuning {
+            eco_threshold: 0.25,
+            boost_threshold: 0.75,
+            overload_threshold: 0.9,
+            queue_threshold: 4,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// MAPE-K sensing/adaptation period.
+    pub monitoring_period: SimDuration,
+    /// Enforce Table II security constraints and overheads.
+    pub enforce_security: bool,
+    /// Let the Node Manager switch operating points.
+    pub node_adaptation: bool,
+    /// Let the Network Manager pick routes.
+    pub network_management: bool,
+    /// Allow runtime reallocation and loss recovery (cognitive mode).
+    pub reallocation: bool,
+    /// Let MIRTO switch *application* operating points at run time
+    /// (quality degradation under overload, refs \[29\]\[30\]).
+    pub app_point_adaptation: bool,
+    /// Max resubmissions of a lost stage.
+    pub max_retries: u32,
+    /// Seed for stochastic arrivals.
+    pub seed: u64,
+    /// Runtime manager thresholds (the swarm agents' local rules).
+    pub tuning: ManagerTuning,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            monitoring_period: SimDuration::from_millis(100),
+            enforce_security: true,
+            node_adaptation: true,
+            network_management: true,
+            reallocation: true,
+            app_point_adaptation: true,
+            max_retries: 2,
+            seed: 7,
+            tuning: ManagerTuning::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A fully static configuration (no cognition at all) for baselines.
+    pub fn static_baseline() -> Self {
+        EngineConfig {
+            node_adaptation: false,
+            network_management: false,
+            reallocation: false,
+            app_point_adaptation: false,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RequestState {
+    compiled: CompiledRequest,
+    done: Vec<bool>,
+    deps_left: Vec<usize>,
+    finish_node: Vec<Option<NodeId>>,
+    retries: Vec<u32>,
+    last_finish: SimTime,
+    failed: bool,
+    completed: bool,
+    /// Application operating-point index assigned when the request was
+    /// released (refs \[29\]\[30\] metadata applied at run time).
+    point_idx: usize,
+    finish_at: Vec<Option<SimTime>>,
+}
+
+#[derive(Debug)]
+struct AppRuntime {
+    id: u16,
+    app: Application,
+    dag: RequestDag,
+    points: AppPointSet,
+    point_idx: usize,
+    window_done: u32,
+    window_missed: u32,
+    clean_rounds: u32,
+}
+
+/// One stage of a completed request's execution trace (application
+/// monitoring: "status of the application to identify underperformance
+/// issues").
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpan {
+    /// Stage (component) name.
+    pub stage: String,
+    /// Node that executed the stage.
+    pub node: NodeId,
+    /// When the stage finished.
+    pub finished_at: SimTime,
+}
+
+/// Per-application outcome summary.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// Application id.
+    pub app_id: u16,
+    /// Application name.
+    pub name: String,
+    /// Requests that completed all stages.
+    pub completed: u64,
+    /// Requests that lost at least one stage permanently.
+    pub failed: u64,
+    /// Completed requests that missed their end-to-end deadline.
+    pub deadline_misses: u64,
+    /// End-to-end latency summary over completed requests, milliseconds.
+    pub latency_ms: Option<Summary>,
+    /// Mean application quality over completed requests (1.0 = every
+    /// request served at the full operating point).
+    pub mean_quality: f64,
+    /// Stage-by-stage trace of the slowest completed request — where the
+    /// worst-case latency was spent.
+    pub slowest_trace: Vec<StageSpan>,
+}
+
+impl AppReport {
+    /// Fraction of completed requests that met their deadline.
+    pub fn qos(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            1.0 - self.deadline_misses as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Full outcome of one orchestrated run.
+#[derive(Debug, Clone)]
+pub struct OrchestrationReport {
+    /// Placement policy name.
+    pub policy: &'static str,
+    /// Simulated horizon.
+    pub horizon: SimTime,
+    /// Per-application summaries.
+    pub apps: Vec<AppReport>,
+    /// Total energy over all nodes, joules.
+    pub total_energy_j: f64,
+    /// Energy per layer, joules (edge, fog, cloud).
+    pub layer_energy_j: [f64; 3],
+    /// Runtime component reallocations performed.
+    pub reallocations: u64,
+    /// Operating-point switches performed.
+    pub op_switches: u64,
+    /// Network detours taken.
+    pub detours: u64,
+    /// Tasks lost to failures (before retries).
+    pub lost_tasks: u64,
+    /// Accelerator reconfigurations across all nodes.
+    pub accel_reconfigurations: u64,
+    /// Security handshake cycles spent.
+    pub handshake_cycles: u64,
+    /// Application operating-point switches performed at run time.
+    pub app_point_switches: u64,
+    /// Pods bound through the deployment proxy.
+    pub pods_bound: u64,
+    /// Pod migrations executed through the deployment proxy.
+    pub pod_moves: u64,
+    /// Simulator events processed.
+    pub events: u64,
+}
+
+impl OrchestrationReport {
+    /// Total completed requests across applications.
+    pub fn total_completed(&self) -> u64 {
+        self.apps.iter().map(|a| a.completed).sum()
+    }
+
+    /// Mean of per-app mean latencies (ms), weighted by completions.
+    pub fn mean_latency_ms(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for a in &self.apps {
+            if let Some(s) = &a.latency_ms {
+                num += s.mean * a.completed as f64;
+                den += a.completed as f64;
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Global QoS: deadline-met fraction over all completed requests.
+    pub fn global_qos(&self) -> f64 {
+        let done: u64 = self.apps.iter().map(|a| a.completed).sum();
+        let miss: u64 = self.apps.iter().map(|a| a.deadline_misses).sum();
+        if done == 0 {
+            0.0
+        } else {
+            1.0 - miss as f64 / done as f64
+        }
+    }
+
+    /// Energy per completed request, joules.
+    pub fn energy_per_request_j(&self) -> f64 {
+        let done = self.total_completed();
+        if done == 0 {
+            f64::INFINITY
+        } else {
+            self.total_energy_j / done as f64
+        }
+    }
+}
+
+/// The MIRTO cognitive engine over one continuum.
+pub struct OrchestrationEngine {
+    cfg: EngineConfig,
+    wl: WlManager,
+    node_mgr: NodeManager,
+    net_mgr: NetworkManager,
+    sec: PrivacySecurityManager,
+    proxy: Option<DeploymentProxy>,
+    kb: KnowledgeBase,
+    app_mon: ApplicationMonitor,
+    apps: Vec<AppRuntime>,
+    requests: HashMap<u64, RequestState>,
+    pending_flows: HashMap<u64, (NodeId, NodeId, SimTime)>,
+    pending_deploys: HashMap<u16, Application>,
+    horizon: SimTime,
+    lost_tasks: u64,
+    latencies_ms: HashMap<u16, Vec<f64>>,
+    qualities: HashMap<u16, Vec<f64>>,
+    slowest: HashMap<u16, (f64, Vec<StageSpan>)>,
+    app_point_switches: u64,
+    completed: HashMap<u16, u64>,
+    failed: HashMap<u16, u64>,
+    misses: HashMap<u16, u64>,
+}
+
+impl std::fmt::Debug for OrchestrationEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrchestrationEngine")
+            .field("policy", &self.wl.policy_name())
+            .field("apps", &self.apps.len())
+            .field("requests", &self.requests.len())
+            .finish()
+    }
+}
+
+fn req_key(app: u16, request: u32) -> u64 {
+    ((app as u64) << 32) | request as u64
+}
+
+impl OrchestrationEngine {
+    /// Creates an engine around a placement policy.
+    pub fn new(policy: Box<dyn PlacementPolicy + Send>, cfg: EngineConfig) -> Self {
+        let mut wl = WlManager::new(policy);
+        wl.overload_threshold = cfg.tuning.overload_threshold;
+        wl.queue_threshold = cfg.tuning.queue_threshold;
+        let mut node_mgr = NodeManager::new();
+        node_mgr.eco_threshold = cfg.tuning.eco_threshold;
+        node_mgr.boost_threshold = cfg.tuning.boost_threshold;
+        OrchestrationEngine {
+            sec: PrivacySecurityManager::new(cfg.enforce_security),
+            cfg,
+            wl,
+            node_mgr,
+            proxy: None,
+            net_mgr: NetworkManager::new(),
+            kb: KnowledgeBase::new(),
+            app_mon: ApplicationMonitor::new(),
+            apps: Vec::new(),
+            requests: HashMap::new(),
+            pending_flows: HashMap::new(),
+            pending_deploys: HashMap::new(),
+            horizon: SimTime::ZERO,
+            lost_tasks: 0,
+            latencies_ms: HashMap::new(),
+            qualities: HashMap::new(),
+            slowest: HashMap::new(),
+            app_point_switches: 0,
+            completed: HashMap::new(),
+            failed: HashMap::new(),
+            misses: HashMap::new(),
+        }
+    }
+
+    /// The engine's Knowledge Base.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Deploys applications onto the continuum and runs the simulation to
+    /// `horizon`, returning the outcome report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] when some component cannot be placed.
+    pub fn run(
+        self,
+        continuum: &mut Continuum,
+        apps: Vec<Application>,
+        horizon: SimTime,
+    ) -> Result<OrchestrationReport, PlaceError> {
+        let scheduled = apps.into_iter().map(|a| (a, SimTime::ZERO)).collect();
+        self.run_scheduled(continuum, scheduled, horizon)
+    }
+
+    /// Like [`OrchestrationEngine::run`], but each application's
+    /// deployment request is *issued* at its own instant — the paper's
+    /// "orchestration at deployment time (when a computation request is
+    /// issued)" with requests arriving while the system already runs.
+    /// Late applications that fail placement at their arrival instant
+    /// are dropped (counted as zero-completion apps) rather than
+    /// aborting the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] only when a time-zero deployment cannot be
+    /// placed.
+    pub fn run_scheduled(
+        mut self,
+        continuum: &mut Continuum,
+        apps: Vec<(Application, SimTime)>,
+        horizon: SimTime,
+    ) -> Result<OrchestrationReport, PlaceError> {
+        self.horizon = horizon;
+        self.proxy = Some(DeploymentProxy::new(continuum.sim()));
+        for (i, (app, start)) in apps.into_iter().enumerate() {
+            let app_id = i as u16;
+            if start == SimTime::ZERO {
+                self.deploy_app(continuum.sim_mut(), app_id, app)?;
+            } else {
+                self.pending_deploys.insert(app_id, app);
+                let tag = Tag { app: app_id, request: 0, stage: DEPLOY_STAGE };
+                let after = start.saturating_since(continuum.sim().now());
+                continuum.sim_mut().set_timer(after, tag.encode());
+            }
+        }
+        // Arm the MAPE-K loop.
+        continuum.sim_mut().set_timer(self.cfg.monitoring_period, MONITOR_TAG);
+
+        let sim = continuum.sim_mut();
+        sim.run_until(horizon, &mut self);
+        Ok(self.finish(continuum))
+    }
+
+    /// Deployment-time orchestration of one application at the current
+    /// simulation instant: validate, place, execute on the cluster
+    /// layer, compile the request stream and arm its arrival timers.
+    fn deploy_app(
+        &mut self,
+        sim: &mut SimCore,
+        app_id: u16,
+        app: Application,
+    ) -> Result<(), PlaceError> {
+        let now = sim.now();
+        let dag = RequestDag::from_application(&app)
+            .map_err(|_| PlaceError::NoCandidate { component: 0 })?;
+        let compiled = compile_requests(&app, app_id, self.cfg.seed, None)
+            .map_err(|_| PlaceError::NoCandidate { component: 0 })?;
+        {
+            let candidates = self.sec.candidates(sim, &app, &dag);
+            let ctx = PlanContext { sim, kb: &self.kb, app: &app, dag: &dag, candidates };
+            let placement = self.wl.deploy(app_id, &ctx)?;
+            // Execute the decision on the low-level layer (LIQO path).
+            if let Some(proxy) = self.proxy.as_mut() {
+                let _ = proxy.apply_placement(app_id, &app, &placement);
+            }
+        }
+        for mut req in compiled {
+            // Arrivals are generated relative to the deployment instant.
+            req.released = now + req.released.saturating_since(SimTime::ZERO);
+            let n = req.stages.len();
+            let deps_left: Vec<usize> = req.stages.iter().map(|s| s.preds.len()).collect();
+            let key = req_key(app_id, req.request_idx);
+            let released = req.released;
+            self.requests.insert(
+                key,
+                RequestState {
+                    done: vec![false; n],
+                    deps_left,
+                    finish_node: vec![None; n],
+                    retries: vec![0; n],
+                    last_finish: released,
+                    failed: false,
+                    completed: false,
+                    compiled: req,
+                    point_idx: 0,
+                    finish_at: vec![None; n],
+                },
+            );
+            let tag = Tag { app: app_id, request: (key & 0xFFFF_FFFF) as u32, stage: ARRIVAL_STAGE };
+            let after = released.saturating_since(now);
+            sim.set_timer(after, tag.encode());
+        }
+        self.apps.push(AppRuntime {
+            id: app_id,
+            app,
+            dag,
+            points: AppPointSet::standard_ladder(),
+            point_idx: 0,
+            window_done: 0,
+            window_missed: 0,
+            clean_rounds: 0,
+        });
+        Ok(())
+    }
+
+    fn finish(mut self, continuum: &Continuum) -> OrchestrationReport {
+        let sim = continuum.sim();
+        let report = MonitoringReport::collect(sim);
+        self.kb
+            .ingest_report(&report, |id| {
+                sim.node(id)
+                    .map(|n| node_security_level(n.spec().kind()).tier())
+                    .unwrap_or(0)
+            });
+        let mut layer_energy = [0.0f64; 3];
+        for n in &report.nodes {
+            let idx = match n.layer {
+                Layer::Edge => 0,
+                Layer::Fog => 1,
+                Layer::Cloud => 2,
+            };
+            layer_energy[idx] += n.energy_j;
+        }
+        let apps = self
+            .apps
+            .iter()
+            .map(|a| AppReport {
+                app_id: a.id,
+                name: a.app.name.clone(),
+                completed: self.completed.get(&a.id).copied().unwrap_or(0),
+                failed: self.failed.get(&a.id).copied().unwrap_or(0),
+                deadline_misses: self.misses.get(&a.id).copied().unwrap_or(0),
+                latency_ms: self
+                    .latencies_ms
+                    .get(&a.id)
+                    .and_then(|v| Summary::of(v)),
+                mean_quality: self
+                    .qualities
+                    .get(&a.id)
+                    .filter(|v| !v.is_empty())
+                    .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+                    .unwrap_or(1.0),
+                slowest_trace: self
+                    .slowest
+                    .get(&a.id)
+                    .map(|(_, t)| t.clone())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        OrchestrationReport {
+            policy: self.wl.policy_name(),
+            horizon: self.horizon,
+            apps,
+            total_energy_j: report.total_energy_j(),
+            layer_energy_j: layer_energy,
+            reallocations: self.wl.reallocations().len() as u64,
+            op_switches: self.node_mgr.switches(),
+            detours: self.net_mgr.detours(),
+            lost_tasks: self.lost_tasks,
+            accel_reconfigurations: report.nodes.iter().map(|n| n.reconfigurations).sum(),
+            handshake_cycles: self.sec.handshake_cycles(),
+            app_point_switches: self.app_point_switches,
+            pods_bound: self.proxy.as_ref().map_or(0, DeploymentProxy::binds),
+            pod_moves: self.proxy.as_ref().map_or(0, DeploymentProxy::moves),
+            events: sim.processed_events(),
+        }
+    }
+
+    fn app_index(&self, app_id: u16) -> Option<usize> {
+        self.apps.iter().position(|a| a.id == app_id)
+    }
+
+    /// Submits one stage of one request. `src_hint` is the node where the
+    /// triggering data currently lives (None for source stages: data is
+    /// born on the placed node).
+    fn submit_stage(&mut self, sim: &mut SimCore, app_id: u16, request: u32, stage_idx: usize) {
+        let Some(app_pos) = self.app_index(app_id) else { return };
+        let key = req_key(app_id, request);
+        let Some(state) = self.requests.get(&key) else { return };
+        if state.failed || state.done[stage_idx] {
+            return;
+        }
+        let mut stage = state.compiled.stages[stage_idx].clone();
+        let released = state.compiled.released;
+        // Apply the request's operating point (work/bytes scaling).
+        if state.point_idx > 0 {
+            if let Some(point) = self
+                .apps
+                .iter()
+                .find(|a| a.id == app_id)
+                .and_then(|a| a.points.get(state.point_idx))
+            {
+                stage.work_mc *= point.work_scale;
+                stage.input_bytes = (stage.input_bytes as f64 * point.bytes_scale) as u64;
+                stage.output_bytes = (stage.output_bytes as f64 * point.bytes_scale) as u64;
+            }
+        }
+        let src = if stage.preds.is_empty() {
+            None
+        } else {
+            // Data flows from the most recently finished predecessor.
+            stage
+                .preds
+                .iter()
+                .filter_map(|&p| state.finish_node[p])
+                .next_back()
+        };
+
+        let Some(placement) = self.wl.placement(app_id) else { return };
+        let mut dst = placement.node_of(stage.component_idx);
+        // If the destination is down and we may adapt, re-place first.
+        let dst_up = sim.node(dst).map(|n| n.is_up()).unwrap_or(false);
+        if !dst_up && self.cfg.reallocation {
+            let rt = &self.apps[app_pos];
+            let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+            let ctx = PlanContext {
+                sim,
+                kb: &self.kb,
+                app: &rt.app,
+                dag: &rt.dag,
+                candidates,
+            };
+            self.wl.reallocate(app_id, &ctx);
+            if let Some(p) = self.wl.placement(app_id) {
+                dst = p.node_of(stage.component_idx);
+            }
+        }
+
+        let tag = Tag { app: app_id, request, stage: stage_idx as u16 };
+        let mut task = TaskInstance::new(sim.fresh_task_id(), stage.work_mc)
+            .with_mem_mb(stage.mem_mb)
+            .with_io_bytes(stage.input_bytes, stage.output_bytes)
+            .with_released(released)
+            .with_tag(tag.encode());
+        if let Some(cfg) = stage.accel_cfg {
+            task = task.with_accel(cfg);
+        }
+        if let Some(d) = stage.max_latency {
+            task = task.with_deadline(released + d);
+        }
+
+        let result = match src {
+            None => sim.submit_local(dst, task),
+            Some(src_node) if src_node == dst => sim.submit_local(dst, task),
+            Some(src_node) => {
+                // Privacy & Security Manager: protect the hop.
+                let extra_mc = self.sec.protection_work_mc(
+                    stage.security,
+                    src_node,
+                    dst,
+                    stage.input_bytes,
+                );
+                task.work_mc += extra_mc;
+                task.input_bytes +=
+                    self.sec.protection_wire_overhead(stage.security, src_node, dst);
+                self.pending_flows
+                    .insert(tag.encode(), (src_node, dst, sim.now()));
+                if self.cfg.network_management {
+                    match self.net_mgr.route(sim, src_node, dst) {
+                        Some(path) => sim
+                            .submit_via_path(dst, task, &path, Protocol::Mqtt)
+                            .map(|_| ()),
+                        None => sim.submit_via_network(src_node, dst, task, Protocol::Mqtt).map(|_| ()),
+                    }
+                } else {
+                    sim.submit_via_network(src_node, dst, task, Protocol::Mqtt).map(|_| ())
+                }
+            }
+        }
+        .map(|_| ());
+        if result.is_err() {
+            // Destination unusable and no recovery possible: fail the
+            // request.
+            if let Some(st) = self.requests.get_mut(&key) {
+                if !st.failed {
+                    st.failed = true;
+                    *self.failed.entry(app_id).or_default() += 1;
+                }
+            }
+        }
+    }
+
+    fn on_stage_completed(
+        &mut self,
+        sim: &mut SimCore,
+        outcome: &myrtus_continuum::task::TaskOutcome,
+    ) {
+        let tag = Tag::decode(outcome.task.tag);
+        let key = req_key(tag.app, tag.request);
+        // Network Manager reward on the transfer decision for this stage.
+        if let Some((src, dst, sent)) = self.pending_flows.remove(&outcome.task.tag) {
+            self.net_mgr
+                .reward(src, dst, outcome.at.saturating_since(sent));
+        }
+        let speed = sim
+            .node(outcome.node)
+            .map(|n| n.core_speed_mc_per_us())
+            .unwrap_or(1.0);
+        self.node_mgr.record_completion(
+            outcome.node,
+            outcome.task.work_mc,
+            outcome.task.input_bytes,
+            speed,
+            outcome.latency.as_micros() as f64,
+            outcome.deadline_met,
+        );
+        self.sec
+            .observe(outcome.node, myrtus_security::trust::Observation::TaskOk);
+        self.app_mon.record(outcome);
+
+        let Some(state) = self.requests.get_mut(&key) else { return };
+        let si = tag.stage as usize;
+        if si >= state.done.len() || state.done[si] {
+            return;
+        }
+        state.done[si] = true;
+        state.finish_node[si] = Some(outcome.node);
+        state.finish_at[si] = Some(outcome.at);
+        state.last_finish = outcome.at;
+        // Unlock successors.
+        let mut ready = Vec::new();
+        for (j, stage) in state.compiled.stages.iter().enumerate() {
+            if stage.preds.contains(&si) {
+                state.deps_left[j] -= 1;
+                if state.deps_left[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        let all_done = state.done.iter().all(|d| *d);
+        let released = state.compiled.released;
+        let deadline = state.compiled.deadline();
+        if all_done && !state.completed && !state.failed {
+            state.completed = true;
+            let latency = outcome.at.saturating_since(released);
+            let point_idx = state.point_idx;
+            *self.completed.entry(tag.app).or_default() += 1;
+            self.latencies_ms
+                .entry(tag.app)
+                .or_default()
+                .push(latency.as_millis_f64());
+            let missed = deadline.is_some_and(|d| latency > d);
+            if missed {
+                *self.misses.entry(tag.app).or_default() += 1;
+            }
+            if let Some(rt) = self.apps.iter_mut().find(|a| a.id == tag.app) {
+                rt.window_done += 1;
+                if missed {
+                    rt.window_missed += 1;
+                }
+                let quality = rt.points.get(point_idx).map(|p| p.quality).unwrap_or(1.0);
+                self.qualities.entry(tag.app).or_default().push(quality);
+            }
+            // Application monitoring: keep the worst request's trace.
+            let lat_ms = latency.as_millis_f64();
+            let entry = self.slowest.entry(tag.app).or_insert((0.0, Vec::new()));
+            if lat_ms > entry.0 {
+                let trace: Vec<StageSpan> = state
+                    .compiled
+                    .stages
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, stg)| {
+                        Some(StageSpan {
+                            stage: stg.name.clone(),
+                            node: state.finish_node[j]?,
+                            finished_at: state.finish_at[j]?,
+                        })
+                    })
+                    .collect();
+                *entry = (lat_ms, trace);
+            }
+            let now = sim.now();
+            self.kb.record_kpi(
+                &self.apps[self.app_index(tag.app).unwrap_or(0)].app.name.clone(),
+                "latency_ms",
+                now,
+                latency.as_millis_f64(),
+            );
+        }
+        for j in ready {
+            self.submit_stage(sim, tag.app, tag.request, j);
+        }
+    }
+
+    fn on_tasks_lost(&mut self, sim: &mut SimCore, node: NodeId, tasks: Vec<TaskInstance>) {
+        self.sec
+            .observe(node, myrtus_security::trust::Observation::TaskFailed);
+        for t in tasks {
+            self.lost_tasks += 1;
+            let tag = Tag::decode(t.tag);
+            let key = req_key(tag.app, tag.request);
+            let Some(state) = self.requests.get_mut(&key) else { continue };
+            let si = tag.stage as usize;
+            if si >= state.retries.len() || state.failed || state.done[si] {
+                continue;
+            }
+            if self.cfg.reallocation && state.retries[si] < self.cfg.max_retries {
+                state.retries[si] += 1;
+                self.submit_stage(sim, tag.app, tag.request, si);
+            } else if !state.failed {
+                state.failed = true;
+                *self.failed.entry(tag.app).or_default() += 1;
+            }
+        }
+    }
+
+    fn monitoring_round(&mut self, sim: &mut SimCore) {
+        // Sense: snapshot into the KB.
+        let report = MonitoringReport::collect(sim);
+        self.kb.ingest_report(&report, |id| {
+            sim.node(id)
+                .map(|n| node_security_level(n.spec().kind()).tier())
+                .unwrap_or(0)
+        });
+        // Decide + reconfigure: node operating points.
+        if self.cfg.node_adaptation {
+            let _ = self.node_mgr.adapt(sim);
+        }
+        // Decide + reconfigure: reallocation off unhealthy nodes,
+        // executed on the cluster layer through the deployment proxy.
+        if self.cfg.reallocation {
+            for pos in 0..self.apps.len() {
+                let app_id = self.apps[pos].id;
+                let moves = {
+                    let rt = &self.apps[pos];
+                    let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+                    let ctx = PlanContext {
+                        sim,
+                        kb: &self.kb,
+                        app: &rt.app,
+                        dag: &rt.dag,
+                        candidates,
+                    };
+                    self.wl.reallocate(app_id, &ctx)
+                };
+                if let Some(proxy) = self.proxy.as_mut() {
+                    for m in &moves {
+                        let comp = self.apps[pos].dag.nodes()[m.component].component_idx;
+                        let _ = proxy.bind_component(app_id, &self.apps[pos].app, comp, m.to);
+                    }
+                }
+            }
+        }
+        // Decide + reconfigure: application operating points — degrade
+        // under sustained deadline misses, recover after clean rounds
+        // (refs [29][30]).
+        if self.cfg.app_point_adaptation {
+            for rt in &mut self.apps {
+                let done = rt.window_done;
+                let missed = rt.window_missed;
+                rt.window_done = 0;
+                rt.window_missed = 0;
+                if done == 0 {
+                    continue;
+                }
+                let miss_rate = missed as f64 / done as f64;
+                if miss_rate > 0.2 && rt.point_idx + 1 < rt.points.len() {
+                    rt.point_idx += 1;
+                    rt.clean_rounds = 0;
+                    self.app_point_switches += 1;
+                } else if missed == 0 {
+                    rt.clean_rounds += 1;
+                    if rt.clean_rounds >= 3 && rt.point_idx > 0 {
+                        rt.point_idx -= 1;
+                        rt.clean_rounds = 0;
+                        self.app_point_switches += 1;
+                    }
+                } else {
+                    rt.clean_rounds = 0;
+                }
+            }
+        }
+        // Re-arm the loop.
+        let next = sim.now() + self.cfg.monitoring_period;
+        if next < self.horizon {
+            sim.set_timer(self.cfg.monitoring_period, MONITOR_TAG);
+        }
+    }
+}
+
+impl Driver for OrchestrationEngine {
+    fn on_event(&mut self, sim: &mut SimCore, event: SimEvent) {
+        match event {
+            SimEvent::Timer { tag, .. } if tag == MONITOR_TAG => self.monitoring_round(sim),
+            SimEvent::Timer { tag, .. } => {
+                let t = Tag::decode(tag);
+                if t.stage == DEPLOY_STAGE {
+                    if let Some(app) = self.pending_deploys.remove(&t.app) {
+                        // A late placement failure drops the app rather
+                        // than aborting the whole run.
+                        let _ = self.deploy_app(sim, t.app, app);
+                    }
+                    return;
+                }
+                if t.stage == ARRIVAL_STAGE {
+                    // Deployment metadata applied at run time: the request
+                    // executes at the app's *current* operating point.
+                    let key = req_key(t.app, t.request);
+                    if self.cfg.app_point_adaptation {
+                        let point = self
+                            .apps
+                            .iter()
+                            .find(|a| a.id == t.app)
+                            .map(|a| a.point_idx)
+                            .unwrap_or(0);
+                        if let Some(st) = self.requests.get_mut(&key) {
+                            st.point_idx = point;
+                        }
+                    }
+                    let sources: Vec<usize> = self
+                        .requests
+                        .get(&key)
+                        .map(|st| {
+                            st.compiled
+                                .stages
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, s)| s.preds.is_empty())
+                                .map(|(i, _)| i)
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    for s in sources {
+                        self.submit_stage(sim, t.app, t.request, s);
+                    }
+                }
+            }
+            SimEvent::TaskCompleted(outcome) => self.on_stage_completed(sim, &outcome),
+            SimEvent::TasksLost { node, tasks } => self.on_tasks_lost(sim, node, tasks),
+            SimEvent::TaskStarted { .. }
+            | SimEvent::MessageDelivered(_)
+            | SimEvent::NodeRestored(_)
+            | SimEvent::LinkChanged { .. } => {}
+        }
+    }
+}
+
+/// Convenience: runs one policy on a fresh copy of the standard
+/// continuum with the given applications.
+///
+/// # Errors
+///
+/// Returns [`PlaceError`] when placement fails.
+pub fn run_orchestration(
+    policy: Box<dyn PlacementPolicy + Send>,
+    cfg: EngineConfig,
+    apps: Vec<Application>,
+    horizon: SimTime,
+) -> Result<OrchestrationReport, PlaceError> {
+    let mut continuum = myrtus_continuum::topology::ContinuumBuilder::new().build();
+    OrchestrationEngine::new(policy, cfg).run(&mut continuum, apps, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{GreedyBestFit, LayerPinned, RoundRobin};
+    use myrtus_continuum::fault::FaultPlan;
+    use myrtus_continuum::topology::ContinuumBuilder;
+    use myrtus_workload::scenarios;
+
+    fn small_telerehab() -> Application {
+        scenarios::telerehab_with(2) // 60 frames
+    }
+
+    #[test]
+    fn greedy_orchestration_completes_requests() {
+        let report = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+            vec![small_telerehab()],
+            SimTime::from_secs(5),
+        )
+        .expect("places");
+        assert_eq!(report.apps.len(), 1);
+        assert!(
+            report.apps[0].completed > 50,
+            "most of the 60 frames complete: {:?}",
+            report.apps[0]
+        );
+        assert!(report.total_energy_j > 0.0);
+        assert!(report.apps[0].latency_ms.is_some());
+    }
+
+    #[test]
+    fn multiple_apps_are_tracked_separately() {
+        let report = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+            vec![small_telerehab(), scenarios::smart_mobility_with(SimTime::from_secs(2))],
+            SimTime::from_secs(5),
+        )
+        .expect("places");
+        assert_eq!(report.apps.len(), 2);
+        assert!(report.apps.iter().all(|a| a.completed > 0), "{report:?}");
+        assert_ne!(report.apps[0].name, report.apps[1].name);
+    }
+
+    #[test]
+    fn cloud_only_pays_more_latency_than_greedy_for_edge_streams() {
+        let horizon = SimTime::from_secs(5);
+        let greedy = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::static_baseline(),
+            vec![small_telerehab()],
+            horizon,
+        )
+        .expect("places");
+        let cloud = run_orchestration(
+            Box::new(LayerPinned::cloud_only()),
+            EngineConfig::static_baseline(),
+            vec![small_telerehab()],
+            horizon,
+        )
+        .expect("places");
+        assert!(
+            greedy.mean_latency_ms() < cloud.mean_latency_ms(),
+            "greedy {} vs cloud {}",
+            greedy.mean_latency_ms(),
+            cloud.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn adaptive_engine_survives_node_failure() {
+        let mut continuum = ContinuumBuilder::new().build();
+        // Crash a mid-pipeline host shortly after start, forever.
+        let victim = continuum.edge()[3];
+        FaultPlan::new()
+            .crash(victim, SimTime::from_millis(300), None)
+            .apply(continuum.sim_mut());
+        let report = OrchestrationEngine::new(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+        )
+        .run(&mut continuum, vec![small_telerehab()], SimTime::from_secs(5))
+        .expect("places");
+        let a = &report.apps[0];
+        assert!(
+            a.completed + a.failed > 50,
+            "requests are accounted for: {a:?}"
+        );
+        assert!(
+            a.completed > a.failed,
+            "recovery keeps most requests alive: {a:?}"
+        );
+    }
+
+    #[test]
+    fn static_engine_loses_requests_on_failure() {
+        let mk = |realloc: bool| {
+            let mut continuum = ContinuumBuilder::new().build();
+            let report = OrchestrationEngine::new(
+                Box::new(RoundRobin::new()),
+                EngineConfig {
+                    reallocation: realloc,
+                    node_adaptation: false,
+                    network_management: false,
+                    ..EngineConfig::default()
+                },
+            );
+            // Crash several edge nodes mid-run.
+            let victims: Vec<_> = continuum.edge()[0..4].to_vec();
+            for v in victims {
+                FaultPlan::new()
+                    .crash(v, SimTime::from_millis(200), None)
+                    .apply(continuum.sim_mut());
+            }
+            report
+                .run(&mut continuum, vec![small_telerehab()], SimTime::from_secs(5))
+                .expect("places")
+        };
+        let adaptive = mk(true);
+        let static_ = mk(false);
+        assert!(
+            adaptive.apps[0].completed >= static_.apps[0].completed,
+            "adaptive {:?} vs static {:?}",
+            adaptive.apps[0],
+            static_.apps[0]
+        );
+    }
+
+    #[test]
+    fn security_enforcement_costs_energy_or_latency() {
+        let horizon = SimTime::from_secs(4);
+        let mk = |enforce: bool| {
+            run_orchestration(
+                Box::new(GreedyBestFit::new()),
+                EngineConfig {
+                    enforce_security: enforce,
+                    ..EngineConfig::static_baseline()
+                },
+                vec![small_telerehab()],
+                horizon,
+            )
+            .expect("places")
+        };
+        let on = mk(true);
+        let off = mk(false);
+        assert!(on.handshake_cycles > 0 || on.mean_latency_ms() >= off.mean_latency_ms());
+    }
+
+    #[test]
+    fn overload_degrades_the_application_operating_point() {
+        use myrtus_workload::ArrivalSpec;
+        // A 900 fps pose pipeline: beyond one edge node's capacity at
+        // full quality.
+        let mut app = scenarios::telerehab_with(2);
+        app.arrival = ArrivalSpec::periodic(
+            myrtus_continuum::time::SimDuration::from_micros(1_111),
+            1_800,
+        );
+        let run = |adapt: bool| {
+            run_orchestration(
+                Box::new(GreedyBestFit::new()),
+                EngineConfig { app_point_adaptation: adapt, ..EngineConfig::default() },
+                vec![app.clone()],
+                SimTime::from_secs(5),
+            )
+            .expect("placeable")
+        };
+        let adaptive = run(true);
+        let fixed = run(false);
+        assert!(adaptive.app_point_switches > 0, "overload triggers degradation");
+        assert!(
+            adaptive.apps[0].mean_quality < 1.0,
+            "some requests served degraded: {:?}",
+            adaptive.apps[0]
+        );
+        assert!((fixed.apps[0].mean_quality - 1.0).abs() < 1e-12);
+        assert!(
+            adaptive.apps[0].qos() >= fixed.apps[0].qos(),
+            "degradation buys QoS: {:.3} vs {:.3}",
+            adaptive.apps[0].qos(),
+            fixed.apps[0].qos()
+        );
+    }
+
+    #[test]
+    fn mid_run_deployment_requests_are_served() {
+        let mut continuum = ContinuumBuilder::new().build();
+        let report = OrchestrationEngine::new(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+        )
+        .run_scheduled(
+            &mut continuum,
+            vec![
+                (small_telerehab(), SimTime::ZERO),
+                (scenarios::smart_mobility_with(SimTime::from_secs(1)), SimTime::from_secs(2)),
+            ],
+            SimTime::from_secs(6),
+        )
+        .expect("time-zero app places");
+        assert_eq!(report.apps.len(), 2, "the late app is deployed mid-run");
+        assert!(report.apps[0].completed > 0);
+        assert!(report.apps[1].completed > 0, "{:?}", report.apps[1]);
+        // The late app's first completion cannot precede its issuance.
+        let lat = report.apps[1].latency_ms.as_ref().expect("has samples");
+        assert!(lat.count > 0);
+    }
+
+    #[test]
+    fn manager_tuning_flows_into_the_runtime() {
+        // An eco threshold of 0 can never trigger (utilization is never
+        // negative at a sample instant with work pending), so the evolved
+        // "never downclock" rule yields zero op switches.
+        let report = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig {
+                tuning: ManagerTuning { eco_threshold: 0.0001, ..ManagerTuning::default() },
+                ..EngineConfig::default()
+            },
+            vec![small_telerehab()],
+            SimTime::from_secs(4),
+        )
+        .expect("placeable");
+        let defaults = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+            vec![small_telerehab()],
+            SimTime::from_secs(4),
+        )
+        .expect("placeable");
+        assert!(
+            report.op_switches <= defaults.op_switches,
+            "a near-zero eco threshold cannot switch more: {} vs {}",
+            report.op_switches,
+            defaults.op_switches
+        );
+    }
+
+    #[test]
+    fn slowest_request_trace_is_complete_and_ordered() {
+        let report = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+            vec![small_telerehab()],
+            SimTime::from_secs(5),
+        )
+        .expect("placeable");
+        let trace = &report.apps[0].slowest_trace;
+        assert_eq!(trace.len(), 5, "one span per telerehab stage: {trace:?}");
+        assert_eq!(trace[0].stage, "camera");
+        assert_eq!(trace.last().map(|s| s.stage.as_str()), Some("session-store"));
+        assert!(
+            trace.windows(2).all(|w| w[0].finished_at <= w[1].finished_at),
+            "chain stages finish in order"
+        );
+    }
+
+    #[test]
+    fn report_aggregates_are_consistent() {
+        let report = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+            vec![small_telerehab()],
+            SimTime::from_secs(4),
+        )
+        .expect("places");
+        let layer_sum: f64 = report.layer_energy_j.iter().sum();
+        assert!((layer_sum - report.total_energy_j).abs() < 1e-6);
+        assert!(report.global_qos() >= 0.0 && report.global_qos() <= 1.0);
+        assert!(report.energy_per_request_j().is_finite());
+        assert!(report.events > 0);
+    }
+}

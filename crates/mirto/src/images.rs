@@ -1,0 +1,393 @@
+//! Container Image Registry and Repository (paper Sect. VI).
+//!
+//! "Candidate solutions should be easily accessible by all layers and
+//! expose security guarantees (e.g. access controls, image scanning,
+//! etc.)". This registry provides exactly those guarantees: pushed
+//! images are content-addressed (SHA-256 digest), access is gated by the
+//! token authenticator's scopes, images must be signed by a trusted
+//! publisher and pass a vulnerability scan before the deployment proxy
+//! may pull them.
+
+use std::collections::BTreeMap;
+
+use myrtus_continuum::time::SimTime;
+use myrtus_security::authn::TokenAuthenticator;
+use myrtus_security::sha2::{hmac_sha256, sha256};
+
+/// A stored image with its supply-chain metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageRecord {
+    /// Image name (e.g. `pose-estimator`).
+    pub name: String,
+    /// Version tag.
+    pub tag: String,
+    /// Content digest (SHA-256 of the image bytes), hex.
+    pub digest: String,
+    /// Size in bytes.
+    pub size_bytes: u64,
+    /// Publisher that signed the image, if any.
+    pub signed_by: Option<String>,
+    /// Scan result, if scanned.
+    pub scan: Option<ScanResult>,
+}
+
+/// Result of a vulnerability scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Findings classified critical.
+    pub critical: u32,
+    /// Findings classified low/medium.
+    pub low: u32,
+}
+
+impl ScanResult {
+    /// Whether the image passes the default admission policy (no
+    /// critical findings).
+    pub fn passes(&self) -> bool {
+        self.critical == 0
+    }
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The bearer token failed authentication or lacks the scope.
+    AccessDenied {
+        /// The missing scope.
+        scope: &'static str,
+    },
+    /// The referenced image does not exist.
+    UnknownImage {
+        /// `name:tag` reference.
+        reference: String,
+    },
+    /// Admission policy rejected the pull.
+    PolicyViolation {
+        /// Why the image is not deployable.
+        reason: String,
+    },
+    /// The signature does not verify against the publisher key.
+    BadSignature,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::AccessDenied { scope } => {
+                write!(f, "access denied: missing scope {scope}")
+            }
+            RegistryError::UnknownImage { reference } => {
+                write!(f, "unknown image {reference}")
+            }
+            RegistryError::PolicyViolation { reason } => {
+                write!(f, "admission policy violation: {reason}")
+            }
+            RegistryError::BadSignature => f.write_str("image signature does not verify"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The continuum-wide image registry.
+#[derive(Debug)]
+pub struct ImageRegistry {
+    authn: TokenAuthenticator,
+    publishers: BTreeMap<String, Vec<u8>>,
+    images: BTreeMap<String, ImageRecord>,
+    pulls: u64,
+}
+
+fn reference(name: &str, tag: &str) -> String {
+    format!("{name}:{tag}")
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+impl ImageRegistry {
+    /// Creates a registry gated by the given token secret.
+    pub fn new(token_secret: &[u8]) -> Self {
+        ImageRegistry {
+            authn: TokenAuthenticator::new(token_secret),
+            publishers: BTreeMap::new(),
+            images: BTreeMap::new(),
+            pulls: 0,
+        }
+    }
+
+    /// The registry's authenticator (for issuing access tokens).
+    pub fn authenticator(&self) -> &TokenAuthenticator {
+        &self.authn
+    }
+
+    /// Registers a trusted publisher with its signing key.
+    pub fn trust_publisher(&mut self, name: impl Into<String>, key: &[u8]) {
+        self.publishers.insert(name.into(), key.to_vec());
+    }
+
+    /// Total pulls served.
+    pub fn pulls(&self) -> u64 {
+        self.pulls
+    }
+
+    /// Stored images, reference order.
+    pub fn images(&self) -> impl Iterator<Item = &ImageRecord> {
+        self.images.values()
+    }
+
+    fn authorize(
+        &self,
+        token: &str,
+        now: SimTime,
+        scope: &'static str,
+    ) -> Result<(), RegistryError> {
+        let principal = self
+            .authn
+            .verify(token, now)
+            .map_err(|_| RegistryError::AccessDenied { scope })?;
+        if principal.has_scope(scope) {
+            Ok(())
+        } else {
+            Err(RegistryError::AccessDenied { scope })
+        }
+    }
+
+    /// Pushes an image (scope `push`). The digest is computed from the
+    /// content; re-pushing the same reference overwrites it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::AccessDenied`] without a valid token.
+    pub fn push(
+        &mut self,
+        token: &str,
+        now: SimTime,
+        name: &str,
+        tag: &str,
+        content: &[u8],
+    ) -> Result<String, RegistryError> {
+        self.authorize(token, now, "push")?;
+        let digest = hex(&sha256(content));
+        self.images.insert(
+            reference(name, tag),
+            ImageRecord {
+                name: name.to_string(),
+                tag: tag.to_string(),
+                digest: digest.clone(),
+                size_bytes: content.len() as u64,
+                signed_by: None,
+                scan: None,
+            },
+        );
+        Ok(digest)
+    }
+
+    /// Attaches a publisher signature over the image digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::BadSignature`] when the signature does
+    /// not verify against the named publisher's key, and
+    /// [`RegistryError::UnknownImage`] for unknown references.
+    pub fn sign(
+        &mut self,
+        name: &str,
+        tag: &str,
+        publisher: &str,
+        signature: &[u8; 32],
+    ) -> Result<(), RegistryError> {
+        let r = reference(name, tag);
+        let img = self
+            .images
+            .get_mut(&r)
+            .ok_or(RegistryError::UnknownImage { reference: r.clone() })?;
+        let key = self
+            .publishers
+            .get(publisher)
+            .ok_or(RegistryError::BadSignature)?;
+        let expect = hmac_sha256(key, img.digest.as_bytes());
+        if &expect != signature {
+            return Err(RegistryError::BadSignature);
+        }
+        img.signed_by = Some(publisher.to_string());
+        Ok(())
+    }
+
+    /// Convenience: computes the signature a publisher would produce.
+    pub fn publisher_signature(key: &[u8], digest: &str) -> [u8; 32] {
+        hmac_sha256(key, digest.as_bytes())
+    }
+
+    /// Records a scan result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownImage`] for unknown references.
+    pub fn record_scan(
+        &mut self,
+        name: &str,
+        tag: &str,
+        result: ScanResult,
+    ) -> Result<(), RegistryError> {
+        let r = reference(name, tag);
+        self.images
+            .get_mut(&r)
+            .ok_or(RegistryError::UnknownImage { reference: r })?
+            .scan = Some(result);
+        Ok(())
+    }
+
+    /// Pulls an image for deployment (scope `pull`), enforcing the
+    /// admission policy: the image must be signed by a trusted publisher
+    /// and have a passing scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing [`RegistryError`].
+    pub fn pull(
+        &mut self,
+        token: &str,
+        now: SimTime,
+        name: &str,
+        tag: &str,
+    ) -> Result<ImageRecord, RegistryError> {
+        self.authorize(token, now, "pull")?;
+        let r = reference(name, tag);
+        let img = self
+            .images
+            .get(&r)
+            .ok_or(RegistryError::UnknownImage { reference: r.clone() })?;
+        if img.signed_by.is_none() {
+            return Err(RegistryError::PolicyViolation {
+                reason: format!("{r} is unsigned"),
+            });
+        }
+        match img.scan {
+            None => {
+                return Err(RegistryError::PolicyViolation {
+                    reason: format!("{r} has not been scanned"),
+                })
+            }
+            Some(scan) if !scan.passes() => {
+                return Err(RegistryError::PolicyViolation {
+                    reason: format!("{r} has {} critical findings", scan.critical),
+                })
+            }
+            Some(_) => {}
+        }
+        self.pulls += 1;
+        Ok(img.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ImageRegistry, String, String) {
+        let mut reg = ImageRegistry::new(b"registry-secret");
+        reg.trust_publisher("unica-release", b"publisher-key");
+        let push = reg
+            .authenticator()
+            .issue("ci", &["push"], SimTime::from_secs(100));
+        let pull = reg
+            .authenticator()
+            .issue("mirto-deployer", &["pull"], SimTime::from_secs(100));
+        (reg, push, pull)
+    }
+
+    fn publish_good(reg: &mut ImageRegistry, push: &str) {
+        let digest = reg
+            .push(push, SimTime::ZERO, "pose-estimator", "1.0", b"layers...")
+            .expect("pushes");
+        let sig = ImageRegistry::publisher_signature(b"publisher-key", &digest);
+        reg.sign("pose-estimator", "1.0", "unica-release", &sig).expect("signs");
+        reg.record_scan("pose-estimator", "1.0", ScanResult { critical: 0, low: 3 })
+            .expect("scans");
+    }
+
+    #[test]
+    fn full_supply_chain_admits_the_image() {
+        let (mut reg, push, pull) = setup();
+        publish_good(&mut reg, &push);
+        let img = reg
+            .pull(&pull, SimTime::ZERO, "pose-estimator", "1.0")
+            .expect("policy passes");
+        assert_eq!(img.signed_by.as_deref(), Some("unica-release"));
+        assert_eq!(img.digest.len(), 64);
+        assert_eq!(reg.pulls(), 1);
+    }
+
+    #[test]
+    fn unsigned_or_unscanned_images_are_rejected() {
+        let (mut reg, push, pull) = setup();
+        reg.push(&push, SimTime::ZERO, "app", "dev", b"bits").expect("pushes");
+        let err = reg.pull(&pull, SimTime::ZERO, "app", "dev").expect_err("unsigned");
+        assert!(matches!(err, RegistryError::PolicyViolation { .. }));
+        // Sign it but leave it unscanned.
+        let digest = reg.images().find(|i| i.name == "app").expect("exists").digest.clone();
+        let sig = ImageRegistry::publisher_signature(b"publisher-key", &digest);
+        reg.sign("app", "dev", "unica-release", &sig).expect("signs");
+        let err = reg.pull(&pull, SimTime::ZERO, "app", "dev").expect_err("unscanned");
+        assert!(err.to_string().contains("scanned"));
+    }
+
+    #[test]
+    fn critical_findings_block_admission() {
+        let (mut reg, push, pull) = setup();
+        publish_good(&mut reg, &push);
+        reg.record_scan("pose-estimator", "1.0", ScanResult { critical: 2, low: 0 })
+            .expect("rescans");
+        let err = reg
+            .pull(&pull, SimTime::ZERO, "pose-estimator", "1.0")
+            .expect_err("critical CVEs");
+        assert!(err.to_string().contains("2 critical"));
+    }
+
+    #[test]
+    fn access_control_enforces_scopes() {
+        let (mut reg, push, pull) = setup();
+        // Pull token cannot push; push token cannot pull.
+        assert!(matches!(
+            reg.push(&pull, SimTime::ZERO, "x", "1", b"y"),
+            Err(RegistryError::AccessDenied { scope: "push" })
+        ));
+        publish_good(&mut reg, &push);
+        assert!(matches!(
+            reg.pull(&push, SimTime::ZERO, "pose-estimator", "1.0"),
+            Err(RegistryError::AccessDenied { scope: "pull" })
+        ));
+        // Garbage token.
+        assert!(reg.push("garbage", SimTime::ZERO, "x", "1", b"y").is_err());
+    }
+
+    #[test]
+    fn forged_signatures_are_rejected() {
+        let (mut reg, push, _) = setup();
+        reg.push(&push, SimTime::ZERO, "app", "1", b"bits").expect("pushes");
+        let bad = [0u8; 32];
+        assert_eq!(
+            reg.sign("app", "1", "unica-release", &bad),
+            Err(RegistryError::BadSignature)
+        );
+        // Unknown publisher too.
+        let digest = reg.images().next().expect("exists").digest.clone();
+        let sig = ImageRegistry::publisher_signature(b"other-key", &digest);
+        assert_eq!(
+            reg.sign("app", "1", "mallory", &sig),
+            Err(RegistryError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn digests_are_content_addressed() {
+        let (mut reg, push, _) = setup();
+        let d1 = reg.push(&push, SimTime::ZERO, "a", "1", b"content-a").expect("pushes");
+        let d2 = reg.push(&push, SimTime::ZERO, "a", "2", b"content-b").expect("pushes");
+        let d3 = reg.push(&push, SimTime::ZERO, "b", "1", b"content-a").expect("pushes");
+        assert_ne!(d1, d2);
+        assert_eq!(d1, d3, "same bytes, same digest");
+    }
+}

@@ -1,0 +1,11 @@
+//! The MIRTO Manager's four cooperating drivers (paper Fig. 3, Sect. VI):
+//! [`wl::WlManager`] (workload placement and reallocation),
+//! [`node::NodeManager`] (operating points and accelerator configs),
+//! [`network::NetworkManager`] (learned route selection) and
+//! [`privsec::PrivacySecurityManager`] (security constraints, protection
+//! overheads and trust).
+
+pub mod network;
+pub mod node;
+pub mod privsec;
+pub mod wl;

@@ -1,0 +1,225 @@
+//! Tabular Q-learning, used by the Network Manager for route selection.
+//!
+//! Paper Sect. VI foresees "Reinforcement Learning-based strategy within
+//! the Network Manager" fed from the KB's historical batch data. The
+//! learner here is a small ε-greedy tabular Q-learner; the Network
+//! Manager instantiates it with congestion-bucket states and
+//! {primary, alternate} route actions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A tabular Q-learner over `states × actions`.
+#[derive(Debug, Clone)]
+pub struct QLearner {
+    q: Vec<Vec<f64>>,
+    alpha: f64,
+    gamma: f64,
+    epsilon: f64,
+    rng: StdRng,
+    updates: u64,
+}
+
+impl QLearner {
+    /// Creates a learner with the given table shape and hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shape is empty or hyperparameters are out of range.
+    pub fn new(states: usize, actions: usize, alpha: f64, gamma: f64, epsilon: f64, seed: u64) -> Self {
+        assert!(states > 0 && actions > 0, "non-empty table");
+        assert!((0.0..=1.0).contains(&alpha), "alpha in [0,1]");
+        assert!((0.0..=1.0).contains(&gamma), "gamma in [0,1]");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon in [0,1]");
+        QLearner {
+            q: vec![vec![0.0; actions]; states],
+            alpha,
+            gamma,
+            epsilon,
+            rng: StdRng::seed_from_u64(seed),
+            updates: 0,
+        }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        self.q[0].len()
+    }
+
+    /// Q-value of `(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn value(&self, state: usize, action: usize) -> f64 {
+        self.q[state][action]
+    }
+
+    /// Updates performed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// ε-greedy action selection (exploration decays as 1/√updates).
+    pub fn choose(&mut self, state: usize) -> usize {
+        let eps = self.epsilon / (1.0 + (self.updates as f64).sqrt() / 10.0);
+        if self.rng.gen::<f64>() < eps {
+            self.rng.gen_range(0..self.actions())
+        } else {
+            self.greedy(state)
+        }
+    }
+
+    /// Greedy (exploit-only) action for a state; ties break low.
+    pub fn greedy(&self, state: usize) -> usize {
+        let row = &self.q[state];
+        let mut best = 0;
+        for (a, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// One Q-learning update for transition `(s, a) → reward, s2`.
+    pub fn update(&mut self, state: usize, action: usize, reward: f64, next_state: usize) {
+        let max_next = self.q[next_state]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let q = &mut self.q[state][action];
+        *q += self.alpha * (reward + self.gamma * max_next - *q);
+        self.updates += 1;
+    }
+}
+
+/// Route choice exposed by the Network Manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// The shortest path.
+    Primary,
+    /// The alternate (detour) path.
+    Alternate,
+}
+
+impl RouteChoice {
+    /// Action index.
+    pub fn index(self) -> usize {
+        match self {
+            RouteChoice::Primary => 0,
+            RouteChoice::Alternate => 1,
+        }
+    }
+
+    /// Choice from an action index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for indices other than 0 and 1.
+    pub fn from_index(i: usize) -> RouteChoice {
+        match i {
+            0 => RouteChoice::Primary,
+            1 => RouteChoice::Alternate,
+            _ => panic!("route action index {i} out of range"),
+        }
+    }
+}
+
+/// Buckets a utilization in `[0, 1]` into `buckets` congestion states.
+pub fn congestion_state(utilization: f64, buckets: usize) -> usize {
+    let u = utilization.clamp(0.0, 1.0);
+    ((u * buckets as f64) as usize).min(buckets - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_two_state_bandit() {
+        // State 0: action 1 pays 1.0, action 0 pays 0.0.
+        let mut q = QLearner::new(1, 2, 0.3, 0.0, 0.3, 42);
+        for _ in 0..500 {
+            let a = q.choose(0);
+            let r = if a == 1 { 1.0 } else { 0.0 };
+            q.update(0, a, r, 0);
+        }
+        assert_eq!(q.greedy(0), 1);
+        assert!(q.value(0, 1) > 0.9);
+    }
+
+    #[test]
+    fn learns_state_dependent_policy() {
+        // Congested state (1): alternate is better; free state (0): primary.
+        let mut q = QLearner::new(2, 2, 0.3, 0.0, 0.3, 7);
+        for i in 0..2_000 {
+            let s = i % 2;
+            let a = q.choose(s);
+            let r = match (s, a) {
+                (0, 0) => 1.0,  // free: primary fast
+                (0, 1) => 0.3,  // free: detour wasteful
+                (1, 0) => -0.5, // congested: primary queues
+                (1, 1) => 0.6,  // congested: detour pays off
+                _ => unreachable!(),
+            };
+            q.update(s, a, r, (i + 1) % 2);
+        }
+        assert_eq!(q.greedy(0), RouteChoice::Primary.index());
+        assert_eq!(q.greedy(1), RouteChoice::Alternate.index());
+    }
+
+    #[test]
+    fn congestion_buckets_cover_range() {
+        assert_eq!(congestion_state(0.0, 4), 0);
+        assert_eq!(congestion_state(0.26, 4), 1);
+        assert_eq!(congestion_state(0.99, 4), 3);
+        assert_eq!(congestion_state(1.0, 4), 3);
+        assert_eq!(congestion_state(-0.1, 4), 0);
+        assert_eq!(congestion_state(2.0, 4), 3);
+    }
+
+    #[test]
+    fn exploration_decays() {
+        let mut q = QLearner::new(1, 2, 0.1, 0.0, 1.0, 1);
+        // With ε=1 initially, both actions appear early on.
+        let early: Vec<usize> = (0..20).map(|_| q.choose(0)).collect();
+        assert!(early.contains(&0) && early.contains(&1));
+        for _ in 0..10_000 {
+            q.update(0, 0, 1.0, 0);
+        }
+        // After many updates ε is tiny; greedy action dominates.
+        let late: Vec<usize> = (0..50).map(|_| q.choose(0)).collect();
+        let zeros = late.iter().filter(|&&a| a == 0).count();
+        assert!(zeros >= 45, "exploitation dominates: {zeros}/50");
+    }
+
+    #[test]
+    fn route_choice_round_trips() {
+        assert_eq!(RouteChoice::from_index(RouteChoice::Primary.index()), RouteChoice::Primary);
+        assert_eq!(
+            RouteChoice::from_index(RouteChoice::Alternate.index()),
+            RouteChoice::Alternate
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_route_index_panics() {
+        let _ = RouteChoice::from_index(5);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = QLearner::new(2, 2, 0.1, 0.5, 0.5, 3);
+        let mut b = QLearner::new(2, 2, 0.1, 0.5, 0.5, 3);
+        let ca: Vec<usize> = (0..50).map(|i| a.choose(i % 2)).collect();
+        let cb: Vec<usize> = (0..50).map(|i| b.choose(i % 2)).collect();
+        assert_eq!(ca, cb);
+    }
+}

@@ -1,0 +1,41 @@
+//! # myrtus
+//!
+//! Facade crate for the MYRTUS cognitive-computing-continuum
+//! reproduction: re-exports the six subsystem crates under one roof and
+//! provides the [`inventory`] of technologies per technical pillar
+//! (paper Fig. 1).
+//!
+//! | Pillar | Crates |
+//! |---|---|
+//! | 1 — Continuum Computing Infrastructure | [`continuum`], [`kb`], [`security`] |
+//! | 2 — MIRTO Cognitive Engine | [`mirto`], [`kb`] |
+//! | 3 — Design & Programming Environment | [`dpe`], [`workload`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+//! use myrtus::mirto::policies::GreedyBestFit;
+//! use myrtus::continuum::time::SimTime;
+//! use myrtus::workload::scenarios;
+//!
+//! let report = run_orchestration(
+//!     Box::new(GreedyBestFit::new()),
+//!     EngineConfig::default(),
+//!     vec![scenarios::telerehab_with(1)],
+//!     SimTime::from_secs(3),
+//! ).expect("placeable");
+//! assert!(report.apps[0].completed > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub use myrtus_continuum as continuum;
+pub use myrtus_dpe as dpe;
+pub use myrtus_kb as kb;
+pub use myrtus_mirto as mirto;
+pub use myrtus_security as security;
+pub use myrtus_workload as workload;
+
+pub mod inventory;

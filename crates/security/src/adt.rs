@@ -1,0 +1,353 @@
+//! Attack-Defence Trees (ADT) and countermeasure synthesis.
+//!
+//! The DPE lets designers "model the Attack Defence Tree for the analysis
+//! of the threats to which the system is exposed and synthesize a set of
+//! adapted counter-measures" (paper Sect. V). An [`Adt`] is an AND/OR
+//! tree of attack goals with leaf success probabilities; [`Defense`]s
+//! attach to nodes and multiply the attack probability by
+//! `1 - mitigation`. [`Adt::synthesize`] greedily picks the
+//! best-risk-reduction-per-cost defenses within a budget — the "Threat
+//! Counter Measures" library instantiation.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within an [`Adt`].
+pub type AdtNodeId = usize;
+/// Index of a defense within an [`Adt`].
+pub type DefenseId = usize;
+
+/// How a non-leaf attack combines its children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gate {
+    /// All child attacks must succeed.
+    And,
+    /// Any child attack suffices.
+    Or,
+}
+
+/// One attack node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackNode {
+    /// Human-readable attack name.
+    pub name: String,
+    /// Gate for inner nodes; ignored for leaves.
+    pub gate: Gate,
+    /// Children (empty for leaves).
+    pub children: Vec<AdtNodeId>,
+    /// Base success probability for leaves (ignored for inner nodes).
+    pub base_prob: f64,
+    /// Defenses attached to this node.
+    pub defenses: Vec<DefenseId>,
+}
+
+/// One defensive countermeasure from the customizable-primitives library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Defense {
+    /// Countermeasure name (e.g. `"mutual-tls"`).
+    pub name: String,
+    /// Deployment cost in abstract units (engineering + runtime).
+    pub cost: f64,
+    /// Fraction of attack success removed when active, in `[0, 1)`.
+    pub mitigation: f64,
+}
+
+/// Errors building or evaluating an ADT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdtError {
+    /// A node or defense reference is out of range.
+    BadReference(usize),
+    /// The tree has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for AdtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdtError::BadReference(i) => write!(f, "reference {i} is out of range"),
+            AdtError::Empty => f.write_str("attack-defence tree has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for AdtError {}
+
+/// An attack-defence tree; node 0 is the root goal.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Adt {
+    nodes: Vec<AttackNode>,
+    defenses: Vec<Defense>,
+}
+
+impl Adt {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Adt::default()
+    }
+
+    /// Adds a leaf attack with a base success probability; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn leaf(&mut self, name: impl Into<String>, prob: f64) -> AdtNodeId {
+        assert!((0.0..=1.0).contains(&prob), "probability in [0,1]");
+        self.nodes.push(AttackNode {
+            name: name.into(),
+            gate: Gate::Or,
+            children: Vec::new(),
+            base_prob: prob,
+            defenses: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Adds an inner attack combining `children` with `gate`.
+    pub fn inner(&mut self, name: impl Into<String>, gate: Gate, children: Vec<AdtNodeId>) -> AdtNodeId {
+        self.nodes.push(AttackNode {
+            name: name.into(),
+            gate,
+            children,
+            base_prob: 0.0,
+            defenses: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Registers a defense in the library; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mitigation` is outside `[0, 1)` or `cost` is negative.
+    pub fn defense(&mut self, name: impl Into<String>, cost: f64, mitigation: f64) -> DefenseId {
+        assert!((0.0..1.0).contains(&mitigation), "mitigation in [0,1)");
+        assert!(cost >= 0.0, "cost must be non-negative");
+        self.defenses.push(Defense { name: name.into(), cost, mitigation });
+        self.defenses.len() - 1
+    }
+
+    /// Attaches a defense to an attack node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::BadReference`] for unknown ids.
+    pub fn attach(&mut self, node: AdtNodeId, defense: DefenseId) -> Result<(), AdtError> {
+        if node >= self.nodes.len() {
+            return Err(AdtError::BadReference(node));
+        }
+        if defense >= self.defenses.len() {
+            return Err(AdtError::BadReference(defense));
+        }
+        self.nodes[node].defenses.push(defense);
+        Ok(())
+    }
+
+    /// The registered defenses.
+    pub fn defenses(&self) -> &[Defense] {
+        &self.defenses
+    }
+
+    /// The attack nodes.
+    pub fn nodes(&self) -> &[AttackNode] {
+        &self.nodes
+    }
+
+    /// Success probability of attack node `root` given the set of active
+    /// defenses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError`] when the tree is empty or `root` is invalid.
+    pub fn success_probability(
+        &self,
+        root: AdtNodeId,
+        active: &[DefenseId],
+    ) -> Result<f64, AdtError> {
+        if self.nodes.is_empty() {
+            return Err(AdtError::Empty);
+        }
+        if root >= self.nodes.len() {
+            return Err(AdtError::BadReference(root));
+        }
+        Ok(self.prob(root, active))
+    }
+
+    fn prob(&self, id: AdtNodeId, active: &[DefenseId]) -> f64 {
+        let n = &self.nodes[id];
+        let raw = if n.children.is_empty() {
+            n.base_prob
+        } else {
+            match n.gate {
+                Gate::And => n.children.iter().map(|&c| self.prob(c, active)).product(),
+                Gate::Or => {
+                    1.0 - n
+                        .children
+                        .iter()
+                        .map(|&c| 1.0 - self.prob(c, active))
+                        .product::<f64>()
+                }
+            }
+        };
+        let mitigation: f64 = n
+            .defenses
+            .iter()
+            .filter(|d| active.contains(d))
+            .map(|&d| 1.0 - self.defenses[d].mitigation)
+            .product();
+        raw * mitigation
+    }
+
+    /// Greedy countermeasure synthesis: repeatedly activates the defense
+    /// with the best marginal risk reduction per unit cost until the
+    /// budget is exhausted or the root risk drops to `target_risk`.
+    /// Returns the chosen defenses and the residual root risk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::Empty`] on an empty tree.
+    pub fn synthesize(
+        &self,
+        budget: f64,
+        target_risk: f64,
+    ) -> Result<(Vec<DefenseId>, f64), AdtError> {
+        if self.nodes.is_empty() {
+            return Err(AdtError::Empty);
+        }
+        let root = 0;
+        let mut active: Vec<DefenseId> = Vec::new();
+        let mut remaining = budget;
+        let mut risk = self.prob(root, &active);
+        loop {
+            if risk <= target_risk {
+                break;
+            }
+            let mut best: Option<(DefenseId, f64, f64)> = None; // (id, new_risk, score)
+            for d in 0..self.defenses.len() {
+                if active.contains(&d) || self.defenses[d].cost > remaining {
+                    continue;
+                }
+                let mut trial = active.clone();
+                trial.push(d);
+                let new_risk = self.prob(root, &trial);
+                let reduction = risk - new_risk;
+                if reduction <= 0.0 {
+                    continue;
+                }
+                let score = reduction / self.defenses[d].cost.max(1e-9);
+                if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
+                    best = Some((d, new_risk, score));
+                }
+            }
+            let Some((d, new_risk, _)) = best else { break };
+            remaining -= self.defenses[d].cost;
+            active.push(d);
+            risk = new_risk;
+        }
+        active.sort_unstable();
+        Ok((active, risk))
+    }
+}
+
+/// A small library of reusable countermeasure primitives matching the
+/// suites of Table II, with costs growing with strength.
+pub fn standard_defense_library(adt: &mut Adt) -> Vec<DefenseId> {
+    vec![
+        adt.defense("ascon-link-encryption", 1.0, 0.55),
+        adt.defense("aes128-link-encryption", 2.0, 0.70),
+        adt.defense("aes256-pqc-channel", 4.0, 0.90),
+        adt.defense("token-authentication", 1.5, 0.65),
+        adt.defense("signed-firmware", 2.5, 0.80),
+        adt.defense("registry-access-control", 1.0, 0.50),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Root OR(eavesdrop, AND(forge-token, reach-api)).
+    fn sample() -> (Adt, Vec<DefenseId>) {
+        let mut adt = Adt::new();
+        // Build children first; the root must end up at index 0 for
+        // synthesize(), so use a fresh tree with root inserted first via
+        // placeholder pattern: here we simply build root last and swap.
+        let eaves = adt.leaf("eavesdrop-link", 0.6);
+        let forge = adt.leaf("forge-token", 0.3);
+        let reach = adt.leaf("reach-api", 0.8);
+        let combo = adt.inner("authenticated-access", Gate::And, vec![forge, reach]);
+        let root = adt.inner("compromise-data", Gate::Or, vec![eaves, combo]);
+        // Move root to index 0 by remapping: simplest is to assert and use
+        // success_probability(root, ..) directly in tests.
+        let defs = standard_defense_library(&mut adt);
+        adt.attach(eaves, defs[1]).expect("valid");
+        adt.attach(eaves, defs[2]).expect("valid");
+        adt.attach(forge, defs[3]).expect("valid");
+        let _ = root;
+        (adt, defs)
+    }
+
+    #[test]
+    fn probability_combines_gates() {
+        let (adt, _) = sample();
+        // OR(0.6, AND(0.3, 0.8)=0.24) = 1-0.4*0.76 = 0.696
+        let p = adt.success_probability(4, &[]).expect("valid");
+        assert!((p - 0.696).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn defenses_reduce_probability() {
+        let (adt, defs) = sample();
+        let base = adt.success_probability(4, &[]).expect("valid");
+        let with_enc = adt.success_probability(4, &[defs[1]]).expect("valid");
+        assert!(with_enc < base);
+        // eavesdrop drops to 0.6*0.3=0.18 → OR(0.18, 0.24) = 0.3768
+        assert!((with_enc - (1.0 - 0.82 * 0.76)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stacked_defenses_multiply() {
+        let (adt, defs) = sample();
+        let both = adt.success_probability(4, &[defs[1], defs[2]]).expect("valid");
+        // eavesdrop: 0.6*0.3*0.1 = 0.018
+        assert!((both - (1.0 - (1.0 - 0.018) * 0.76)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthesis_respects_budget() {
+        let mut adt = Adt::new();
+        let root_leaf = adt.leaf("root-attack", 0.9);
+        assert_eq!(root_leaf, 0, "root is node 0");
+        let cheap = adt.defense("cheap", 1.0, 0.5);
+        let strong = adt.defense("strong", 10.0, 0.9);
+        adt.attach(root_leaf, cheap).expect("valid");
+        adt.attach(root_leaf, strong).expect("valid");
+        let (picked, risk) = adt.synthesize(1.5, 0.0).expect("valid");
+        assert_eq!(picked, vec![cheap], "budget excludes the strong defense");
+        assert!((risk - 0.45).abs() < 1e-9);
+        let (picked2, risk2) = adt.synthesize(100.0, 0.0).expect("valid");
+        assert_eq!(picked2.len(), 2);
+        assert!(risk2 < 0.05);
+    }
+
+    #[test]
+    fn synthesis_stops_at_target() {
+        let mut adt = Adt::new();
+        let l = adt.leaf("attack", 0.4);
+        let d1 = adt.defense("d1", 1.0, 0.5);
+        let d2 = adt.defense("d2", 1.0, 0.5);
+        adt.attach(l, d1).expect("valid");
+        adt.attach(l, d2).expect("valid");
+        let (picked, risk) = adt.synthesize(10.0, 0.25).expect("valid");
+        assert_eq!(picked.len(), 1, "one defense already meets the target");
+        assert!(risk <= 0.25);
+    }
+
+    #[test]
+    fn bad_references_error() {
+        let mut adt = Adt::new();
+        let l = adt.leaf("a", 0.5);
+        assert_eq!(adt.attach(l, 42), Err(AdtError::BadReference(42)));
+        assert_eq!(adt.attach(9, 0), Err(AdtError::BadReference(9)));
+        assert!(adt.success_probability(7, &[]).is_err());
+        assert!(Adt::new().success_probability(0, &[]).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! AES-128 / AES-256 (FIPS 197) with CTR mode, from scratch.
+//!
+//! Table II prescribes AES-256 for the High level and AES-128 for
+//! Medium. The block cipher is validated against the FIPS 197 example
+//! vectors; CTR keeps the implementation encrypt-only (decryption is the
+//! same keystream XOR).
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const RCON: [u8; 14] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d,
+];
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ if x & 0x80 != 0 { 0x1b } else { 0 }
+}
+
+/// Key size variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesVariant {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl AesVariant {
+    fn rounds(self) -> usize {
+        match self {
+            AesVariant::Aes128 => 10,
+            AesVariant::Aes256 => 14,
+        }
+    }
+
+    fn key_words(self) -> usize {
+        match self {
+            AesVariant::Aes128 => 4,
+            AesVariant::Aes256 => 8,
+        }
+    }
+
+    /// Key size in bytes.
+    pub fn key_len(self) -> usize {
+        self.key_words() * 4
+    }
+}
+
+/// An expanded AES key ready for encryption.
+#[derive(Debug, Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    variant: AesVariant,
+}
+
+/// Error for a key of the wrong length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKeyLenError {
+    /// Expected key length in bytes.
+    pub expected: usize,
+    /// Provided key length in bytes.
+    pub got: usize,
+}
+
+impl std::fmt::Display for InvalidKeyLenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected a {}-byte key, got {}", self.expected, self.got)
+    }
+}
+
+impl std::error::Error for InvalidKeyLenError {}
+
+impl Aes {
+    /// Expands `key` for the given variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLenError`] when the key length does not match
+    /// the variant.
+    pub fn new(variant: AesVariant, key: &[u8]) -> Result<Aes, InvalidKeyLenError> {
+        if key.len() != variant.key_len() {
+            return Err(InvalidKeyLenError { expected: variant.key_len(), got: key.len() });
+        }
+        let nk = variant.key_words();
+        let nr = variant.rounds();
+        let total_words = 4 * (nr + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Ok(Aes { round_keys, variant })
+    }
+
+    /// The variant this key was expanded for.
+    pub fn variant(&self) -> AesVariant {
+        self.variant
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let nr = self.variant.rounds();
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..nr {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[nr]);
+    }
+
+    /// CTR-mode keystream XOR: encrypts or decrypts `data` in place with
+    /// the given 16-byte nonce/counter block prefix (the low 32 bits are
+    /// the counter).
+    pub fn ctr_apply(&self, nonce: &[u8; 12], data: &mut [u8]) {
+        let mut counter_block = [0u8; 16];
+        counter_block[..12].copy_from_slice(nonce);
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            counter_block[12..].copy_from_slice(&(i as u32 + 1).to_be_bytes());
+            let mut ks = counter_block;
+            self.encrypt_block(&mut ks);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+// State is column-major: state[4*c + r] is row r, column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+            .collect()
+    }
+
+    #[test]
+    fn fips197_aes128_example() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new(AesVariant::Aes128, &key).expect("key ok");
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&unhex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    #[test]
+    fn fips197_aes256_example() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let aes = Aes::new(AesVariant::Aes256, &key).expect("key ok");
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&unhex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+    }
+
+    #[test]
+    fn wrong_key_length_is_rejected() {
+        let err = Aes::new(AesVariant::Aes256, &[0u8; 16]).expect_err("short key");
+        assert_eq!(err.expected, 32);
+        assert_eq!(err.got, 16);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn ctr_round_trips_arbitrary_lengths() {
+        let aes = Aes::new(AesVariant::Aes128, &[7u8; 16]).expect("key ok");
+        let nonce = [9u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 100, 1000] {
+            let plain: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut buf = plain.clone();
+            aes.ctr_apply(&nonce, &mut buf);
+            if len > 0 {
+                assert_ne!(buf, plain, "len {len} must change");
+            }
+            aes.ctr_apply(&nonce, &mut buf);
+            assert_eq!(buf, plain, "len {len} round trips");
+        }
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let aes = Aes::new(AesVariant::Aes128, &[7u8; 16]).expect("key ok");
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        aes.ctr_apply(&[1u8; 12], &mut a);
+        aes.ctr_apply(&[2u8; 12], &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,317 @@
+//! ASCON-128 AEAD and ASCON-Hash (NIST LWC winner), from scratch.
+//!
+//! Table II prescribes ASCON-128 encryption and ASCON-Hash for the Low
+//! (lightweight) level, sized for constrained edge components. Both are
+//! built on the 320-bit ASCON permutation implemented here bitsliced,
+//! per the v1.2 specification.
+
+/// 320-bit permutation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct State([u64; 5]);
+
+impl State {
+    #[inline]
+    fn round(&mut self, c: u64) {
+        let x = &mut self.0;
+        x[2] ^= c;
+        // Substitution layer.
+        x[0] ^= x[4];
+        x[4] ^= x[3];
+        x[2] ^= x[1];
+        let t: [u64; 5] = [
+            !x[0] & x[1],
+            !x[1] & x[2],
+            !x[2] & x[3],
+            !x[3] & x[4],
+            !x[4] & x[0],
+        ];
+        x[0] ^= t[1];
+        x[1] ^= t[2];
+        x[2] ^= t[3];
+        x[3] ^= t[4];
+        x[4] ^= t[0];
+        x[1] ^= x[0];
+        x[0] ^= x[4];
+        x[3] ^= x[2];
+        x[2] = !x[2];
+        // Linear diffusion layer.
+        x[0] ^= x[0].rotate_right(19) ^ x[0].rotate_right(28);
+        x[1] ^= x[1].rotate_right(61) ^ x[1].rotate_right(39);
+        x[2] ^= x[2].rotate_right(1) ^ x[2].rotate_right(6);
+        x[3] ^= x[3].rotate_right(10) ^ x[3].rotate_right(17);
+        x[4] ^= x[4].rotate_right(7) ^ x[4].rotate_right(41);
+    }
+
+    /// Applies `rounds` rounds of the permutation (12 for pᵃ, 6 for pᵇ).
+    fn permute(&mut self, rounds: u32) {
+        for r in (12 - rounds)..12 {
+            self.round((((0xf - r) << 4) | r) as u64);
+        }
+    }
+}
+
+const ASCON128_IV: u64 = 0x8040_0c06_0000_0000;
+/// Authentication-tag length in bytes.
+pub const TAG_LEN: usize = 16;
+/// Key length in bytes.
+pub const KEY_LEN: usize = 16;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 16;
+/// Hash digest length in bytes.
+pub const HASH_LEN: usize = 32;
+
+fn load64(b: &[u8]) -> u64 {
+    let mut w = [0u8; 8];
+    w[..b.len()].copy_from_slice(b);
+    u64::from_be_bytes(w)
+}
+
+fn pad_block(b: &[u8]) -> u64 {
+    load64(b) ^ (0x80u64 << (56 - 8 * b.len()))
+}
+
+/// Authentication failure on [`ascon128_open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthError;
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ciphertext failed authentication")
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+fn init(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> (State, u64, u64) {
+    let k0 = load64(&key[..8]);
+    let k1 = load64(&key[8..]);
+    let n0 = load64(&nonce[..8]);
+    let n1 = load64(&nonce[8..]);
+    let mut s = State([ASCON128_IV, k0, k1, n0, n1]);
+    s.permute(12);
+    s.0[3] ^= k0;
+    s.0[4] ^= k1;
+    (s, k0, k1)
+}
+
+fn absorb_ad(s: &mut State, ad: &[u8]) {
+    if !ad.is_empty() {
+        let mut chunks = ad.chunks_exact(8);
+        for c in chunks.by_ref() {
+            s.0[0] ^= load64(c);
+            s.permute(6);
+        }
+        s.0[0] ^= pad_block(chunks.remainder());
+        s.permute(6);
+    }
+    s.0[4] ^= 1; // domain separation
+}
+
+fn finalize(s: &mut State, k0: u64, k1: u64) -> [u8; TAG_LEN] {
+    s.0[1] ^= k0;
+    s.0[2] ^= k1;
+    s.permute(12);
+    let mut tag = [0u8; TAG_LEN];
+    tag[..8].copy_from_slice(&(s.0[3] ^ k0).to_be_bytes());
+    tag[8..].copy_from_slice(&(s.0[4] ^ k1).to_be_bytes());
+    tag
+}
+
+/// ASCON-128 authenticated encryption: returns `ciphertext || tag`.
+///
+/// # Examples
+///
+/// ```
+/// use myrtus_security::ascon::{ascon128_seal, ascon128_open};
+///
+/// let key = [1u8; 16];
+/// let nonce = [2u8; 16];
+/// let ct = ascon128_seal(&key, &nonce, b"session", b"patient pose frame");
+/// let pt = ascon128_open(&key, &nonce, b"session", &ct).expect("authentic");
+/// assert_eq!(pt, b"patient pose frame");
+/// ```
+pub fn ascon128_seal(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    ad: &[u8],
+    plaintext: &[u8],
+) -> Vec<u8> {
+    let (mut s, k0, k1) = init(key, nonce);
+    absorb_ad(&mut s, ad);
+    let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    let mut chunks = plaintext.chunks_exact(8);
+    for c in chunks.by_ref() {
+        s.0[0] ^= load64(c);
+        out.extend_from_slice(&s.0[0].to_be_bytes());
+        s.permute(6);
+    }
+    let rem = chunks.remainder();
+    s.0[0] ^= pad_block(rem);
+    out.extend_from_slice(&s.0[0].to_be_bytes()[..rem.len()]);
+    let tag = finalize(&mut s, k0, k1);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// ASCON-128 authenticated decryption of `ciphertext || tag`.
+///
+/// # Errors
+///
+/// Returns [`AuthError`] when the tag does not verify (wrong key, nonce,
+/// associated data, or tampered ciphertext).
+pub fn ascon128_open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    ad: &[u8],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, AuthError> {
+    if ciphertext.len() < TAG_LEN {
+        return Err(AuthError);
+    }
+    let (ct, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+    let (mut s, k0, k1) = init(key, nonce);
+    absorb_ad(&mut s, ad);
+    let mut out = Vec::with_capacity(ct.len());
+    let mut chunks = ct.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let ci = load64(c);
+        out.extend_from_slice(&(s.0[0] ^ ci).to_be_bytes());
+        s.0[0] = ci;
+        s.permute(6);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let ci = load64(rem);
+        let pt = (s.0[0] ^ ci).to_be_bytes();
+        out.extend_from_slice(&pt[..rem.len()]);
+        // Replace the consumed plaintext bits and re-pad.
+        let mask = u64::MAX >> (8 * rem.len());
+        s.0[0] = ci | (s.0[0] & mask);
+        s.0[0] ^= 0x80u64 << (56 - 8 * rem.len());
+    } else {
+        s.0[0] ^= 0x80u64 << 56;
+    }
+    let expect = finalize(&mut s, k0, k1);
+    // Constant-time-ish comparison.
+    let mut diff = 0u8;
+    for (a, b) in expect.iter().zip(tag.iter()) {
+        diff |= a ^ b;
+    }
+    if diff == 0 {
+        Ok(out)
+    } else {
+        Err(AuthError)
+    }
+}
+
+const ASCON_HASH_IV: [u64; 5] = [
+    0xee93_98aa_db67_f03d,
+    0x8bb2_1831_c60f_1002,
+    0xb48a_92db_98d5_da62,
+    0x4318_9921_b8f8_e3e8,
+    0x348f_a5c9_d525_e140,
+];
+
+/// ASCON-Hash: 256-bit digest.
+///
+/// # Examples
+///
+/// ```
+/// use myrtus_security::ascon::ascon_hash;
+///
+/// let d = ascon_hash(b"lightweight");
+/// assert_eq!(d.len(), 32);
+/// assert_ne!(ascon_hash(b"a"), ascon_hash(b"b"));
+/// ```
+pub fn ascon_hash(data: &[u8]) -> [u8; HASH_LEN] {
+    let mut s = State(ASCON_HASH_IV);
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        s.0[0] ^= load64(c);
+        s.permute(12);
+    }
+    s.0[0] ^= pad_block(chunks.remainder());
+    s.permute(12);
+    let mut out = [0u8; HASH_LEN];
+    for i in 0..4 {
+        out[8 * i..8 * i + 8].copy_from_slice(&s.0[0].to_be_bytes());
+        if i < 3 {
+            s.permute(12);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn kat_key() -> [u8; 16] {
+        core::array::from_fn(|i| i as u8)
+    }
+
+    #[test]
+    fn kat_empty_message_empty_ad() {
+        // NIST LWC KAT, Count = 1: PT = "", AD = "" → only the tag.
+        let ct = ascon128_seal(&kat_key(), &kat_key(), b"", b"");
+        assert_eq!(hex(&ct), "e355159f292911f794cb1432a0103a8a");
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = [0x42u8; 16];
+        let nonce = [0x17u8; 16];
+        for len in [0usize, 1, 7, 8, 9, 16, 63, 64, 65, 300] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ad = b"header";
+            let ct = ascon128_seal(&key, &nonce, ad, &pt);
+            assert_eq!(ct.len(), len + TAG_LEN);
+            let back = ascon128_open(&key, &nonce, ad, &ct).expect("authentic");
+            assert_eq!(back, pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let key = [1u8; 16];
+        let nonce = [2u8; 16];
+        let mut ct = ascon128_seal(&key, &nonce, b"ad", b"payload bytes");
+        ct[0] ^= 1;
+        assert_eq!(ascon128_open(&key, &nonce, b"ad", &ct), Err(AuthError));
+        // Wrong AD fails too.
+        let ct2 = ascon128_seal(&key, &nonce, b"ad", b"payload bytes");
+        assert_eq!(ascon128_open(&key, &nonce, b"da", &ct2), Err(AuthError));
+        // Wrong key fails.
+        assert_eq!(ascon128_open(&[9u8; 16], &nonce, b"ad", &ct2), Err(AuthError));
+        // Truncated ciphertext fails.
+        assert_eq!(ascon128_open(&key, &nonce, b"ad", &ct2[..10]), Err(AuthError));
+    }
+
+    #[test]
+    fn hash_kat_empty() {
+        assert_eq!(
+            hex(&ascon_hash(b"")),
+            "7346bc14f036e87ae03d0997913088f5f68411434b3cf8b54fa796a80d251f91"
+        );
+    }
+
+    #[test]
+    fn hash_avalanche() {
+        let a = ascon_hash(b"The continuum of computing resources");
+        let b = ascon_hash(b"the continuum of computing resources");
+        let differing = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+        assert!(differing > 24, "one flipped bit changes most bytes: {differing}");
+    }
+
+    #[test]
+    fn hash_handles_block_boundaries() {
+        for len in [7usize, 8, 9, 64] {
+            let data = vec![0xABu8; len];
+            assert_eq!(ascon_hash(&data).len(), HASH_LEN);
+        }
+    }
+}

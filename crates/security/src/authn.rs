@@ -1,0 +1,189 @@
+//! Token-based authentication for the MIRTO API daemon.
+//!
+//! Fig. 3 places an *Authentication Module* in front of the MIRTO agent's
+//! REST-like API. This module implements it as HMAC-SHA-256 signed bearer
+//! tokens carrying a principal, scopes and an expiry in logical time.
+
+use std::collections::BTreeSet;
+
+use myrtus_continuum::time::SimTime;
+
+use crate::sha2::hmac_sha256;
+
+/// A verified identity with its granted scopes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Principal {
+    /// User or agent name.
+    pub name: String,
+    /// Granted scopes (e.g. `deploy`, `reconfigure`).
+    pub scopes: BTreeSet<String>,
+}
+
+impl Principal {
+    /// Whether the principal holds a scope.
+    pub fn has_scope(&self, scope: &str) -> bool {
+        self.scopes.contains(scope)
+    }
+}
+
+/// Authentication failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthnError {
+    /// The token structure is invalid.
+    Malformed,
+    /// The HMAC does not verify.
+    BadSignature,
+    /// The token expired.
+    Expired {
+        /// Expiry instant carried in the token.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for AuthnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthnError::Malformed => f.write_str("malformed token"),
+            AuthnError::BadSignature => f.write_str("token signature does not verify"),
+            AuthnError::Expired { at } => write!(f, "token expired at {at}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthnError {}
+
+/// Issues and verifies bearer tokens with a shared secret.
+///
+/// # Examples
+///
+/// ```
+/// use myrtus_security::authn::TokenAuthenticator;
+/// use myrtus_continuum::time::SimTime;
+///
+/// let auth = TokenAuthenticator::new(b"agent-secret");
+/// let token = auth.issue("operator", &["deploy"], SimTime::from_secs(60));
+/// let who = auth.verify(&token, SimTime::from_secs(10))?;
+/// assert!(who.has_scope("deploy"));
+/// # Ok::<(), myrtus_security::authn::AuthnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenAuthenticator {
+    secret: Vec<u8>,
+}
+
+impl TokenAuthenticator {
+    /// Creates an authenticator with a shared secret.
+    pub fn new(secret: &[u8]) -> Self {
+        TokenAuthenticator { secret: secret.to_vec() }
+    }
+
+    /// Issues a token for `name` with `scopes`, valid until `expires`.
+    pub fn issue(&self, name: &str, scopes: &[&str], expires: SimTime) -> String {
+        let payload = format!("{name};{};{}", scopes.join(","), expires.as_micros());
+        let mac = hmac_sha256(&self.secret, payload.as_bytes());
+        let mac_hex: String = mac.iter().map(|b| format!("{b:02x}")).collect();
+        format!("{payload};{mac_hex}")
+    }
+
+    /// Verifies a token at logical time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthnError`] for malformed, forged or expired tokens.
+    pub fn verify(&self, token: &str, now: SimTime) -> Result<Principal, AuthnError> {
+        let mut parts = token.rsplitn(2, ';');
+        let mac_hex = parts.next().ok_or(AuthnError::Malformed)?;
+        let payload = parts.next().ok_or(AuthnError::Malformed)?;
+        let expect = hmac_sha256(&self.secret, payload.as_bytes());
+        let expect_hex: String = expect.iter().map(|b| format!("{b:02x}")).collect();
+        // Constant-time-ish comparison.
+        if mac_hex.len() != expect_hex.len() {
+            return Err(AuthnError::BadSignature);
+        }
+        let mut diff = 0u8;
+        for (a, b) in mac_hex.bytes().zip(expect_hex.bytes()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(AuthnError::BadSignature);
+        }
+        let mut fields = payload.split(';');
+        let name = fields.next().ok_or(AuthnError::Malformed)?;
+        let scopes = fields.next().ok_or(AuthnError::Malformed)?;
+        let exp_us: u64 = fields
+            .next()
+            .ok_or(AuthnError::Malformed)?
+            .parse()
+            .map_err(|_| AuthnError::Malformed)?;
+        let expires = SimTime::from_micros(exp_us);
+        if now > expires {
+            return Err(AuthnError::Expired { at: expires });
+        }
+        Ok(Principal {
+            name: name.to_string(),
+            scopes: scopes
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_verify_round_trip() {
+        let auth = TokenAuthenticator::new(b"s3cr3t");
+        let t = auth.issue("alice", &["deploy", "observe"], SimTime::from_secs(100));
+        let p = auth.verify(&t, SimTime::from_secs(50)).expect("valid");
+        assert_eq!(p.name, "alice");
+        assert!(p.has_scope("deploy") && p.has_scope("observe"));
+        assert!(!p.has_scope("admin"));
+    }
+
+    #[test]
+    fn expired_token_rejected() {
+        let auth = TokenAuthenticator::new(b"k");
+        let t = auth.issue("bob", &[], SimTime::from_secs(1));
+        assert!(matches!(
+            auth.verify(&t, SimTime::from_secs(2)),
+            Err(AuthnError::Expired { .. })
+        ));
+        // Exactly at expiry is still valid.
+        assert!(auth.verify(&t, SimTime::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn forged_token_rejected() {
+        let auth = TokenAuthenticator::new(b"k1");
+        let other = TokenAuthenticator::new(b"k2");
+        let t = other.issue("eve", &["deploy"], SimTime::from_secs(100));
+        assert_eq!(auth.verify(&t, SimTime::ZERO), Err(AuthnError::BadSignature));
+    }
+
+    #[test]
+    fn tampered_scope_rejected() {
+        let auth = TokenAuthenticator::new(b"k");
+        let t = auth.issue("carol", &["observe"], SimTime::from_secs(100));
+        let tampered = t.replace("observe", "admin..");
+        assert!(auth.verify(&tampered, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn malformed_tokens_rejected() {
+        let auth = TokenAuthenticator::new(b"k");
+        assert!(auth.verify("", SimTime::ZERO).is_err());
+        assert!(auth.verify("just-one-part", SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn empty_scope_list_yields_no_scopes() {
+        let auth = TokenAuthenticator::new(b"k");
+        let t = auth.issue("dave", &[], SimTime::from_secs(10));
+        let p = auth.verify(&t, SimTime::ZERO).expect("valid");
+        assert!(p.scopes.is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Gaia-X-style federated trust framework.
+//!
+//! Paper Sect. III: "on the cloud side, adherence to the Gaia-X trust
+//! model will be guaranteed". The Gaia-X trust framework rests on signed
+//! *self-descriptions*: a participant publishes claims about itself,
+//! attested by an accredited trust anchor, and consumers verify the
+//! attestation chain before federating. This module implements that
+//! contract over the repository's HMAC primitives: a
+//! [`TrustAnchorRegistry`] of accredited anchors, [`SelfDescription`]s
+//! with claims, anchor-signed [`Credential`]s, and a compliance check
+//! combining signature verification, expiry, claim requirements and the
+//! runtime [`crate::trust::TrustModel`] score.
+
+use std::collections::BTreeMap;
+
+use myrtus_continuum::ids::NodeId;
+use myrtus_continuum::time::SimTime;
+
+use crate::sha2::hmac_sha256;
+use crate::trust::TrustModel;
+
+/// A participant's self-description: identity plus typed claims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfDescription {
+    /// Participant (provider) name.
+    pub participant: String,
+    /// The continuum node(s) this description covers.
+    pub node: NodeId,
+    /// Claims, e.g. `data-residency = eu`, `security-level = high`.
+    pub claims: BTreeMap<String, String>,
+}
+
+impl SelfDescription {
+    /// Creates a self-description.
+    pub fn new(participant: impl Into<String>, node: NodeId) -> Self {
+        SelfDescription { participant: participant.into(), node, claims: BTreeMap::new() }
+    }
+
+    /// Adds a claim (builder style).
+    pub fn with_claim(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.claims.insert(key.into(), value.into());
+        self
+    }
+
+    fn canonical(&self) -> String {
+        let mut s = format!("{}|{}", self.participant, self.node.as_raw());
+        for (k, v) in &self.claims {
+            s.push_str(&format!("|{k}={v}"));
+        }
+        s
+    }
+}
+
+/// An anchor-signed attestation of a self-description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// The attested description.
+    pub description: SelfDescription,
+    /// The signing anchor's name.
+    pub anchor: String,
+    /// Expiry of the attestation.
+    pub expires: SimTime,
+    signature: [u8; 32],
+}
+
+/// Reasons a credential fails compliance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComplianceError {
+    /// The signing anchor is not accredited.
+    UnknownAnchor(String),
+    /// The signature does not verify.
+    BadSignature,
+    /// The attestation expired.
+    Expired {
+        /// Expiry instant.
+        at: SimTime,
+    },
+    /// A required claim is missing or has the wrong value.
+    MissingClaim {
+        /// The claim key.
+        key: String,
+    },
+    /// The participant's runtime trust fell below the floor.
+    Untrusted {
+        /// The observed score.
+        score: f64,
+    },
+}
+
+impl std::fmt::Display for ComplianceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComplianceError::UnknownAnchor(a) => write!(f, "anchor {a:?} is not accredited"),
+            ComplianceError::BadSignature => f.write_str("attestation signature does not verify"),
+            ComplianceError::Expired { at } => write!(f, "attestation expired at {at}"),
+            ComplianceError::MissingClaim { key } => {
+                write!(f, "required claim {key:?} missing or mismatched")
+            }
+            ComplianceError::Untrusted { score } => {
+                write!(f, "runtime trust {score:.2} below the compliance floor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComplianceError {}
+
+/// The accredited trust anchors of the federation.
+#[derive(Debug, Default)]
+pub struct TrustAnchorRegistry {
+    anchors: BTreeMap<String, Vec<u8>>,
+}
+
+impl TrustAnchorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TrustAnchorRegistry::default()
+    }
+
+    /// Accredits an anchor with its signing secret.
+    pub fn accredit(&mut self, name: impl Into<String>, secret: &[u8]) {
+        self.anchors.insert(name.into(), secret.to_vec());
+    }
+
+    /// Revokes an anchor's accreditation.
+    pub fn revoke(&mut self, name: &str) {
+        self.anchors.remove(name);
+    }
+
+    /// Accredited anchor names.
+    pub fn anchors(&self) -> Vec<&str> {
+        self.anchors.keys().map(String::as_str).collect()
+    }
+
+    /// Signs a self-description as `anchor`, producing a credential.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComplianceError::UnknownAnchor`] for unaccredited
+    /// anchors.
+    pub fn attest(
+        &self,
+        anchor: &str,
+        description: SelfDescription,
+        expires: SimTime,
+    ) -> Result<Credential, ComplianceError> {
+        let secret = self
+            .anchors
+            .get(anchor)
+            .ok_or_else(|| ComplianceError::UnknownAnchor(anchor.to_string()))?;
+        let payload = format!("{}|{}|{}", description.canonical(), anchor, expires.as_micros());
+        let signature = hmac_sha256(secret, payload.as_bytes());
+        Ok(Credential { description, anchor: anchor.to_string(), expires, signature })
+    }
+
+    /// Full compliance check of a credential at `now`: accredited anchor,
+    /// valid signature, unexpired, every `required_claims` entry present
+    /// with the expected value, and runtime trust at least `min_trust`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing [`ComplianceError`].
+    pub fn verify(
+        &self,
+        credential: &Credential,
+        now: SimTime,
+        required_claims: &[(&str, &str)],
+        trust: &TrustModel,
+        min_trust: f64,
+    ) -> Result<(), ComplianceError> {
+        let secret = self
+            .anchors
+            .get(&credential.anchor)
+            .ok_or_else(|| ComplianceError::UnknownAnchor(credential.anchor.clone()))?;
+        let payload = format!(
+            "{}|{}|{}",
+            credential.description.canonical(),
+            credential.anchor,
+            credential.expires.as_micros()
+        );
+        let expect = hmac_sha256(secret, payload.as_bytes());
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(credential.signature.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(ComplianceError::BadSignature);
+        }
+        if now > credential.expires {
+            return Err(ComplianceError::Expired { at: credential.expires });
+        }
+        for (k, v) in required_claims {
+            if credential.description.claims.get(*k).map(String::as_str) != Some(*v) {
+                return Err(ComplianceError::MissingClaim { key: (*k).to_string() });
+            }
+        }
+        let score = trust.score(credential.description.node);
+        if score < min_trust {
+            return Err(ComplianceError::Untrusted { score });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trust::Observation;
+
+    fn setup() -> (TrustAnchorRegistry, Credential, TrustModel) {
+        let mut reg = TrustAnchorRegistry::new();
+        reg.accredit("eu-anchor", b"anchor-secret");
+        let sd = SelfDescription::new("hiro-fmdc", NodeId::from_raw(9))
+            .with_claim("data-residency", "eu")
+            .with_claim("security-level", "high");
+        let cred = reg.attest("eu-anchor", sd, SimTime::from_secs(3_600)).expect("accredited");
+        let mut trust = TrustModel::new(0.99);
+        for _ in 0..10 {
+            trust.observe(NodeId::from_raw(9), Observation::TaskOk);
+        }
+        (reg, cred, trust)
+    }
+
+    #[test]
+    fn compliant_credential_verifies() {
+        let (reg, cred, trust) = setup();
+        reg.verify(
+            &cred,
+            SimTime::from_secs(10),
+            &[("data-residency", "eu"), ("security-level", "high")],
+            &trust,
+            0.5,
+        )
+        .expect("compliant");
+    }
+
+    #[test]
+    fn unaccredited_anchor_rejected() {
+        let (mut reg, cred, trust) = setup();
+        reg.revoke("eu-anchor");
+        assert!(matches!(
+            reg.verify(&cred, SimTime::ZERO, &[], &trust, 0.0),
+            Err(ComplianceError::UnknownAnchor(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_claims_fail_signature() {
+        let (reg, mut cred, trust) = setup();
+        cred.description
+            .claims
+            .insert("data-residency".into(), "elsewhere".into());
+        assert_eq!(
+            reg.verify(&cred, SimTime::ZERO, &[], &trust, 0.0),
+            Err(ComplianceError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn expiry_is_enforced() {
+        let (reg, cred, trust) = setup();
+        assert!(matches!(
+            reg.verify(&cred, SimTime::from_secs(4_000), &[], &trust, 0.0),
+            Err(ComplianceError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_required_claim_rejected() {
+        let (reg, cred, trust) = setup();
+        let err = reg
+            .verify(&cred, SimTime::ZERO, &[("carbon-neutral", "yes")], &trust, 0.0)
+            .expect_err("claim absent");
+        assert_eq!(err, ComplianceError::MissingClaim { key: "carbon-neutral".into() });
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn runtime_trust_floor_applies() {
+        let (reg, cred, mut trust) = setup();
+        for _ in 0..5 {
+            trust.observe(NodeId::from_raw(9), Observation::SecurityIncident);
+        }
+        assert!(matches!(
+            reg.verify(&cred, SimTime::ZERO, &[], &trust, 0.6),
+            Err(ComplianceError::Untrusted { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_anchor_credentials_do_not_verify() {
+        let (mut reg, cred, trust) = setup();
+        reg.accredit("other-anchor", b"different");
+        let mut forged = cred.clone();
+        forged.anchor = "other-anchor".into();
+        assert_eq!(
+            reg.verify(&forged, SimTime::ZERO, &[], &trust, 0.0),
+            Err(ComplianceError::BadSignature)
+        );
+    }
+}

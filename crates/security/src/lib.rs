@@ -1,0 +1,44 @@
+//! # myrtus-security
+//!
+//! The MYRTUS security stack of paper Table II: three security levels
+//! (High = PQC-resistant, Medium = classical, Low = lightweight) bound
+//! into cipher suites with **real** from-scratch symmetric and hash
+//! kernels (AES-128/256-CTR, ASCON-128 AEAD, SHA-256/512, ASCON-Hash,
+//! HMAC) and calibrated cost models for the public-key schemes (RSA,
+//! ECDSA, Dilithium, Falcon, Kyber). On top: secure channels, the MIRTO
+//! API authentication module, Attack-Defence-Tree threat analysis with
+//! countermeasure synthesis, and runtime trust & reputation scoring.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use myrtus_security::suite::SecurityLevel;
+//!
+//! let suite = SecurityLevel::High.suite();
+//! let key = vec![7u8; suite.encryption.key_len()];
+//! let ct = suite.seal(&key, &[0u8; 12], b"", b"patient record");
+//! let pt = suite.open(&key, &[0u8; 12], b"", &ct).expect("authentic");
+//! assert_eq!(pt, b"patient record");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adt;
+pub mod aes;
+pub mod ascon;
+pub mod authn;
+pub mod channel;
+pub mod gaiax;
+pub mod lwc;
+pub mod pk;
+pub mod sha2;
+pub mod suite;
+pub mod trust;
+
+pub use adt::{Adt, Defense, Gate};
+pub use authn::{Principal, TokenAuthenticator};
+pub use channel::SecureChannel;
+pub use gaiax::{Credential, SelfDescription, TrustAnchorRegistry};
+pub use suite::{CipherSuite, HandshakeCost, SecurityLevel};
+pub use trust::{Observation, TrustModel};

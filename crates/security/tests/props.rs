@@ -1,0 +1,132 @@
+//! Property-based tests of the security stack's invariants.
+
+use proptest::prelude::*;
+
+use myrtus_security::adt::{Adt, Gate};
+use myrtus_security::aes::{Aes, AesVariant};
+use myrtus_security::channel::SecureChannel;
+use myrtus_security::suite::SecurityLevel;
+use myrtus_security::trust::{Observation, TrustModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AES-CTR is an involution under the same key/nonce for any data.
+    #[test]
+    fn aes_ctr_round_trips(
+        key128 in proptest::array::uniform16(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let aes = Aes::new(AesVariant::Aes128, &key128).expect("valid key");
+        let mut buf = data.clone();
+        aes.ctr_apply(&nonce, &mut buf);
+        aes.ctr_apply(&nonce, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Channel records survive any message sequence in order, and a
+    /// single swapped pair is always rejected.
+    #[test]
+    fn channels_enforce_order(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 2..8),
+        swap_at in 0usize..6,
+        level in prop_oneof![
+            Just(SecurityLevel::Low),
+            Just(SecurityLevel::Medium),
+            Just(SecurityLevel::High),
+        ],
+    ) {
+        let (mut tx, mut rx, _) = SecureChannel::establish(level, 9);
+        let records: Vec<Vec<u8>> = msgs.iter().map(|m| tx.seal(m)).collect();
+        // In-order delivery always works.
+        let (tx2, mut rx2, _) = SecureChannel::establish(level, 9);
+        let _ = tx2;
+        let records2: Vec<Vec<u8>> = {
+            let (mut t, _, _) = SecureChannel::establish(level, 9);
+            msgs.iter().map(|m| t.seal(m)).collect()
+        };
+        for (r, m) in records2.iter().zip(&msgs) {
+            prop_assert_eq!(rx2.open(r).expect("in order"), m.clone());
+        }
+        // A swapped adjacent pair fails at the swap point.
+        let i = swap_at % (records.len() - 1);
+        for (j, r) in records.iter().enumerate() {
+            let r = if j == i { &records[i + 1] } else if j == i + 1 { &records[i] } else { r };
+            let res = rx.open(r);
+            if j < i {
+                prop_assert!(res.is_ok());
+            } else if j == i {
+                prop_assert!(res.is_err(), "swapped record must be rejected");
+                break;
+            }
+        }
+    }
+
+    /// ADT probabilities stay in [0, 1] and adding defenses never
+    /// increases risk, for random two-level trees.
+    #[test]
+    fn adt_defenses_are_monotone(
+        leaf_probs in proptest::collection::vec(0.0f64..1.0, 1..6),
+        or_gate in any::<bool>(),
+        mitigation in 0.0f64..0.99,
+    ) {
+        let mut adt = Adt::new();
+        let gate = if or_gate { Gate::Or } else { Gate::And };
+        let children: Vec<usize> = (1..=leaf_probs.len()).collect();
+        adt.inner("root", gate, children);
+        let mut leaves = Vec::new();
+        for (i, p) in leaf_probs.iter().enumerate() {
+            leaves.push(adt.leaf(format!("l{i}"), *p));
+        }
+        let d = adt.defense("d", 1.0, mitigation);
+        adt.attach(leaves[0], d).expect("valid");
+        let base = adt.success_probability(0, &[]).expect("valid");
+        let defended = adt.success_probability(0, &[d]).expect("valid");
+        prop_assert!((0.0..=1.0).contains(&base));
+        prop_assert!((0.0..=1.0).contains(&defended));
+        prop_assert!(defended <= base + 1e-12);
+    }
+
+    /// Trust scores stay in [0, 1] under arbitrary observation streams,
+    /// and all-good streams dominate all-bad ones.
+    #[test]
+    fn trust_is_bounded_and_ordered(
+        obs in proptest::collection::vec(0u8..3, 1..60),
+    ) {
+        let n = myrtus_continuum::ids::NodeId::from_raw(0);
+        let mut mixed = TrustModel::new(0.99);
+        let mut good = TrustModel::new(0.99);
+        let mut bad = TrustModel::new(0.99);
+        for o in &obs {
+            let o = match o {
+                0 => Observation::TaskOk,
+                1 => Observation::TaskFailed,
+                _ => Observation::SecurityIncident,
+            };
+            mixed.observe(n, o);
+            good.observe(n, Observation::TaskOk);
+            bad.observe(n, Observation::SecurityIncident);
+        }
+        for m in [&mixed, &good, &bad] {
+            let s = m.score(n);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+        prop_assert!(good.score(n) >= mixed.score(n));
+        prop_assert!(mixed.score(n) >= bad.score(n));
+    }
+
+    /// Suite digests are deterministic and length-correct for all levels.
+    #[test]
+    fn digests_are_stable(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        for level in SecurityLevel::ALL {
+            let suite = level.suite();
+            let a = suite.digest(&data);
+            let b = suite.digest(&data);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.len(), suite.hash.digest_len());
+        }
+    }
+}

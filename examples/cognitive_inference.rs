@@ -1,0 +1,87 @@
+//! The full design-time story of an ML kernel (ref [26] flow): import a
+//! NN model (ONNX analog) → lower to dataflow → generate program code →
+//! estimate HLS / map to a CGRA → compose with a second kernel in one
+//! reconfigurable datapath (MDC) → evolve the runtime rules (FREVO) that
+//! will orchestrate it.
+//!
+//! ```sh
+//! cargo run --example cognitive_inference
+//! ```
+
+use myrtus::continuum::time::SimTime;
+use myrtus::dpe::cgra::{map_graph, CgraFabric};
+use myrtus::dpe::codegen::emit_kernel_c;
+use myrtus::dpe::hls::estimate_graph;
+use myrtus::dpe::mdc::compose;
+use myrtus::dpe::nn::pose_backbone;
+use myrtus::mirto::frevo::{evolve, EvolutionConfig};
+use myrtus::workload::scenarios;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Import the model and lower it to the dataflow IR.
+    let model = pose_backbone();
+    let graph = model.lower()?;
+    println!(
+        "imported {:?}: {:.1} Mops/inference, lowered to {} dataflow actors",
+        model.name,
+        model.total_ops()? as f64 / 1e6,
+        graph.actors().len()
+    );
+
+    // 2. Emit the HLS-ready program code.
+    let src = emit_kernel_c(&graph)?;
+    println!(
+        "generated {} ({} lines of HLS C)",
+        src.name,
+        src.contents.lines().count()
+    );
+
+    // 3. Estimate FPGA HLS vs CGRA overlay.
+    let hls = estimate_graph(&graph)?;
+    let cgra = map_graph(&graph, CgraFabric::overlay_4x4())?;
+    println!(
+        "FPGA pipeline: {:.1} µs/inference, {} LUTs | CGRA 4x4: {:.1} µs, {} contexts, {} config bytes",
+        hls.cycles_per_iteration as f64 / 250.0,
+        hls.total_resources.luts,
+        cgra.cycles_per_iteration as f64 / 600.0,
+        cgra.contexts,
+        cgra.config_bytes
+    );
+
+    // 4. MDC: one reconfigurable datapath hosting the pose head and a
+    //    gesture-classification head sharing the same backbone.
+    let mut gesture = pose_backbone();
+    gesture.name = "gesture-head".into();
+    if let Some(myrtus::dpe::nn::Layer::Dense { outputs }) = gesture.layers.last_mut() {
+        *outputs = 12; // 12 gesture classes instead of 34 keypoint coords
+    }
+    let comp = compose(&[graph, gesture.lower()?])?;
+    let area = comp.area_report();
+    println!(
+        "MDC merge with a gesture head sharing the backbone: {} shared actors, {:.1} % area saved",
+        area.shared_actors,
+        area.savings() * 100.0
+    );
+
+    // 5. FREVO: evolve the runtime local rules for the workload that will
+    //    use this kernel.
+    let result = evolve(
+        &[scenarios::telerehab_with(1)],
+        EvolutionConfig {
+            parents: 2,
+            offspring: 4,
+            generations: 3,
+            seed: 5,
+            horizon: SimTime::from_secs(2),
+        },
+    );
+    println!(
+        "evolved runtime rules over {} what-if simulations: fitness {:.2} (eco {:.2}, boost {:.2}, period {} ms)",
+        result.evaluations,
+        result.best_fitness,
+        result.best.tuning.eco_threshold,
+        result.best.tuning.boost_threshold,
+        result.best.monitoring_period_ms
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: deploy an application onto the continuum through the
+//! MIRTO API and run the cognitive orchestration loop.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use myrtus::continuum::time::SimTime;
+use myrtus::continuum::topology::ContinuumBuilder;
+use myrtus::mirto::api::{ApiDaemon, ApiRequest, ApiResponse, Operation};
+use myrtus::mirto::engine::{EngineConfig, OrchestrationEngine};
+use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::workload::scenarios;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the paper's reference infrastructure (Fig. 2).
+    let mut continuum = ContinuumBuilder::new().build();
+    println!(
+        "continuum: {} edge, {} fog, {} cloud nodes",
+        continuum.edge().len(),
+        continuum.fog().len(),
+        continuum.cloud().len()
+    );
+
+    // 2. Submit a deployment request through the MIRTO API daemon:
+    //    bearer token → Authentication Module, TOSCA-lite profile →
+    //    TOSCA Validation Processor.
+    let mut api = ApiDaemon::new(b"demo-secret");
+    let token = api
+        .authenticator()
+        .issue("operator", &["deploy"], SimTime::from_secs(3_600));
+    let profile = scenarios::telerehab_with(3).to_profile();
+    let response = api.handle(
+        &ApiRequest { token, operation: Operation::Deploy { profile } },
+        SimTime::ZERO,
+    )?;
+    let ApiResponse::Accepted { principal, application } = response else {
+        unreachable!("deploy requests yield Accepted");
+    };
+    println!(
+        "accepted deployment of {:?} from {} ({} components)",
+        application.name,
+        principal.name,
+        application.components.len()
+    );
+
+    // 3. Orchestrate: greedy placement + the full cognitive loop.
+    let engine = OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig::default(),
+    );
+    let report = engine.run(&mut continuum, vec![application], SimTime::from_secs(6))?;
+
+    // 4. Outcome.
+    let app = &report.apps[0];
+    println!("\n=== orchestration report ({} policy) ===", report.policy);
+    println!("requests completed : {}", app.completed);
+    println!("requests failed    : {}", app.failed);
+    println!("deadline QoS       : {:.1} %", app.qos() * 100.0);
+    if let Some(lat) = &app.latency_ms {
+        println!(
+            "latency ms         : mean {:.2}  p95 {:.2}  max {:.2}",
+            lat.mean, lat.p95, lat.max
+        );
+    }
+    println!("total energy       : {:.2} J", report.total_energy_j);
+    println!(
+        "energy by layer    : edge {:.2} J, fog {:.2} J, cloud {:.2} J",
+        report.layer_energy_j[0], report.layer_energy_j[1], report.layer_energy_j[2]
+    );
+    println!("op-point switches  : {}", report.op_switches);
+    println!("security handshakes: {} kilocycles", report.handshake_cycles / 1_000);
+    if !app.slowest_trace.is_empty() {
+        println!("\nslowest request, stage by stage:");
+        for span in &app.slowest_trace {
+            println!("  {:14} on {:8} finished at {}", span.stage, span.node.to_string(), span.finished_at);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Virtual-Telerehabilitation use case through the full DPE flow
+//! (paper Fig. 4) and into the MIRTO engine: model → analysis →
+//! portioning → node-level artifacts → deployment package → cognitive
+//! orchestration.
+//!
+//! ```sh
+//! cargo run --example telerehab_dpe_flow
+//! ```
+
+use myrtus::continuum::time::SimTime;
+use myrtus::dpe::deploy::DeploymentSpec;
+use myrtus::dpe::flow::{step1_analyze, step2_portion, step3_generate};
+use myrtus::dpe::mdc::compose;
+use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::workload::scenarios;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = scenarios::telerehab_with(3);
+
+    // Step 1 — continuum modeling, simulation and analysis.
+    let analysis = step1_analyze(&app)?;
+    println!("== Step 1: modeling & analysis ==");
+    println!("  KPI: critical-path latency ≥ {:.1} ms", analysis.critical_path_us / 1_000.0);
+    println!("  ADT base risk {:.3} → residual {:.3}", analysis.base_risk, analysis.residual_risk);
+    println!("  countermeasures: {}", analysis.countermeasures.join(", "));
+
+    // Step 2 — model to implementation.
+    let portioned = step2_portion(&app)?;
+    println!("\n== Step 2: portioning ==");
+    println!("  software components : {}", portioned.sw_components.join(", "));
+    for (comp, graph) in &portioned.hw_kernels {
+        println!(
+            "  accel kernel {comp:12} : {} actors, {} ops/iter",
+            graph.actors().len(),
+            graph.ops_per_iteration()?
+        );
+    }
+
+    // MDC: merge the kernels into one reconfigurable datapath.
+    let graphs: Vec<_> = portioned.hw_kernels.iter().map(|(_, g)| g.clone()).collect();
+    let composition = compose(&graphs)?;
+    let area = composition.area_report();
+    println!(
+        "  MDC: {} shared actors, area savings {:.1} % vs dedicated datapaths",
+        area.shared_actors,
+        area.savings() * 100.0
+    );
+
+    // Step 3 — node-level optimisation and deployment.
+    let result = step3_generate(&portioned, &analysis)?;
+    println!("\n== Step 3: node-level artifacts ==");
+    for a in &result.spec.artifacts {
+        println!("  {:?} {:24} {:>9} bytes ({})", a.kind, a.name, a.size_bytes, a.component);
+    }
+    for (kernel, dse) in &result.dse {
+        let fastest = dse.fastest().expect("front non-empty");
+        let eff = dse.most_efficient().expect("front non-empty");
+        println!(
+            "  DSE {kernel:10}: {} Pareto points; fastest {:.1} µs / {:.3} mJ, most-efficient {:.1} µs / {:.3} mJ",
+            dse.front.len(),
+            fastest.eval.latency_us,
+            fastest.eval.energy_mj,
+            eff.eval.latency_us,
+            eff.eval.energy_mj
+        );
+    }
+
+    // Pillar 3 → pillar 2 interface: package round trip then orchestrate.
+    let text = result.spec.to_package();
+    println!("\n== deployment package ({} bytes) ==", text.len());
+    let spec = DeploymentSpec::from_package(&text)?;
+    let report = run_orchestration(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig::default(),
+        vec![spec.application],
+        SimTime::from_secs(6),
+    )?;
+    let a = &report.apps[0];
+    println!(
+        "MIRTO ran the packaged app: {} frames completed, QoS {:.1} %, mean latency {:.2} ms",
+        a.completed,
+        a.qos() * 100.0,
+        a.latency_ms.as_ref().map(|l| l.mean).unwrap_or(0.0)
+    );
+    Ok(())
+}

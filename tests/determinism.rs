@@ -1,0 +1,81 @@
+//! Reproducibility: identical seeds and configurations must yield
+//! bit-identical experiment outcomes across the whole stack — the
+//! property every experiment in EXPERIMENTS.md relies on.
+
+use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::kb::raft::RaftCluster;
+use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::mirto::swarm::PsoPlacement;
+use myrtus::workload::scenarios;
+
+fn fingerprint(r: &myrtus::mirto::engine::OrchestrationReport) -> String {
+    let mut s = format!(
+        "{}|{}|{:.6}|{:.6}|{}|{}|{}",
+        r.policy,
+        r.total_completed(),
+        r.total_energy_j,
+        r.mean_latency_ms(),
+        r.op_switches,
+        r.reallocations,
+        r.events
+    );
+    for a in &r.apps {
+        s.push_str(&format!(
+            ";{}:{}:{}:{}",
+            a.app_id, a.completed, a.failed, a.deadline_misses
+        ));
+    }
+    s
+}
+
+#[test]
+fn orchestration_runs_are_bit_reproducible() {
+    let run = || {
+        run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+            scenarios::standard_mix(2),
+            SimTime::from_secs(5),
+        )
+        .expect("placeable")
+    };
+    assert_eq!(fingerprint(&run()), fingerprint(&run()));
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let run = |seed| {
+        run_orchestration(
+            Box::new(PsoPlacement::new(seed).with_iterations(10)),
+            EngineConfig { seed, ..EngineConfig::default() },
+            vec![scenarios::smart_mobility_with(SimTime::from_secs(2))],
+            SimTime::from_secs(4),
+        )
+        .expect("placeable")
+    };
+    // Same seed: identical; different seed: allowed (and generally
+    // expected) to differ, but both must still complete work.
+    let a1 = run(1);
+    let a2 = run(1);
+    assert_eq!(fingerprint(&a1), fingerprint(&a2));
+    let b = run(99);
+    assert!(b.total_completed() > 0);
+}
+
+#[test]
+fn raft_clusters_are_reproducible() {
+    let run = |seed| {
+        let mut c = RaftCluster::new(5, seed, SimDuration::from_millis(5));
+        let leader = c.await_leader(SimTime::from_secs(3));
+        (leader, c.messages_delivered())
+    };
+    assert_eq!(run(3), run(3));
+}
+
+#[test]
+fn arrivals_are_seed_stable() {
+    let spec = myrtus::workload::arrival::ArrivalSpec::poisson(50.0, SimTime::from_secs(10));
+    assert_eq!(spec.generate(11), spec.generate(11));
+    assert_ne!(spec.generate(11), spec.generate(12));
+}

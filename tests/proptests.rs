@@ -1,0 +1,258 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the stack: crypto round-trips, SDF consistency, TOSCA
+//! profile serialization, KV-store semantics and statistics.
+
+use proptest::prelude::*;
+
+use myrtus::continuum::stats::{OnlineStats, Summary};
+use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::dpe::ir::{Actor, ActorKind, DataflowGraph};
+use myrtus::kb::command::KvCommand;
+use myrtus::kb::store::KvStore;
+use myrtus::security::ascon::{ascon128_open, ascon128_seal};
+use myrtus::security::sha2::{sha256, sha512};
+use myrtus::security::suite::SecurityLevel;
+use myrtus::workload::arrival::ArrivalSpec;
+use myrtus::workload::compile::Tag;
+use myrtus::workload::tosca::{Application, Component, ComponentKind, SecurityTier};
+use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+use myrtus::mirto::policies::GreedyBestFit;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_suite_round_trips_arbitrary_payloads(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        ad in proptest::collection::vec(any::<u8>(), 0..64),
+        level in prop_oneof![
+            Just(SecurityLevel::Low),
+            Just(SecurityLevel::Medium),
+            Just(SecurityLevel::High),
+        ],
+    ) {
+        let suite = level.suite();
+        let key = vec![0x33u8; suite.encryption.key_len()];
+        let nonce = [9u8; 12];
+        let ct = suite.seal(&key, &nonce, &ad, &data);
+        prop_assert!(ct.len() > data.len(), "always carries a tag");
+        let pt = suite.open(&key, &nonce, &ad, &ct).expect("authentic");
+        prop_assert_eq!(pt, data);
+    }
+
+    #[test]
+    fn ascon_rejects_any_single_bitflip(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        flip_byte in 0usize..143,
+        flip_bit in 0u8..8,
+    ) {
+        let key = [1u8; 16];
+        let nonce = [2u8; 16];
+        let mut ct = ascon128_seal(&key, &nonce, b"", &data);
+        let pos = flip_byte % ct.len();
+        ct[pos] ^= 1 << flip_bit;
+        prop_assert!(ascon128_open(&key, &nonce, b"", &ct).is_err());
+    }
+
+    #[test]
+    fn hashes_are_length_stable_and_injective_ish(
+        a in proptest::collection::vec(any::<u8>(), 0..256),
+        b in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assert_eq!(sha256(&a).len(), 32);
+        prop_assert_eq!(sha512(&a).len(), 64);
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        } else {
+            prop_assert_eq!(sha512(&a), sha512(&b));
+        }
+    }
+
+    #[test]
+    fn tags_round_trip(app in any::<u16>(), request in any::<u32>(), stage in any::<u16>()) {
+        let t = Tag { app, request, stage };
+        prop_assert_eq!(Tag::decode(t.encode()), t);
+    }
+
+    #[test]
+    fn sim_time_arithmetic_is_consistent(
+        base_us in 0u64..1_000_000_000,
+        delta_us in 0u64..1_000_000,
+    ) {
+        let t = SimTime::from_micros(base_us);
+        let d = SimDuration::from_micros(delta_us);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).saturating_since(t + d), SimDuration::ZERO);
+        prop_assert!(t + d >= t);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_stream(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..199,
+    ) {
+        let k = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..k] { a.push(x); }
+        for &x in &xs[k..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered(
+        xs in proptest::collection::vec(-1e9f64..1e9, 1..300),
+    ) {
+        let s = Summary::of(&xs).expect("non-empty");
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p95);
+        prop_assert!(s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn chain_profiles_round_trip(
+        stages in 2usize..8,
+        work in 1.0f64..100.0,
+        period_us in 1u64..1_000_000,
+        tier in prop_oneof![
+            Just(SecurityTier::Low),
+            Just(SecurityTier::Medium),
+            Just(SecurityTier::High),
+        ],
+    ) {
+        let mut app = Application::new(
+            "prop",
+            ArrivalSpec::periodic(SimDuration::from_micros(period_us), 3),
+        );
+        for i in 0..stages {
+            let kind = if i == 0 {
+                ComponentKind::Sensor
+            } else if i == stages - 1 {
+                ComponentKind::Storage
+            } else {
+                ComponentKind::Function
+            };
+            app = app.with_component(
+                Component::new(format!("s{i}"), kind)
+                    .with_work_mc(work)
+                    .with_security(tier),
+            );
+        }
+        for i in 1..stages {
+            app = app.with_connection(
+                format!("s{}", i - 1),
+                format!("s{i}"),
+                128,
+                myrtus::continuum::net::Protocol::Mqtt,
+            );
+        }
+        prop_assert!(app.validate().is_ok());
+        let text = app.to_profile();
+        let parsed = Application::from_profile(&text).expect("round trips");
+        prop_assert_eq!(parsed, app);
+    }
+
+    #[test]
+    fn kv_store_last_put_wins(
+        keys in proptest::collection::vec("[a-c]{1,2}", 1..40),
+    ) {
+        let mut kv = KvStore::new();
+        let mut model = std::collections::HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            let v = format!("v{i}");
+            kv.apply(&KvCommand::put(format!("/{k}"), v.as_bytes()), SimTime::ZERO);
+            model.insert(format!("/{k}"), v);
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(
+                kv.get(k).map(|e| e.value.to_vec()),
+                Some(v.as_bytes().to_vec())
+            );
+        }
+        prop_assert_eq!(kv.len(), model.len());
+        prop_assert_eq!(kv.revision(), keys.len() as u64);
+    }
+
+    #[test]
+    fn sdf_chains_always_balance(
+        rates in proptest::collection::vec((1u64..5, 1u64..5), 1..6),
+    ) {
+        let mut g = DataflowGraph::new("chain");
+        let mut prev = g.add_actor(Actor::new("a0", ActorKind::Source, 1));
+        for (i, (p, c)) in rates.iter().enumerate() {
+            let next = g.add_actor(Actor::new(format!("a{}", i + 1), ActorKind::Map, 10));
+            g.connect(prev, *p, next, *c, 8);
+            prev = next;
+        }
+        // Chains can never be rate-inconsistent.
+        let reps = g.repetition_vector().expect("chains always balance");
+        prop_assert!(reps.iter().all(|&r| r >= 1));
+        // Verify the balance equations hold on every channel.
+        for ch in g.channels() {
+            prop_assert_eq!(reps[ch.from] * ch.produce, reps[ch.to] * ch.consume);
+        }
+    }
+
+    #[test]
+    fn orchestration_reports_are_internally_consistent(
+        stages in 2usize..5,
+        work in 0.5f64..20.0,
+        count in 1usize..30,
+        period_ms in 5u64..100,
+    ) {
+        // Build a random chain and orchestrate it end to end; whatever the
+        // shape, the report's invariants must hold.
+        let mut app = Application::new(
+            "prop-app",
+            ArrivalSpec::periodic(SimDuration::from_millis(period_ms), count),
+        );
+        for i in 0..stages {
+            let kind = if i == 0 { ComponentKind::Sensor } else { ComponentKind::Function };
+            app = app.with_component(Component::new(format!("c{i}"), kind).with_work_mc(work));
+        }
+        for i in 1..stages {
+            app = app.with_connection(
+                format!("c{}", i - 1),
+                format!("c{i}"),
+                1_000,
+                myrtus::continuum::net::Protocol::Mqtt,
+            );
+        }
+        let report = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig::default(),
+            vec![app],
+            SimTime::from_secs(20),
+        )
+        .expect("placeable");
+        let a = &report.apps[0];
+        prop_assert!(a.completed + a.failed <= count as u64);
+        prop_assert!(a.completed > 0, "generous horizon completes something");
+        prop_assert!((0.0..=1.0).contains(&report.global_qos()));
+        prop_assert!((0.0..=1.0).contains(&a.mean_quality));
+        let layer_sum: f64 = report.layer_energy_j.iter().sum();
+        prop_assert!((layer_sum - report.total_energy_j).abs() < 1e-6);
+        if let Some(l) = &a.latency_ms {
+            prop_assert!(l.count as u64 == a.completed);
+            prop_assert!(l.min >= 0.0);
+        }
+        prop_assert_eq!(a.slowest_trace.len(), stages);
+    }
+
+    #[test]
+    fn arrival_traces_are_sorted_and_bounded(
+        rate in 1.0f64..500.0,
+        secs in 1u64..5,
+        seed in any::<u64>(),
+    ) {
+        let spec = ArrivalSpec::poisson(rate, SimTime::from_secs(secs));
+        let ts = spec.generate(seed);
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(ts.iter().all(|t| *t < SimTime::from_secs(secs)));
+    }
+}
