@@ -17,10 +17,7 @@ fn bench_policies(c: &mut Criterion) {
         ("round-robin", Box::new(|| Box::new(RoundRobin::new()) as _)),
         ("kube-like", Box::new(|| Box::new(KubeLike::new()) as _)),
         ("greedy", Box::new(|| Box::new(GreedyBestFit::new()) as _)),
-        (
-            "pso",
-            Box::new(|| Box::new(PsoPlacement::new(1).with_iterations(20)) as _),
-        ),
+        ("pso", Box::new(|| Box::new(PsoPlacement::new(1).with_iterations(20)) as _)),
     ];
     for (label, factory) in cases {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {

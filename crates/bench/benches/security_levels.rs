@@ -13,13 +13,9 @@ fn bench_seal(c: &mut Criterion) {
         for size in [1usize << 10, 1 << 14, 1 << 17] {
             let payload = vec![0xA5u8; size];
             group.throughput(Throughput::Bytes(size as u64));
-            group.bench_with_input(
-                BenchmarkId::new(level.to_string(), size),
-                &payload,
-                |b, p| {
-                    b.iter(|| suite.seal(&key, &[1u8; 12], b"", std::hint::black_box(p)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(level.to_string(), size), &payload, |b, p| {
+                b.iter(|| suite.seal(&key, &[1u8; 12], b"", std::hint::black_box(p)));
+            });
         }
     }
     group.finish();
@@ -36,9 +32,7 @@ fn bench_open(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(payload.len() as u64));
         group.bench_with_input(BenchmarkId::new(level.to_string(), 1 << 14), &ct, |b, ct| {
             b.iter(|| {
-                suite
-                    .open(&key, &[1u8; 12], b"", std::hint::black_box(ct))
-                    .expect("authentic")
+                suite.open(&key, &[1u8; 12], b"", std::hint::black_box(ct)).expect("authentic")
             });
         });
     }
@@ -52,13 +46,9 @@ fn bench_digest(c: &mut Criterion) {
     for level in SecurityLevel::ALL {
         let suite = level.suite();
         group.throughput(Throughput::Bytes(payload.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new(level.to_string(), 1 << 16),
-            &payload,
-            |b, p| {
-                b.iter(|| suite.digest(std::hint::black_box(p)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(level.to_string(), 1 << 16), &payload, |b, p| {
+            b.iter(|| suite.digest(std::hint::black_box(p)));
+        });
     }
     group.finish();
 }

@@ -34,6 +34,7 @@ fn bench_placement(c: &mut Criterion) {
         app: &app,
         dag: &dag,
         candidates: vec![all; dag.nodes().len()],
+        estimator: None,
     };
 
     let mut group = c.benchmark_group("placement-22-nodes");

@@ -16,11 +16,7 @@ fn run(failures: usize, outage_ms: Option<u64>, adaptive: bool) -> Orchestration
     let victims: Vec<_> = continuum.edge().iter().copied().take(failures).collect();
     for v in victims {
         FaultPlan::new()
-            .crash(
-                v,
-                SimTime::from_millis(400),
-                outage_ms.map(SimDuration::from_millis),
-            )
+            .crash(v, SimTime::from_millis(400), outage_ms.map(SimDuration::from_millis))
             .apply(continuum.sim_mut());
     }
     let cfg = if adaptive {
@@ -34,11 +30,7 @@ fn run(failures: usize, outage_ms: Option<u64>, adaptive: bool) -> Orchestration
         }
     };
     OrchestrationEngine::new(Box::new(GreedyBestFit::new()), cfg)
-        .run(
-            &mut continuum,
-            vec![scenarios::telerehab_with(3)],
-            SimTime::from_secs(6),
-        )
+        .run(&mut continuum, vec![scenarios::telerehab_with(3)], SimTime::from_secs(6))
         .expect("placeable")
 }
 
@@ -54,14 +46,8 @@ fn main() {
             format!("{} / {}", a.completed, a.failed),
             format!("{} / {}", s.completed, s.failed),
             adaptive.reallocations.to_string(),
-            num(
-                a.completed as f64 / (a.completed + a.failed).max(1) as f64 * 100.0,
-                1,
-            ),
-            num(
-                s.completed as f64 / (s.completed + s.failed).max(1) as f64 * 100.0,
-                1,
-            ),
+            num(a.completed as f64 / (a.completed + a.failed).max(1) as f64 * 100.0, 1),
+            num(s.completed as f64 / (s.completed + s.failed).max(1) as f64 * 100.0, 1),
         ]);
     }
     println!(
@@ -97,7 +83,13 @@ fn main() {
         "{}",
         render_table(
             "E3b — transient 3-node outage (crash at 400 ms, recover after the outage)",
-            &["outage", "MIRTO done/failed", "static done/failed", "MIRTO lost tasks", "static lost tasks"],
+            &[
+                "outage",
+                "MIRTO done/failed",
+                "static done/failed",
+                "MIRTO lost tasks",
+                "static lost tasks"
+            ],
             &rows
         )
     );
@@ -120,11 +112,7 @@ fn main() {
                 .collect();
             let mut plan = FaultPlan::new();
             for l in trunk {
-                plan = plan.cut_link(
-                    l,
-                    SimTime::from_millis(500),
-                    Some(SimDuration::from_secs(1)),
-                );
+                plan = plan.cut_link(l, SimTime::from_millis(500), Some(SimDuration::from_secs(1)));
             }
             plan.apply(continuum.sim_mut());
         }
@@ -132,16 +120,13 @@ fn main() {
         let mut app = scenarios::telerehab_with(3);
         for c in &mut app.components {
             if c.name == "pose" {
-                c.requirements.preferred_layer =
-                    Some(myrtus::continuum::node::Layer::Fog);
+                c.requirements.preferred_layer = Some(myrtus::continuum::node::Layer::Fog);
             }
         }
-        let report = OrchestrationEngine::new(
-            Box::new(GreedyBestFit::new()),
-            EngineConfig::default(),
-        )
-        .run(&mut continuum, vec![app], SimTime::from_secs(6))
-        .expect("placeable");
+        let report =
+            OrchestrationEngine::new(Box::new(GreedyBestFit::new()), EngineConfig::default())
+                .run(&mut continuum, vec![app], SimTime::from_secs(6))
+                .expect("placeable");
         let a = &report.apps[0];
         rows.push(vec![
             label.to_string(),

@@ -57,11 +57,7 @@ fn main() {
     let cpu_eval = evaluate_mapping(&graph, &platform, &all_cpu).expect("evaluates");
     let cgra = map_graph(&graph, CgraFabric::overlay_4x4()).expect("maps");
     let rows = vec![
-        vec![
-            "CPU 1.5 GHz (software)".into(),
-            num(cpu_eval.latency_us, 1),
-            "-".into(),
-        ],
+        vec!["CPU 1.5 GHz (software)".into(), num(cpu_eval.latency_us, 1), "-".into()],
         vec![
             "FPGA 250 MHz (HLS pipeline)".into(),
             num(hls.cycles_per_iteration as f64 / 250.0, 1),

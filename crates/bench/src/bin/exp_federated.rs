@@ -3,7 +3,9 @@
 //! latency models; FedAvg aggregation generalizes across the fleet where
 //! isolated models do not.
 
-use myrtus::mirto::fl::{fed_avg, fed_least_squares, federated_rounds, LatencyModel, LocalLearner, FEATURES};
+use myrtus::mirto::fl::{
+    fed_avg, fed_least_squares, federated_rounds, LatencyModel, LocalLearner, FEATURES,
+};
 use myrtus_bench::{num, render_table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,9 +36,8 @@ fn main() {
         learners.push(l);
     }
     // A global test set spanning every hardware class.
-    let test: Vec<([f64; FEATURES], f64)> = (0..400)
-        .map(|i| sample(&mut rng, speeds[i % speeds.len()]))
-        .collect();
+    let test: Vec<([f64; FEATURES], f64)> =
+        (0..400).map(|i| sample(&mut rng, speeds[i % speeds.len()])).collect();
 
     // Isolated agents vs the federated model.
     let mut rows = Vec::new();
@@ -58,23 +59,11 @@ fn main() {
     let locals: Vec<(LatencyModel, usize)> =
         learners.iter().map(|l| (l.fit(1e-6), l.sample_count())).collect();
     let fed = fed_avg(&locals);
-    rows.push(vec![
-        "FedAvg one-shot".into(),
-        "-".into(),
-        num(fed.mse(&test).sqrt(), 1),
-    ]);
+    rows.push(vec!["FedAvg one-shot".into(), "-".into(), num(fed.mse(&test).sqrt(), 1)]);
     let (prox, _) = federated_rounds(&learners, 1e-6, 50.0, 8);
-    rows.push(vec![
-        "FedProx ×8 rounds".into(),
-        "-".into(),
-        num(prox.mse(&test).sqrt(), 1),
-    ]);
+    rows.push(vec!["FedProx ×8 rounds".into(), "-".into(), num(prox.mse(&test).sqrt(), 1)]);
     let ls = fed_least_squares(&learners, 1e-6);
-    rows.push(vec![
-        "Fed least-squares (stats)".into(),
-        "-".into(),
-        num(ls.mse(&test).sqrt(), 1),
-    ]);
+    rows.push(vec!["Fed least-squares (stats)".into(), "-".into(), num(ls.mse(&test).sqrt(), 1)]);
     println!(
         "{}",
         render_table(
@@ -109,11 +98,7 @@ fn main() {
         let mut pool = learners.clone();
         pool[0] = tiny;
         let fed_model = fed_least_squares(&pool, 1e-6);
-        rows.push(vec![
-            format!("{n} samples"),
-            num(alone, 1),
-            num(fed_model.mse(&test).sqrt(), 1),
-        ]);
+        rows.push(vec![format!("{n} samples"), num(alone, 1), num(fed_model.mse(&test).sqrt(), 1)]);
     }
     println!(
         "{}",

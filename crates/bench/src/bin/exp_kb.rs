@@ -73,9 +73,7 @@ fn main() {
     for seed in [31u64, 32, 33, 34, 35] {
         let mut cluster = RaftCluster::new(5, seed, SimDuration::from_millis(5));
         let leader = cluster.await_leader(SimTime::from_secs(5)).expect("elects");
-        cluster
-            .propose(leader, KvCommand::put("/pre", b"1"))
-            .expect("accepts");
+        cluster.propose(leader, KvCommand::put("/pre", b"1")).expect("accepts");
         cluster.run_for(SimDuration::from_millis(300));
         let crash_at = cluster.now();
         cluster.crash(leader);
@@ -83,11 +81,7 @@ fn main() {
         let new_leader = cluster.await_leader(deadline).expect("fails over");
         let failover_ms = cluster.now().saturating_since(crash_at).as_millis_f64();
         let preserved = cluster.committed_value(new_leader, "/pre").is_some();
-        rows.push(vec![
-            format!("run {seed}"),
-            num(failover_ms, 0),
-            preserved.to_string(),
-        ]);
+        rows.push(vec![format!("run {seed}"), num(failover_ms, 0), preserved.to_string()]);
     }
     println!(
         "{}",
@@ -104,20 +98,15 @@ fn main() {
     let mut staleness_ms: Vec<Vec<f64>> = vec![Vec::new(); 5];
     for i in 0..10 {
         let key = format!("/stale{i}");
-        cluster
-            .propose(leader, KvCommand::put(&key, b"v"))
-            .expect("accepts");
+        cluster.propose(leader, KvCommand::put(&key, b"v")).expect("accepts");
         let start = cluster.now();
         let mut seen = [false; 5];
-        while seen.iter().any(|s| !s)
-            && cluster.now() < start + SimDuration::from_secs(2)
-        {
+        while seen.iter().any(|s| !s) && cluster.now() < start + SimDuration::from_secs(2) {
             cluster.run_for(SimDuration::from_millis(1));
             for (r, s) in seen.iter_mut().enumerate() {
                 if !*s && cluster.committed_value(r, &key).is_some() {
                     *s = true;
-                    staleness_ms[r]
-                        .push(cluster.now().saturating_since(start).as_millis_f64());
+                    staleness_ms[r].push(cluster.now().saturating_since(start).as_millis_f64());
                 }
             }
         }
@@ -173,10 +162,7 @@ fn main() {
         let mut watch_bytes = 0u64;
         for round in 0..rounds {
             for id in 0..changed_per_round {
-                kv.apply(
-                    &record(id, (round % 10) as f64 / 10.0).to_command(),
-                    SimTime::ZERO,
-                );
+                kv.apply(&record(id, (round % 10) as f64 / 10.0).to_command(), SimTime::ZERO);
             }
             // Full snapshot: every record shipped every round.
             snapshot_bytes += kv
@@ -217,9 +203,7 @@ fn main() {
         }
         let leader = cluster.await_leader(SimTime::from_secs(5)).expect("elects");
         for i in 0..120 {
-            cluster
-                .propose(leader, KvCommand::put(format!("/r{}", i % 10), b"v"))
-                .expect("leader");
+            cluster.propose(leader, KvCommand::put(format!("/r{}", i % 10), b"v")).expect("leader");
             cluster.run_for(SimDuration::from_millis(60));
         }
         cluster.run_for(SimDuration::from_secs(1));
@@ -227,11 +211,7 @@ fn main() {
         let keys = (0..10)
             .filter(|k| cluster.committed_value(leader, &format!("/r{k}")).is_some())
             .count();
-        rows.push(vec![
-            label.to_string(),
-            max_log.to_string(),
-            format!("{keys}/10"),
-        ]);
+        rows.push(vec![label.to_string(), max_log.to_string(), format!("{keys}/10")]);
     }
     println!(
         "{}",

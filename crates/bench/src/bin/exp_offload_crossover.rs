@@ -28,9 +28,7 @@ fn probe(bw_mbps: f64, work_mc: f64, input: u64, which: &str) -> f64 {
     if src == dst {
         c.sim_mut().submit_local(dst, task).expect("up");
     } else {
-        c.sim_mut()
-            .submit_via_network(src, dst, task, Protocol::Mqtt)
-            .expect("routable");
+        c.sim_mut().submit_via_network(src, dst, task, Protocol::Mqtt).expect("routable");
     }
     let mut t = SimTime::ZERO;
     while c.sim().node(dst).map(|n| n.completed()).unwrap_or(0) == 0 {
@@ -58,13 +56,7 @@ fn main() {
         } else {
             "cloud"
         };
-        rows.push(vec![
-            format!("{kb} KiB"),
-            num(e, 1),
-            num(f, 1),
-            num(cl, 1),
-            winner.to_string(),
-        ]);
+        rows.push(vec![format!("{kb} KiB"), num(e, 1), num(f, 1), num(cl, 1), winner.to_string()]);
     }
     println!(
         "{}",
@@ -88,13 +80,7 @@ fn main() {
         } else {
             "cloud"
         };
-        rows.push(vec![
-            format!("{work} Mc"),
-            num(e, 1),
-            num(f, 1),
-            num(cl, 1),
-            winner.to_string(),
-        ]);
+        rows.push(vec![format!("{work} Mc"), num(e, 1), num(f, 1), num(cl, 1), winner.to_string()]);
     }
     println!(
         "{}",

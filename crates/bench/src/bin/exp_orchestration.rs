@@ -10,10 +10,8 @@ use myrtus_bench::{num, policy_roster, render_table, run_policy};
 
 fn telerehab_at_fps(fps: u64, seconds: u64) -> Application {
     let mut app = scenarios::telerehab_with(seconds);
-    app.arrival = ArrivalSpec::periodic(
-        SimDuration::from_micros(1_000_000 / fps),
-        (fps * seconds) as usize,
-    );
+    app.arrival =
+        ArrivalSpec::periodic(SimDuration::from_micros(1_000_000 / fps), (fps * seconds) as usize);
     app
 }
 
@@ -51,13 +49,8 @@ fn main() {
             if !["cloud-only", "kube-like", "greedy"].contains(&label) {
                 continue;
             }
-            let report = run_policy(
-                label,
-                &*factory,
-                cognitive,
-                vec![telerehab_at_fps(fps, 3)],
-                horizon,
-            );
+            let report =
+                run_policy(label, &*factory, cognitive, vec![telerehab_at_fps(fps, 3)], horizon);
             row.push(format!(
                 "{} ({}%)",
                 num(report.mean_latency_ms(), 1),

@@ -24,11 +24,9 @@ fn main() {
     // every hop actually pays the level's transfer protection — the
     // cognitive placements would instead co-locate and absorb it (E6b).
     let mut rows = Vec::new();
-    for (label, tier) in [
-        ("low", SecurityTier::Low),
-        ("medium", SecurityTier::Medium),
-        ("high", SecurityTier::High),
-    ] {
+    for (label, tier) in
+        [("low", SecurityTier::Low), ("medium", SecurityTier::Medium), ("high", SecurityTier::High)]
+    {
         let report = run_orchestration(
             Box::new(RoundRobin::new()),
             EngineConfig::default(),

@@ -34,6 +34,7 @@ fn main() {
             app: &app,
             dag: &dag,
             candidates: vec![all; dag.nodes().len()],
+            estimator: None,
         };
         let score = |p: &myrtus::mirto::placement::Placement| evaluate(&ctx, p).objective(0.0);
 
@@ -97,6 +98,7 @@ fn main() {
         app: &app,
         dag: &dag,
         candidates: vec![pool; dag.nodes().len()],
+        estimator: None,
     };
     let (_, optimal) = exhaustive_best(&ctx, 0.0).expect("small space");
     let mut rows = Vec::new();

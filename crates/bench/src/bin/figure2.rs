@@ -70,9 +70,7 @@ fn main() {
         if src == dst {
             c.sim_mut().submit_local(dst, task).expect("up");
         } else {
-            c.sim_mut()
-                .submit_via_network(src, dst, task, Protocol::Mqtt)
-                .expect("routable");
+            c.sim_mut().submit_via_network(src, dst, task, Protocol::Mqtt).expect("routable");
         }
         let before = c.sim().node(dst).map(|n| n.completed()).unwrap_or(0);
         // Run until this probe completes.
@@ -96,17 +94,16 @@ fn main() {
     let report = MonitoringReport::collect(c.sim());
     let mut energy_rows = Vec::new();
     for layer in Layer::ALL {
-        let e: f64 = report
-            .nodes
-            .iter()
-            .filter(|n| n.layer == layer)
-            .map(|n| n.energy_j)
-            .sum();
+        let e: f64 = report.nodes.iter().filter(|n| n.layer == layer).map(|n| n.energy_j).sum();
         energy_rows.push(vec![layer.to_string(), num(e, 2)]);
     }
     println!(
         "{}",
-        render_table("Figure 2 — energy by layer over the probe window", &["layer", "J"], &energy_rows)
+        render_table(
+            "Figure 2 — energy by layer over the probe window",
+            &["layer", "J"],
+            &energy_rows
+        )
     );
     println!(
         "shape check: fog completes the offloaded probe faster than the cloud (closer),\n\

@@ -25,9 +25,7 @@ fn main() {
 
     // [MIRTO API Daemon] + [Authentication Module]
     let mut api = ApiDaemon::new(b"agent-secret");
-    let token = api
-        .authenticator()
-        .issue("operator", &["deploy"], SimTime::from_secs(60));
+    let token = api.authenticator().issue("operator", &["deploy"], SimTime::from_secs(60));
     println!("[api-daemon]      token issued for operator (scope: deploy)");
 
     // Rejected first: a forged token exercises the authentication module.
@@ -37,20 +35,14 @@ fn main() {
         SimTime::from_secs(60),
     );
     let rejected = api
-        .handle(
-            &ApiRequest { token: forged, operation: Operation::Status },
-            SimTime::ZERO,
-        )
+        .handle(&ApiRequest { token: forged, operation: Operation::Status }, SimTime::ZERO)
         .is_err();
     println!("[authn-module]    forged token rejected = {rejected}");
 
     // [TOSCA Validation Processor]
     let profile = scenarios::telerehab_with(1).to_profile();
     let resp = api
-        .handle(
-            &ApiRequest { token, operation: Operation::Deploy { profile } },
-            SimTime::ZERO,
-        )
+        .handle(&ApiRequest { token, operation: Operation::Deploy { profile } }, SimTime::ZERO)
         .expect("valid deployment");
     let ApiResponse::Accepted { application, .. } = resp else { unreachable!() };
     println!(
@@ -82,6 +74,7 @@ fn main() {
             app: &application,
             dag: &dag,
             candidates,
+            estimator: None,
         };
         wl.deploy(0, &ctx).expect("placeable")
     };

@@ -18,7 +18,10 @@ fn main() {
                 "Step 1 — continuum modeling, simulation and analysis",
                 &["KPI / threat quantity", "value"],
                 &[
-                    vec!["critical-path latency (ms, model)".into(), num(analysis.critical_path_us / 1e3, 2)],
+                    vec![
+                        "critical-path latency (ms, model)".into(),
+                        num(analysis.critical_path_us / 1e3, 2)
+                    ],
                     vec!["ADT base risk".into(), num(analysis.base_risk, 3)],
                     vec!["ADT residual risk".into(), num(analysis.residual_risk, 3)],
                     vec!["countermeasures".into(), analysis.countermeasures.join(", ")],
@@ -35,12 +38,20 @@ fn main() {
             rows.push(vec![
                 name.clone(),
                 "portioned app (accelerated)".into(),
-                format!("{} actors / {} ops-iter", g.actors().len(), g.ops_per_iteration().expect("valid")),
+                format!(
+                    "{} actors / {} ops-iter",
+                    g.actors().len(),
+                    g.ops_per_iteration().expect("valid")
+                ),
             ]);
         }
         println!(
             "{}",
-            render_table("Step 2 — model to implementation", &["component", "path", "kernel"], &rows)
+            render_table(
+                "Step 2 — model to implementation",
+                &["component", "path", "kernel"],
+                &rows
+            )
         );
         if portioned.hw_kernels.len() >= 2 {
             let graphs: Vec<_> = portioned.hw_kernels.iter().map(|(_, g)| g.clone()).collect();

@@ -51,9 +51,8 @@ fn main() {
             .propose(leader, myrtus::kb::command::KvCommand::put("/data/x", b"1"))
             .expect("accepts");
         cluster.run_for(SimDuration::from_millis(300));
-        let replicated = (0..3)
-            .filter(|&i| cluster.committed_value(i, "/data/x").is_some())
-            .count();
+        let replicated =
+            (0..3).filter(|&i| cluster.committed_value(i, "/data/x").is_some()).count();
         rows.push(vec![
             "Data management".into(),
             "layer-dependent storage (edge RAM / gateway hub / FMDC stack) + replicated KB".into(),
@@ -116,7 +115,8 @@ fn main() {
         c.sim_mut().run_until(SimTime::from_secs(1), &mut NullDriver);
         rows.push(vec![
             "Network".into(),
-            "identical interfaces and shared protocols on all components; runtime route balancing".into(),
+            "identical interfaces and shared protocols on all components; runtime route balancing"
+                .into(),
             format!("{deliveries}/3 protocols routed edge→cloud"),
         ]);
     }
@@ -145,9 +145,7 @@ fn main() {
     // The MYRTUS-added block: the DPE.
     {
         let mut api = ApiDaemon::new(b"probe");
-        let token = api
-            .authenticator()
-            .issue("probe", &["deploy"], SimTime::from_secs(1));
+        let token = api.authenticator().issue("probe", &["deploy"], SimTime::from_secs(1));
         let profile = scenarios::telerehab_with(1).to_profile();
         let accepted = api
             .handle(&ApiRequest { token, operation: Operation::Deploy { profile } }, SimTime::ZERO)

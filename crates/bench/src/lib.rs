@@ -2,11 +2,11 @@
 //! binaries: aligned table rendering and policy-comparison sweeps.
 
 use myrtus::continuum::time::SimTime;
-use myrtus::mirto::engine::{EngineConfig, OrchestrationReport, run_orchestration};
+use myrtus::mirto::agent::AuctionPlacement;
+use myrtus::mirto::engine::{run_orchestration, EngineConfig, OrchestrationReport};
 use myrtus::mirto::policies::{
     GreedyBestFit, KubeLike, LayerPinned, PlacementPolicy, RandomPlacement, RoundRobin,
 };
-use myrtus::mirto::agent::AuctionPlacement;
 use myrtus::mirto::swarm::{AcoPlacement, PsoPlacement};
 use myrtus::workload::tosca::Application;
 
@@ -53,16 +53,8 @@ pub fn policy_roster() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn PlacementPo
         ("random", Box::new(|| Box::new(RandomPlacement::new(7)) as _), false),
         ("kube-like", Box::new(|| Box::new(KubeLike::new()) as _), false),
         ("greedy", Box::new(|| Box::new(GreedyBestFit::new()) as _), true),
-        (
-            "mirto-pso",
-            Box::new(|| Box::new(PsoPlacement::new(7).with_iterations(25)) as _),
-            true,
-        ),
-        (
-            "mirto-aco",
-            Box::new(|| Box::new(AcoPlacement::new(7).with_iterations(25)) as _),
-            true,
-        ),
+        ("mirto-pso", Box::new(|| Box::new(PsoPlacement::new(7).with_iterations(25)) as _), true),
+        ("mirto-aco", Box::new(|| Box::new(AcoPlacement::new(7).with_iterations(25)) as _), true),
         ("mirto-auction", Box::new(|| Box::new(AuctionPlacement::new()) as _), true),
     ]
 }
@@ -77,8 +69,7 @@ pub fn run_policy(
     horizon: SimTime,
 ) -> OrchestrationReport {
     let cfg = if cognitive { EngineConfig::default() } else { EngineConfig::static_baseline() };
-    run_orchestration(factory(), cfg, apps, horizon)
-        .unwrap_or_else(|e| panic!("{label}: {e}"))
+    run_orchestration(factory(), cfg, apps, horizon).unwrap_or_else(|e| panic!("{label}: {e}"))
 }
 
 /// Formats a float with the given precision, rendering non-finite values
@@ -100,10 +91,7 @@ mod tests {
         let t = render_table(
             "demo",
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer-name".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "2".into()]],
         );
         assert!(t.contains("demo"));
         assert!(t.contains("longer-name"));

@@ -179,12 +179,7 @@ impl Cluster {
             return false;
         }
         for (k, v) in spec.node_selector() {
-            let ok = self
-                .labels
-                .get(&node)
-                .and_then(|l| l.get(k))
-                .map(|x| x == v)
-                .unwrap_or(false);
+            let ok = self.labels.get(&node).and_then(|l| l.get(k)).map(|x| x == v).unwrap_or(false);
             if !ok {
                 return false;
             }
@@ -214,7 +209,11 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`ScheduleError::Unschedulable`] when no member fits.
-    pub fn schedule(&mut self, sim: &SimCore, spec: PodSpec) -> Result<(PodId, NodeId), ScheduleError> {
+    pub fn schedule(
+        &mut self,
+        sim: &SimCore,
+        spec: PodSpec,
+    ) -> Result<(PodId, NodeId), ScheduleError> {
         let best = self
             .members
             .iter()
@@ -265,9 +264,7 @@ impl Cluster {
         let mut ids: Vec<PodId> =
             self.pods.iter().filter(|(_, p)| p.node == node).map(|(id, _)| *id).collect();
         ids.sort_unstable();
-        ids.into_iter()
-            .filter_map(|id| self.evict(id).ok())
-            .collect()
+        ids.into_iter().filter_map(|id| self.evict(id).ok()).collect()
     }
 
     /// Aggregate free capacity across up member nodes: (cpu millicores,
@@ -386,8 +383,10 @@ mod tests {
 
     #[test]
     fn schedules_on_emptiest_node() {
-        let (sim, ids) =
-            sim_with(vec![NodeSpec::preset_edge_multicore("a"), NodeSpec::preset_edge_multicore("b")]);
+        let (sim, ids) = sim_with(vec![
+            NodeSpec::preset_edge_multicore("a"),
+            NodeSpec::preset_edge_multicore("b"),
+        ]);
         let mut cl = Cluster::new(ClusterId::from_raw(0), ids.clone());
         // Pre-load node a.
         cl.bind(PodSpec::new("warm", 2_000, 1_000), ids[0]);
@@ -428,8 +427,10 @@ mod tests {
 
     #[test]
     fn drain_returns_all_pods_of_a_node() {
-        let (_sim, ids) =
-            sim_with(vec![NodeSpec::preset_edge_multicore("a"), NodeSpec::preset_edge_multicore("b")]);
+        let (_sim, ids) = sim_with(vec![
+            NodeSpec::preset_edge_multicore("a"),
+            NodeSpec::preset_edge_multicore("b"),
+        ]);
         let mut cl = Cluster::new(ClusterId::from_raw(0), ids.clone());
         cl.bind(PodSpec::new("x", 100, 1), ids[0]);
         cl.bind(PodSpec::new("y", 100, 1), ids[0]);
@@ -452,20 +453,18 @@ mod tests {
     #[test]
     fn federation_offloads_to_peer_when_full() {
         let (sim, ids) = sim_with(vec![
-            NodeSpec::preset_edge_riscv("edge"),    // 1 core → fills fast
-            NodeSpec::preset_fog_fmdc("fog"),       // big
+            NodeSpec::preset_edge_riscv("edge"), // 1 core → fills fast
+            NodeSpec::preset_fog_fmdc("fog"),    // big
         ]);
         let mut fed = Federation::new();
         let edge_cl = fed.add_cluster(vec![ids[0]]);
         let fog_cl = fed.add_cluster(vec![ids[1]]);
         fed.peer(edge_cl, fog_cl);
-        let p1 = fed
-            .schedule_federated(&sim, edge_cl, PodSpec::new("a", 1_000, 10))
-            .expect("local");
+        let p1 =
+            fed.schedule_federated(&sim, edge_cl, PodSpec::new("a", 1_000, 10)).expect("local");
         assert!(!p1.offloaded);
-        let p2 = fed
-            .schedule_federated(&sim, edge_cl, PodSpec::new("b", 1_000, 10))
-            .expect("offloads");
+        let p2 =
+            fed.schedule_federated(&sim, edge_cl, PodSpec::new("b", 1_000, 10)).expect("offloads");
         assert!(p2.offloaded);
         assert_eq!(p2.cluster, fog_cl);
     }
@@ -476,9 +475,8 @@ mod tests {
         let mut fed = Federation::new();
         let cl = fed.add_cluster(vec![ids[0]]);
         fed.schedule_federated(&sim, cl, PodSpec::new("a", 1_000, 10)).expect("fits");
-        let err = fed
-            .schedule_federated(&sim, cl, PodSpec::new("b", 1_000, 10))
-            .expect_err("no peers");
+        let err =
+            fed.schedule_federated(&sim, cl, PodSpec::new("b", 1_000, 10)).expect_err("no peers");
         assert!(matches!(err, ScheduleError::Unschedulable { .. }));
     }
 

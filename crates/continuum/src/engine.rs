@@ -335,7 +335,10 @@ impl SimCore {
         }
         if !self.network.path_up(path) {
             return Err(SimError::Network(NetworkError::NoRoute {
-                from: path.first().map(|l| self.network.link(*l).expect("checked").from()).unwrap_or(node),
+                from: path
+                    .first()
+                    .map(|l| self.network.link(*l).expect("checked").from())
+                    .unwrap_or(node),
                 to: node,
             }));
         }
@@ -359,15 +362,7 @@ impl SimCore {
     ) -> Result<MsgId, SimError> {
         let path = self.network.route(src, dst)?;
         let id = self.fresh_msg_id();
-        let msg = Message {
-            id,
-            src,
-            dst,
-            payload_bytes,
-            protocol,
-            sent: self.now,
-            tag,
-        };
+        let msg = Message { id, src, dst, payload_bytes, protocol, sent: self.now, tag };
         let eta = self.network.transfer(self.now, &path, payload_bytes, protocol);
         self.push(eta, EventKind::MsgDeliver { msg });
         Ok(id)
@@ -393,15 +388,7 @@ impl SimCore {
             }
         }
         let id = self.fresh_msg_id();
-        let msg = Message {
-            id,
-            src,
-            dst,
-            payload_bytes,
-            protocol,
-            sent: self.now,
-            tag,
-        };
+        let msg = Message { id, src, dst, payload_bytes, protocol, sent: self.now, tag };
         let eta = self.network.transfer(self.now, path, payload_bytes, protocol);
         self.push(eta, EventKind::MsgDeliver { msg });
         Ok(id)
@@ -495,7 +482,10 @@ impl SimCore {
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 let Some((done, next)) = st.finish(now, task, epoch) else { return };
                 if let Some((next_id, ep, service, mode)) = next {
-                    self.push(now + service, EventKind::TaskFinish { node, task: next_id, epoch: ep });
+                    self.push(
+                        now + service,
+                        EventKind::TaskFinish { node, task: next_id, epoch: ep },
+                    );
                     driver.on_event(self, SimEvent::TaskStarted { node, task: next_id, mode });
                 }
                 let latency = now.saturating_since(done.released);
@@ -614,12 +604,9 @@ mod tests {
         let mut sim = SimCore::new();
         let gw = sim.add_node(NodeSpec::preset_fog_gateway("gw"));
         let cloud = sim.add_node(NodeSpec::preset_cloud_server("dc"));
-        sim.network_mut()
-            .add_duplex(gw, cloud, SimDuration::from_millis(20), 100.0);
+        sim.network_mut().add_duplex(gw, cloud, SimDuration::from_millis(20), 100.0);
         let t = TaskInstance::new(sim.fresh_task_id(), 3.0).with_io_bytes(125_000, 0);
-        let eta = sim
-            .submit_via_network(gw, cloud, t, Protocol::Http)
-            .expect("routable");
+        let eta = sim.submit_via_network(gw, cloud, t, Protocol::Http).expect("routable");
         assert!(eta.as_millis_f64() > 20.0, "transfer takes ≥ propagation");
         let mut rec = Recorder::default();
         sim.run_until(SimTime::from_secs(1), &mut rec);
@@ -724,9 +711,7 @@ mod tests {
         let mut sim = SimCore::new();
         let a = sim.add_node(NodeSpec::preset_edge_multicore("a"));
         let b = sim.add_node(NodeSpec::preset_fog_gateway("b"));
-        let (ab, _) = sim
-            .network_mut()
-            .add_duplex(a, b, SimDuration::from_millis(1), 100.0);
+        let (ab, _) = sim.network_mut().add_duplex(a, b, SimDuration::from_millis(1), 100.0);
         sim.schedule_link_down(ab, SimTime::from_millis(5));
         sim.schedule_link_up(ab, SimTime::from_millis(20));
         let mut rec = Recorder::default();
@@ -734,9 +719,7 @@ mod tests {
         assert!(!sim.network().link_state(ab).expect("exists").is_up());
         // Explicit-path submission over the cut link is rejected.
         let t = TaskInstance::new(sim.fresh_task_id(), 1.0);
-        assert!(sim
-            .submit_via_path(b, t, &[ab], Protocol::Mqtt)
-            .is_err());
+        assert!(sim.submit_via_path(b, t, &[ab], Protocol::Mqtt).is_err());
         sim.run_until(SimTime::from_millis(25), &mut rec);
         assert!(sim.network().link_state(ab).expect("exists").is_up());
     }

@@ -99,9 +99,9 @@ impl FaultPlan {
         for &n in nodes {
             if rng.gen::<f64>() < crash_prob {
                 let at = SimTime::from_micros(rng.gen_range(0..horizon.as_micros().max(1)));
-                let outage = SimDuration::from_micros(
-                    rng.gen_range(min_outage.as_micros()..=max_outage.as_micros().max(min_outage.as_micros())),
-                );
+                let outage = SimDuration::from_micros(rng.gen_range(
+                    min_outage.as_micros()..=max_outage.as_micros().max(min_outage.as_micros()),
+                ));
                 plan = plan.crash(n, at, Some(outage));
             }
         }
@@ -158,8 +158,7 @@ mod tests {
         let mut sim = SimCore::new();
         let a = sim.add_node(NodeSpec::preset_edge_multicore("a"));
         let b = sim.add_node(NodeSpec::preset_fog_gateway("b"));
-        let (ab, _) =
-            sim.network_mut().add_duplex(a, b, SimDuration::from_millis(1), 10.0);
+        let (ab, _) = sim.network_mut().add_duplex(a, b, SimDuration::from_millis(1), 10.0);
         FaultPlan::new()
             .cut_link(ab, SimTime::from_millis(5), Some(SimDuration::from_millis(5)))
             .apply(&mut sim);

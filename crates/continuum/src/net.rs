@@ -7,6 +7,7 @@
 //! alternate routes so the MIRTO Network Manager can balance load.
 
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -241,6 +242,7 @@ pub struct Network {
     links: Vec<LinkSpec>,
     states: Vec<LinkState>,
     out_edges: HashMap<NodeId, Vec<LinkId>>,
+    epoch: u64,
 }
 
 impl Network {
@@ -255,6 +257,7 @@ impl Network {
         self.out_edges.entry(spec.from()).or_default().push(id);
         self.links.push(spec);
         self.states.push(LinkState::default());
+        self.epoch += 1;
         id
     }
 
@@ -290,18 +293,24 @@ impl Network {
     /// Cuts or restores a link (both routing and transfers honor it).
     pub fn set_link_up(&mut self, id: LinkId, up: bool) {
         if let Some(st) = self.states.get_mut(id.index()) {
-            st.up = up;
+            if st.up != up {
+                st.up = up;
+                self.epoch += 1;
+            }
         }
+    }
+
+    /// Monotonic mutation counter: bumped on every change that can alter
+    /// routing or transfer estimates (new links, link up/down, FIFO queue
+    /// occupancy from [`Network::transfer`]). [`RouteCache`] entries are
+    /// valid only for the epoch they were computed under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Whether every link of `path` is currently up.
     pub fn path_up(&self, path: &[LinkId]) -> bool {
-        path.iter().all(|l| {
-            self.states
-                .get(l.index())
-                .map(|s| s.up)
-                .unwrap_or(false)
-        })
+        path.iter().all(|l| self.states.get(l.index()).map(|s| s.up).unwrap_or(false))
     }
 
     /// Iterates over `(id, spec, state)` for every link.
@@ -402,6 +411,11 @@ impl Network {
         protocol: Protocol,
     ) -> SimTime {
         let wire_bytes = payload + protocol.header_bytes();
+        // Queue occupancy (next_free) feeds plan-time estimates, so a
+        // real transfer invalidates cached ones.
+        if !path.is_empty() {
+            self.epoch += 1;
+        }
         let mut t = now;
         // Session setup cost: extra RTTs on the whole path's propagation.
         let setup = protocol.setup_rtts();
@@ -461,6 +475,213 @@ impl Network {
             t = depart + spec.tx_delay(wire_bytes) + spec.latency();
         }
         t
+    }
+}
+
+/// Memo of plan-time routing and transfer-estimate results.
+///
+/// Placement search, design-space exploration and controller evolution
+/// all score hundreds of candidate placements against the same network
+/// snapshot, and every DAG edge of every candidate re-runs Dijkstra plus
+/// a store-and-forward walk for a handful of distinct
+/// `(from, to, bytes)` triples. The cache memoizes both:
+///
+/// * `route(from, to)` → shortest path (or "unreachable"), keyed by the
+///   network [`Network::epoch`];
+/// * `(from, to, bytes, protocol)` → delivery estimate, keyed by the
+///   epoch **and** the plan instant `now` (queue occupancy shifts
+///   estimates as simulated time advances).
+///
+/// Byte counts are used as exact (degenerate) bucket keys: DAG edges
+/// reuse a small set of payload sizes, and exact keys keep cached
+/// results bit-identical to the uncached path — the determinism contract
+/// the parallel evaluators rely on.
+///
+/// A stale snapshot clears the memo on the next lookup, so a long-lived
+/// cache (e.g. owned by an orchestration engine across monitoring
+/// rounds) is always safe to reuse. Interior locking makes the cache
+/// shareable across scoring threads.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    routes: Mutex<RouteMemo>,
+    estimates: Mutex<EstimateMemo>,
+}
+
+#[derive(Debug, Default)]
+struct RouteMemo {
+    epoch: u64,
+    paths: HashMap<(NodeId, NodeId), Option<Vec<LinkId>>>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct EstimateMemo {
+    epoch: u64,
+    now: SimTime,
+    table: HashMap<(NodeId, NodeId, u64, Protocol), Option<SimTime>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Hit/miss counters of a [`RouteCache`], for benchmarks and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Route lookups served from the memo.
+    pub route_hits: u64,
+    /// Route lookups that ran Dijkstra.
+    pub route_misses: u64,
+    /// Transfer estimates served from the memo.
+    pub estimate_hits: u64,
+    /// Transfer estimates that walked the path.
+    pub estimate_misses: u64,
+}
+
+impl RouteCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RouteCache::default()
+    }
+
+    /// Memoized [`Network::route`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoRoute`] when `to` is unreachable (the
+    /// negative result is cached too).
+    pub fn route(
+        &self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<Vec<LinkId>, NetworkError> {
+        let mut memo = self.routes.lock().expect("route memo poisoned");
+        if memo.epoch != net.epoch() {
+            memo.paths.clear();
+            memo.epoch = net.epoch();
+        }
+        if let Some(cached) = memo.paths.get(&(from, to)).cloned() {
+            memo.hits += 1;
+            return cached.ok_or(NetworkError::NoRoute { from, to });
+        }
+        memo.misses += 1;
+        let fresh = net.route(from, to).ok();
+        memo.paths.insert((from, to), fresh.clone());
+        fresh.ok_or(NetworkError::NoRoute { from, to })
+    }
+
+    /// Memoized [`Network::estimate_transfer`] over the memoized route.
+    ///
+    /// Returns the delivery instant, or `None` when `to` is unreachable.
+    pub fn estimate(
+        &self,
+        net: &Network,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload: u64,
+        protocol: Protocol,
+    ) -> Option<SimTime> {
+        {
+            let mut memo = self.estimates.lock().expect("estimate memo poisoned");
+            if memo.epoch != net.epoch() || memo.now != now {
+                memo.table.clear();
+                memo.epoch = net.epoch();
+                memo.now = now;
+            }
+            if let Some(cached) = memo.table.get(&(from, to, payload, protocol)).copied() {
+                memo.hits += 1;
+                return cached;
+            }
+            memo.misses += 1;
+        }
+        // Compute outside the estimate lock so route memoization (its own
+        // lock) and the path walk don't serialize concurrent scorers.
+        let eta = self
+            .route(net, from, to)
+            .ok()
+            .map(|path| net.estimate_transfer(now, &path, payload, protocol));
+        let mut memo = self.estimates.lock().expect("estimate memo poisoned");
+        if memo.epoch == net.epoch() && memo.now == now {
+            memo.table.insert((from, to, payload, protocol), eta);
+        }
+        eta
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        let routes = self.routes.lock().expect("route memo poisoned");
+        let estimates = self.estimates.lock().expect("estimate memo poisoned");
+        CacheStats {
+            route_hits: routes.hits,
+            route_misses: routes.misses,
+            estimate_hits: estimates.hits,
+            estimate_misses: estimates.misses,
+        }
+    }
+}
+
+/// Cheap, copyable handle binding a [`Network`], a plan instant and a
+/// [`RouteCache`]: the object plan-time evaluators thread through
+/// (possibly parallel) candidate scoring.
+///
+/// All lookups go through the cache; results are exactly what the
+/// uncached [`Network::route`]/[`Network::estimate_transfer`] pair
+/// returns for the same snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanEstimator<'a> {
+    net: &'a Network,
+    now: SimTime,
+    cache: &'a RouteCache,
+}
+
+impl<'a> PlanEstimator<'a> {
+    /// Binds a network snapshot at `now` to a cache.
+    pub fn new(net: &'a Network, now: SimTime, cache: &'a RouteCache) -> Self {
+        PlanEstimator { net, now, cache }
+    }
+
+    /// The plan instant estimates are computed at.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &'a Network {
+        self.net
+    }
+
+    /// Memoized shortest path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoRoute`] when `to` is unreachable.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Result<Vec<LinkId>, NetworkError> {
+        self.cache.route(self.net, from, to)
+    }
+
+    /// Memoized delivery instant for a transfer starting at the plan
+    /// instant; `None` when `to` is unreachable.
+    pub fn transfer_eta(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        payload: u64,
+        protocol: Protocol,
+    ) -> Option<SimTime> {
+        self.cache.estimate(self.net, self.now, from, to, payload, protocol)
+    }
+
+    /// Memoized transfer duration in microseconds: `0` when co-located
+    /// or empty, `+∞` when unreachable.
+    pub fn transfer_us(&self, from: NodeId, to: NodeId, payload: u64, protocol: Protocol) -> f64 {
+        if from == to || payload == 0 {
+            return 0.0;
+        }
+        match self.transfer_eta(from, to, payload, protocol) {
+            Some(eta) => eta.saturating_since(self.now).as_micros() as f64,
+            None => f64::INFINITY,
+        }
     }
 }
 
@@ -583,6 +804,98 @@ mod tests {
         let eta = net.transfer(SimTime::ZERO, &path, 1_000, Protocol::Mqtt);
         assert_eq!(eta, SimTime::MAX, "lost frames never arrive");
         assert_eq!(net.link_state(path[0]).expect("exists").drops(), 1);
+    }
+
+    #[test]
+    fn epoch_tracks_mutations() {
+        let mut net = Network::new();
+        let e0 = net.epoch();
+        net.add_duplex(n(0), n(1), SimDuration::from_millis(1), 100.0);
+        assert!(net.epoch() > e0, "adding links bumps the epoch");
+        let path = net.route(n(0), n(1)).expect("reachable");
+        let e1 = net.epoch();
+        net.set_link_up(path[0], true); // no change: still up
+        assert_eq!(net.epoch(), e1, "redundant set_link_up is not a mutation");
+        net.set_link_up(path[0], false);
+        assert!(net.epoch() > e1);
+        let e2 = net.epoch();
+        net.set_link_up(path[0], true);
+        assert!(net.epoch() > e2);
+        let e3 = net.epoch();
+        net.transfer(SimTime::ZERO, &path, 1_000, Protocol::Mqtt);
+        assert!(net.epoch() > e3, "queue occupancy changes invalidate estimates");
+    }
+
+    #[test]
+    fn route_cache_matches_uncached_and_counts_hits() {
+        let net = line3();
+        let cache = RouteCache::new();
+        for _ in 0..3 {
+            assert_eq!(
+                cache.route(&net, n(0), n(2)).expect("reachable"),
+                net.route(n(0), n(2)).expect("reachable"),
+            );
+            assert!(cache.route(&net, n(0), n(9)).is_err(), "negative result cached");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.route_misses, 2, "one Dijkstra per distinct pair");
+        assert_eq!(stats.route_hits, 4);
+    }
+
+    #[test]
+    fn estimate_cache_matches_uncached() {
+        let net = line3();
+        let cache = RouteCache::new();
+        let est = PlanEstimator::new(&net, SimTime::ZERO, &cache);
+        let path = net.route(n(0), n(2)).expect("reachable");
+        let expect = net.estimate_transfer(SimTime::ZERO, &path, 4_096, Protocol::Mqtt);
+        for _ in 0..3 {
+            assert_eq!(est.transfer_eta(n(0), n(2), 4_096, Protocol::Mqtt), Some(expect));
+        }
+        assert_eq!(cache.stats().estimate_misses, 1);
+        assert_eq!(cache.stats().estimate_hits, 2);
+        assert_eq!(est.transfer_us(n(1), n(1), 4_096, Protocol::Mqtt), 0.0);
+        assert_eq!(est.transfer_us(n(0), n(2), 0, Protocol::Mqtt), 0.0);
+        assert_eq!(est.transfer_us(n(0), n(9), 1, Protocol::Mqtt), f64::INFINITY);
+    }
+
+    #[test]
+    fn cache_invalidates_on_link_state_change() {
+        let mut net = Network::new();
+        net.add_duplex(n(0), n(1), SimDuration::from_millis(1), 100.0);
+        net.add_duplex(n(1), n(2), SimDuration::from_millis(1), 100.0);
+        net.add_duplex(n(0), n(2), SimDuration::from_millis(50), 10.0);
+        let cache = RouteCache::new();
+        let fast = cache.route(&net, n(0), n(2)).expect("reachable");
+        assert_eq!(fast.len(), 2);
+        net.set_link_up(fast[0], false);
+        let detour = cache.route(&net, n(0), n(2)).expect("still reachable");
+        assert_eq!(detour.len(), 1, "stale cached path not returned after cut");
+        assert_eq!(detour, net.route(n(0), n(2)).expect("reachable"));
+        net.set_link_up(fast[0], true);
+        assert_eq!(cache.route(&net, n(0), n(2)).expect("reachable"), fast);
+    }
+
+    #[test]
+    fn estimate_cache_invalidates_on_queue_occupancy_and_now() {
+        let mut net = line3();
+        let cache = RouteCache::new();
+        let path = net.route(n(0), n(1)).expect("reachable");
+        let idle = cache
+            .estimate(&net, SimTime::ZERO, n(0), n(1), 125_000, Protocol::Mqtt)
+            .expect("reachable");
+        // A real transfer occupies the FIFO; a fresh estimate at the same
+        // instant must queue behind it, and the cache must notice.
+        net.transfer(SimTime::ZERO, &path, 125_000, Protocol::Mqtt);
+        let queued = cache
+            .estimate(&net, SimTime::ZERO, n(0), n(1), 125_000, Protocol::Mqtt)
+            .expect("reachable");
+        assert!(queued > idle, "cached idle estimate would be stale");
+        assert_eq!(queued, net.estimate_transfer(SimTime::ZERO, &path, 125_000, Protocol::Mqtt));
+        // Advancing the plan instant also invalidates.
+        let later =
+            cache.estimate(&net, queued, n(0), n(1), 125_000, Protocol::Mqtt).expect("reachable");
+        assert_eq!(later, net.estimate_transfer(queued, &path, 125_000, Protocol::Mqtt));
     }
 
     #[test]

@@ -404,10 +404,8 @@ impl NodeState {
     /// Creates the runtime state for a node.
     pub fn new(id: NodeId, spec: NodeSpec) -> Self {
         let meter = EnergyMeter::new(spec.cores(), spec.points().point(0));
-        let regions = spec
-            .accelerator()
-            .map(|a| vec![None; a.regions() as usize])
-            .unwrap_or_default();
+        let regions =
+            spec.accelerator().map(|a| vec![None; a.regions() as usize]).unwrap_or_default();
         NodeState {
             id,
             spec,
@@ -513,11 +511,7 @@ impl NodeState {
         if speed <= 0.0 {
             return SimDuration::ZERO;
         }
-        let mut pending_mc: f64 = self
-            .queue
-            .iter()
-            .map(|t| t.work_mc)
-            .sum();
+        let mut pending_mc: f64 = self.queue.iter().map(|t| t.work_mc).sum();
         for r in &self.running {
             let done = (now.saturating_since(r.progress_at)).as_micros() as f64 * r.speed_mc_per_us;
             pending_mc += (r.remaining_mc - done).max(0.0);
@@ -542,8 +536,7 @@ impl NodeState {
         if !up {
             // Node crash: drop running + queued tasks and report them so the
             // driver can observe the failures.
-            let mut lost: Vec<TaskInstance> =
-                self.running.drain(..).map(|r| r.task).collect();
+            let mut lost: Vec<TaskInstance> = self.running.drain(..).map(|r| r.task).collect();
             lost.extend(self.queue.drain(..));
             self.mem_used_mb = 0;
             for r in &mut self.regions {
@@ -556,7 +549,11 @@ impl NodeState {
         }
     }
 
-    pub(crate) fn switch_point(&mut self, now: SimTime, idx: usize) -> Vec<(TaskId, u64, SimDuration)> {
+    pub(crate) fn switch_point(
+        &mut self,
+        now: SimTime,
+        idx: usize,
+    ) -> Vec<(TaskId, u64, SimDuration)> {
         assert!(idx < self.spec.points().len(), "operating point out of range");
         if idx == self.point_idx {
             return Vec::new();
@@ -667,10 +664,7 @@ impl NodeState {
         id: TaskId,
         epoch: u64,
     ) -> Option<(TaskInstance, Option<(TaskId, u64, SimDuration, ExecutionMode)>)> {
-        let pos = self
-            .running
-            .iter()
-            .position(|r| r.task.id == id && r.epoch == epoch)?;
+        let pos = self.running.iter().position(|r| r.task.id == id && r.epoch == epoch)?;
         let done = self.running.swap_remove(pos);
         self.mem_used_mb = self.mem_used_mb.saturating_sub(done.task.mem_mb);
         self.completed += 1;
@@ -728,9 +722,8 @@ mod tests {
         let (e1, _, _) = n.admit(SimTime::ZERO, task(1, 100.0)).expect("starts");
         n.admit(SimTime::ZERO, task(2, 100.0));
         n.admit(SimTime::ZERO, task(3, 100.0));
-        let (done, next) = n
-            .finish(SimTime::from_millis(1), TaskId::from_raw(1), e1)
-            .expect("valid epoch");
+        let (done, next) =
+            n.finish(SimTime::from_millis(1), TaskId::from_raw(1), e1).expect("valid epoch");
         assert_eq!(done.id, TaskId::from_raw(1));
         let (next_id, ..) = next.expect("queued task starts");
         assert_eq!(next_id, TaskId::from_raw(3));
@@ -757,9 +750,8 @@ mod tests {
         assert_eq!(n.reconfigurations(), 1);
 
         // Second task with the same config hits a hot region.
-        let (done, _) = n
-            .finish(SimTime::from_millis(10), TaskId::from_raw(1), 1)
-            .expect("finishes");
+        let (done, _) =
+            n.finish(SimTime::from_millis(10), TaskId::from_raw(1), 1).expect("finishes");
         assert_eq!(done.id, TaskId::from_raw(1));
         let mut t2 = task(2, 12.0);
         t2.accel_cfg = Some(7);

@@ -160,8 +160,7 @@ mod tests {
 
     #[test]
     fn deadline_check() {
-        let t = TaskInstance::new(TaskId::from_raw(1), 1.0)
-            .with_deadline(SimTime::from_millis(10));
+        let t = TaskInstance::new(TaskId::from_raw(1), 1.0).with_deadline(SimTime::from_millis(10));
         assert!(!t.misses_deadline(SimTime::from_millis(10)));
         assert!(t.misses_deadline(SimTime::from_millis(10) + SimDuration::from_micros(1)));
         let free = TaskInstance::new(TaskId::from_raw(2), 1.0);

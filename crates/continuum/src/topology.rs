@@ -228,22 +228,27 @@ impl ContinuumBuilder {
             .map(|i| sim.add_node(NodeSpec::preset_cloud_server(format!("cloud-{i}"))))
             .collect();
 
-        assert!(
-            edge.is_empty() || !gateways.is_empty(),
-            "edge devices need at least one gateway"
-        );
+        assert!(edge.is_empty() || !gateways.is_empty(), "edge devices need at least one gateway");
 
         // Edge devices attach to gateways round-robin.
         for (i, &e) in edge.iter().enumerate() {
             let gw = gateways[i % gateways.len()];
-            sim.network_mut()
-                .add_duplex(e, gw, self.edge_fog.latency, self.edge_fog.bandwidth_mbps);
+            sim.network_mut().add_duplex(
+                e,
+                gw,
+                self.edge_fog.latency,
+                self.edge_fog.bandwidth_mbps,
+            );
         }
         // Gateways ↔ FMDCs full mesh.
         for &gw in &gateways {
             for &f in &fmdcs {
-                sim.network_mut()
-                    .add_duplex(gw, f, self.fog_fog.latency, self.fog_fog.bandwidth_mbps);
+                sim.network_mut().add_duplex(
+                    gw,
+                    f,
+                    self.fog_fog.latency,
+                    self.fog_fog.bandwidth_mbps,
+                );
             }
         }
         // Every fog component reaches every cloud server.
@@ -322,9 +327,7 @@ mod tests {
             let sim = c.sim_mut();
             TaskInstance::new(sim.fresh_task_id(), 10.0).with_io_bytes(50_000, 1_000)
         };
-        c.sim_mut()
-            .submit_via_network(src, dst, task, Protocol::Http)
-            .expect("routable");
+        c.sim_mut().submit_via_network(src, dst, task, Protocol::Http).expect("routable");
         c.sim_mut().run_until(SimTime::from_secs(1), &mut NullDriver);
         assert_eq!(c.sim().node(dst).map(|n| n.completed()), Some(1));
     }
@@ -337,7 +340,12 @@ mod tests {
 
     #[test]
     fn multiple_gateways_round_robin_edge_attachment() {
-        let c = ContinuumBuilder::new().edge_multicores(4).edge_hmpsocs(0).edge_riscvs(0).gateways(2).build();
+        let c = ContinuumBuilder::new()
+            .edge_multicores(4)
+            .edge_hmpsocs(0)
+            .edge_riscvs(0)
+            .gateways(2)
+            .build();
         // Each gateway serves two edge devices: both must be reachable.
         for &e in c.edge() {
             let ok = c

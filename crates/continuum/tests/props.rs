@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use myrtus_continuum::engine::{Driver, NullDriver, SimCore, SimEvent};
-use myrtus_continuum::net::Protocol;
+use myrtus_continuum::ids::NodeId;
+use myrtus_continuum::net::{Network, Protocol, RouteCache};
 use myrtus_continuum::node::NodeSpec;
 use myrtus_continuum::task::TaskInstance;
 use myrtus_continuum::time::{SimDuration, SimTime};
@@ -129,5 +130,73 @@ proptest! {
             )
         };
         prop_assert_eq!(run(), run());
+    }
+
+    /// The plan-time route/transfer cache is a pure memo: for any
+    /// topology shape, any payload mix, and any sequence of link
+    /// up/down flips, every cached answer equals the uncached one —
+    /// and repeat queries actually hit the cache.
+    #[test]
+    fn route_cache_agrees_with_uncached_under_link_churn(
+        edges in 1usize..4,
+        gws in 1usize..3,
+        fogs in 1usize..3,
+        clouds in 1usize..3,
+        flips in proptest::collection::vec((0u16..256, 0u8..2), 0..10),
+        payloads in proptest::collection::vec(1u64..200_000, 2..6),
+    ) {
+        fn check_all(
+            net: &Network,
+            cache: &RouteCache,
+            now: SimTime,
+            nodes: &[NodeId],
+            payloads: &[u64],
+        ) {
+            for &from in nodes {
+                for &to in nodes {
+                    let cached = cache.route(net, from, to).ok();
+                    let direct = net.route(from, to).ok();
+                    assert_eq!(cached, direct);
+                    for &payload in payloads {
+                        let cached_eta =
+                            cache.estimate(net, now, from, to, payload, Protocol::Mqtt);
+                        let direct_eta = direct.as_ref().map(|path| {
+                            net.estimate_transfer(now, path, payload, Protocol::Mqtt)
+                        });
+                        assert_eq!(cached_eta, direct_eta);
+                    }
+                }
+            }
+        }
+
+        let mut c = ContinuumBuilder::new()
+            .edge_multicores(edges)
+            .gateways(gws)
+            .fmdcs(fogs)
+            .cloud_servers(clouds)
+            .build();
+        let nodes = c.all_nodes();
+        let cache = RouteCache::new();
+        let now = c.sim().now();
+        let net = c.sim_mut().network_mut();
+        let links: Vec<_> = net.iter_links().map(|(id, _, _)| id).collect();
+
+        // Cold pass, then a warm pass that must be served from the memo.
+        check_all(net, &cache, now, &nodes, &payloads);
+        let cold = cache.stats();
+        check_all(net, &cache, now, &nodes, &payloads);
+        let warm = cache.stats();
+        prop_assert_eq!(warm.route_misses, cold.route_misses);
+        prop_assert_eq!(warm.estimate_misses, cold.estimate_misses);
+        prop_assert!(warm.route_hits > cold.route_hits);
+        prop_assert!(warm.estimate_hits > cold.estimate_hits);
+
+        // Link churn: after every flip the cache must still agree,
+        // including negative (unreachable) answers.
+        for (pick, up) in flips {
+            let id = links[pick as usize % links.len()];
+            net.set_link_up(id, up == 1);
+            check_all(net, &cache, now, &nodes, &payloads);
+        }
     }
 }

@@ -167,18 +167,13 @@ pub fn map_graph(graph: &DataflowGraph, fabric: CgraFabric) -> Result<CgraMappin
         }
     }
     let contexts = total_pes.div_ceil(fabric.pes()).max(1);
-    let config_bytes =
-        total_pes as u64 * fabric.config_bits_per_pe as u64 / 8 * contexts as u64 / contexts as u64
-            + contexts as u64 * 16; // per-context descriptor
-    // Steady state: bottleneck actor (reps × II); time multiplexing
-    // serializes contexts, adding a reconfiguration bubble per extra
-    // context per iteration.
-    let bottleneck = actors
-        .iter()
-        .zip(&reps)
-        .map(|(m, &r)| m.ii_cycles * r)
-        .max()
-        .unwrap_or(0);
+    let config_bytes = total_pes as u64 * fabric.config_bits_per_pe as u64 / 8 * contexts as u64
+        / contexts as u64
+        + contexts as u64 * 16; // per-context descriptor
+                                // Steady state: bottleneck actor (reps × II); time multiplexing
+                                // serializes contexts, adding a reconfiguration bubble per extra
+                                // context per iteration.
+    let bottleneck = actors.iter().zip(&reps).map(|(m, &r)| m.ii_cycles * r).max().unwrap_or(0);
     let reconfig_bubble = (contexts as u64 - 1) * (fabric.config_bits_per_pe as u64 / 2);
     let cycles_per_iteration = bottleneck + reconfig_bubble;
     Ok(CgraMapping { fabric, actors, contexts, config_bytes, cycles_per_iteration })
@@ -257,14 +252,8 @@ mod tests {
     #[test]
     fn error_paths() {
         let bad = DataflowGraph::new("empty");
-        assert!(matches!(
-            map_graph(&bad, CgraFabric::overlay_4x4()),
-            Err(CgraError::Ir(_))
-        ));
+        assert!(matches!(map_graph(&bad, CgraFabric::overlay_4x4()), Err(CgraError::Ir(_))));
         let no_pes = CgraFabric { rows: 0, cols: 4, clock_mhz: 100, config_bits_per_pe: 8 };
-        assert_eq!(
-            map_graph(&regular_pipeline(10), no_pes),
-            Err(CgraError::EmptyFabric)
-        );
+        assert_eq!(map_graph(&regular_pipeline(10), no_pes), Err(CgraError::EmptyFabric));
     }
 }

@@ -179,8 +179,7 @@ impl DeploymentSpec {
                         let (k, v) = kv(t).ok_or_else(|| mal(lineno, "bad meta token"))?;
                         match k.as_str() {
                             "estimated_latency_us" => {
-                                latency =
-                                    v.parse().map_err(|_| mal(lineno, "bad latency"))?;
+                                latency = v.parse().map_err(|_| mal(lineno, "bad latency"))?;
                             }
                             "residual_risk" => {
                                 risk = v.parse().map_err(|_| mal(lineno, "bad risk"))?;

@@ -212,20 +212,63 @@ fn pareto_front(points: &[DesignPoint]) -> Vec<usize> {
     front
 }
 
-/// Explores mappings of `graph` onto `platform`.
-///
-/// Spaces up to `exhaustive_limit` points are enumerated fully; larger
-/// spaces use `samples` random mappings (seeded) each polished by greedy
-/// single-actor moves.
-///
-/// # Errors
-///
-/// Propagates graph validation errors.
-pub fn explore(
+/// Greedy single-actor polish on latency; self-contained and RNG-free,
+/// so samples can be polished concurrently without changing any result.
+fn polish(
+    graph: &DataflowGraph,
+    platform: &[Pe],
+    mut mapping: Mapping,
+) -> Result<Mapping, IrError> {
+    let n = mapping.len();
+    let p = platform.len();
+    let mut best = evaluate_mapping(graph, platform, &mapping)?;
+    loop {
+        let mut improved = false;
+        for a in 0..n {
+            let orig = mapping[a];
+            for cand in 0..p {
+                if cand == orig {
+                    continue;
+                }
+                mapping[a] = cand;
+                let e = evaluate_mapping(graph, platform, &mapping)?;
+                if e.feasible && (!best.feasible || e.latency_us < best.latency_us) {
+                    best = e;
+                    improved = true;
+                } else {
+                    mapping[a] = orig;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Ok(mapping)
+}
+
+/// Evaluates `work` through `f`, optionally fanning out across the rayon
+/// pool; results always come back in input order.
+fn map_maybe_parallel<T, R, F>(work: Vec<T>, parallel: bool, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if parallel {
+        use rayon::prelude::*;
+        work.into_par_iter().map(f).collect()
+    } else {
+        work.into_iter().map(f).collect()
+    }
+}
+
+fn explore_impl(
     graph: &DataflowGraph,
     platform: &[Pe],
     seed: u64,
     samples: usize,
+    parallel: bool,
 ) -> Result<DseResult, IrError> {
     graph.validate()?;
     let n = graph.actors().len();
@@ -244,14 +287,18 @@ pub fn explore(
     };
 
     if space <= 20_000.0 {
+        // Materialize the odometer enumeration, evaluate every mapping
+        // in parallel, then fold serially in enumeration order — the
+        // point list (and thus the front) is bit-identical to evaluating
+        // one mapping at a time.
+        let mut all: Vec<Mapping> = Vec::with_capacity(space.max(1.0) as usize);
         let mut counter = vec![0usize; n];
-        loop {
-            push(counter.clone(), &mut points)?;
+        'enumerate: loop {
+            all.push(counter.clone());
             let mut d = 0;
             loop {
                 if d == n {
-                    let front = pareto_front(&points);
-                    return Ok(DseResult { points, front });
+                    break 'enumerate;
                 }
                 counter[d] += 1;
                 if counter[d] < p {
@@ -261,39 +308,66 @@ pub fn explore(
                 d += 1;
             }
         }
-    }
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..samples.max(1) {
-        let mut mapping: Mapping = (0..n).map(|_| rng.gen_range(0..p)).collect();
-        // Greedy polish on latency.
-        let mut best = evaluate_mapping(graph, platform, &mapping)?;
-        loop {
-            let mut improved = false;
-            for a in 0..n {
-                let orig = mapping[a];
-                for cand in 0..p {
-                    if cand == orig {
-                        continue;
-                    }
-                    mapping[a] = cand;
-                    let e = evaluate_mapping(graph, platform, &mapping)?;
-                    if e.feasible && (!best.feasible || e.latency_us < best.latency_us) {
-                        best = e;
-                        improved = true;
-                    } else {
-                        mapping[a] = orig;
-                    }
-                }
-            }
-            if !improved {
-                break;
+        let evals =
+            map_maybe_parallel(all, parallel, |m| (evaluate_mapping(graph, platform, &m), m));
+        for (eval, mapping) in evals {
+            let eval = eval?;
+            if eval.feasible {
+                points.push(DesignPoint { mapping, eval });
             }
         }
-        push(mapping, &mut points)?;
+        let front = pareto_front(&points);
+        return Ok(DseResult { points, front });
+    }
+
+    // Sampled path: draw every starting mapping up front (the polish
+    // consumes no randomness), polish the samples in parallel, then
+    // dedup + collect in sample order — identical to the serial loop.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let initial: Vec<Mapping> =
+        (0..samples.max(1)).map(|_| (0..n).map(|_| rng.gen_range(0..p)).collect()).collect();
+    let polished = map_maybe_parallel(initial, parallel, |m| polish(graph, platform, m));
+    for mapping in polished {
+        push(mapping?, &mut points)?;
     }
     let front = pareto_front(&points);
     Ok(DseResult { points, front })
+}
+
+/// Explores mappings of `graph` onto `platform`.
+///
+/// Spaces up to 20 000 points are enumerated fully; larger spaces use
+/// `samples` random mappings (seeded) each polished by greedy
+/// single-actor moves. Mapping evaluations fan out across the rayon
+/// pool; the result is bit-identical to [`explore_serial`] for the same
+/// inputs.
+///
+/// # Errors
+///
+/// Propagates graph validation errors.
+pub fn explore(
+    graph: &DataflowGraph,
+    platform: &[Pe],
+    seed: u64,
+    samples: usize,
+) -> Result<DseResult, IrError> {
+    explore_impl(graph, platform, seed, samples, true)
+}
+
+/// Single-threaded reference twin of [`explore`]: same algorithm, no
+/// fan-out. Kept public so equivalence tests and benchmarks can compare
+/// against it.
+///
+/// # Errors
+///
+/// Propagates graph validation errors.
+pub fn explore_serial(
+    graph: &DataflowGraph,
+    platform: &[Pe],
+    seed: u64,
+    samples: usize,
+) -> Result<DseResult, IrError> {
+    explore_impl(graph, platform, seed, samples, false)
 }
 
 /// The standard MYRTUS edge platform: one CPU, one FPGA region, one

@@ -108,10 +108,8 @@ pub fn step1_analyze(app: &Application) -> Result<AnalysisReport, FlowError> {
     // Trick: create a staging tree, then rebuild with root first.
     let mut staging: Vec<(String, f64)> = Vec::new();
     for conn in &app.connections {
-        let tier = app
-            .component(&conn.to)
-            .map(|c| c.requirements.security)
-            .unwrap_or(SecurityTier::Low);
+        let tier =
+            app.component(&conn.to).map(|c| c.requirements.security).unwrap_or(SecurityTier::Low);
         staging.push((format!("eavesdrop:{}->{}", conn.from, conn.to), eaves_prob(tier)));
     }
     for comp in &app.components {
@@ -143,12 +141,9 @@ pub fn step1_analyze(app: &Application) -> Result<AnalysisReport, FlowError> {
             }
         }
     }
-    let base_risk = adt
-        .success_probability(0, &[])
-        .expect("tree is non-empty");
+    let base_risk = adt.success_probability(0, &[]).expect("tree is non-empty");
     let (picked, residual_risk) = adt.synthesize(8.0, 0.05).expect("tree is non-empty");
-    let countermeasures =
-        picked.iter().map(|&d| adt.defenses()[d].name.clone()).collect();
+    let countermeasures = picked.iter().map(|&d| adt.defenses()[d].name.clone()).collect();
     Ok(AnalysisReport {
         critical_path_us: cp.as_micros() as f64,
         base_risk,
@@ -212,11 +207,7 @@ pub fn step3_generate(
 ) -> Result<NodeLevelResult, FlowError> {
     let mut artifacts = Vec::new();
     for name in &portioned.sw_components {
-        let work = portioned
-            .app
-            .component(name)
-            .map(|c| c.requirements.work_mc)
-            .unwrap_or(1.0);
+        let work = portioned.app.component(name).map(|c| c.requirements.work_mc).unwrap_or(1.0);
         artifacts.push(Artifact {
             name: format!("{name}.elf"),
             kind: ArtifactKind::Executable,
@@ -331,11 +322,7 @@ mod tests {
     fn flow_handles_mobility_scenario_too() {
         let result = run_flow(&scenarios::smart_mobility()).expect("valid");
         assert_eq!(result.dse.len(), 2, "detect + fusion kernels");
-        assert!(result
-            .spec
-            .artifacts
-            .iter()
-            .any(|a| a.name == "detect.bit"));
+        assert!(result.spec.artifacts.iter().any(|a| a.name == "detect.bit"));
     }
 
     #[test]

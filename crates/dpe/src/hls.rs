@@ -126,17 +126,10 @@ pub fn estimate_graph(graph: &DataflowGraph) -> Result<GraphEstimate, IrError> {
     graph.validate()?;
     let reps = graph.repetition_vector()?;
     let actors: Vec<ActorEstimate> = graph.actors().iter().map(estimate_actor).collect();
-    let cycles_per_iteration = actors
-        .iter()
-        .zip(&reps)
-        .map(|(e, &r)| e.ii * r)
-        .max()
-        .unwrap_or(0);
+    let cycles_per_iteration = actors.iter().zip(&reps).map(|(e, &r)| e.ii * r).max().unwrap_or(0);
     let fill_latency_cycles = actors.iter().map(|e| e.latency_cycles).sum();
-    let total_resources = actors
-        .iter()
-        .map(|e| e.resources)
-        .fold(Resources::default(), Resources::saturating_add);
+    let total_resources =
+        actors.iter().map(|e| e.resources).fold(Resources::default(), Resources::saturating_add);
     Ok(GraphEstimate { actors, cycles_per_iteration, fill_latency_cycles, total_resources })
 }
 

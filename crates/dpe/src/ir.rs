@@ -141,7 +141,14 @@ impl DataflowGraph {
     }
 
     /// Adds a channel.
-    pub fn connect(&mut self, from: ActorId, produce: u64, to: ActorId, consume: u64, token_bytes: u64) {
+    pub fn connect(
+        &mut self,
+        from: ActorId,
+        produce: u64,
+        to: ActorId,
+        consume: u64,
+        token_bytes: u64,
+    ) {
         self.channels.push(Channel { from, produce, to, consume, token_bytes });
     }
 
@@ -204,8 +211,7 @@ impl DataflowGraph {
                 indeg[c.to] += 1;
             }
         }
-        let mut ready: Vec<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = ready.pop() {
             order.push(i);
@@ -282,22 +288,13 @@ impl DataflowGraph {
     /// Total operations of one graph iteration.
     pub fn ops_per_iteration(&self) -> Result<u64, IrError> {
         let reps = self.repetition_vector()?;
-        Ok(self
-            .actors
-            .iter()
-            .zip(&reps)
-            .map(|(a, &r)| a.ops_per_firing * r)
-            .sum())
+        Ok(self.actors.iter().zip(&reps).map(|(a, &r)| a.ops_per_firing * r).sum())
     }
 
     /// Bytes moved over channels in one iteration.
     pub fn bytes_per_iteration(&self) -> Result<u64, IrError> {
         let reps = self.repetition_vector()?;
-        Ok(self
-            .channels
-            .iter()
-            .map(|c| reps[c.from] * c.produce * c.token_bytes)
-            .sum())
+        Ok(self.channels.iter().map(|c| reps[c.from] * c.produce * c.token_bytes).sum())
     }
 
     /// Per-kind actor counts (for area-sharing reports).

@@ -13,9 +13,11 @@ pub fn pose_cnn() -> DataflowGraph {
     let mut g = DataflowGraph::new("pose-cnn");
     let src = g.add_actor(Actor::new("frame-reader", ActorKind::Source, 32));
     let norm = g.add_actor(Actor::new("normalize", ActorKind::Map, 3_000));
-    let conv1 = g.add_actor(Actor::new("conv3x3", ActorKind::Stencil, 60_000).with_state_bytes(9 * 1024));
+    let conv1 =
+        g.add_actor(Actor::new("conv3x3", ActorKind::Stencil, 60_000).with_state_bytes(9 * 1024));
     let pool = g.add_actor(Actor::new("maxpool", ActorKind::Reduce, 4_000));
-    let conv2 = g.add_actor(Actor::new("conv1x1", ActorKind::Stencil, 20_000).with_state_bytes(4 * 1024));
+    let conv2 =
+        g.add_actor(Actor::new("conv1x1", ActorKind::Stencil, 20_000).with_state_bytes(4 * 1024));
     let head = g.add_actor(Actor::new("keypoint-head", ActorKind::Control, 6_000));
     let sink = g.add_actor(Actor::new("result-writer", ActorKind::Sink, 32));
     g.connect(src, 1, norm, 1, 4_096);
@@ -32,8 +34,10 @@ pub fn detect_cnn() -> DataflowGraph {
     let mut g = DataflowGraph::new("detect-cnn");
     let src = g.add_actor(Actor::new("frame-reader", ActorKind::Source, 32));
     let norm = g.add_actor(Actor::new("normalize", ActorKind::Map, 3_000));
-    let conv1 = g.add_actor(Actor::new("conv3x3", ActorKind::Stencil, 60_000).with_state_bytes(9 * 1024));
-    let conv2 = g.add_actor(Actor::new("conv5x5", ActorKind::Stencil, 90_000).with_state_bytes(25 * 1024));
+    let conv1 =
+        g.add_actor(Actor::new("conv3x3", ActorKind::Stencil, 60_000).with_state_bytes(9 * 1024));
+    let conv2 =
+        g.add_actor(Actor::new("conv5x5", ActorKind::Stencil, 90_000).with_state_bytes(25 * 1024));
     let nms = g.add_actor(Actor::new("nms", ActorKind::Control, 8_000));
     let sink = g.add_actor(Actor::new("result-writer", ActorKind::Sink, 32));
     g.connect(src, 1, norm, 1, 4_096);
@@ -62,7 +66,8 @@ pub fn fusion() -> DataflowGraph {
     let mut g = DataflowGraph::new("fusion");
     let imu = g.add_actor(Actor::new("imu-reader", ActorKind::Source, 16));
     let gps = g.add_actor(Actor::new("gps-reader", ActorKind::Source, 16));
-    let predict = g.add_actor(Actor::new("kf-predict", ActorKind::Map, 2_500).with_state_bytes(512));
+    let predict =
+        g.add_actor(Actor::new("kf-predict", ActorKind::Map, 2_500).with_state_bytes(512));
     let update = g.add_actor(Actor::new("kf-update", ActorKind::Map, 3_500).with_state_bytes(512));
     let sink = g.add_actor(Actor::new("result-writer", ActorKind::Sink, 16));
     g.connect(imu, 1, predict, 1, 64);
@@ -116,11 +121,7 @@ mod tests {
     #[test]
     fn fusion_has_two_sources() {
         let g = fusion();
-        let sources = g
-            .actors()
-            .iter()
-            .filter(|a| a.kind == ActorKind::Source)
-            .count();
+        let sources = g.actors().iter().filter(|a| a.kind == ActorKind::Source).count();
         assert_eq!(sources, 2);
         let reps = g.repetition_vector().expect("consistent");
         assert!(reps.iter().all(|&r| r == 1));

@@ -37,11 +37,11 @@ pub mod mdc;
 pub mod nn;
 pub mod transform;
 
+pub use cgra::{map_graph, CgraFabric, CgraMapping};
 pub use deploy::{Artifact, ArtifactKind, DeploymentSpec};
 pub use dse::{explore, standard_edge_platform, DseResult, Pe};
 pub use flow::{run_flow, AnalysisReport, FlowError, PortionedApp};
 pub use hls::{estimate_graph, GraphEstimate, Resources};
 pub use ir::{Actor, ActorKind, DataflowGraph};
-pub use cgra::{map_graph, CgraFabric, CgraMapping};
 pub use mdc::{compose, Composition};
 pub use nn::{Layer, NnModel, Shape};

@@ -178,11 +178,7 @@ impl Composition {
 
     /// Actors shared by at least two configurations.
     pub fn shared_actor_names(&self) -> Vec<&str> {
-        self.actors
-            .iter()
-            .filter(|s| s.used_by.len() > 1)
-            .map(|s| s.actor.name.as_str())
-            .collect()
+        self.actors.iter().filter(|s| s.used_by.len() > 1).map(|s| s.actor.name.as_str()).collect()
     }
 }
 
@@ -220,8 +216,7 @@ mod tests {
         let report = comp.area_report();
         assert!(report.savings() > 0.4, "fully shared: {}", report.savings());
         // Distinct kernels share only the boundary actors.
-        let comp2 =
-            compose(&[g1, graph("c", "other", 4_000)]).expect("valid");
+        let comp2 = compose(&[g1, graph("c", "other", 4_000)]).expect("valid");
         let report2 = comp2.area_report();
         assert!(report2.savings() > 0.0);
         assert!(report2.savings() < report.savings());

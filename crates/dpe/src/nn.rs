@@ -133,7 +133,10 @@ impl NnModel {
                 Layer::Conv2d { out_channels, .. } => Shape::new(*out_channels, cur.h, cur.w),
                 Layer::Dense { outputs } => Shape::new(*outputs, 1, 1),
                 Layer::MaxPool { window } => {
-                    if *window == 0 || !cur.h.is_multiple_of(*window) || !cur.w.is_multiple_of(*window) {
+                    if *window == 0
+                        || !cur.h.is_multiple_of(*window)
+                        || !cur.w.is_multiple_of(*window)
+                    {
                         return Err(NnError::BadPooling { layer: i });
                     }
                     Shape::new(cur.c, cur.h / window, cur.w / window)
@@ -156,9 +159,7 @@ impl NnModel {
                     out.elements() * prev.c as u64 * (*kernel as u64) * (*kernel as u64) * 2
                 }
                 Layer::Dense { .. } => prev.elements() * out.elements() * 2,
-                Layer::MaxPool { window } => {
-                    out.elements() * (*window as u64) * (*window as u64)
-                }
+                Layer::MaxPool { window } => out.elements() * (*window as u64) * (*window as u64),
                 Layer::Relu => out.elements(),
             };
             ops.push(o);
@@ -191,7 +192,9 @@ impl NnModel {
         let mut prev_bytes = self.input.elements();
         for (i, (l, out)) in self.layers.iter().zip(&shapes).enumerate() {
             let (kind, name) = match l {
-                Layer::Conv2d { kernel, .. } => (ActorKind::Stencil, format!("conv{i}_{kernel}x{kernel}")),
+                Layer::Conv2d { kernel, .. } => {
+                    (ActorKind::Stencil, format!("conv{i}_{kernel}x{kernel}"))
+                }
                 Layer::Dense { .. } => (ActorKind::Map, format!("dense{i}")),
                 Layer::MaxPool { .. } => (ActorKind::Reduce, format!("pool{i}")),
                 Layer::Relu => (ActorKind::Map, format!("relu{i}")),
@@ -254,8 +257,7 @@ mod tests {
 
     #[test]
     fn bad_pooling_is_rejected() {
-        let m = NnModel::new("t", Shape::new(1, 7, 7))
-            .with_layer(Layer::MaxPool { window: 2 });
+        let m = NnModel::new("t", Shape::new(1, 7, 7)).with_layer(Layer::MaxPool { window: 2 });
         assert_eq!(m.shapes(), Err(NnError::BadPooling { layer: 0 }));
         let empty = NnModel::new("e", Shape::new(1, 1, 1));
         assert_eq!(empty.shapes(), Err(NnError::Empty));
@@ -280,8 +282,8 @@ mod tests {
         let g = pose_backbone().lower().expect("lowers");
         let est = crate::hls::estimate_graph(&g).expect("estimates");
         assert!(est.cycles_per_iteration > 0);
-        let dse = crate::dse::explore(&g, &crate::dse::standard_edge_platform(), 1, 6)
-            .expect("explores");
+        let dse =
+            crate::dse::explore(&g, &crate::dse::standard_edge_platform(), 1, 6).expect("explores");
         assert!(!dse.front.is_empty());
     }
 

@@ -26,10 +26,8 @@ pub fn fuse_linear_chains(graph: &DataflowGraph) -> Result<DataflowGraph, IrErro
         in_deg[c.to] += 1;
     }
     let fusable = |i: usize| {
-        matches!(
-            graph.actors()[i].kind,
-            ActorKind::Map | ActorKind::Reduce | ActorKind::Control
-        ) && in_deg[i] <= 1
+        matches!(graph.actors()[i].kind, ActorKind::Map | ActorKind::Reduce | ActorKind::Control)
+            && in_deg[i] <= 1
             && out_deg[i] <= 1
     };
     // Union chains: follow 1:1 channels between fusable actors.
@@ -59,11 +57,7 @@ pub fn fuse_linear_chains(graph: &DataflowGraph) -> Result<DataflowGraph, IrErro
     for &i in &order {
         let g = find(&mut group, i);
         let id = *group_actor.entry(g).or_insert_with(|| {
-            fused.add_actor(Actor::new(
-                graph.actors()[i].name.clone(),
-                graph.actors()[i].kind,
-                0,
-            ))
+            fused.add_actor(Actor::new(graph.actors()[i].name.clone(), graph.actors()[i].kind, 0))
         });
         rep_of[i] = id;
     }
@@ -76,9 +70,7 @@ pub fn fuse_linear_chains(graph: &DataflowGraph) -> Result<DataflowGraph, IrErro
     }
     let mut rebuilt = DataflowGraph::new(fused.name.clone());
     for (i, a) in fused.actors().iter().enumerate() {
-        rebuilt.add_actor(
-            Actor::new(a.name.clone(), a.kind, ops[i]).with_state_bytes(state[i]),
-        );
+        rebuilt.add_actor(Actor::new(a.name.clone(), a.kind, ops[i]).with_state_bytes(state[i]));
     }
     // Keep only inter-group channels.
     for c in graph.channels() {
@@ -176,11 +168,8 @@ mod tests {
         let fused = fuse_linear_chains(&chain()).expect("valid");
         // f1+f2 merge; src, conv, f3, sink stay → 5 actors.
         assert_eq!(fused.actors().len(), 5);
-        let merged = fused
-            .actors()
-            .iter()
-            .find(|a| a.ops_per_firing == 300)
-            .expect("fused actor sums ops");
+        let merged =
+            fused.actors().iter().find(|a| a.ops_per_firing == 300).expect("fused actor sums ops");
         assert_eq!(merged.state_bytes, 12);
         assert!(fused.actor_by_name("conv").is_some(), "stencil never fuses");
     }
@@ -189,10 +178,7 @@ mod tests {
     fn fusion_preserves_iteration_ops() {
         let g = chain();
         let fused = fuse_linear_chains(&g).expect("valid");
-        assert_eq!(
-            g.ops_per_iteration().expect("ok"),
-            fused.ops_per_iteration().expect("ok")
-        );
+        assert_eq!(g.ops_per_iteration().expect("ok"), fused.ops_per_iteration().expect("ok"));
     }
 
     #[test]

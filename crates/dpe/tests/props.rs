@@ -21,11 +21,7 @@ fn random_chain(spec: &[(u8, u16)]) -> DataflowGraph {
     let src = g.add_actor(Actor::new("src", ActorKind::Source, 4));
     let mut prev = src;
     for (i, (kind, ops)) in spec.iter().enumerate() {
-        let a = g.add_actor(Actor::new(
-            format!("a{i}"),
-            kind_of(*kind),
-            *ops as u64 + 1,
-        ));
+        let a = g.add_actor(Actor::new(format!("a{i}"), kind_of(*kind), *ops as u64 + 1));
         g.connect(prev, 1, a, 1, 16);
         prev = a;
     }
@@ -118,5 +114,28 @@ proptest! {
         prop_assert!(g.validate().is_ok());
         prop_assert_eq!(g.actors().len(), m.layers.len() + 2);
         prop_assert!(m.total_ops().expect("valid") > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel and serial design-space exploration are bit-identical
+    /// for the same inputs — across both the exhaustive branch (short
+    /// chains) and the seeded sampling branch (long chains).
+    #[test]
+    fn parallel_and_serial_exploration_agree(
+        spec in proptest::collection::vec((any::<u8>(), 1u16..400), 1..11),
+        seed in any::<u16>(),
+        samples in 1usize..10,
+    ) {
+        let g = random_chain(&spec);
+        let platform = myrtus_dpe::standard_edge_platform();
+        let par = myrtus_dpe::explore(&g, &platform, seed as u64, samples)
+            .expect("valid graph");
+        let ser = myrtus_dpe::dse::explore_serial(&g, &platform, seed as u64, samples)
+            .expect("valid graph");
+        prop_assert_eq!(par.points, ser.points);
+        prop_assert_eq!(par.front, ser.front);
     }
 }

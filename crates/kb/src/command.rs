@@ -101,6 +101,9 @@ impl WatchEvent {
     }
 }
 
+// Only referenced through `#[serde(with = "bytes_serde")]`, which the
+// vendored no-op derive does not expand; keep it for wire-format parity.
+#[allow(dead_code)]
 mod bytes_serde {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
@@ -123,11 +126,7 @@ mod tests {
         assert_eq!(p.key(), "/a");
         let d = KvCommand::delete("/b");
         assert_eq!(d.key(), "/b");
-        let c = KvCommand::Cas {
-            key: "/c".into(),
-            expect: None,
-            value: Bytes::from_static(b"x"),
-        };
+        let c = KvCommand::Cas { key: "/c".into(), expect: None, value: Bytes::from_static(b"x") };
         assert_eq!(c.key(), "/c");
     }
 

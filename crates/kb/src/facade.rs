@@ -77,12 +77,9 @@ impl KnowledgeBase {
             let tier = security_tier_of(snap.node);
             let record = NodeRecord::from_snapshot(snap, tier, report.at);
             self.store.apply(&record.to_command(), report.at);
-            self.history
-                .append(format!("{}/util", snap.name), report.at, snap.utilization);
-            self.history
-                .append(format!("{}/energy_j", snap.name), report.at, snap.energy_j);
-            self.history
-                .append(format!("{}/queue", snap.name), report.at, snap.queue_len as f64);
+            self.history.append(format!("{}/util", snap.name), report.at, snap.utilization);
+            self.history.append(format!("{}/energy_j", snap.name), report.at, snap.energy_j);
+            self.history.append(format!("{}/queue", snap.name), report.at, snap.queue_len as f64);
         }
         for link in &report.links {
             self.history.append(
@@ -143,10 +140,7 @@ mod tests {
         }
         assert_eq!(kb.registry().all().len(), 1, "one record per node");
         assert_eq!(kb.history().len("edge-0/util"), 2, "two history samples");
-        assert_eq!(
-            kb.registry().node(a).map(|r| r.updated_at),
-            Some(SimTime::from_secs(2))
-        );
+        assert_eq!(kb.registry().node(a).map(|r| r.updated_at), Some(SimTime::from_secs(2)));
     }
 
     #[test]

@@ -338,10 +338,7 @@ impl RaftNode {
     }
 
     fn replicate_all(&mut self) -> Vec<(usize, RaftMsg)> {
-        (0..self.n)
-            .filter(|&p| p != self.id)
-            .map(|p| (p, self.append_for(p)))
-            .collect()
+        (0..self.n).filter(|&p| p != self.id).map(|p| (p, self.append_for(p))).collect()
     }
 
     fn append_for(&self, peer: usize) -> RaftMsg {
@@ -358,12 +355,8 @@ impl RaftNode {
         }
         let prev_index = next - 1;
         let prev_term = self.term_at(prev_index);
-        let entries: Vec<LogEntry> = self
-            .log
-            .iter()
-            .skip((prev_index - self.log_offset) as usize)
-            .cloned()
-            .collect();
+        let entries: Vec<LogEntry> =
+            self.log.iter().skip((prev_index - self.log_offset) as usize).cloned().collect();
         RaftMsg::AppendEntries {
             term: self.term,
             prev_index,
@@ -427,11 +420,7 @@ impl RaftNode {
                     let hint = self.last_log_index().min(prev_index.saturating_sub(1));
                     return vec![(
                         from,
-                        RaftMsg::AppendReply {
-                            term: self.term,
-                            success: false,
-                            match_index: hint,
-                        },
+                        RaftMsg::AppendReply { term: self.term, success: false, match_index: hint },
                     )];
                 }
                 // Append, truncating conflicts; skip entries the snapshot
@@ -507,7 +496,9 @@ impl RaftNode {
                     Vec::new()
                 } else {
                     // Back off and retry immediately.
-                    self.next_index[from] = (match_index + 1).max(1).min(self.next_index[from].saturating_sub(1).max(1));
+                    self.next_index[from] = (match_index + 1)
+                        .max(1)
+                        .min(self.next_index[from].saturating_sub(1).max(1));
                     vec![(from, self.append_for(from))]
                 }
             }
@@ -518,9 +509,8 @@ impl RaftNode {
         let mut n = self.last_log_index();
         while n > self.commit_index {
             if self.term_at(n) == self.term {
-                let replicas = 1 + (0..self.n)
-                    .filter(|&p| p != self.id && self.match_index[p] >= n)
-                    .count();
+                let replicas =
+                    1 + (0..self.n).filter(|&p| p != self.id && self.match_index[p] >= n).count();
                 if replicas * 2 > self.n {
                     self.commit_index = n;
                     break;
@@ -536,7 +526,10 @@ impl RaftNode {
     /// # Errors
     ///
     /// Returns [`NotLeaderError`] on non-leaders.
-    pub fn propose(&mut self, cmd: KvCommand) -> Result<(u64, Vec<(usize, RaftMsg)>), NotLeaderError> {
+    pub fn propose(
+        &mut self,
+        cmd: KvCommand,
+    ) -> Result<(u64, Vec<(usize, RaftMsg)>), NotLeaderError> {
         if self.role != Role::Leader {
             return Err(NotLeaderError);
         }
@@ -772,7 +765,13 @@ impl RaftCluster {
                 continue;
             }
             self.seq += 1;
-            self.queue.push(Reverse(InFlight { at: now + self.latency, seq: self.seq, from, to, msg }));
+            self.queue.push(Reverse(InFlight {
+                at: now + self.latency,
+                seq: self.seq,
+                from,
+                to,
+                msg,
+            }));
         }
     }
 
@@ -823,8 +822,7 @@ impl RaftCluster {
                         self.stores[i].apply(&cmd, now);
                     }
                     if let Some(threshold) = self.compaction_threshold {
-                        let applied_in_log =
-                            node.last_applied().saturating_sub(node.log_offset());
+                        let applied_in_log = node.last_applied().saturating_sub(node.log_offset());
                         if applied_in_log > threshold {
                             let upto = node.last_applied();
                             node.compact(upto, self.stores[i].snapshot());
@@ -1007,9 +1005,7 @@ mod tests {
         for (n, slot) in [(3usize, &mut lat3), (7usize, &mut lat7)] {
             let mut c = RaftCluster::new(n, 11, SimDuration::from_millis(5));
             c.await_leader(SimTime::from_secs(3)).expect("leader");
-            let d = c
-                .replicate_and_measure(KvCommand::put("/m", b"x"))
-                .expect("replicates");
+            let d = c.replicate_and_measure(KvCommand::put("/m", b"x")).expect("replicates");
             *slot = Some(d);
         }
         let (l3, l7) = (lat3.expect("measured"), lat7.expect("measured"));
@@ -1053,8 +1049,11 @@ mod tests {
         for c in [&mut plain, &mut compacting] {
             let leader = c.await_leader(SimTime::from_secs(3)).expect("elects");
             for i in 0..60 {
-                c.propose(leader, KvCommand::put(format!("/k{}", i % 7), format!("v{i}").as_bytes()))
-                    .expect("leader");
+                c.propose(
+                    leader,
+                    KvCommand::put(format!("/k{}", i % 7), format!("v{i}").as_bytes()),
+                )
+                .expect("leader");
                 c.run_for(SimDuration::from_millis(60));
             }
             c.run_for(SimDuration::from_secs(1));
@@ -1082,8 +1081,7 @@ mod tests {
         c.enable_compaction(5);
         let leader = c.await_leader(SimTime::from_secs(3)).expect("elects");
         for i in 0..30 {
-            c.propose(leader, KvCommand::put(format!("/s{i}"), b"v"))
-                .expect("leader");
+            c.propose(leader, KvCommand::put(format!("/s{i}"), b"v")).expect("leader");
             c.run_for(SimDuration::from_millis(60));
         }
         let victim = (0..3).find(|&i| i != leader).expect("exists");

@@ -144,9 +144,7 @@ impl<'a> RegistryView<'a> {
 
     /// Reads one node's record.
     pub fn node(&self, node: NodeId) -> Option<NodeRecord> {
-        self.store
-            .get(&NodeRecord::key(node))
-            .and_then(|e| NodeRecord::decode(&e.value))
+        self.store.get(&NodeRecord::key(node)).and_then(|e| NodeRecord::decode(&e.value))
     }
 
     /// All records, in node-id order.
@@ -173,10 +171,7 @@ impl<'a> RegistryView<'a> {
 
     /// Up nodes supporting at least the given security tier.
     pub fn with_security_tier(&self, min_tier: u8) -> Vec<NodeRecord> {
-        self.all()
-            .into_iter()
-            .filter(|r| r.up && r.max_security_tier >= min_tier)
-            .collect()
+        self.all().into_iter().filter(|r| r.up && r.max_security_tier >= min_tier).collect()
     }
 }
 

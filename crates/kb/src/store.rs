@@ -106,10 +106,8 @@ impl KvStore {
             KvCommand::Delete { key } => {
                 if self.map.remove(key).is_some() {
                     self.revision += 1;
-                    self.events.push(WatchEvent::Delete {
-                        key: key.clone(),
-                        revision: self.revision,
-                    });
+                    self.events
+                        .push(WatchEvent::Delete { key: key.clone(), revision: self.revision });
                     true
                 } else {
                     false
@@ -149,8 +147,7 @@ impl KvStore {
         for k in &expired {
             self.map.remove(k);
             self.revision += 1;
-            self.events
-                .push(WatchEvent::Delete { key: k.clone(), revision: self.revision });
+            self.events.push(WatchEvent::Delete { key: k.clone(), revision: self.revision });
         }
         expired.len()
     }

@@ -94,19 +94,14 @@ impl MirtoAgent {
             }
             let backlog = state.estimated_backlog(sim.now());
             let service = state.service_time(query.work_mc);
-            let est_completion = sim.now()
-                + SimDuration::from_micros_f64(transfer_us)
-                + backlog
-                + service;
+            let est_completion =
+                sim.now() + SimDuration::from_micros_f64(transfer_us) + backlog + service;
             let point = state.point();
             let marginal_w =
                 (point.active_w() - point.idle_w()).max(0.0) / state.spec().cores() as f64;
             let est_energy_j = marginal_w * service.as_secs_f64();
             let bid = Bid { layer: self.layer, node: id, est_completion, est_energy_j };
-            if best
-                .as_ref()
-                .is_none_or(|b| bid.est_completion < b.est_completion)
-            {
+            if best.as_ref().is_none_or(|b| bid.est_completion < b.est_completion) {
                 best = Some(bid);
             }
         }
@@ -117,19 +112,14 @@ impl MirtoAgent {
 /// Runs a sealed-bid auction across agents; returns the winning bid
 /// (earliest estimated completion; energy breaks ties).
 pub fn auction(agents: &[MirtoAgent], sim: &SimCore, query: &OffloadQuery) -> Option<Bid> {
-    agents
-        .iter()
-        .filter_map(|a| a.bid(sim, query))
-        .min_by(|a, b| {
-            a.est_completion
-                .cmp(&b.est_completion)
-                .then_with(|| {
-                    a.est_energy_j
-                        .partial_cmp(&b.est_energy_j)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .then_with(|| a.node.cmp(&b.node))
-        })
+    agents.iter().filter_map(|a| a.bid(sim, query)).min_by(|a, b| {
+        a.est_completion
+            .cmp(&b.est_completion)
+            .then_with(|| {
+                a.est_energy_j.partial_cmp(&b.est_energy_j).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.node.cmp(&b.node))
+    })
 }
 
 /// A placement policy driven entirely by inter-agent negotiation: every
@@ -172,12 +162,7 @@ impl crate::policies::PlacementPolicy for AuctionPlacement {
                 .ok_or(crate::policies::PlaceError::NoCandidate { component: i })?;
             // Data lives where the last predecessor was placed; sources
             // auction from their own best candidate (data is born there).
-            let data_at = dn
-                .preds
-                .iter()
-                .last()
-                .map(|&p| assignment[p])
-                .unwrap_or(candidates[0]);
+            let data_at = dn.preds.iter().last().map(|&p| assignment[p]).unwrap_or(candidates[0]);
             let min_level = level_for_tier(comp.requirements.security);
             // One agent per layer, restricted to this component's
             // candidates — the layer agents bid only with what they own.
@@ -206,9 +191,7 @@ impl crate::policies::PlacementPolicy for AuctionPlacement {
                 input_bytes: dn
                     .preds
                     .iter()
-                    .filter_map(|&p| {
-                        nodes[p].succs.iter().find(|(s, _)| *s == i).map(|(_, b)| *b)
-                    })
+                    .filter_map(|&p| nodes[p].succs.iter().find(|(s, _)| *s == i).map(|(_, b)| *b))
                     .sum(),
                 mem_mb: comp.requirements.mem_mb,
                 min_level,
@@ -238,13 +221,7 @@ mod tests {
     use myrtus_continuum::topology::ContinuumBuilder;
 
     fn query(data_at: NodeId, work_mc: f64, input_bytes: u64) -> OffloadQuery {
-        OffloadQuery {
-            data_at,
-            work_mc,
-            input_bytes,
-            mem_mb: 16,
-            min_level: SecurityLevel::Low,
-        }
+        OffloadQuery { data_at, work_mc, input_bytes, mem_mb: 16, min_level: SecurityLevel::Low }
     }
 
     #[test]
@@ -320,6 +297,7 @@ mod tests {
             app: &app,
             dag: &dag,
             candidates: vec![all; dag.nodes().len()],
+            estimator: None,
         };
         let mut policy = AuctionPlacement::new();
         assert_eq!(policy.name(), "agent-auction");
@@ -347,15 +325,19 @@ mod tests {
         let kb = myrtus_kb::KnowledgeBase::new();
         let mgr = crate::managers::privsec::PrivacySecurityManager::new(true);
         let candidates = mgr.candidates(c.sim(), &app, &dag);
-        let ctx = PlanContext { sim: c.sim(), kb: &kb, app: &app, dag: &dag, candidates };
+        let ctx = PlanContext {
+            sim: c.sim(),
+            kb: &kb,
+            app: &app,
+            dag: &dag,
+            candidates,
+            estimator: None,
+        };
         let placement = AuctionPlacement::new().place(&ctx).expect("auctions settle");
         // The High-tier session-store must sit on a High-capable node.
         let store = dag.nodes().iter().position(|n| n.name == "session-store").expect("exists");
         let kind = c.sim().node(placement.node_of(store)).expect("exists").spec().kind();
-        assert_eq!(
-            crate::managers::privsec::node_security_level(kind),
-            SecurityLevel::High
-        );
+        assert_eq!(crate::managers::privsec::node_security_level(kind), SecurityLevel::High);
     }
 
     #[test]

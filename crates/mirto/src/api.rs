@@ -109,10 +109,7 @@ impl ApiDaemon {
     ///
     /// Returns the [`ApiError`] mirroring the failing HTTP status.
     pub fn handle(&mut self, request: &ApiRequest, now: SimTime) -> Result<ApiResponse, ApiError> {
-        let principal = self
-            .authn
-            .verify(&request.token, now)
-            .map_err(ApiError::Unauthorized)?;
+        let principal = self.authn.verify(&request.token, now).map_err(ApiError::Unauthorized)?;
         match &request.operation {
             Operation::Status => Ok(ApiResponse::Status { principal }),
             Operation::Deploy { profile } => {
@@ -136,9 +133,7 @@ mod tests {
 
     fn daemon_and_token(scopes: &[&str]) -> (ApiDaemon, String) {
         let daemon = ApiDaemon::new(b"agent-secret");
-        let token = daemon
-            .authenticator()
-            .issue("operator", scopes, SimTime::from_secs(3_600));
+        let token = daemon.authenticator().issue("operator", scopes, SimTime::from_secs(3_600));
         (daemon, token)
     }
 
@@ -147,10 +142,7 @@ mod tests {
         let (mut daemon, token) = daemon_and_token(&["deploy"]);
         let profile = scenarios::telerehab().to_profile();
         let resp = daemon
-            .handle(
-                &ApiRequest { token, operation: Operation::Deploy { profile } },
-                SimTime::ZERO,
-            )
+            .handle(&ApiRequest { token, operation: Operation::Deploy { profile } }, SimTime::ZERO)
             .expect("accepted");
         match resp {
             ApiResponse::Accepted { principal, application } => {
@@ -167,10 +159,7 @@ mod tests {
         let (mut daemon, _) = daemon_and_token(&["deploy"]);
         let err = daemon
             .handle(
-                &ApiRequest {
-                    token: "garbage".into(),
-                    operation: Operation::Status,
-                },
+                &ApiRequest { token: "garbage".into(), operation: Operation::Status },
                 SimTime::ZERO,
             )
             .expect_err("rejected");
@@ -183,10 +172,7 @@ mod tests {
         let (mut daemon, token) = daemon_and_token(&["observe"]);
         let err = daemon
             .handle(
-                &ApiRequest {
-                    token,
-                    operation: Operation::Deploy { profile: String::new() },
-                },
+                &ApiRequest { token, operation: Operation::Deploy { profile: String::new() } },
                 SimTime::ZERO,
             )
             .expect_err("rejected");
@@ -216,10 +202,7 @@ mod tests {
                        component a kind=sensor\nconnect a -> ghost bytes=1\n";
         let err = daemon
             .handle(
-                &ApiRequest {
-                    token,
-                    operation: Operation::Deploy { profile: profile.into() },
-                },
+                &ApiRequest { token, operation: Operation::Deploy { profile: profile.into() } },
                 SimTime::ZERO,
             )
             .expect_err("rejected");
@@ -242,10 +225,7 @@ mod tests {
         let token = daemon.authenticator().issue("op", &["deploy"], SimTime::from_secs(1));
         let mut daemon = daemon;
         let err = daemon
-            .handle(
-                &ApiRequest { token, operation: Operation::Status },
-                SimTime::from_secs(2),
-            )
+            .handle(&ApiRequest { token, operation: Operation::Status }, SimTime::from_secs(2))
             .expect_err("expired");
         assert!(matches!(err, ApiError::Unauthorized(AuthnError::Expired { .. })));
     }

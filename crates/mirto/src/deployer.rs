@@ -137,19 +137,15 @@ impl DeploymentProxy {
             if old_node == node {
                 return Ok(());
             }
-            let cluster = self
-                .federation
-                .cluster_mut(cl)
-                .ok_or(ScheduleError::UnknownCluster(cl))?;
+            let cluster =
+                self.federation.cluster_mut(cl).ok_or(ScheduleError::UnknownCluster(cl))?;
             cluster.evict(pod)?;
             self.moves += 1;
         }
         let target = self.cluster_for(node)?;
         let spec = Self::pod_spec(app, component);
-        let cluster = self
-            .federation
-            .cluster_mut(target)
-            .ok_or(ScheduleError::UnknownCluster(target))?;
+        let cluster =
+            self.federation.cluster_mut(target).ok_or(ScheduleError::UnknownCluster(target))?;
         let pod = cluster.bind(spec, node);
         self.binds += 1;
         self.pods.insert((app_id, component), (target, pod, node));
@@ -158,23 +154,15 @@ impl DeploymentProxy {
 
     /// Components (as `(app, component)`) whose pods sit on `node`.
     pub fn components_on(&self, node: NodeId) -> Vec<(u16, usize)> {
-        let mut v: Vec<(u16, usize)> = self
-            .pods
-            .iter()
-            .filter(|(_, (_, _, n))| *n == node)
-            .map(|(k, _)| *k)
-            .collect();
+        let mut v: Vec<(u16, usize)> =
+            self.pods.iter().filter(|(_, (_, _, n))| *n == node).map(|(k, _)| *k).collect();
         v.sort_unstable();
         v
     }
 
     /// Total CPU millicores requested on a node across the federation.
     pub fn requested_cpu_millis(&self, node: NodeId) -> u32 {
-        self.federation
-            .clusters()
-            .iter()
-            .map(|c| c.requested_cpu_millis(node))
-            .sum()
+        self.federation.clusters().iter().map(|c| c.requested_cpu_millis(node)).sum()
     }
 }
 
@@ -216,9 +204,7 @@ mod tests {
         let mut proxy = DeploymentProxy::new(c.sim());
         proxy.apply_placement(0, &app, &placement).expect("binds");
         let before = proxy.requested_cpu_millis(c.edge()[0]);
-        proxy
-            .bind_component(0, &app, 2, c.fmdcs()[0])
-            .expect("rebinds");
+        proxy.bind_component(0, &app, 2, c.fmdcs()[0]).expect("rebinds");
         assert_eq!(proxy.moves(), 1);
         assert!(proxy.requested_cpu_millis(c.edge()[0]) < before);
         assert!(proxy.requested_cpu_millis(c.fmdcs()[0]) > 0);
@@ -232,9 +218,7 @@ mod tests {
         let mut proxy = DeploymentProxy::new(c.sim());
         proxy.apply_placement(0, &app, &placement).expect("binds");
         let binds = proxy.binds();
-        proxy
-            .bind_component(0, &app, 0, placement.node_of(0))
-            .expect("noop");
+        proxy.bind_component(0, &app, 0, placement.node_of(0)).expect("noop");
         assert_eq!(proxy.binds(), binds);
         assert_eq!(proxy.moves(), 0);
     }

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use myrtus_continuum::engine::{Driver, SimCore, SimEvent};
 use myrtus_continuum::ids::NodeId;
 use myrtus_continuum::monitor::{ApplicationMonitor, MonitoringReport};
-use myrtus_continuum::net::Protocol;
+use myrtus_continuum::net::{PlanEstimator, Protocol, RouteCache};
 use myrtus_continuum::node::Layer;
 use myrtus_continuum::stats::Summary;
 use myrtus_continuum::task::TaskInstance;
@@ -29,13 +29,13 @@ use myrtus_continuum::time::{SimDuration, SimTime};
 use myrtus_continuum::topology::Continuum;
 use myrtus_kb::KnowledgeBase;
 use myrtus_workload::compile::{compile_requests, CompiledRequest, Tag};
-use myrtus_workload::opset::AppPointSet;
 use myrtus_workload::graph::RequestDag;
+use myrtus_workload::opset::AppPointSet;
 use myrtus_workload::tosca::Application;
 
 use crate::deployer::DeploymentProxy;
-use crate::managers::node::NodeManager;
 use crate::managers::network::NetworkManager;
+use crate::managers::node::NodeManager;
 use crate::managers::privsec::{node_security_level, PrivacySecurityManager};
 use crate::managers::wl::WlManager;
 use crate::placement::PlanContext;
@@ -290,6 +290,10 @@ pub struct OrchestrationEngine {
     sec: PrivacySecurityManager,
     proxy: Option<DeploymentProxy>,
     kb: KnowledgeBase,
+    /// Plan-time route/transfer memo reused across placement sweeps;
+    /// the network epoch invalidates it whenever topology, link state or
+    /// queue occupancy changes.
+    plan_cache: RouteCache,
     app_mon: ApplicationMonitor,
     apps: Vec<AppRuntime>,
     requests: HashMap<u64, RequestState>,
@@ -337,6 +341,7 @@ impl OrchestrationEngine {
             proxy: None,
             net_mgr: NetworkManager::new(),
             kb: KnowledgeBase::new(),
+            plan_cache: RouteCache::new(),
             app_mon: ApplicationMonitor::new(),
             apps: Vec::new(),
             requests: HashMap::new(),
@@ -430,7 +435,15 @@ impl OrchestrationEngine {
             .map_err(|_| PlaceError::NoCandidate { component: 0 })?;
         {
             let candidates = self.sec.candidates(sim, &app, &dag);
-            let ctx = PlanContext { sim, kb: &self.kb, app: &app, dag: &dag, candidates };
+            let estimator = PlanEstimator::new(sim.network(), sim.now(), &self.plan_cache);
+            let ctx = PlanContext {
+                sim,
+                kb: &self.kb,
+                app: &app,
+                dag: &dag,
+                candidates,
+                estimator: Some(estimator),
+            };
             let placement = self.wl.deploy(app_id, &ctx)?;
             // Execute the decision on the low-level layer (LIQO path).
             if let Some(proxy) = self.proxy.as_mut() {
@@ -459,7 +472,8 @@ impl OrchestrationEngine {
                     finish_at: vec![None; n],
                 },
             );
-            let tag = Tag { app: app_id, request: (key & 0xFFFF_FFFF) as u32, stage: ARRIVAL_STAGE };
+            let tag =
+                Tag { app: app_id, request: (key & 0xFFFF_FFFF) as u32, stage: ARRIVAL_STAGE };
             let after = released.saturating_since(now);
             sim.set_timer(after, tag.encode());
         }
@@ -479,12 +493,9 @@ impl OrchestrationEngine {
     fn finish(mut self, continuum: &Continuum) -> OrchestrationReport {
         let sim = continuum.sim();
         let report = MonitoringReport::collect(sim);
-        self.kb
-            .ingest_report(&report, |id| {
-                sim.node(id)
-                    .map(|n| node_security_level(n.spec().kind()).tier())
-                    .unwrap_or(0)
-            });
+        self.kb.ingest_report(&report, |id| {
+            sim.node(id).map(|n| node_security_level(n.spec().kind()).tier()).unwrap_or(0)
+        });
         let mut layer_energy = [0.0f64; 3];
         for n in &report.nodes {
             let idx = match n.layer {
@@ -503,21 +514,14 @@ impl OrchestrationEngine {
                 completed: self.completed.get(&a.id).copied().unwrap_or(0),
                 failed: self.failed.get(&a.id).copied().unwrap_or(0),
                 deadline_misses: self.misses.get(&a.id).copied().unwrap_or(0),
-                latency_ms: self
-                    .latencies_ms
-                    .get(&a.id)
-                    .and_then(|v| Summary::of(v)),
+                latency_ms: self.latencies_ms.get(&a.id).and_then(|v| Summary::of(v)),
                 mean_quality: self
                     .qualities
                     .get(&a.id)
                     .filter(|v| !v.is_empty())
                     .map(|v| v.iter().sum::<f64>() / v.len() as f64)
                     .unwrap_or(1.0),
-                slowest_trace: self
-                    .slowest
-                    .get(&a.id)
-                    .map(|(_, t)| t.clone())
-                    .unwrap_or_default(),
+                slowest_trace: self.slowest.get(&a.id).map(|(_, t)| t.clone()).unwrap_or_default(),
             })
             .collect();
         OrchestrationReport {
@@ -572,11 +576,7 @@ impl OrchestrationEngine {
             None
         } else {
             // Data flows from the most recently finished predecessor.
-            stage
-                .preds
-                .iter()
-                .filter_map(|&p| state.finish_node[p])
-                .next_back()
+            stage.preds.iter().filter_map(|&p| state.finish_node[p]).next_back()
         };
 
         let Some(placement) = self.wl.placement(app_id) else { return };
@@ -586,12 +586,14 @@ impl OrchestrationEngine {
         if !dst_up && self.cfg.reallocation {
             let rt = &self.apps[app_pos];
             let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+            let estimator = PlanEstimator::new(sim.network(), sim.now(), &self.plan_cache);
             let ctx = PlanContext {
                 sim,
                 kb: &self.kb,
                 app: &rt.app,
                 dag: &rt.dag,
                 candidates,
+                estimator: Some(estimator),
             };
             self.wl.reallocate(app_id, &ctx);
             if let Some(p) = self.wl.placement(app_id) {
@@ -617,23 +619,20 @@ impl OrchestrationEngine {
             Some(src_node) if src_node == dst => sim.submit_local(dst, task),
             Some(src_node) => {
                 // Privacy & Security Manager: protect the hop.
-                let extra_mc = self.sec.protection_work_mc(
-                    stage.security,
-                    src_node,
-                    dst,
-                    stage.input_bytes,
-                );
+                let extra_mc =
+                    self.sec.protection_work_mc(stage.security, src_node, dst, stage.input_bytes);
                 task.work_mc += extra_mc;
                 task.input_bytes +=
                     self.sec.protection_wire_overhead(stage.security, src_node, dst);
-                self.pending_flows
-                    .insert(tag.encode(), (src_node, dst, sim.now()));
+                self.pending_flows.insert(tag.encode(), (src_node, dst, sim.now()));
                 if self.cfg.network_management {
                     match self.net_mgr.route(sim, src_node, dst) {
-                        Some(path) => sim
-                            .submit_via_path(dst, task, &path, Protocol::Mqtt)
-                            .map(|_| ()),
-                        None => sim.submit_via_network(src_node, dst, task, Protocol::Mqtt).map(|_| ()),
+                        Some(path) => {
+                            sim.submit_via_path(dst, task, &path, Protocol::Mqtt).map(|_| ())
+                        }
+                        None => {
+                            sim.submit_via_network(src_node, dst, task, Protocol::Mqtt).map(|_| ())
+                        }
                     }
                 } else {
                     sim.submit_via_network(src_node, dst, task, Protocol::Mqtt).map(|_| ())
@@ -662,13 +661,9 @@ impl OrchestrationEngine {
         let key = req_key(tag.app, tag.request);
         // Network Manager reward on the transfer decision for this stage.
         if let Some((src, dst, sent)) = self.pending_flows.remove(&outcome.task.tag) {
-            self.net_mgr
-                .reward(src, dst, outcome.at.saturating_since(sent));
+            self.net_mgr.reward(src, dst, outcome.at.saturating_since(sent));
         }
-        let speed = sim
-            .node(outcome.node)
-            .map(|n| n.core_speed_mc_per_us())
-            .unwrap_or(1.0);
+        let speed = sim.node(outcome.node).map(|n| n.core_speed_mc_per_us()).unwrap_or(1.0);
         self.node_mgr.record_completion(
             outcome.node,
             outcome.task.work_mc,
@@ -677,8 +672,7 @@ impl OrchestrationEngine {
             outcome.latency.as_micros() as f64,
             outcome.deadline_met,
         );
-        self.sec
-            .observe(outcome.node, myrtus_security::trust::Observation::TaskOk);
+        self.sec.observe(outcome.node, myrtus_security::trust::Observation::TaskOk);
         self.app_mon.record(outcome);
 
         let Some(state) = self.requests.get_mut(&key) else { return };
@@ -708,10 +702,7 @@ impl OrchestrationEngine {
             let latency = outcome.at.saturating_since(released);
             let point_idx = state.point_idx;
             *self.completed.entry(tag.app).or_default() += 1;
-            self.latencies_ms
-                .entry(tag.app)
-                .or_default()
-                .push(latency.as_millis_f64());
+            self.latencies_ms.entry(tag.app).or_default().push(latency.as_millis_f64());
             let missed = deadline.is_some_and(|d| latency > d);
             if missed {
                 *self.misses.entry(tag.app).or_default() += 1;
@@ -757,8 +748,7 @@ impl OrchestrationEngine {
     }
 
     fn on_tasks_lost(&mut self, sim: &mut SimCore, node: NodeId, tasks: Vec<TaskInstance>) {
-        self.sec
-            .observe(node, myrtus_security::trust::Observation::TaskFailed);
+        self.sec.observe(node, myrtus_security::trust::Observation::TaskFailed);
         for t in tasks {
             self.lost_tasks += 1;
             let tag = Tag::decode(t.tag);
@@ -782,9 +772,7 @@ impl OrchestrationEngine {
         // Sense: snapshot into the KB.
         let report = MonitoringReport::collect(sim);
         self.kb.ingest_report(&report, |id| {
-            sim.node(id)
-                .map(|n| node_security_level(n.spec().kind()).tier())
-                .unwrap_or(0)
+            sim.node(id).map(|n| node_security_level(n.spec().kind()).tier()).unwrap_or(0)
         });
         // Decide + reconfigure: node operating points.
         if self.cfg.node_adaptation {
@@ -798,12 +786,14 @@ impl OrchestrationEngine {
                 let moves = {
                     let rt = &self.apps[pos];
                     let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+                    let estimator = PlanEstimator::new(sim.network(), sim.now(), &self.plan_cache);
                     let ctx = PlanContext {
                         sim,
                         kb: &self.kb,
                         app: &rt.app,
                         dag: &rt.dag,
                         candidates,
+                        estimator: Some(estimator),
                     };
                     self.wl.reallocate(app_id, &ctx)
                 };
@@ -1000,24 +990,14 @@ mod tests {
         let mut continuum = ContinuumBuilder::new().build();
         // Crash a mid-pipeline host shortly after start, forever.
         let victim = continuum.edge()[3];
-        FaultPlan::new()
-            .crash(victim, SimTime::from_millis(300), None)
-            .apply(continuum.sim_mut());
-        let report = OrchestrationEngine::new(
-            Box::new(GreedyBestFit::new()),
-            EngineConfig::default(),
-        )
-        .run(&mut continuum, vec![small_telerehab()], SimTime::from_secs(5))
-        .expect("places");
+        FaultPlan::new().crash(victim, SimTime::from_millis(300), None).apply(continuum.sim_mut());
+        let report =
+            OrchestrationEngine::new(Box::new(GreedyBestFit::new()), EngineConfig::default())
+                .run(&mut continuum, vec![small_telerehab()], SimTime::from_secs(5))
+                .expect("places");
         let a = &report.apps[0];
-        assert!(
-            a.completed + a.failed > 50,
-            "requests are accounted for: {a:?}"
-        );
-        assert!(
-            a.completed > a.failed,
-            "recovery keeps most requests alive: {a:?}"
-        );
+        assert!(a.completed + a.failed > 50, "requests are accounted for: {a:?}");
+        assert!(a.completed > a.failed, "recovery keeps most requests alive: {a:?}");
     }
 
     #[test]
@@ -1060,10 +1040,7 @@ mod tests {
         let mk = |enforce: bool| {
             run_orchestration(
                 Box::new(GreedyBestFit::new()),
-                EngineConfig {
-                    enforce_security: enforce,
-                    ..EngineConfig::static_baseline()
-                },
+                EngineConfig { enforce_security: enforce, ..EngineConfig::static_baseline() },
                 vec![small_telerehab()],
                 horizon,
             )
@@ -1080,10 +1057,8 @@ mod tests {
         // A 900 fps pose pipeline: beyond one edge node's capacity at
         // full quality.
         let mut app = scenarios::telerehab_with(2);
-        app.arrival = ArrivalSpec::periodic(
-            myrtus_continuum::time::SimDuration::from_micros(1_111),
-            1_800,
-        );
+        app.arrival =
+            ArrivalSpec::periodic(myrtus_continuum::time::SimDuration::from_micros(1_111), 1_800);
         let run = |adapt: bool| {
             run_orchestration(
                 Box::new(GreedyBestFit::new()),
@@ -1113,19 +1088,20 @@ mod tests {
     #[test]
     fn mid_run_deployment_requests_are_served() {
         let mut continuum = ContinuumBuilder::new().build();
-        let report = OrchestrationEngine::new(
-            Box::new(GreedyBestFit::new()),
-            EngineConfig::default(),
-        )
-        .run_scheduled(
-            &mut continuum,
-            vec![
-                (small_telerehab(), SimTime::ZERO),
-                (scenarios::smart_mobility_with(SimTime::from_secs(1)), SimTime::from_secs(2)),
-            ],
-            SimTime::from_secs(6),
-        )
-        .expect("time-zero app places");
+        let report =
+            OrchestrationEngine::new(Box::new(GreedyBestFit::new()), EngineConfig::default())
+                .run_scheduled(
+                    &mut continuum,
+                    vec![
+                        (small_telerehab(), SimTime::ZERO),
+                        (
+                            scenarios::smart_mobility_with(SimTime::from_secs(1)),
+                            SimTime::from_secs(2),
+                        ),
+                    ],
+                    SimTime::from_secs(6),
+                )
+                .expect("time-zero app places");
         assert_eq!(report.apps.len(), 2, "the late app is deployed mid-run");
         assert!(report.apps[0].completed > 0);
         assert!(report.apps[1].completed > 0, "{:?}", report.apps[1]);

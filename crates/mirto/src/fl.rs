@@ -242,10 +242,8 @@ pub fn federated_rounds(
     let all: Vec<([f64; FEATURES], f64)> =
         learners.iter().flat_map(|l| l.samples().iter().copied()).collect();
     for _ in 0..rounds.max(1) {
-        let locals: Vec<(LatencyModel, usize)> = learners
-            .iter()
-            .map(|l| (l.fit_prox(lambda, mu, &global), l.sample_count()))
-            .collect();
+        let locals: Vec<(LatencyModel, usize)> =
+            learners.iter().map(|l| (l.fit_prox(lambda, mu, &global), l.sample_count())).collect();
         global = fed_avg(&locals);
         history.push(global.mse(&all));
     }

@@ -58,8 +58,7 @@ impl Genome {
             }
             _ => {
                 let factor = rng.gen_range(0.5..2.0);
-                self.monitoring_period_ms =
-                    ((self.monitoring_period_ms as f64) * factor) as u64;
+                self.monitoring_period_ms = ((self.monitoring_period_ms as f64) * factor) as u64;
             }
         }
         self.clamp()
@@ -129,38 +128,67 @@ pub fn evaluate_genome(genome: Genome, apps: &[Application], horizon: SimTime) -
     }
 }
 
-/// Runs a (μ+λ) evolution strategy over the rule space against the
-/// given workload. Deterministic per seed.
-pub fn evolve(apps: &[Application], cfg: EvolutionConfig) -> EvolutionResult {
+/// Scores a batch of genomes, optionally fanning the (independent)
+/// what-if simulations out across the rayon pool; fitness values come
+/// back in genome order either way.
+fn evaluate_generation(
+    genomes: &[Genome],
+    apps: &[Application],
+    horizon: SimTime,
+    parallel: bool,
+) -> Vec<f64> {
+    if parallel {
+        use rayon::prelude::*;
+        genomes.par_iter().map(|&g| evaluate_genome(g, apps, horizon)).collect()
+    } else {
+        genomes.iter().map(|&g| evaluate_genome(g, apps, horizon)).collect()
+    }
+}
+
+fn evolve_impl(apps: &[Application], cfg: EvolutionConfig, parallel: bool) -> EvolutionResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut evaluations = 0usize;
-    let eval = |g: Genome, evaluations: &mut usize| {
-        *evaluations += 1;
-        evaluate_genome(g, apps, cfg.horizon)
-    };
-    // Initial population: the default rules plus mutated variants.
-    let mut population: Vec<(Genome, f64)> = Vec::new();
+    // Initial population: the default rules plus mutated variants. All
+    // mutation (the only RNG consumer) happens serially before each
+    // generation's evaluations fan out, so the evolution trajectory is
+    // identical at any thread count.
     let default = Genome::default();
-    population.push((default, eval(default, &mut evaluations)));
-    while population.len() < cfg.parents.max(1) {
-        let g = default.mutate(&mut rng, 2.0);
-        population.push((g, eval(g, &mut evaluations)));
+    let mut genomes = vec![default];
+    while genomes.len() < cfg.parents.max(1) {
+        genomes.push(default.mutate(&mut rng, 2.0));
     }
+    let fits = evaluate_generation(&genomes, apps, cfg.horizon, parallel);
+    evaluations += genomes.len();
+    let mut population: Vec<(Genome, f64)> = genomes.into_iter().zip(fits).collect();
     let mut history = Vec::with_capacity(cfg.generations);
     for _ in 0..cfg.generations {
-        let mut offspring: Vec<(Genome, f64)> = Vec::with_capacity(cfg.offspring);
-        for i in 0..cfg.offspring {
-            let parent = population[i % population.len()].0;
-            let child = parent.mutate(&mut rng, 1.0);
-            offspring.push((child, eval(child, &mut evaluations)));
-        }
-        population.extend(offspring);
+        let children: Vec<Genome> = (0..cfg.offspring)
+            .map(|i| population[i % population.len()].0.mutate(&mut rng, 1.0))
+            .collect();
+        let fits = evaluate_generation(&children, apps, cfg.horizon, parallel);
+        evaluations += children.len();
+        population.extend(children.into_iter().zip(fits));
         population.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         population.truncate(cfg.parents.max(1));
         history.push(population[0].1);
     }
     let (best, best_fitness) = population[0];
     EvolutionResult { best, best_fitness, history, evaluations }
+}
+
+/// Runs a (μ+λ) evolution strategy over the rule space against the
+/// given workload, fanning each generation's what-if simulations out
+/// across the rayon pool. Deterministic per seed and bit-identical to
+/// [`evolve_serial`].
+pub fn evolve(apps: &[Application], cfg: EvolutionConfig) -> EvolutionResult {
+    evolve_impl(apps, cfg, true)
+}
+
+/// Single-threaded reference twin of [`evolve`]: same algorithm, no
+/// fan-out. Kept public so equivalence tests and benchmarks can compare
+/// against it.
+pub fn evolve_serial(apps: &[Application], cfg: EvolutionConfig) -> EvolutionResult {
+    evolve_impl(apps, cfg, false)
 }
 
 #[cfg(test)]
@@ -208,6 +236,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_evolution_agree() {
+        let apps = vec![scenarios::telerehab_with(1)];
+        for seed in [1u64, 7, 42] {
+            let cfg = EvolutionConfig { seed, ..tiny_cfg() };
+            let par = evolve(&apps, cfg);
+            let ser = evolve_serial(&apps, cfg);
+            assert_eq!(par.best, ser.best, "seed {seed}");
+            assert_eq!(par.best_fitness.to_bits(), ser.best_fitness.to_bits());
+            assert_eq!(par.history, ser.history);
+            assert_eq!(par.evaluations, ser.evaluations);
+        }
+    }
+
+    #[test]
     fn evolution_is_seed_deterministic() {
         let apps = vec![scenarios::telerehab_with(1)];
         let a = evolve(&apps, tiny_cfg());
@@ -220,8 +262,7 @@ mod tests {
     fn best_rules_never_lose_to_defaults() {
         let apps = vec![scenarios::telerehab_with(1)];
         let result = evolve(&apps, tiny_cfg());
-        let default_fit =
-            evaluate_genome(Genome::default(), &apps, tiny_cfg().horizon);
+        let default_fit = evaluate_genome(Genome::default(), &apps, tiny_cfg().horizon);
         assert!(
             result.best_fitness <= default_fit + 1e-9,
             "μ+λ retains the default if nothing beats it: {} vs {}",

@@ -143,10 +143,8 @@ impl ImageRegistry {
         now: SimTime,
         scope: &'static str,
     ) -> Result<(), RegistryError> {
-        let principal = self
-            .authn
-            .verify(token, now)
-            .map_err(|_| RegistryError::AccessDenied { scope })?;
+        let principal =
+            self.authn.verify(token, now).map_err(|_| RegistryError::AccessDenied { scope })?;
         if principal.has_scope(scope) {
             Ok(())
         } else {
@@ -199,14 +197,9 @@ impl ImageRegistry {
         signature: &[u8; 32],
     ) -> Result<(), RegistryError> {
         let r = reference(name, tag);
-        let img = self
-            .images
-            .get_mut(&r)
-            .ok_or(RegistryError::UnknownImage { reference: r.clone() })?;
-        let key = self
-            .publishers
-            .get(publisher)
-            .ok_or(RegistryError::BadSignature)?;
+        let img =
+            self.images.get_mut(&r).ok_or(RegistryError::UnknownImage { reference: r.clone() })?;
+        let key = self.publishers.get(publisher).ok_or(RegistryError::BadSignature)?;
         let expect = hmac_sha256(key, img.digest.as_bytes());
         if &expect != signature {
             return Err(RegistryError::BadSignature);
@@ -232,10 +225,8 @@ impl ImageRegistry {
         result: ScanResult,
     ) -> Result<(), RegistryError> {
         let r = reference(name, tag);
-        self.images
-            .get_mut(&r)
-            .ok_or(RegistryError::UnknownImage { reference: r })?
-            .scan = Some(result);
+        self.images.get_mut(&r).ok_or(RegistryError::UnknownImage { reference: r })?.scan =
+            Some(result);
         Ok(())
     }
 
@@ -255,14 +246,10 @@ impl ImageRegistry {
     ) -> Result<ImageRecord, RegistryError> {
         self.authorize(token, now, "pull")?;
         let r = reference(name, tag);
-        let img = self
-            .images
-            .get(&r)
-            .ok_or(RegistryError::UnknownImage { reference: r.clone() })?;
+        let img =
+            self.images.get(&r).ok_or(RegistryError::UnknownImage { reference: r.clone() })?;
         if img.signed_by.is_none() {
-            return Err(RegistryError::PolicyViolation {
-                reason: format!("{r} is unsigned"),
-            });
+            return Err(RegistryError::PolicyViolation { reason: format!("{r} is unsigned") });
         }
         match img.scan {
             None => {
@@ -289,19 +276,14 @@ mod tests {
     fn setup() -> (ImageRegistry, String, String) {
         let mut reg = ImageRegistry::new(b"registry-secret");
         reg.trust_publisher("unica-release", b"publisher-key");
-        let push = reg
-            .authenticator()
-            .issue("ci", &["push"], SimTime::from_secs(100));
-        let pull = reg
-            .authenticator()
-            .issue("mirto-deployer", &["pull"], SimTime::from_secs(100));
+        let push = reg.authenticator().issue("ci", &["push"], SimTime::from_secs(100));
+        let pull = reg.authenticator().issue("mirto-deployer", &["pull"], SimTime::from_secs(100));
         (reg, push, pull)
     }
 
     fn publish_good(reg: &mut ImageRegistry, push: &str) {
-        let digest = reg
-            .push(push, SimTime::ZERO, "pose-estimator", "1.0", b"layers...")
-            .expect("pushes");
+        let digest =
+            reg.push(push, SimTime::ZERO, "pose-estimator", "1.0", b"layers...").expect("pushes");
         let sig = ImageRegistry::publisher_signature(b"publisher-key", &digest);
         reg.sign("pose-estimator", "1.0", "unica-release", &sig).expect("signs");
         reg.record_scan("pose-estimator", "1.0", ScanResult { critical: 0, low: 3 })
@@ -312,9 +294,7 @@ mod tests {
     fn full_supply_chain_admits_the_image() {
         let (mut reg, push, pull) = setup();
         publish_good(&mut reg, &push);
-        let img = reg
-            .pull(&pull, SimTime::ZERO, "pose-estimator", "1.0")
-            .expect("policy passes");
+        let img = reg.pull(&pull, SimTime::ZERO, "pose-estimator", "1.0").expect("policy passes");
         assert_eq!(img.signed_by.as_deref(), Some("unica-release"));
         assert_eq!(img.digest.len(), 64);
         assert_eq!(reg.pulls(), 1);
@@ -340,9 +320,8 @@ mod tests {
         publish_good(&mut reg, &push);
         reg.record_scan("pose-estimator", "1.0", ScanResult { critical: 2, low: 0 })
             .expect("rescans");
-        let err = reg
-            .pull(&pull, SimTime::ZERO, "pose-estimator", "1.0")
-            .expect_err("critical CVEs");
+        let err =
+            reg.pull(&pull, SimTime::ZERO, "pose-estimator", "1.0").expect_err("critical CVEs");
         assert!(err.to_string().contains("2 critical"));
     }
 
@@ -368,17 +347,11 @@ mod tests {
         let (mut reg, push, _) = setup();
         reg.push(&push, SimTime::ZERO, "app", "1", b"bits").expect("pushes");
         let bad = [0u8; 32];
-        assert_eq!(
-            reg.sign("app", "1", "unica-release", &bad),
-            Err(RegistryError::BadSignature)
-        );
+        assert_eq!(reg.sign("app", "1", "unica-release", &bad), Err(RegistryError::BadSignature));
         // Unknown publisher too.
         let digest = reg.images().next().expect("exists").digest.clone();
         let sig = ImageRegistry::publisher_signature(b"other-key", &digest);
-        assert_eq!(
-            reg.sign("app", "1", "mallory", &sig),
-            Err(RegistryError::BadSignature)
-        );
+        assert_eq!(reg.sign("app", "1", "mallory", &sig), Err(RegistryError::BadSignature));
     }
 
     #[test]

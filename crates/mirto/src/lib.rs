@@ -46,8 +46,12 @@ pub mod swarm;
 pub use agent::{auction, layer_agents, AuctionPlacement, Bid, MirtoAgent, OffloadQuery};
 pub use api::{ApiDaemon, ApiError, ApiRequest, ApiResponse, Operation};
 pub use deployer::DeploymentProxy;
+pub use engine::{
+    run_orchestration, EngineConfig, ManagerTuning, OrchestrationEngine, OrchestrationReport,
+};
 pub use images::{ImageRegistry, ScanResult};
-pub use engine::{run_orchestration, EngineConfig, ManagerTuning, OrchestrationEngine, OrchestrationReport};
-pub use placement::{evaluate, PlanContext, Placement, PlacementScore};
-pub use policies::{GreedyBestFit, KubeLike, LayerPinned, PlacementPolicy, RandomPlacement, RoundRobin};
+pub use placement::{evaluate, Placement, PlacementScore, PlanContext};
+pub use policies::{
+    GreedyBestFit, KubeLike, LayerPinned, PlacementPolicy, RandomPlacement, RoundRobin,
+};
 pub use swarm::{AcoPlacement, PsoPlacement};

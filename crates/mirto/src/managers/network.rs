@@ -69,10 +69,7 @@ impl NetworkManager {
         }
         let primary = sim.network().route(src, dst).ok()?;
         let alternate = sim.network().alternate_route(src, dst);
-        let state = congestion_state(
-            Self::primary_congestion(sim, &primary),
-            CONGESTION_BUCKETS,
-        );
+        let state = congestion_state(Self::primary_congestion(sim, &primary), CONGESTION_BUCKETS);
         let flow = self.flows.entry((src, dst)).or_insert_with(|| Flow {
             learner: QLearner::new(CONGESTION_BUCKETS, 2, 0.25, 0.0, 0.3, {
                 // Deterministic per-flow seed.
@@ -109,9 +106,7 @@ impl NetworkManager {
     /// Greedy (post-training) choice the flow would make in the given
     /// congestion bucket — for inspection in experiments.
     pub fn greedy_choice(&self, src: NodeId, dst: NodeId, bucket: usize) -> Option<RouteChoice> {
-        self.flows
-            .get(&(src, dst))
-            .map(|f| RouteChoice::from_index(f.learner.greedy(bucket)))
+        self.flows.get(&(src, dst)).map(|f| RouteChoice::from_index(f.learner.greedy(bucket)))
     }
 }
 

@@ -140,9 +140,8 @@ impl NodeManager {
                 // task would still fit within the guard at eco speed.
                 let guard_ok = match (self.eco_latency_guard_us, w.completed) {
                     (Some(guard), done) if done > 0 => {
-                        let eco_speed = state.spec().speed_mhz()
-                            * points.point(slowest).freq_scale()
-                            / 1e6;
+                        let eco_speed =
+                            state.spec().speed_mhz() * points.point(slowest).freq_scale() / 1e6;
                         let model = self
                             .learners
                             .get(&id)

@@ -177,11 +177,8 @@ mod tests {
         let mgr = PrivacySecurityManager::new(true);
         let cands = mgr.candidates(c.sim(), &app, &dag);
         // Find the session-store stage (last in the chain).
-        let store_stage = dag
-            .nodes()
-            .iter()
-            .position(|n| n.name == "session-store")
-            .expect("exists");
+        let store_stage =
+            dag.nodes().iter().position(|n| n.name == "session-store").expect("exists");
         for n in &cands[store_stage] {
             let kind = c.sim().node(*n).expect("exists").spec().kind();
             assert_eq!(node_security_level(kind), SecurityLevel::High, "{kind}");

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use myrtus_continuum::engine::SimCore;
 use myrtus_continuum::ids::NodeId;
 
-use crate::placement::{evaluate, PlanContext, Placement};
+use crate::placement::{evaluate, Placement, PlanContext};
 use crate::policies::{PlaceError, PlacementPolicy};
 
 /// A reallocation decision: component of an app moved to a new node.
@@ -98,11 +98,7 @@ impl WlManager {
     /// Runtime reallocation round for one application: any component on a
     /// down or overloaded node is greedily moved to the candidate that
     /// minimizes the plan-time objective. Returns the moves performed.
-    pub fn reallocate(
-        &mut self,
-        app_id: u16,
-        ctx: &PlanContext<'_>,
-    ) -> Vec<Reallocation> {
+    pub fn reallocate(&mut self, app_id: u16, ctx: &PlanContext<'_>) -> Vec<Reallocation> {
         let Some(placement) = self.placements.get_mut(&app_id) else {
             return Vec::new();
         };
@@ -117,11 +113,7 @@ impl WlManager {
                             && st.queue_len() >= self.queue_threshold)
                 }
             };
-            let allowed = ctx
-                .candidates
-                .get(i)
-                .map(|c| c.contains(&host))
-                .unwrap_or(false);
+            let allowed = ctx.candidates.get(i).map(|c| c.contains(&host)).unwrap_or(false);
             if !unhealthy && allowed {
                 continue;
             }
@@ -211,6 +203,7 @@ mod tests {
                 app: &self.app,
                 dag: &self.dag,
                 candidates: vec![all; self.dag.nodes().len()],
+                estimator: None,
             }
         }
     }

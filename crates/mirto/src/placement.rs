@@ -9,6 +9,7 @@
 
 use myrtus_continuum::engine::SimCore;
 use myrtus_continuum::ids::NodeId;
+use myrtus_continuum::net::{PlanEstimator, Protocol};
 use myrtus_continuum::time::SimDuration;
 use myrtus_kb::KnowledgeBase;
 use myrtus_workload::graph::RequestDag;
@@ -57,12 +58,7 @@ impl Placement {
 
     /// Components hosted on `node`.
     pub fn components_on(&self, node: NodeId) -> Vec<usize> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| **n == node)
-            .map(|(i, _)| i)
-            .collect()
+        self.assignment.iter().enumerate().filter(|(_, n)| **n == node).map(|(i, _)| i).collect()
     }
 }
 
@@ -80,6 +76,21 @@ pub struct PlanContext<'a> {
     /// Per-component candidate nodes (already security/capacity filtered
     /// by the Privacy & Security Manager).
     pub candidates: Vec<Vec<NodeId>>,
+    /// Memoizing route/transfer estimator for the plan sweep; `None`
+    /// falls back to uncached per-call network estimates. Cached and
+    /// uncached paths return bit-identical values for the same snapshot.
+    pub estimator: Option<PlanEstimator<'a>>,
+}
+
+impl PlanContext<'_> {
+    /// Plan-time transfer estimate in µs between two nodes, through the
+    /// attached [`PlanEstimator`] when present.
+    pub fn transfer_us(&self, from: NodeId, to: NodeId, bytes: u64) -> f64 {
+        match &self.estimator {
+            Some(est) => est.transfer_us(from, to, bytes, Protocol::Mqtt),
+            None => transfer_estimate_us(self.sim, from, to, bytes),
+        }
+    }
 }
 
 /// Score of one placement under the plan-time cost model.
@@ -94,6 +105,12 @@ pub struct PlacementScore {
 }
 
 impl PlacementScore {
+    /// The canonical infeasible score: zero partial estimates (they are
+    /// meaningless for a placement that can never run) and `feasible`
+    /// false, so [`PlacementScore::objective`] is +∞.
+    pub const INFEASIBLE: PlacementScore =
+        PlacementScore { est_latency: SimDuration::ZERO, est_energy_j: 0.0, feasible: false };
+
     /// Scalar objective: latency in µs plus an energy term weighted by
     /// `energy_weight` (µs per joule). Infeasible placements are +∞.
     pub fn objective(&self, energy_weight: f64) -> f64 {
@@ -113,13 +130,15 @@ impl PlacementScore {
 /// ground truth.
 pub fn evaluate(ctx: &PlanContext<'_>, placement: &Placement) -> PlacementScore {
     let nodes = ctx.dag.nodes();
-    let mut feasible = placement.len() == nodes.len();
-    if feasible {
-        for (i, cands) in ctx.candidates.iter().enumerate() {
-            if !cands.contains(&placement.node_of(nodes[i].component_idx)) {
-                feasible = false;
-                break;
-            }
+    // Short-circuit every infeasibility: accumulating latency or energy
+    // past the first violation would only produce misleading partial
+    // estimates that objective() discards anyway.
+    if placement.len() != nodes.len() {
+        return PlacementScore::INFEASIBLE;
+    }
+    for (i, cands) in ctx.candidates.iter().enumerate() {
+        if !cands.contains(&placement.node_of(nodes[i].component_idx)) {
+            return PlacementScore::INFEASIBLE;
         }
     }
 
@@ -129,11 +148,7 @@ pub fn evaluate(ctx: &PlanContext<'_>, placement: &Placement) -> PlacementScore 
         let n = &nodes[i];
         let host = placement.node_of(n.component_idx);
         let Some(state) = ctx.sim.node(host) else {
-            return PlacementScore {
-                est_latency: SimDuration::ZERO,
-                est_energy_j: 0.0,
-                feasible: false,
-            };
+            return PlacementScore::INFEASIBLE;
         };
         let speed = state.core_speed_mc_per_us();
         // Utilization-aware service estimate: a busy node stretches
@@ -142,37 +157,46 @@ pub fn evaluate(ctx: &PlanContext<'_>, placement: &Placement) -> PlacementScore 
         let service_us = n.work_mc / speed.max(1e-9) / (1.0 - rho);
         // Energy: marginal active-vs-idle power during the service time.
         let point = state.point();
-        let marginal_w =
-            (point.active_w() - point.idle_w()).max(0.0) / state.spec().cores() as f64;
+        let marginal_w = (point.active_w() - point.idle_w()).max(0.0) / state.spec().cores() as f64;
         energy += marginal_w * (n.work_mc / speed.max(1e-9)) / 1e6;
 
-        let ready = n
-            .preds
-            .iter()
-            .map(|&p| {
-                let src = placement.node_of(nodes[p].component_idx);
-                let bytes = nodes[p]
-                    .succs
-                    .iter()
-                    .find(|(s, _)| *s == i)
-                    .map(|(_, b)| *b)
-                    .unwrap_or(0);
-                let hop_us = transfer_estimate_us(ctx.sim, src, host, bytes);
-                finish[p] + hop_us
-            })
-            .fold(0.0f64, f64::max);
+        let mut ready = 0.0f64;
+        for &p in &n.preds {
+            let src = placement.node_of(nodes[p].component_idx);
+            let bytes = nodes[p].succs.iter().find(|(s, _)| *s == i).map(|(_, b)| *b).unwrap_or(0);
+            let hop_us = ctx.transfer_us(src, host, bytes);
+            if hop_us.is_infinite() {
+                // A required edge crosses a partitioned network: the
+                // placement can never serve a request.
+                return PlacementScore::INFEASIBLE;
+            }
+            ready = ready.max(finish[p] + hop_us);
+        }
         finish[i] = ready + service_us;
     }
     let latency = finish.iter().copied().fold(0.0, f64::max);
     PlacementScore {
         est_latency: SimDuration::from_micros_f64(latency),
         est_energy_j: energy,
-        feasible,
+        feasible: true,
     }
 }
 
-/// Network transfer estimate in µs between two nodes (0 when co-located
-/// or unreachable — unreachability is caught by candidate filtering).
+/// Scores a batch of candidate placements, fanning the (pure,
+/// independent) evaluations out across the rayon pool.
+///
+/// The result vector is index-aligned with `placements`, so callers can
+/// run any order-sensitive selection (first-wins argmin, pareto sweeps)
+/// serially afterwards and obtain bit-identical results to a serial
+/// `evaluate` loop. Tiny batches are scored inline.
+pub fn evaluate_batch(ctx: &PlanContext<'_>, placements: &[Placement]) -> Vec<PlacementScore> {
+    use rayon::prelude::*;
+    placements.par_iter().map(|p| evaluate(ctx, p)).collect()
+}
+
+/// Network transfer estimate in µs between two nodes: `0` when
+/// co-located or the payload is empty, `+∞` when unreachable (callers
+/// treat an unreachable required edge as an infeasible placement).
 pub fn transfer_estimate_us(sim: &SimCore, from: NodeId, to: NodeId, bytes: u64) -> f64 {
     if from == to || bytes == 0 {
         return 0.0;
@@ -214,13 +238,13 @@ mod tests {
             app: &app,
             dag: &dag,
             candidates: vec![all.clone(); dag.nodes().len()],
+            estimator: None,
         };
         let edge = c.edge()[0];
         let colocated = Placement::new(vec![edge; dag.nodes().len()]);
         // Scatter across edge nodes (per-hop transfers of a camera frame).
-        let scattered = Placement::new(
-            (0..dag.nodes().len()).map(|i| c.edge()[i % c.edge().len()]).collect(),
-        );
+        let scattered =
+            Placement::new((0..dag.nodes().len()).map(|i| c.edge()[i % c.edge().len()]).collect());
         let s1 = evaluate(&ctx, &colocated);
         let s2 = evaluate(&ctx, &scattered);
         assert!(s1.feasible && s2.feasible);
@@ -238,11 +262,55 @@ mod tests {
             app: &app,
             dag: &dag,
             candidates: vec![vec![c.cloud()[0]]; dag.nodes().len()],
+            estimator: None,
         };
         let p = Placement::new(vec![c.edge()[0]; dag.nodes().len()]);
         let s = evaluate(&ctx, &p);
         assert!(!s.feasible);
         assert_eq!(s.objective(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn unreachable_hop_is_infeasible() {
+        use myrtus_continuum::net::RouteCache;
+        let (mut c, app) = fixture();
+        let dag = RequestDag::from_application(&app).expect("valid");
+        let kb = KnowledgeBase::new();
+        let cloud = c.cloud()[0];
+        let edge = c.edge()[0];
+        // Sever the cloud node from the rest of the continuum.
+        {
+            let net = c.sim_mut().network_mut();
+            let cut: Vec<_> = net
+                .iter_links()
+                .filter(|(_, spec, _)| spec.from() == cloud || spec.to() == cloud)
+                .map(|(id, _, _)| id)
+                .collect();
+            for id in cut {
+                net.set_link_up(id, false);
+            }
+        }
+        let all: Vec<NodeId> = c.all_nodes();
+        let cache = RouteCache::new();
+        let mut hosts = vec![cloud; dag.nodes().len()];
+        hosts[0] = edge; // first hop now crosses the severed cut
+        let p = Placement::new(hosts);
+        for use_cache in [false, true] {
+            let ctx = PlanContext {
+                sim: c.sim(),
+                kb: &kb,
+                app: &app,
+                dag: &dag,
+                candidates: vec![all.clone(); dag.nodes().len()],
+                estimator: use_cache
+                    .then(|| PlanEstimator::new(c.sim().network(), c.sim().now(), &cache)),
+            };
+            let s = evaluate(&ctx, &p);
+            assert!(!s.feasible, "unreachable hop must falsify feasibility");
+            assert_eq!(s.objective(0.0), f64::INFINITY);
+            // Short-circuit: no partial latency/energy accumulates.
+            assert_eq!(s.est_energy_j, 0.0);
+        }
     }
 
     #[test]
@@ -257,6 +325,7 @@ mod tests {
             app: &app,
             dag: &dag,
             candidates: vec![all; dag.nodes().len()],
+            estimator: None,
         };
         // Sensor at the edge, everything else in the cloud: pays the
         // camera-frame upload.

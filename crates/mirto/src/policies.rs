@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use myrtus_continuum::ids::NodeId;
 use myrtus_continuum::node::Layer;
 
-use crate::placement::{evaluate, PlanContext, Placement};
+use crate::placement::{evaluate_batch, Placement, PlanContext};
 
 /// A deployment-time placement strategy.
 pub trait PlacementPolicy {
@@ -218,10 +218,21 @@ impl PlacementPolicy for GreedyBestFit {
         for &i in ctx.dag.topo_order() {
             let comp_idx = ctx.dag.nodes()[i].component_idx;
             let cands = candidates_or_err(ctx, i)?.to_vec();
+            // Score all candidate moves for this component in parallel;
+            // the serial first-wins argmin below keeps the result
+            // bit-identical to scoring them one at a time.
+            let trials: Vec<Placement> = cands
+                .iter()
+                .map(|&cand| {
+                    let mut p = placement.clone();
+                    p.reassign(comp_idx, cand);
+                    p
+                })
+                .collect();
+            let scores = evaluate_batch(ctx, &trials);
             let mut best = (placement.node_of(comp_idx), f64::INFINITY);
-            for cand in cands {
-                placement.reassign(comp_idx, cand);
-                let score = evaluate(ctx, &placement).objective(self.energy_weight);
+            for (&cand, s) in cands.iter().zip(&scores) {
+                let score = s.objective(self.energy_weight);
                 if score < best.1 {
                     best = (cand, score);
                 }
@@ -272,6 +283,7 @@ impl PlacementPolicy for KubeLike {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::placement::evaluate;
     use myrtus_continuum::topology::ContinuumBuilder;
     use myrtus_kb::KnowledgeBase;
     use myrtus_workload::graph::RequestDag;
@@ -300,6 +312,7 @@ mod tests {
                 app: &self.app,
                 dag: &self.dag,
                 candidates: vec![all; self.dag.nodes().len()],
+                estimator: None,
             }
         }
     }
@@ -334,8 +347,7 @@ mod tests {
         for i in 1..placement.len() {
             assert_eq!(placement.node_of(i), cloud, "component {i}");
         }
-        let cam_layer =
-            f.continuum.sim().node(placement.node_of(0)).map(|s| s.spec().layer());
+        let cam_layer = f.continuum.sim().node(placement.node_of(0)).map(|s| s.spec().layer());
         assert_eq!(cam_layer, Some(Layer::Edge));
     }
 

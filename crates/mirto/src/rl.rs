@@ -26,7 +26,14 @@ impl QLearner {
     /// # Panics
     ///
     /// Panics when shape is empty or hyperparameters are out of range.
-    pub fn new(states: usize, actions: usize, alpha: f64, gamma: f64, epsilon: f64, seed: u64) -> Self {
+    pub fn new(
+        states: usize,
+        actions: usize,
+        alpha: f64,
+        gamma: f64,
+        epsilon: f64,
+        seed: u64,
+    ) -> Self {
         assert!(states > 0 && actions > 0, "non-empty table");
         assert!((0.0..=1.0).contains(&alpha), "alpha in [0,1]");
         assert!((0.0..=1.0).contains(&gamma), "gamma in [0,1]");
@@ -89,10 +96,7 @@ impl QLearner {
 
     /// One Q-learning update for transition `(s, a) → reward, s2`.
     pub fn update(&mut self, state: usize, action: usize, reward: f64, next_state: usize) {
-        let max_next = self.q[next_state]
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_next = self.q[next_state].iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let q = &mut self.q[state][action];
         *q += self.alpha * (reward + self.gamma * max_next - *q);
         self.updates += 1;
@@ -202,10 +206,7 @@ mod tests {
     #[test]
     fn route_choice_round_trips() {
         assert_eq!(RouteChoice::from_index(RouteChoice::Primary.index()), RouteChoice::Primary);
-        assert_eq!(
-            RouteChoice::from_index(RouteChoice::Alternate.index()),
-            RouteChoice::Alternate
-        );
+        assert_eq!(RouteChoice::from_index(RouteChoice::Alternate.index()), RouteChoice::Alternate);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 
 use myrtus_continuum::ids::NodeId;
 
-use crate::placement::{evaluate, PlanContext, Placement};
+use crate::placement::{evaluate, Placement, PlanContext};
 use crate::policies::{PlaceError, PlacementPolicy};
 
 /// Convergence trace entry: best objective after each iteration.
@@ -75,23 +75,35 @@ impl PsoPlacement {
 /// Greedy coordinate descent: repeatedly sweeps the components, moving
 /// each to its best candidate under the objective, until a full sweep
 /// yields no improvement (memetic polish shared by PSO and ACO).
+///
+/// The candidate moves of one component are scored in parallel (each
+/// against the same base assignment); the first-wins argmin below stays
+/// serial and in candidate order, so the descent path is bit-identical
+/// to a fully serial sweep.
 fn coordinate_polish(
     ctx: &PlanContext<'_>,
     mut assignment: Vec<NodeId>,
-    objective: &dyn Fn(&[NodeId]) -> f64,
+    objective: &(dyn Fn(&[NodeId]) -> f64 + Sync),
 ) -> (Vec<NodeId>, f64) {
+    use rayon::prelude::*;
     let mut best_score = objective(&assignment);
     loop {
         let mut improved = false;
         for d in 0..assignment.len() {
             let original = assignment[d];
+            let cands: Vec<NodeId> =
+                ctx.candidates[d].iter().copied().filter(|&c| c != original).collect();
+            let base = &assignment;
+            let scores: Vec<f64> = cands
+                .par_iter()
+                .map(|&cand| {
+                    let mut trial = base.clone();
+                    trial[d] = cand;
+                    objective(&trial)
+                })
+                .collect();
             let mut best_here = (original, best_score);
-            for &cand in &ctx.candidates[d] {
-                if cand == original {
-                    continue;
-                }
-                assignment[d] = cand;
-                let s = objective(&assignment);
+            for (&cand, &s) in cands.iter().zip(&scores) {
                 if s < best_here.1 {
                     best_here = (cand, s);
                 }
@@ -108,10 +120,7 @@ fn coordinate_polish(
     }
 }
 
-fn random_assignment(
-    ctx: &PlanContext<'_>,
-    rng: &mut StdRng,
-) -> Result<Vec<NodeId>, PlaceError> {
+fn random_assignment(ctx: &PlanContext<'_>, rng: &mut StdRng) -> Result<Vec<NodeId>, PlaceError> {
     let mut a = Vec::with_capacity(ctx.dag.nodes().len());
     for i in 0..ctx.dag.nodes().len() {
         let c = ctx.candidates.get(i).map(Vec::as_slice).unwrap_or(&[]);
@@ -135,9 +144,8 @@ impl PlacementPolicy for PsoPlacement {
     fn place(&mut self, ctx: &PlanContext<'_>) -> Result<Placement, PlaceError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let dims = ctx.dag.nodes().len();
-        let objective = |a: &[NodeId]| {
-            evaluate(ctx, &Placement::new(a.to_vec())).objective(self.energy_weight)
-        };
+        let objective =
+            |a: &[NodeId]| evaluate(ctx, &Placement::new(a.to_vec())).objective(self.energy_weight);
 
         let mut positions: Vec<Vec<NodeId>> = Vec::with_capacity(self.particles);
         // Seed part of the swarm with co-location candidates (everything
@@ -176,6 +184,12 @@ impl PlacementPolicy for PsoPlacement {
         let mut global_score = personal_score[g_idx];
 
         self.last_trace.clear();
+        // Batch-synchronous sweeps: every particle of an iteration moves
+        // against the global best of the *previous* iteration, so the
+        // move phase (the only RNG consumer) is a pure serial prefix and
+        // the scoring phase is an embarrassingly parallel map. Bests are
+        // then folded serially in particle order, which makes the whole
+        // iteration independent of thread count.
         for iter in 0..self.iterations {
             for p in 0..self.particles {
                 // Periodic scatter: one quarter of the swarm restarts from
@@ -197,7 +211,12 @@ impl PlacementPolicy for PsoPlacement {
                         }
                     }
                 }
-                let score = objective(&positions[p]);
+            }
+            let scores: Vec<f64> = {
+                use rayon::prelude::*;
+                positions.par_iter().map(|p| objective(p)).collect()
+            };
+            for (p, &score) in scores.iter().enumerate() {
                 if score < personal_score[p] {
                     personal_score[p] = score;
                     personal_best[p] = positions[p].clone();
@@ -286,9 +305,8 @@ impl PlacementPolicy for AcoPlacement {
                 return Err(PlaceError::NoCandidate { component: i });
             }
         }
-        let objective = |a: &[NodeId]| {
-            evaluate(ctx, &Placement::new(a.to_vec())).objective(self.energy_weight)
-        };
+        let objective =
+            |a: &[NodeId]| evaluate(ctx, &Placement::new(a.to_vec())).objective(self.energy_weight);
         // Pheromone per (component, candidate index).
         let mut pheromone: Vec<Vec<f64>> =
             ctx.candidates.iter().map(|c| vec![1.0; c.len()]).collect();
@@ -296,30 +314,48 @@ impl PlacementPolicy for AcoPlacement {
 
         self.last_trace.clear();
         for _ in 0..self.iterations {
-            let mut iteration_best: Option<(Vec<usize>, f64)> = None;
-            for _ in 0..self.ants {
-                // Construct a solution by roulette-wheel over pheromone.
-                let mut choice_idx = Vec::with_capacity(dims);
-                #[allow(clippy::needless_range_loop)]
-                for d in 0..dims {
-                    let total: f64 = pheromone[d].iter().sum();
-                    let mut pick = rng.gen::<f64>() * total;
-                    let mut chosen = pheromone[d].len() - 1;
-                    for (k, &ph) in pheromone[d].iter().enumerate() {
-                        if pick < ph {
-                            chosen = k;
-                            break;
+            // Construct every ant's trail serially (the roulette wheel is
+            // the only RNG consumer and pheromone only updates after the
+            // whole colony has walked), then score the colony in
+            // parallel. Selection folds in ant order, so the result is
+            // bit-identical to the fully serial colony.
+            let trails: Vec<Vec<usize>> = (0..self.ants)
+                .map(|_| {
+                    let mut choice_idx = Vec::with_capacity(dims);
+                    #[allow(clippy::needless_range_loop)]
+                    for d in 0..dims {
+                        let total: f64 = pheromone[d].iter().sum();
+                        let mut pick = rng.gen::<f64>() * total;
+                        let mut chosen = pheromone[d].len() - 1;
+                        for (k, &ph) in pheromone[d].iter().enumerate() {
+                            if pick < ph {
+                                chosen = k;
+                                break;
+                            }
+                            pick -= ph;
                         }
-                        pick -= ph;
+                        choice_idx.push(chosen);
                     }
-                    choice_idx.push(chosen);
-                }
-                let assignment: Vec<NodeId> = choice_idx
-                    .iter()
-                    .enumerate()
-                    .map(|(d, &k)| ctx.candidates[d][k])
-                    .collect();
-                let score = objective(&assignment);
+                    choice_idx
+                })
+                .collect();
+            let scored: Vec<(Vec<NodeId>, f64)> = {
+                use rayon::prelude::*;
+                trails
+                    .par_iter()
+                    .map(|choice_idx| {
+                        let assignment: Vec<NodeId> = choice_idx
+                            .iter()
+                            .enumerate()
+                            .map(|(d, &k)| ctx.candidates[d][k])
+                            .collect();
+                        let score = objective(&assignment);
+                        (assignment, score)
+                    })
+                    .collect()
+            };
+            let mut iteration_best: Option<(Vec<usize>, f64)> = None;
+            for (choice_idx, (assignment, score)) in trails.into_iter().zip(scored) {
                 if iteration_best.as_ref().is_none_or(|(_, s)| score < *s) {
                     iteration_best = Some((choice_idx, score));
                 }
@@ -340,8 +376,7 @@ impl PlacementPolicy for AcoPlacement {
                     pheromone[d][k] += amount;
                 }
             }
-            self.last_trace
-                .push(global_best.as_ref().map(|(_, s)| *s).unwrap_or(f64::INFINITY));
+            self.last_trace.push(global_best.as_ref().map(|(_, s)| *s).unwrap_or(f64::INFINITY));
         }
         let (best, _) = global_best.expect("at least one ant ran");
         let (polished, score) = coordinate_polish(ctx, best, &objective);
@@ -421,6 +456,7 @@ mod tests {
                 app: &self.app,
                 dag: &self.dag,
                 candidates: vec![all; self.dag.nodes().len()],
+                estimator: None,
             }
         }
     }
@@ -454,17 +490,13 @@ mod tests {
         let f = Fixture::new();
         let mut ctx = f.ctx();
         // Restrict to 3 candidates per component → 3^5 = 243 placements.
-        let pool =
-            vec![f.continuum.edge()[0], f.continuum.fmdcs()[0], f.continuum.cloud()[0]];
+        let pool = vec![f.continuum.edge()[0], f.continuum.fmdcs()[0], f.continuum.cloud()[0]];
         ctx.candidates = vec![pool; f.dag.nodes().len()];
         let (_, best_score) = exhaustive_best(&ctx, 0.0).expect("small space");
         let mut pso = PsoPlacement::new(1).with_iterations(60).with_particles(30);
         let p = pso.place(&ctx).expect("feasible");
         let pso_score = evaluate(&ctx, &p).objective(0.0);
-        assert!(
-            pso_score <= best_score * 1.05 + 1.0,
-            "pso {pso_score} vs optimal {best_score}"
-        );
+        assert!(pso_score <= best_score * 1.05 + 1.0, "pso {pso_score} vs optimal {best_score}");
     }
 
     #[test]

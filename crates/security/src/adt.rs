@@ -102,7 +102,12 @@ impl Adt {
     }
 
     /// Adds an inner attack combining `children` with `gate`.
-    pub fn inner(&mut self, name: impl Into<String>, gate: Gate, children: Vec<AdtNodeId>) -> AdtNodeId {
+    pub fn inner(
+        &mut self,
+        name: impl Into<String>,
+        gate: Gate,
+        children: Vec<AdtNodeId>,
+    ) -> AdtNodeId {
         self.nodes.push(AttackNode {
             name: name.into(),
             gate,
@@ -179,11 +184,7 @@ impl Adt {
             match n.gate {
                 Gate::And => n.children.iter().map(|&c| self.prob(c, active)).product(),
                 Gate::Or => {
-                    1.0 - n
-                        .children
-                        .iter()
-                        .map(|&c| 1.0 - self.prob(c, active))
-                        .product::<f64>()
+                    1.0 - n.children.iter().map(|&c| 1.0 - self.prob(c, active)).product::<f64>()
                 }
             }
         };

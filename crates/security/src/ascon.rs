@@ -18,13 +18,7 @@ impl State {
         x[0] ^= x[4];
         x[4] ^= x[3];
         x[2] ^= x[1];
-        let t: [u64; 5] = [
-            !x[0] & x[1],
-            !x[1] & x[2],
-            !x[2] & x[3],
-            !x[3] & x[4],
-            !x[4] & x[0],
-        ];
+        let t: [u64; 5] = [!x[0] & x[1], !x[1] & x[2], !x[2] & x[3], !x[3] & x[4], !x[4] & x[0]];
         x[0] ^= t[1];
         x[1] ^= t[2];
         x[2] ^= t[3];

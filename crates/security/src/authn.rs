@@ -121,11 +121,7 @@ impl TokenAuthenticator {
         }
         Ok(Principal {
             name: name.to_string(),
-            scopes: scopes
-                .split(',')
-                .filter(|s| !s.is_empty())
-                .map(str::to_string)
-                .collect(),
+            scopes: scopes.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect(),
         })
     }
 }
@@ -148,10 +144,7 @@ mod tests {
     fn expired_token_rejected() {
         let auth = TokenAuthenticator::new(b"k");
         let t = auth.issue("bob", &[], SimTime::from_secs(1));
-        assert!(matches!(
-            auth.verify(&t, SimTime::from_secs(2)),
-            Err(AuthnError::Expired { .. })
-        ));
+        assert!(matches!(auth.verify(&t, SimTime::from_secs(2)), Err(AuthnError::Expired { .. })));
         // Exactly at expiry is still valid.
         assert!(auth.verify(&t, SimTime::from_secs(1)).is_ok());
     }

@@ -58,7 +58,10 @@ impl SecureChannel {
     /// Establishes a channel pair (initiator, responder) sharing a fresh
     /// session key derived deterministically from `seed` (standing in for
     /// the KEM shared secret), and reports the handshake cost.
-    pub fn establish(level: SecurityLevel, seed: u64) -> (SecureChannel, SecureChannel, HandshakeCost) {
+    pub fn establish(
+        level: SecurityLevel,
+        seed: u64,
+    ) -> (SecureChannel, SecureChannel, HandshakeCost) {
         let suite = level.suite();
         let cost = suite.handshake_cost();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -81,7 +84,12 @@ impl SecureChannel {
         let mut nonce = [0u8; 12];
         nonce[4..].copy_from_slice(&seq.to_be_bytes());
         let mut record = seq.to_be_bytes().to_vec();
-        record.extend_from_slice(&self.suite.seal(&self.key, &nonce, &seq.to_be_bytes(), plaintext));
+        record.extend_from_slice(&self.suite.seal(
+            &self.key,
+            &nonce,
+            &seq.to_be_bytes(),
+            plaintext,
+        ));
         record
     }
 

@@ -247,9 +247,7 @@ mod tests {
     #[test]
     fn tampered_claims_fail_signature() {
         let (reg, mut cred, trust) = setup();
-        cred.description
-            .claims
-            .insert("data-residency".into(), "elsewhere".into());
+        cred.description.claims.insert("data-residency".into(), "elsewhere".into());
         assert_eq!(
             reg.verify(&cred, SimTime::ZERO, &[], &trust, 0.0),
             Err(ComplianceError::BadSignature)

@@ -299,10 +299,8 @@ impl CipherSuite {
     pub fn handshake_cost(&self) -> HandshakeCost {
         let auth = self.authentication;
         let kem = self.key_exchange;
-        let initiator_cycles =
-            auth.sign_cycles + 2 * auth.verify_cycles + kem.encap_cycles;
-        let responder_cycles =
-            auth.sign_cycles + 2 * auth.verify_cycles + kem.decap_cycles;
+        let initiator_cycles = auth.sign_cycles + 2 * auth.verify_cycles + kem.encap_cycles;
+        let responder_cycles = auth.sign_cycles + 2 * auth.verify_cycles + kem.decap_cycles;
         let wire_bytes = 2 * (auth.public_key_bytes + auth.signature_bytes)
             + kem.public_key_bytes
             + kem.ciphertext_bytes;
@@ -386,10 +384,8 @@ mod tests {
 
     #[test]
     fn record_cycles_rank_low_cheapest() {
-        let c: Vec<u64> = SecurityLevel::ALL
-            .iter()
-            .map(|l| l.suite().record_cycles(1_000_000))
-            .collect();
+        let c: Vec<u64> =
+            SecurityLevel::ALL.iter().map(|l| l.suite().record_cycles(1_000_000)).collect();
         assert!(c[0] < c[1], "ascon+ascon-hash beats aes128+sha256");
         assert!(c[1] < c[2], "aes128 beats aes256+sha512 per byte? no — check ordering");
     }

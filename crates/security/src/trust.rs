@@ -105,10 +105,7 @@ impl TrustModel {
 
     /// Records an observation about a component.
     pub fn observe(&mut self, node: NodeId, obs: Observation) {
-        self.reputations
-            .entry(node)
-            .or_default()
-            .observe(obs, self.forgetting);
+        self.reputations.entry(node).or_default().observe(obs, self.forgetting);
     }
 
     /// Current trust score of a component (0.5 prior when unobserved).
@@ -141,10 +138,7 @@ impl TrustModel {
     /// Gaia-X-style federations).
     pub fn incorporate_report(&mut self, reporter: NodeId, node: NodeId, report: Reputation) {
         let weight = self.score(reporter);
-        self.reputations
-            .entry(node)
-            .or_default()
-            .merge_discounted(&report, weight);
+        self.reputations.entry(node).or_default().merge_discounted(&report, weight);
     }
 }
 

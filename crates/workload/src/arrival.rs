@@ -62,9 +62,9 @@ impl ArrivalSpec {
     /// equal traces.
     pub fn generate(&self, seed: u64) -> Vec<SimTime> {
         match self {
-            ArrivalSpec::Periodic { period, count } => (1..=*count)
-                .map(|i| SimTime::from_micros(period.as_micros() * i as u64))
-                .collect(),
+            ArrivalSpec::Periodic { period, count } => {
+                (1..=*count).map(|i| SimTime::from_micros(period.as_micros() * i as u64)).collect()
+            }
             ArrivalSpec::Poisson { rate_hz, horizon } => {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut out = Vec::new();
@@ -146,8 +146,7 @@ impl ArrivalSpec {
                 horizon.as_micros()
             ),
             ArrivalSpec::Trace(ts) => {
-                let list: Vec<String> =
-                    ts.iter().map(|t| t.as_micros().to_string()).collect();
+                let list: Vec<String> = ts.iter().map(|t| t.as_micros().to_string()).collect();
                 format!("trace at_us={}", list.join(","))
             }
         }
@@ -289,9 +288,7 @@ mod tests {
         assert!(ArrivalSpec::parse_profile_tokens(&[]).is_err());
         assert!(ArrivalSpec::parse_profile_tokens(&["warp"]).is_err());
         assert!(ArrivalSpec::parse_profile_tokens(&["periodic", "count=3"]).is_err());
-        assert!(
-            ArrivalSpec::parse_profile_tokens(&["periodic", "period_us=x", "count=3"]).is_err()
-        );
+        assert!(ArrivalSpec::parse_profile_tokens(&["periodic", "period_us=x", "count=3"]).is_err());
     }
 
     #[test]

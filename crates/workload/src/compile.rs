@@ -149,12 +149,7 @@ pub fn compile_requests(
                 .preds
                 .iter()
                 .map(|&p| {
-                    dag.nodes()[p]
-                        .succs
-                        .iter()
-                        .find(|(s, _)| *s == i)
-                        .map(|(_, b)| *b)
-                        .unwrap_or(0)
+                    dag.nodes()[p].succs.iter().find(|(s, _)| *s == i).map(|(_, b)| *b).unwrap_or(0)
                 })
                 .sum();
             let output: u64 = n.succs.iter().map(|(_, b)| *b).sum();

@@ -96,22 +96,12 @@ impl RequestDag {
 
     /// Entry nodes (no predecessors).
     pub fn sources(&self) -> Vec<usize> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.preds.is_empty())
-            .map(|(i, _)| i)
-            .collect()
+        self.nodes.iter().enumerate().filter(|(_, n)| n.preds.is_empty()).map(|(i, _)| i).collect()
     }
 
     /// Exit nodes (no successors).
     pub fn sinks(&self) -> Vec<usize> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.succs.is_empty())
-            .map(|(i, _)| i)
-            .collect()
+        self.nodes.iter().enumerate().filter(|(_, n)| n.succs.is_empty()).map(|(i, _)| i).collect()
     }
 
     /// Total software work of one request, megacycles.
@@ -211,7 +201,7 @@ mod tests {
         // speed 1 mc/us, 1000 bytes/us: path src→a→sink = 1+1+4+0.5+1 = 7.5 us.
         let cp = dag.critical_path(1.0, 1_000.0);
         assert_eq!(cp.as_micros(), 8); // 7.5 rounds to 8
-        // Infinite-ish bandwidth: 1+4+1 = 6 us.
+                                       // Infinite-ish bandwidth: 1+4+1 = 6 us.
         let cp2 = dag.critical_path(1.0, 1e12);
         assert_eq!(cp2.as_micros(), 6);
     }

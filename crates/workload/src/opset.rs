@@ -107,11 +107,7 @@ impl AppPointSet {
     pub fn pareto_front(&self) -> Vec<usize> {
         (0..self.points.len())
             .filter(|&i| {
-                !self
-                    .points
-                    .iter()
-                    .enumerate()
-                    .any(|(j, p)| j != i && p.dominates(&self.points[i]))
+                !self.points.iter().enumerate().any(|(j, p)| j != i && p.dominates(&self.points[i]))
             })
             .collect()
     }
@@ -124,9 +120,7 @@ impl AppPointSet {
             .enumerate()
             .filter(|(_, p)| p.quality >= min_quality)
             .min_by(|a, b| {
-                a.1.work_scale
-                    .partial_cmp(&b.1.work_scale)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                a.1.work_scale.partial_cmp(&b.1.work_scale).unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(i, _)| i)
     }

@@ -33,49 +33,46 @@ pub mod accel_cfg {
 /// (health data).
 pub fn telerehab_with(seconds: u64) -> Application {
     let frames = (seconds * 30) as usize;
-    Application::new(
-        "telerehab",
-        ArrivalSpec::periodic(SimDuration::from_micros(33_333), frames),
-    )
-    .with_component(
-        Component::new("camera", ComponentKind::Sensor)
-            .with_work_mc(0.05)
-            .with_preferred_layer(Layer::Edge),
-    )
-    .with_component(
-        Component::new("preproc", ComponentKind::Function)
-            .with_work_mc(1.2)
-            .with_mem_mb(64)
-            .with_accel(accel_cfg::PREPROC)
-            .with_max_latency(SimDuration::from_millis(80))
-            .with_security(SecurityTier::Medium),
-    )
-    .with_component(
-        Component::new("pose", ComponentKind::Function)
-            .with_work_mc(9.0)
-            .with_mem_mb(256)
-            .with_accel(accel_cfg::POSE_CNN)
-            .with_max_latency(SimDuration::from_millis(80))
-            .with_security(SecurityTier::Medium),
-    )
-    .with_component(
-        Component::new("score", ComponentKind::Function)
-            .with_work_mc(0.8)
-            .with_mem_mb(32)
-            .with_max_latency(SimDuration::from_millis(120))
-            .with_security(SecurityTier::Medium),
-    )
-    .with_component(
-        Component::new("session-store", ComponentKind::Storage)
-            .with_work_mc(0.3)
-            .with_mem_mb(128)
-            .with_security(SecurityTier::High)
-            .with_preferred_layer(Layer::Cloud),
-    )
-    .with_connection("camera", "preproc", 460_800, Protocol::Mqtt) // VGA frame
-    .with_connection("preproc", "pose", 115_200, Protocol::Mqtt)
-    .with_connection("pose", "score", 4_096, Protocol::Mqtt)
-    .with_connection("score", "session-store", 1_024, Protocol::Http)
+    Application::new("telerehab", ArrivalSpec::periodic(SimDuration::from_micros(33_333), frames))
+        .with_component(
+            Component::new("camera", ComponentKind::Sensor)
+                .with_work_mc(0.05)
+                .with_preferred_layer(Layer::Edge),
+        )
+        .with_component(
+            Component::new("preproc", ComponentKind::Function)
+                .with_work_mc(1.2)
+                .with_mem_mb(64)
+                .with_accel(accel_cfg::PREPROC)
+                .with_max_latency(SimDuration::from_millis(80))
+                .with_security(SecurityTier::Medium),
+        )
+        .with_component(
+            Component::new("pose", ComponentKind::Function)
+                .with_work_mc(9.0)
+                .with_mem_mb(256)
+                .with_accel(accel_cfg::POSE_CNN)
+                .with_max_latency(SimDuration::from_millis(80))
+                .with_security(SecurityTier::Medium),
+        )
+        .with_component(
+            Component::new("score", ComponentKind::Function)
+                .with_work_mc(0.8)
+                .with_mem_mb(32)
+                .with_max_latency(SimDuration::from_millis(120))
+                .with_security(SecurityTier::Medium),
+        )
+        .with_component(
+            Component::new("session-store", ComponentKind::Storage)
+                .with_work_mc(0.3)
+                .with_mem_mb(128)
+                .with_security(SecurityTier::High)
+                .with_preferred_layer(Layer::Cloud),
+        )
+        .with_connection("camera", "preproc", 460_800, Protocol::Mqtt) // VGA frame
+        .with_connection("preproc", "pose", 115_200, Protocol::Mqtt)
+        .with_connection("pose", "score", 4_096, Protocol::Mqtt)
+        .with_connection("score", "session-store", 1_024, Protocol::Http)
 }
 
 /// Default 10-second telerehabilitation session (300 frames).
@@ -142,22 +139,17 @@ pub fn smart_mobility() -> Application {
 /// A synthetic CPU-bound batch-analytics job (cloud-friendly), used as
 /// background load in the mixed experiments.
 pub fn batch_analytics(jobs: usize, mean_interarrival: SimDuration) -> Application {
-    Application::new(
-        "batch-analytics",
-        ArrivalSpec::periodic(mean_interarrival, jobs),
-    )
-    .with_component(
-        Component::new("ingest", ComponentKind::Sensor).with_work_mc(0.5),
-    )
-    .with_component(
-        Component::new("crunch", ComponentKind::Function)
-            .with_work_mc(400.0)
-            .with_mem_mb(2_048)
-            .with_preferred_layer(Layer::Cloud),
-    )
-    .with_component(Component::new("report", ComponentKind::Storage).with_work_mc(1.0))
-    .with_connection("ingest", "crunch", 1_000_000, Protocol::Http)
-    .with_connection("crunch", "report", 10_000, Protocol::Http)
+    Application::new("batch-analytics", ArrivalSpec::periodic(mean_interarrival, jobs))
+        .with_component(Component::new("ingest", ComponentKind::Sensor).with_work_mc(0.5))
+        .with_component(
+            Component::new("crunch", ComponentKind::Function)
+                .with_work_mc(400.0)
+                .with_mem_mb(2_048)
+                .with_preferred_layer(Layer::Cloud),
+        )
+        .with_component(Component::new("report", ComponentKind::Storage).with_work_mc(1.0))
+        .with_connection("ingest", "crunch", 1_000_000, Protocol::Http)
+        .with_connection("crunch", "report", 10_000, Protocol::Http)
 }
 
 /// The standard mixed workload of the orchestration experiments:
@@ -215,8 +207,7 @@ mod tests {
     fn standard_mix_has_three_distinct_apps() {
         let mix = standard_mix(4);
         assert_eq!(mix.len(), 3);
-        let names: std::collections::HashSet<&str> =
-            mix.iter().map(|a| a.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = mix.iter().map(|a| a.name.as_str()).collect();
         assert_eq!(names.len(), 3);
     }
 

@@ -31,7 +31,8 @@ pub enum SecurityTier {
 
 impl SecurityTier {
     /// All tiers, weakest first.
-    pub const ALL: [SecurityTier; 3] = [SecurityTier::Low, SecurityTier::Medium, SecurityTier::High];
+    pub const ALL: [SecurityTier; 3] =
+        [SecurityTier::Low, SecurityTier::Medium, SecurityTier::High];
 
     /// Parses `low` / `medium` / `high`.
     pub fn parse(s: &str) -> Option<SecurityTier> {
@@ -247,12 +248,7 @@ impl std::error::Error for ValidateAppError {}
 impl Application {
     /// Creates an application.
     pub fn new(name: impl Into<String>, arrival: ArrivalSpec) -> Self {
-        Application {
-            name: name.into(),
-            components: Vec::new(),
-            connections: Vec::new(),
-            arrival,
-        }
+        Application { name: name.into(), components: Vec::new(), connections: Vec::new(), arrival }
     }
 
     /// Adds a component (builder style).
@@ -285,11 +281,7 @@ impl Application {
 
     /// The strictest security tier demanded by any component.
     pub fn max_security(&self) -> SecurityTier {
-        self.components
-            .iter()
-            .map(|c| c.requirements.security)
-            .max()
-            .unwrap_or(SecurityTier::Low)
+        self.components.iter().map(|c| c.requirements.security).max().unwrap_or(SecurityTier::Low)
     }
 
     /// Validates the topology (the TOSCA Validation Processor contract).
@@ -432,14 +424,11 @@ fn parse_profile(text: &str) -> Result<Application, ParseProfileError> {
             }
             Some("arrival") => {
                 let rest: Vec<&str> = toks.collect();
-                arrival = Some(
-                    ArrivalSpec::parse_profile_tokens(&rest)
-                        .map_err(|m| err(lineno, m))?,
-                );
+                arrival =
+                    Some(ArrivalSpec::parse_profile_tokens(&rest).map_err(|m| err(lineno, m))?);
             }
             Some("component") => {
-                let cname =
-                    toks.next().ok_or_else(|| err(lineno, "component needs a name"))?;
+                let cname = toks.next().ok_or_else(|| err(lineno, "component needs a name"))?;
                 let mut comp = Component::new(cname, ComponentKind::Function);
                 for tok in toks {
                     let (k, v) = parse_kv(tok)
@@ -450,14 +439,12 @@ fn parse_profile(text: &str) -> Result<Application, ParseProfileError> {
                                 .ok_or_else(|| err(lineno, format!("unknown kind {v:?}")))?;
                         }
                         "work_mc" => {
-                            comp.requirements.work_mc = v
-                                .parse()
-                                .map_err(|_| err(lineno, format!("bad work_mc {v:?}")))?;
+                            comp.requirements.work_mc =
+                                v.parse().map_err(|_| err(lineno, format!("bad work_mc {v:?}")))?;
                         }
                         "mem_mb" => {
-                            comp.requirements.mem_mb = v
-                                .parse()
-                                .map_err(|_| err(lineno, format!("bad mem_mb {v:?}")))?;
+                            comp.requirements.mem_mb =
+                                v.parse().map_err(|_| err(lineno, format!("bad mem_mb {v:?}")))?;
                         }
                         "security" => {
                             comp.requirements.security = SecurityTier::parse(v)
@@ -465,14 +452,12 @@ fn parse_profile(text: &str) -> Result<Application, ParseProfileError> {
                         }
                         "accel" => {
                             comp.requirements.accel_cfg = Some(
-                                v.parse()
-                                    .map_err(|_| err(lineno, format!("bad accel {v:?}")))?,
+                                v.parse().map_err(|_| err(lineno, format!("bad accel {v:?}")))?,
                             );
                         }
                         "max_latency_us" => {
-                            let us: u64 = v
-                                .parse()
-                                .map_err(|_| err(lineno, format!("bad latency {v:?}")))?;
+                            let us: u64 =
+                                v.parse().map_err(|_| err(lineno, format!("bad latency {v:?}")))?;
                             comp.requirements.max_latency = Some(SimDuration::from_micros(us));
                         }
                         "layer" => {
@@ -492,8 +477,7 @@ fn parse_profile(text: &str) -> Result<Application, ParseProfileError> {
                 components.push(comp);
             }
             Some("connect") => {
-                let from =
-                    toks.next().ok_or_else(|| err(lineno, "connect needs a source"))?;
+                let from = toks.next().ok_or_else(|| err(lineno, "connect needs a source"))?;
                 let arrow = toks.next();
                 if arrow != Some("->") {
                     return Err(err(lineno, "expected `->` after source"));
@@ -506,9 +490,8 @@ fn parse_profile(text: &str) -> Result<Application, ParseProfileError> {
                         .ok_or_else(|| err(lineno, format!("expected key=value, got {tok:?}")))?;
                     match k {
                         "bytes" => {
-                            bytes = v
-                                .parse()
-                                .map_err(|_| err(lineno, format!("bad bytes {v:?}")))?;
+                            bytes =
+                                v.parse().map_err(|_| err(lineno, format!("bad bytes {v:?}")))?;
                         }
                         "protocol" => {
                             protocol = match v {
@@ -565,21 +548,14 @@ mod tests {
 
     #[test]
     fn duplicate_component_rejected() {
-        let app = sample_app()
-            .with_component(Component::new("cam", ComponentKind::Sensor));
-        assert_eq!(
-            app.validate(),
-            Err(ValidateAppError::DuplicateComponent("cam".into()))
-        );
+        let app = sample_app().with_component(Component::new("cam", ComponentKind::Sensor));
+        assert_eq!(app.validate(), Err(ValidateAppError::DuplicateComponent("cam".into())));
     }
 
     #[test]
     fn unknown_reference_rejected() {
         let app = sample_app().with_connection("pose", "ghost", 1, Protocol::Coap);
-        assert!(matches!(
-            app.validate(),
-            Err(ValidateAppError::UnknownComponent { .. })
-        ));
+        assert!(matches!(app.validate(), Err(ValidateAppError::UnknownComponent { .. })));
     }
 
     #[test]

@@ -30,11 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Emit the HLS-ready program code.
     let src = emit_kernel_c(&graph)?;
-    println!(
-        "generated {} ({} lines of HLS C)",
-        src.name,
-        src.contents.lines().count()
-    );
+    println!("generated {} ({} lines of HLS C)", src.name, src.contents.lines().count());
 
     // 3. Estimate FPGA HLS vs CGRA overlay.
     let hls = estimate_graph(&graph)?;

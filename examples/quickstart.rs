@@ -26,14 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    bearer token → Authentication Module, TOSCA-lite profile →
     //    TOSCA Validation Processor.
     let mut api = ApiDaemon::new(b"demo-secret");
-    let token = api
-        .authenticator()
-        .issue("operator", &["deploy"], SimTime::from_secs(3_600));
+    let token = api.authenticator().issue("operator", &["deploy"], SimTime::from_secs(3_600));
     let profile = scenarios::telerehab_with(3).to_profile();
-    let response = api.handle(
-        &ApiRequest { token, operation: Operation::Deploy { profile } },
-        SimTime::ZERO,
-    )?;
+    let response =
+        api.handle(&ApiRequest { token, operation: Operation::Deploy { profile } }, SimTime::ZERO)?;
     let ApiResponse::Accepted { principal, application } = response else {
         unreachable!("deploy requests yield Accepted");
     };
@@ -45,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Orchestrate: greedy placement + the full cognitive loop.
-    let engine = OrchestrationEngine::new(
-        Box::new(GreedyBestFit::new()),
-        EngineConfig::default(),
-    );
+    let engine = OrchestrationEngine::new(Box::new(GreedyBestFit::new()), EngineConfig::default());
     let report = engine.run(&mut continuum, vec![application], SimTime::from_secs(6))?;
 
     // 4. Outcome.
@@ -73,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !app.slowest_trace.is_empty() {
         println!("\nslowest request, stage by stage:");
         for span in &app.slowest_trace {
-            println!("  {:14} on {:8} finished at {}", span.stage, span.node.to_string(), span.finished_at);
+            println!(
+                "  {:14} on {:8} finished at {}",
+                span.stage,
+                span.node.to_string(),
+                span.finished_at
+            );
         }
     }
     Ok(())

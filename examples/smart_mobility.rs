@@ -63,8 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     show("MIRTO cognitive", &adaptive);
     show("static silo", &static_);
 
-    let gain = adaptive.apps[0].completed as f64
-        / static_.apps[0].completed.max(1) as f64;
+    let gain = adaptive.apps[0].completed as f64 / static_.apps[0].completed.max(1) as f64;
     println!("completion gain of the cognitive engine: {gain:.2}x");
     Ok(())
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-99a1dc46fc5d2b2e.d: crates/myrtus/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-99a1dc46fc5d2b2e.rmeta: crates/myrtus/../../tests/determinism.rs Cargo.toml
+
+crates/myrtus/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-da7e65d286a05c70.d: crates/myrtus/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-da7e65d286a05c70: crates/myrtus/../../tests/determinism.rs
+
+crates/myrtus/../../tests/determinism.rs:

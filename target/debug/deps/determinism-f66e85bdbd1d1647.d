@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f66e85bdbd1d1647.d: crates/myrtus/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f66e85bdbd1d1647: crates/myrtus/../../tests/determinism.rs
+
+crates/myrtus/../../tests/determinism.rs:

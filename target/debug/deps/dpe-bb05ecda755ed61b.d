@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dpe-bb05ecda755ed61b.d: crates/bench/benches/dpe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdpe-bb05ecda755ed61b.rmeta: crates/bench/benches/dpe.rs Cargo.toml
+
+crates/bench/benches/dpe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a683a8295191ab8a.d: crates/myrtus/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a683a8295191ab8a: crates/myrtus/../../tests/end_to_end.rs
+
+crates/myrtus/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b5608c5c38cf7428.d: crates/myrtus/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b5608c5c38cf7428: crates/myrtus/../../tests/end_to_end.rs
+
+crates/myrtus/../../tests/end_to_end.rs:

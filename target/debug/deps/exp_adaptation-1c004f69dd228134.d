@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_adaptation-1c004f69dd228134.d: crates/bench/src/bin/exp_adaptation.rs
+
+/root/repo/target/debug/deps/exp_adaptation-1c004f69dd228134: crates/bench/src/bin/exp_adaptation.rs
+
+crates/bench/src/bin/exp_adaptation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_adaptation-5ff9503f75e9fb71.d: crates/bench/src/bin/exp_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_adaptation-5ff9503f75e9fb71.rmeta: crates/bench/src/bin/exp_adaptation.rs Cargo.toml
+
+crates/bench/src/bin/exp_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

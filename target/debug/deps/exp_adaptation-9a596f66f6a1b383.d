@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_adaptation-9a596f66f6a1b383.d: crates/bench/src/bin/exp_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_adaptation-9a596f66f6a1b383.rmeta: crates/bench/src/bin/exp_adaptation.rs Cargo.toml
+
+crates/bench/src/bin/exp_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

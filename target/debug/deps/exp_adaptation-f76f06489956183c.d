@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_adaptation-f76f06489956183c.d: crates/bench/src/bin/exp_adaptation.rs
+
+/root/repo/target/debug/deps/exp_adaptation-f76f06489956183c: crates/bench/src/bin/exp_adaptation.rs
+
+crates/bench/src/bin/exp_adaptation.rs:

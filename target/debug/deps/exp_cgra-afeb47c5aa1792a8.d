@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_cgra-afeb47c5aa1792a8.d: crates/bench/src/bin/exp_cgra.rs
+
+/root/repo/target/debug/deps/exp_cgra-afeb47c5aa1792a8: crates/bench/src/bin/exp_cgra.rs
+
+crates/bench/src/bin/exp_cgra.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_cgra-c80ab9635faaf3ea.d: crates/bench/src/bin/exp_cgra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_cgra-c80ab9635faaf3ea.rmeta: crates/bench/src/bin/exp_cgra.rs Cargo.toml
+
+crates/bench/src/bin/exp_cgra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_cgra-e64714520370e628.d: crates/bench/src/bin/exp_cgra.rs
+
+/root/repo/target/debug/deps/exp_cgra-e64714520370e628: crates/bench/src/bin/exp_cgra.rs
+
+crates/bench/src/bin/exp_cgra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_dse-1664c92a79345543.d: crates/bench/src/bin/exp_dse.rs
+
+/root/repo/target/debug/deps/exp_dse-1664c92a79345543: crates/bench/src/bin/exp_dse.rs
+
+crates/bench/src/bin/exp_dse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_dse-4a87f4edffce463a.d: crates/bench/src/bin/exp_dse.rs
+
+/root/repo/target/debug/deps/exp_dse-4a87f4edffce463a: crates/bench/src/bin/exp_dse.rs
+
+crates/bench/src/bin/exp_dse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_dse-56a5098e79e913a9.d: crates/bench/src/bin/exp_dse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_dse-56a5098e79e913a9.rmeta: crates/bench/src/bin/exp_dse.rs Cargo.toml
+
+crates/bench/src/bin/exp_dse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_federated-5d7c518bbcbbc340.d: crates/bench/src/bin/exp_federated.rs
+
+/root/repo/target/debug/deps/exp_federated-5d7c518bbcbbc340: crates/bench/src/bin/exp_federated.rs
+
+crates/bench/src/bin/exp_federated.rs:

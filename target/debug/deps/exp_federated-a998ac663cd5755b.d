@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_federated-a998ac663cd5755b.d: crates/bench/src/bin/exp_federated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_federated-a998ac663cd5755b.rmeta: crates/bench/src/bin/exp_federated.rs Cargo.toml
+
+crates/bench/src/bin/exp_federated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

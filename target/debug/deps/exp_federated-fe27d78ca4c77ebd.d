@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_federated-fe27d78ca4c77ebd.d: crates/bench/src/bin/exp_federated.rs
+
+/root/repo/target/debug/deps/exp_federated-fe27d78ca4c77ebd: crates/bench/src/bin/exp_federated.rs
+
+crates/bench/src/bin/exp_federated.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_frevo-3f5f8a522312fd88.d: crates/bench/src/bin/exp_frevo.rs
+
+/root/repo/target/debug/deps/exp_frevo-3f5f8a522312fd88: crates/bench/src/bin/exp_frevo.rs
+
+crates/bench/src/bin/exp_frevo.rs:

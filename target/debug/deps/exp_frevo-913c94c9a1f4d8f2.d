@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_frevo-913c94c9a1f4d8f2.d: crates/bench/src/bin/exp_frevo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_frevo-913c94c9a1f4d8f2.rmeta: crates/bench/src/bin/exp_frevo.rs Cargo.toml
+
+crates/bench/src/bin/exp_frevo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_frevo-eca8bc4bd7946cb0.d: crates/bench/src/bin/exp_frevo.rs
+
+/root/repo/target/debug/deps/exp_frevo-eca8bc4bd7946cb0: crates/bench/src/bin/exp_frevo.rs
+
+crates/bench/src/bin/exp_frevo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_kb-09a929a8c93dd44f.d: crates/bench/src/bin/exp_kb.rs
+
+/root/repo/target/debug/deps/exp_kb-09a929a8c93dd44f: crates/bench/src/bin/exp_kb.rs
+
+crates/bench/src/bin/exp_kb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_kb-247c6da2a4ae49ea.d: crates/bench/src/bin/exp_kb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_kb-247c6da2a4ae49ea.rmeta: crates/bench/src/bin/exp_kb.rs Cargo.toml
+
+crates/bench/src/bin/exp_kb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

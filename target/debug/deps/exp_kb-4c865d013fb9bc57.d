@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_kb-4c865d013fb9bc57.d: crates/bench/src/bin/exp_kb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_kb-4c865d013fb9bc57.rmeta: crates/bench/src/bin/exp_kb.rs Cargo.toml
+
+crates/bench/src/bin/exp_kb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

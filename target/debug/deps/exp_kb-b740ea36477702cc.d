@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_kb-b740ea36477702cc.d: crates/bench/src/bin/exp_kb.rs
+
+/root/repo/target/debug/deps/exp_kb-b740ea36477702cc: crates/bench/src/bin/exp_kb.rs
+
+crates/bench/src/bin/exp_kb.rs:

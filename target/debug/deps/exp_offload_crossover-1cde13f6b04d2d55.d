@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_offload_crossover-1cde13f6b04d2d55.d: crates/bench/src/bin/exp_offload_crossover.rs
+
+/root/repo/target/debug/deps/exp_offload_crossover-1cde13f6b04d2d55: crates/bench/src/bin/exp_offload_crossover.rs
+
+crates/bench/src/bin/exp_offload_crossover.rs:

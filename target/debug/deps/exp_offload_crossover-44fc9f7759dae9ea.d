@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_offload_crossover-44fc9f7759dae9ea.d: crates/bench/src/bin/exp_offload_crossover.rs
+
+/root/repo/target/debug/deps/exp_offload_crossover-44fc9f7759dae9ea: crates/bench/src/bin/exp_offload_crossover.rs
+
+crates/bench/src/bin/exp_offload_crossover.rs:

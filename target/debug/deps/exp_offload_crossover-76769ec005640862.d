@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_offload_crossover-76769ec005640862.d: crates/bench/src/bin/exp_offload_crossover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_offload_crossover-76769ec005640862.rmeta: crates/bench/src/bin/exp_offload_crossover.rs Cargo.toml
+
+crates/bench/src/bin/exp_offload_crossover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_operating_points-4c710829344de8f7.d: crates/bench/src/bin/exp_operating_points.rs
+
+/root/repo/target/debug/deps/exp_operating_points-4c710829344de8f7: crates/bench/src/bin/exp_operating_points.rs
+
+crates/bench/src/bin/exp_operating_points.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_operating_points-576bf895f6b1ee47.d: crates/bench/src/bin/exp_operating_points.rs
+
+/root/repo/target/debug/deps/exp_operating_points-576bf895f6b1ee47: crates/bench/src/bin/exp_operating_points.rs
+
+crates/bench/src/bin/exp_operating_points.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_operating_points-5ed58d3a03e065e7.d: crates/bench/src/bin/exp_operating_points.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_operating_points-5ed58d3a03e065e7.rmeta: crates/bench/src/bin/exp_operating_points.rs Cargo.toml
+
+crates/bench/src/bin/exp_operating_points.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_orchestration-2b5e4173dc59547f.d: crates/bench/src/bin/exp_orchestration.rs
+
+/root/repo/target/debug/deps/exp_orchestration-2b5e4173dc59547f: crates/bench/src/bin/exp_orchestration.rs
+
+crates/bench/src/bin/exp_orchestration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_orchestration-7b916864a6ccad48.d: crates/bench/src/bin/exp_orchestration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_orchestration-7b916864a6ccad48.rmeta: crates/bench/src/bin/exp_orchestration.rs Cargo.toml
+
+crates/bench/src/bin/exp_orchestration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_orchestration-c3e95d6438c4ad8a.d: crates/bench/src/bin/exp_orchestration.rs
+
+/root/repo/target/debug/deps/exp_orchestration-c3e95d6438c4ad8a: crates/bench/src/bin/exp_orchestration.rs
+
+crates/bench/src/bin/exp_orchestration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_security_e2e-2246433615fbdbff.d: crates/bench/src/bin/exp_security_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_security_e2e-2246433615fbdbff.rmeta: crates/bench/src/bin/exp_security_e2e.rs Cargo.toml
+
+crates/bench/src/bin/exp_security_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

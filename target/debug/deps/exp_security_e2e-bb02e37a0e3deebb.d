@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_security_e2e-bb02e37a0e3deebb.d: crates/bench/src/bin/exp_security_e2e.rs
+
+/root/repo/target/debug/deps/exp_security_e2e-bb02e37a0e3deebb: crates/bench/src/bin/exp_security_e2e.rs
+
+crates/bench/src/bin/exp_security_e2e.rs:

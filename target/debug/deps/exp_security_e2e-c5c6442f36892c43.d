@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_security_e2e-c5c6442f36892c43.d: crates/bench/src/bin/exp_security_e2e.rs
+
+/root/repo/target/debug/deps/exp_security_e2e-c5c6442f36892c43: crates/bench/src/bin/exp_security_e2e.rs
+
+crates/bench/src/bin/exp_security_e2e.rs:

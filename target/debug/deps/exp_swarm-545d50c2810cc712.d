@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_swarm-545d50c2810cc712.d: crates/bench/src/bin/exp_swarm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_swarm-545d50c2810cc712.rmeta: crates/bench/src/bin/exp_swarm.rs Cargo.toml
+
+crates/bench/src/bin/exp_swarm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

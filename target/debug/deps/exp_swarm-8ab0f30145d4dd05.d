@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_swarm-8ab0f30145d4dd05.d: crates/bench/src/bin/exp_swarm.rs
+
+/root/repo/target/debug/deps/exp_swarm-8ab0f30145d4dd05: crates/bench/src/bin/exp_swarm.rs
+
+crates/bench/src/bin/exp_swarm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_swarm-a68668b60546755e.d: crates/bench/src/bin/exp_swarm.rs
+
+/root/repo/target/debug/deps/exp_swarm-a68668b60546755e: crates/bench/src/bin/exp_swarm.rs
+
+crates/bench/src/bin/exp_swarm.rs:

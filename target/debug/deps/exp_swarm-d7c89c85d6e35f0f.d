@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_swarm-d7c89c85d6e35f0f.d: crates/bench/src/bin/exp_swarm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_swarm-d7c89c85d6e35f0f.rmeta: crates/bench/src/bin/exp_swarm.rs Cargo.toml
+
+crates/bench/src/bin/exp_swarm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

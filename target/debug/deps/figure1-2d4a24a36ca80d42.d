@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-2d4a24a36ca80d42.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-2d4a24a36ca80d42: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

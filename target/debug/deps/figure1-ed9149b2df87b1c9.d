@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-ed9149b2df87b1c9.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/debug/deps/figure1-ed9149b2df87b1c9: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-904b127ec4b8d484.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-904b127ec4b8d484: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

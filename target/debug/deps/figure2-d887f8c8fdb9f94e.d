@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure2-d887f8c8fdb9f94e.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/debug/deps/figure2-d887f8c8fdb9f94e: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

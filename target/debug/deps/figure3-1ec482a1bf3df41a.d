@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-1ec482a1bf3df41a.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-1ec482a1bf3df41a: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-df4ab5aabd4bfd3e.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/debug/deps/figure3-df4ab5aabd4bfd3e: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

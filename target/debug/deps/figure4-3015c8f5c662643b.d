@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-3015c8f5c662643b.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-3015c8f5c662643b: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

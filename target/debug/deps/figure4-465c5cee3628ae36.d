@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4-465c5cee3628ae36.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/debug/deps/figure4-465c5cee3628ae36: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

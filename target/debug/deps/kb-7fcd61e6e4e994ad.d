@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kb-7fcd61e6e4e994ad.d: crates/bench/benches/kb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkb-7fcd61e6e4e994ad.rmeta: crates/bench/benches/kb.rs Cargo.toml
+
+crates/bench/benches/kb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kb_integration-2020566d23113576.d: crates/myrtus/../../tests/kb_integration.rs
+
+/root/repo/target/debug/deps/kb_integration-2020566d23113576: crates/myrtus/../../tests/kb_integration.rs
+
+crates/myrtus/../../tests/kb_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kb_integration-ae3c186697a24fb4.d: crates/myrtus/../../tests/kb_integration.rs
+
+/root/repo/target/debug/deps/kb_integration-ae3c186697a24fb4: crates/myrtus/../../tests/kb_integration.rs
+
+crates/myrtus/../../tests/kb_integration.rs:

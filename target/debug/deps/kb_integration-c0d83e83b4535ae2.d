@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kb_integration-c0d83e83b4535ae2.d: crates/myrtus/../../tests/kb_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkb_integration-c0d83e83b4535ae2.rmeta: crates/myrtus/../../tests/kb_integration.rs Cargo.toml
+
+crates/myrtus/../../tests/kb_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

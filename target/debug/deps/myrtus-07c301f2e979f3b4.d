@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/myrtus-07c301f2e979f3b4.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/debug/deps/myrtus-07c301f2e979f3b4: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/myrtus-1ed8294a4fa37017.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/debug/deps/myrtus-1ed8294a4fa37017: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:

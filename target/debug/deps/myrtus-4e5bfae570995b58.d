@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/myrtus-4e5bfae570995b58.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrtus-4e5bfae570995b58.rmeta: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs Cargo.toml
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/myrtus-56327a22ab541afb.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/debug/deps/libmyrtus-56327a22ab541afb.rlib: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/debug/deps/libmyrtus-56327a22ab541afb.rmeta: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:

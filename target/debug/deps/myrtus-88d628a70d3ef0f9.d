@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/myrtus-88d628a70d3ef0f9.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrtus-88d628a70d3ef0f9.rmeta: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs Cargo.toml
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

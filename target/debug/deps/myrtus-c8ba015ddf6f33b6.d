@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/myrtus-c8ba015ddf6f33b6.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/debug/deps/libmyrtus-c8ba015ddf6f33b6.rlib: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/debug/deps/libmyrtus-c8ba015ddf6f33b6.rmeta: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/myrtus_bench-059bd7a6919484d6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/myrtus_bench-059bd7a6919484d6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/myrtus_bench-4c4f7de2b86fb5ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmyrtus_bench-4c4f7de2b86fb5ad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmyrtus_bench-4c4f7de2b86fb5ad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

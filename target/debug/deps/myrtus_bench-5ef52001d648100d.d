@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/myrtus_bench-5ef52001d648100d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/myrtus_bench-5ef52001d648100d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

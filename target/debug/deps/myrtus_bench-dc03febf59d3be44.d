@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/myrtus_bench-dc03febf59d3be44.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmyrtus_bench-dc03febf59d3be44.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmyrtus_bench-dc03febf59d3be44.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

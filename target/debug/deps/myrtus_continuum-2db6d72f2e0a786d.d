@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/myrtus_continuum-2db6d72f2e0a786d.d: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs
+
+/root/repo/target/debug/deps/libmyrtus_continuum-2db6d72f2e0a786d.rlib: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs
+
+/root/repo/target/debug/deps/libmyrtus_continuum-2db6d72f2e0a786d.rmeta: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs
+
+crates/continuum/src/lib.rs:
+crates/continuum/src/cluster.rs:
+crates/continuum/src/energy.rs:
+crates/continuum/src/engine.rs:
+crates/continuum/src/fault.rs:
+crates/continuum/src/ids.rs:
+crates/continuum/src/monitor.rs:
+crates/continuum/src/net.rs:
+crates/continuum/src/node.rs:
+crates/continuum/src/stats.rs:
+crates/continuum/src/task.rs:
+crates/continuum/src/time.rs:
+crates/continuum/src/topology.rs:

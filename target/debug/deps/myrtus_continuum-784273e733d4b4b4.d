@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/myrtus_continuum-784273e733d4b4b4.d: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrtus_continuum-784273e733d4b4b4.rmeta: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs Cargo.toml
+
+crates/continuum/src/lib.rs:
+crates/continuum/src/cluster.rs:
+crates/continuum/src/energy.rs:
+crates/continuum/src/engine.rs:
+crates/continuum/src/fault.rs:
+crates/continuum/src/ids.rs:
+crates/continuum/src/monitor.rs:
+crates/continuum/src/net.rs:
+crates/continuum/src/node.rs:
+crates/continuum/src/stats.rs:
+crates/continuum/src/task.rs:
+crates/continuum/src/time.rs:
+crates/continuum/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

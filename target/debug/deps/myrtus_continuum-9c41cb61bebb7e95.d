@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/myrtus_continuum-9c41cb61bebb7e95.d: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs
+
+/root/repo/target/debug/deps/myrtus_continuum-9c41cb61bebb7e95: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs
+
+crates/continuum/src/lib.rs:
+crates/continuum/src/cluster.rs:
+crates/continuum/src/energy.rs:
+crates/continuum/src/engine.rs:
+crates/continuum/src/fault.rs:
+crates/continuum/src/ids.rs:
+crates/continuum/src/monitor.rs:
+crates/continuum/src/net.rs:
+crates/continuum/src/node.rs:
+crates/continuum/src/stats.rs:
+crates/continuum/src/task.rs:
+crates/continuum/src/time.rs:
+crates/continuum/src/topology.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/myrtus_dpe-17ded6786ce9db33.d: crates/dpe/src/lib.rs crates/dpe/src/cgra.rs crates/dpe/src/codegen.rs crates/dpe/src/deploy.rs crates/dpe/src/dse.rs crates/dpe/src/flow.rs crates/dpe/src/hls.rs crates/dpe/src/ir.rs crates/dpe/src/kernels.rs crates/dpe/src/mdc.rs crates/dpe/src/nn.rs crates/dpe/src/transform.rs
+
+/root/repo/target/debug/deps/myrtus_dpe-17ded6786ce9db33: crates/dpe/src/lib.rs crates/dpe/src/cgra.rs crates/dpe/src/codegen.rs crates/dpe/src/deploy.rs crates/dpe/src/dse.rs crates/dpe/src/flow.rs crates/dpe/src/hls.rs crates/dpe/src/ir.rs crates/dpe/src/kernels.rs crates/dpe/src/mdc.rs crates/dpe/src/nn.rs crates/dpe/src/transform.rs
+
+crates/dpe/src/lib.rs:
+crates/dpe/src/cgra.rs:
+crates/dpe/src/codegen.rs:
+crates/dpe/src/deploy.rs:
+crates/dpe/src/dse.rs:
+crates/dpe/src/flow.rs:
+crates/dpe/src/hls.rs:
+crates/dpe/src/ir.rs:
+crates/dpe/src/kernels.rs:
+crates/dpe/src/mdc.rs:
+crates/dpe/src/nn.rs:
+crates/dpe/src/transform.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/myrtus_dpe-4432665130ef6af1.d: crates/dpe/src/lib.rs crates/dpe/src/cgra.rs crates/dpe/src/codegen.rs crates/dpe/src/deploy.rs crates/dpe/src/dse.rs crates/dpe/src/flow.rs crates/dpe/src/hls.rs crates/dpe/src/ir.rs crates/dpe/src/kernels.rs crates/dpe/src/mdc.rs crates/dpe/src/nn.rs crates/dpe/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrtus_dpe-4432665130ef6af1.rmeta: crates/dpe/src/lib.rs crates/dpe/src/cgra.rs crates/dpe/src/codegen.rs crates/dpe/src/deploy.rs crates/dpe/src/dse.rs crates/dpe/src/flow.rs crates/dpe/src/hls.rs crates/dpe/src/ir.rs crates/dpe/src/kernels.rs crates/dpe/src/mdc.rs crates/dpe/src/nn.rs crates/dpe/src/transform.rs Cargo.toml
+
+crates/dpe/src/lib.rs:
+crates/dpe/src/cgra.rs:
+crates/dpe/src/codegen.rs:
+crates/dpe/src/deploy.rs:
+crates/dpe/src/dse.rs:
+crates/dpe/src/flow.rs:
+crates/dpe/src/hls.rs:
+crates/dpe/src/ir.rs:
+crates/dpe/src/kernels.rs:
+crates/dpe/src/mdc.rs:
+crates/dpe/src/nn.rs:
+crates/dpe/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

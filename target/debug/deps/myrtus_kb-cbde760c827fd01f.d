@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/myrtus_kb-cbde760c827fd01f.d: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs
+
+/root/repo/target/debug/deps/libmyrtus_kb-cbde760c827fd01f.rlib: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs
+
+/root/repo/target/debug/deps/libmyrtus_kb-cbde760c827fd01f.rmeta: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs
+
+crates/kb/src/lib.rs:
+crates/kb/src/command.rs:
+crates/kb/src/facade.rs:
+crates/kb/src/history.rs:
+crates/kb/src/raft.rs:
+crates/kb/src/registry.rs:
+crates/kb/src/store.rs:

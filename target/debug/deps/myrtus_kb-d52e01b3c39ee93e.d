@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/myrtus_kb-d52e01b3c39ee93e.d: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrtus_kb-d52e01b3c39ee93e.rmeta: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs Cargo.toml
+
+crates/kb/src/lib.rs:
+crates/kb/src/command.rs:
+crates/kb/src/facade.rs:
+crates/kb/src/history.rs:
+crates/kb/src/raft.rs:
+crates/kb/src/registry.rs:
+crates/kb/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/myrtus_kb-f7273c7f6d1ab3b6.d: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs
+
+/root/repo/target/debug/deps/myrtus_kb-f7273c7f6d1ab3b6: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs
+
+crates/kb/src/lib.rs:
+crates/kb/src/command.rs:
+crates/kb/src/facade.rs:
+crates/kb/src/history.rs:
+crates/kb/src/raft.rs:
+crates/kb/src/registry.rs:
+crates/kb/src/store.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/myrtus_mirto-80f259c72e046c10.d: crates/mirto/src/lib.rs crates/mirto/src/agent.rs crates/mirto/src/api.rs crates/mirto/src/deployer.rs crates/mirto/src/engine.rs crates/mirto/src/fl.rs crates/mirto/src/frevo.rs crates/mirto/src/images.rs crates/mirto/src/managers/mod.rs crates/mirto/src/managers/network.rs crates/mirto/src/managers/node.rs crates/mirto/src/managers/privsec.rs crates/mirto/src/managers/wl.rs crates/mirto/src/placement.rs crates/mirto/src/policies.rs crates/mirto/src/rl.rs crates/mirto/src/swarm.rs
+
+/root/repo/target/debug/deps/libmyrtus_mirto-80f259c72e046c10.rlib: crates/mirto/src/lib.rs crates/mirto/src/agent.rs crates/mirto/src/api.rs crates/mirto/src/deployer.rs crates/mirto/src/engine.rs crates/mirto/src/fl.rs crates/mirto/src/frevo.rs crates/mirto/src/images.rs crates/mirto/src/managers/mod.rs crates/mirto/src/managers/network.rs crates/mirto/src/managers/node.rs crates/mirto/src/managers/privsec.rs crates/mirto/src/managers/wl.rs crates/mirto/src/placement.rs crates/mirto/src/policies.rs crates/mirto/src/rl.rs crates/mirto/src/swarm.rs
+
+/root/repo/target/debug/deps/libmyrtus_mirto-80f259c72e046c10.rmeta: crates/mirto/src/lib.rs crates/mirto/src/agent.rs crates/mirto/src/api.rs crates/mirto/src/deployer.rs crates/mirto/src/engine.rs crates/mirto/src/fl.rs crates/mirto/src/frevo.rs crates/mirto/src/images.rs crates/mirto/src/managers/mod.rs crates/mirto/src/managers/network.rs crates/mirto/src/managers/node.rs crates/mirto/src/managers/privsec.rs crates/mirto/src/managers/wl.rs crates/mirto/src/placement.rs crates/mirto/src/policies.rs crates/mirto/src/rl.rs crates/mirto/src/swarm.rs
+
+crates/mirto/src/lib.rs:
+crates/mirto/src/agent.rs:
+crates/mirto/src/api.rs:
+crates/mirto/src/deployer.rs:
+crates/mirto/src/engine.rs:
+crates/mirto/src/fl.rs:
+crates/mirto/src/frevo.rs:
+crates/mirto/src/images.rs:
+crates/mirto/src/managers/mod.rs:
+crates/mirto/src/managers/network.rs:
+crates/mirto/src/managers/node.rs:
+crates/mirto/src/managers/privsec.rs:
+crates/mirto/src/managers/wl.rs:
+crates/mirto/src/placement.rs:
+crates/mirto/src/policies.rs:
+crates/mirto/src/rl.rs:
+crates/mirto/src/swarm.rs:

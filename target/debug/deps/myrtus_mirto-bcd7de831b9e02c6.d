@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/myrtus_mirto-bcd7de831b9e02c6.d: crates/mirto/src/lib.rs crates/mirto/src/agent.rs crates/mirto/src/api.rs crates/mirto/src/deployer.rs crates/mirto/src/engine.rs crates/mirto/src/fl.rs crates/mirto/src/frevo.rs crates/mirto/src/images.rs crates/mirto/src/managers/mod.rs crates/mirto/src/managers/network.rs crates/mirto/src/managers/node.rs crates/mirto/src/managers/privsec.rs crates/mirto/src/managers/wl.rs crates/mirto/src/placement.rs crates/mirto/src/policies.rs crates/mirto/src/rl.rs crates/mirto/src/swarm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrtus_mirto-bcd7de831b9e02c6.rmeta: crates/mirto/src/lib.rs crates/mirto/src/agent.rs crates/mirto/src/api.rs crates/mirto/src/deployer.rs crates/mirto/src/engine.rs crates/mirto/src/fl.rs crates/mirto/src/frevo.rs crates/mirto/src/images.rs crates/mirto/src/managers/mod.rs crates/mirto/src/managers/network.rs crates/mirto/src/managers/node.rs crates/mirto/src/managers/privsec.rs crates/mirto/src/managers/wl.rs crates/mirto/src/placement.rs crates/mirto/src/policies.rs crates/mirto/src/rl.rs crates/mirto/src/swarm.rs Cargo.toml
+
+crates/mirto/src/lib.rs:
+crates/mirto/src/agent.rs:
+crates/mirto/src/api.rs:
+crates/mirto/src/deployer.rs:
+crates/mirto/src/engine.rs:
+crates/mirto/src/fl.rs:
+crates/mirto/src/frevo.rs:
+crates/mirto/src/images.rs:
+crates/mirto/src/managers/mod.rs:
+crates/mirto/src/managers/network.rs:
+crates/mirto/src/managers/node.rs:
+crates/mirto/src/managers/privsec.rs:
+crates/mirto/src/managers/wl.rs:
+crates/mirto/src/placement.rs:
+crates/mirto/src/policies.rs:
+crates/mirto/src/rl.rs:
+crates/mirto/src/swarm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/myrtus_security-3fedb3b7c7c4dbda.d: crates/security/src/lib.rs crates/security/src/adt.rs crates/security/src/aes.rs crates/security/src/ascon.rs crates/security/src/authn.rs crates/security/src/channel.rs crates/security/src/gaiax.rs crates/security/src/lwc.rs crates/security/src/pk.rs crates/security/src/sha2.rs crates/security/src/suite.rs crates/security/src/trust.rs
+
+/root/repo/target/debug/deps/myrtus_security-3fedb3b7c7c4dbda: crates/security/src/lib.rs crates/security/src/adt.rs crates/security/src/aes.rs crates/security/src/ascon.rs crates/security/src/authn.rs crates/security/src/channel.rs crates/security/src/gaiax.rs crates/security/src/lwc.rs crates/security/src/pk.rs crates/security/src/sha2.rs crates/security/src/suite.rs crates/security/src/trust.rs
+
+crates/security/src/lib.rs:
+crates/security/src/adt.rs:
+crates/security/src/aes.rs:
+crates/security/src/ascon.rs:
+crates/security/src/authn.rs:
+crates/security/src/channel.rs:
+crates/security/src/gaiax.rs:
+crates/security/src/lwc.rs:
+crates/security/src/pk.rs:
+crates/security/src/sha2.rs:
+crates/security/src/suite.rs:
+crates/security/src/trust.rs:

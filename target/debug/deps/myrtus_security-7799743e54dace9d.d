@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/myrtus_security-7799743e54dace9d.d: crates/security/src/lib.rs crates/security/src/adt.rs crates/security/src/aes.rs crates/security/src/ascon.rs crates/security/src/authn.rs crates/security/src/channel.rs crates/security/src/gaiax.rs crates/security/src/lwc.rs crates/security/src/pk.rs crates/security/src/sha2.rs crates/security/src/suite.rs crates/security/src/trust.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrtus_security-7799743e54dace9d.rmeta: crates/security/src/lib.rs crates/security/src/adt.rs crates/security/src/aes.rs crates/security/src/ascon.rs crates/security/src/authn.rs crates/security/src/channel.rs crates/security/src/gaiax.rs crates/security/src/lwc.rs crates/security/src/pk.rs crates/security/src/sha2.rs crates/security/src/suite.rs crates/security/src/trust.rs Cargo.toml
+
+crates/security/src/lib.rs:
+crates/security/src/adt.rs:
+crates/security/src/aes.rs:
+crates/security/src/ascon.rs:
+crates/security/src/authn.rs:
+crates/security/src/channel.rs:
+crates/security/src/gaiax.rs:
+crates/security/src/lwc.rs:
+crates/security/src/pk.rs:
+crates/security/src/sha2.rs:
+crates/security/src/suite.rs:
+crates/security/src/trust.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/myrtus_workload-7c93b73af2e8ca26.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/myrtus_workload-7c93b73af2e8ca26: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/compile.rs:
+crates/workload/src/graph.rs:
+crates/workload/src/opset.rs:
+crates/workload/src/scenarios.rs:
+crates/workload/src/tosca.rs:
+crates/workload/src/trace.rs:

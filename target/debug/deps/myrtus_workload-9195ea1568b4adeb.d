@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/myrtus_workload-9195ea1568b4adeb.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libmyrtus_workload-9195ea1568b4adeb.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libmyrtus_workload-9195ea1568b4adeb.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/compile.rs:
+crates/workload/src/graph.rs:
+crates/workload/src/opset.rs:
+crates/workload/src/scenarios.rs:
+crates/workload/src/tosca.rs:
+crates/workload/src/trace.rs:

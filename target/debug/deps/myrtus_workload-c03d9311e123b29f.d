@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/myrtus_workload-c03d9311e123b29f.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrtus_workload-c03d9311e123b29f.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/compile.rs:
+crates/workload/src/graph.rs:
+crates/workload/src/opset.rs:
+crates/workload/src/scenarios.rs:
+crates/workload/src/tosca.rs:
+crates/workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/orchestration-e98588783ead21f2.d: crates/bench/benches/orchestration.rs Cargo.toml
+
+/root/repo/target/debug/deps/liborchestration-e98588783ead21f2.rmeta: crates/bench/benches/orchestration.rs Cargo.toml
+
+crates/bench/benches/orchestration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

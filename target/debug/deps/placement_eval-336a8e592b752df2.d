@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement_eval-336a8e592b752df2.d: crates/bench/benches/placement_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement_eval-336a8e592b752df2.rmeta: crates/bench/benches/placement_eval.rs Cargo.toml
+
+crates/bench/benches/placement_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

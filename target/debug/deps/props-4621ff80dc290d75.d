@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-4621ff80dc290d75.d: crates/continuum/tests/props.rs
+
+/root/repo/target/debug/deps/props-4621ff80dc290d75: crates/continuum/tests/props.rs
+
+crates/continuum/tests/props.rs:

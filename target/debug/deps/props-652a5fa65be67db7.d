@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-652a5fa65be67db7.d: crates/kb/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-652a5fa65be67db7.rmeta: crates/kb/tests/props.rs Cargo.toml
+
+crates/kb/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-7c8d35a393573bc4.d: crates/security/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-7c8d35a393573bc4.rmeta: crates/security/tests/props.rs Cargo.toml
+
+crates/security/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-883eb2fb8ef47aa3.d: crates/continuum/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-883eb2fb8ef47aa3.rmeta: crates/continuum/tests/props.rs Cargo.toml
+
+crates/continuum/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

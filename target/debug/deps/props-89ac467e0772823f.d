@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-89ac467e0772823f.d: crates/dpe/tests/props.rs
+
+/root/repo/target/debug/deps/props-89ac467e0772823f: crates/dpe/tests/props.rs
+
+crates/dpe/tests/props.rs:

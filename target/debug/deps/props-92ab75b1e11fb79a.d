@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-92ab75b1e11fb79a.d: crates/kb/tests/props.rs
+
+/root/repo/target/debug/deps/props-92ab75b1e11fb79a: crates/kb/tests/props.rs
+
+crates/kb/tests/props.rs:

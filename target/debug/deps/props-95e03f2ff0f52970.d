@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-95e03f2ff0f52970.d: crates/dpe/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-95e03f2ff0f52970.rmeta: crates/dpe/tests/props.rs Cargo.toml
+
+crates/dpe/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-c023e349da7b8a47.d: crates/dpe/tests/props.rs
+
+/root/repo/target/debug/deps/props-c023e349da7b8a47: crates/dpe/tests/props.rs
+
+crates/dpe/tests/props.rs:

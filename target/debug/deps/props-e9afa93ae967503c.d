@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-e9afa93ae967503c.d: crates/security/tests/props.rs
+
+/root/repo/target/debug/deps/props-e9afa93ae967503c: crates/security/tests/props.rs
+
+crates/security/tests/props.rs:

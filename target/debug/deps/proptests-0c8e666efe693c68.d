@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0c8e666efe693c68.d: crates/myrtus/../../tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0c8e666efe693c68.rmeta: crates/myrtus/../../tests/proptests.rs Cargo.toml
+
+crates/myrtus/../../tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5bc93a891d47c55f.d: crates/myrtus/../../tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5bc93a891d47c55f: crates/myrtus/../../tests/proptests.rs
+
+crates/myrtus/../../tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-dc4359191e5e3ad9.d: crates/myrtus/../../tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-dc4359191e5e3ad9: crates/myrtus/../../tests/proptests.rs
+
+crates/myrtus/../../tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_integration-583dd2f320c21f3c.d: crates/myrtus/../../tests/security_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_integration-583dd2f320c21f3c.rmeta: crates/myrtus/../../tests/security_integration.rs Cargo.toml
+
+crates/myrtus/../../tests/security_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

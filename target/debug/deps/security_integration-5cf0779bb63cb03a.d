@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_integration-5cf0779bb63cb03a.d: crates/myrtus/../../tests/security_integration.rs
+
+/root/repo/target/debug/deps/security_integration-5cf0779bb63cb03a: crates/myrtus/../../tests/security_integration.rs
+
+crates/myrtus/../../tests/security_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_integration-8bf78c88583aeecb.d: crates/myrtus/../../tests/security_integration.rs
+
+/root/repo/target/debug/deps/security_integration-8bf78c88583aeecb: crates/myrtus/../../tests/security_integration.rs
+
+crates/myrtus/../../tests/security_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_levels-81d4de73f1aaa5c0.d: crates/bench/benches/security_levels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_levels-81d4de73f1aaa5c0.rmeta: crates/bench/benches/security_levels.rs Cargo.toml
+
+crates/bench/benches/security_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

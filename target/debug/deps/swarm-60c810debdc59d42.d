@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swarm-60c810debdc59d42.d: crates/bench/benches/swarm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswarm-60c810debdc59d42.rmeta: crates/bench/benches/swarm.rs Cargo.toml
+
+crates/bench/benches/swarm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-7a9392362a5878ec.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-7a9392362a5878ec: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

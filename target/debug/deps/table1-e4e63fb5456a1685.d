@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e4e63fb5456a1685.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e4e63fb5456a1685: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0041744a4a793ad7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0041744a4a793ad7: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a555103eec972856.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a555103eec972856: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cognitive_inference-32e71e88dc9ad38f.d: crates/myrtus/../../examples/cognitive_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcognitive_inference-32e71e88dc9ad38f.rmeta: crates/myrtus/../../examples/cognitive_inference.rs Cargo.toml
+
+crates/myrtus/../../examples/cognitive_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cognitive_inference-cc11e392bbd8c1aa.d: crates/myrtus/../../examples/cognitive_inference.rs
+
+/root/repo/target/debug/examples/cognitive_inference-cc11e392bbd8c1aa: crates/myrtus/../../examples/cognitive_inference.rs
+
+crates/myrtus/../../examples/cognitive_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cognitive_inference-d6707f334e82c9e3.d: crates/myrtus/../../examples/cognitive_inference.rs
+
+/root/repo/target/debug/examples/cognitive_inference-d6707f334e82c9e3: crates/myrtus/../../examples/cognitive_inference.rs
+
+crates/myrtus/../../examples/cognitive_inference.rs:

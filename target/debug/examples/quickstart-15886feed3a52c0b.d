@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-15886feed3a52c0b.d: crates/myrtus/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-15886feed3a52c0b: crates/myrtus/../../examples/quickstart.rs
+
+crates/myrtus/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-80d7e7a0592fc02d.d: crates/myrtus/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-80d7e7a0592fc02d.rmeta: crates/myrtus/../../examples/quickstart.rs Cargo.toml
+
+crates/myrtus/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dfb48ed82e392887.d: crates/myrtus/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dfb48ed82e392887: crates/myrtus/../../examples/quickstart.rs
+
+crates/myrtus/../../examples/quickstart.rs:

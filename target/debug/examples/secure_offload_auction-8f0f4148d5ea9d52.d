@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_offload_auction-8f0f4148d5ea9d52.d: crates/myrtus/../../examples/secure_offload_auction.rs
+
+/root/repo/target/debug/examples/secure_offload_auction-8f0f4148d5ea9d52: crates/myrtus/../../examples/secure_offload_auction.rs
+
+crates/myrtus/../../examples/secure_offload_auction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_offload_auction-a35f6f4e7776fbf6.d: crates/myrtus/../../examples/secure_offload_auction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_offload_auction-a35f6f4e7776fbf6.rmeta: crates/myrtus/../../examples/secure_offload_auction.rs Cargo.toml
+
+crates/myrtus/../../examples/secure_offload_auction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

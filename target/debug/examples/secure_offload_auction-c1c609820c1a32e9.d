@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_offload_auction-c1c609820c1a32e9.d: crates/myrtus/../../examples/secure_offload_auction.rs
+
+/root/repo/target/debug/examples/secure_offload_auction-c1c609820c1a32e9: crates/myrtus/../../examples/secure_offload_auction.rs
+
+crates/myrtus/../../examples/secure_offload_auction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_mobility-48273ab06f4d19ea.d: crates/myrtus/../../examples/smart_mobility.rs
+
+/root/repo/target/debug/examples/smart_mobility-48273ab06f4d19ea: crates/myrtus/../../examples/smart_mobility.rs
+
+crates/myrtus/../../examples/smart_mobility.rs:

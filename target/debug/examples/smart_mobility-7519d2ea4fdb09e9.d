@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_mobility-7519d2ea4fdb09e9.d: crates/myrtus/../../examples/smart_mobility.rs
+
+/root/repo/target/debug/examples/smart_mobility-7519d2ea4fdb09e9: crates/myrtus/../../examples/smart_mobility.rs
+
+crates/myrtus/../../examples/smart_mobility.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_mobility-bce3ade1e78f7011.d: crates/myrtus/../../examples/smart_mobility.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_mobility-bce3ade1e78f7011.rmeta: crates/myrtus/../../examples/smart_mobility.rs Cargo.toml
+
+crates/myrtus/../../examples/smart_mobility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

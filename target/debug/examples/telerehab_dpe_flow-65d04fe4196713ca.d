@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telerehab_dpe_flow-65d04fe4196713ca.d: crates/myrtus/../../examples/telerehab_dpe_flow.rs
+
+/root/repo/target/debug/examples/telerehab_dpe_flow-65d04fe4196713ca: crates/myrtus/../../examples/telerehab_dpe_flow.rs
+
+crates/myrtus/../../examples/telerehab_dpe_flow.rs:

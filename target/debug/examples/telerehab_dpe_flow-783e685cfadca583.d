@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/telerehab_dpe_flow-783e685cfadca583.d: crates/myrtus/../../examples/telerehab_dpe_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtelerehab_dpe_flow-783e685cfadca583.rmeta: crates/myrtus/../../examples/telerehab_dpe_flow.rs Cargo.toml
+
+crates/myrtus/../../examples/telerehab_dpe_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/telerehab_dpe_flow-f31383dd135deb5f.d: crates/myrtus/../../examples/telerehab_dpe_flow.rs
+
+/root/repo/target/debug/examples/telerehab_dpe_flow-f31383dd135deb5f: crates/myrtus/../../examples/telerehab_dpe_flow.rs
+
+crates/myrtus/../../examples/telerehab_dpe_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_adaptation-30568c3fbaa22ab3.d: crates/bench/src/bin/exp_adaptation.rs
+
+/root/repo/target/release/deps/exp_adaptation-30568c3fbaa22ab3: crates/bench/src/bin/exp_adaptation.rs
+
+crates/bench/src/bin/exp_adaptation.rs:

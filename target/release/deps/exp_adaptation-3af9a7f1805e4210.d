@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_adaptation-3af9a7f1805e4210.d: crates/bench/src/bin/exp_adaptation.rs
+
+/root/repo/target/release/deps/exp_adaptation-3af9a7f1805e4210: crates/bench/src/bin/exp_adaptation.rs
+
+crates/bench/src/bin/exp_adaptation.rs:

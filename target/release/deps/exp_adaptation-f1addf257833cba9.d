@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_adaptation-f1addf257833cba9.d: crates/bench/src/bin/exp_adaptation.rs
+
+/root/repo/target/release/deps/exp_adaptation-f1addf257833cba9: crates/bench/src/bin/exp_adaptation.rs
+
+crates/bench/src/bin/exp_adaptation.rs:

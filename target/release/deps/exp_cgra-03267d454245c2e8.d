@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_cgra-03267d454245c2e8.d: crates/bench/src/bin/exp_cgra.rs
+
+/root/repo/target/release/deps/exp_cgra-03267d454245c2e8: crates/bench/src/bin/exp_cgra.rs
+
+crates/bench/src/bin/exp_cgra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_cgra-46877befd3420a8a.d: crates/bench/src/bin/exp_cgra.rs
+
+/root/repo/target/release/deps/exp_cgra-46877befd3420a8a: crates/bench/src/bin/exp_cgra.rs
+
+crates/bench/src/bin/exp_cgra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_cgra-ff1e4e7d45df0eb7.d: crates/bench/src/bin/exp_cgra.rs
+
+/root/repo/target/release/deps/exp_cgra-ff1e4e7d45df0eb7: crates/bench/src/bin/exp_cgra.rs
+
+crates/bench/src/bin/exp_cgra.rs:

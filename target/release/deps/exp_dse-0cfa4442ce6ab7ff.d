@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_dse-0cfa4442ce6ab7ff.d: crates/bench/src/bin/exp_dse.rs
+
+/root/repo/target/release/deps/exp_dse-0cfa4442ce6ab7ff: crates/bench/src/bin/exp_dse.rs
+
+crates/bench/src/bin/exp_dse.rs:

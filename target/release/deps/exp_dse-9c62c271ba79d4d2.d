@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_dse-9c62c271ba79d4d2.d: crates/bench/src/bin/exp_dse.rs
+
+/root/repo/target/release/deps/exp_dse-9c62c271ba79d4d2: crates/bench/src/bin/exp_dse.rs
+
+crates/bench/src/bin/exp_dse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_dse-ff78177eb5c50ba8.d: crates/bench/src/bin/exp_dse.rs
+
+/root/repo/target/release/deps/exp_dse-ff78177eb5c50ba8: crates/bench/src/bin/exp_dse.rs
+
+crates/bench/src/bin/exp_dse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_federated-34898980d42cea31.d: crates/bench/src/bin/exp_federated.rs
+
+/root/repo/target/release/deps/exp_federated-34898980d42cea31: crates/bench/src/bin/exp_federated.rs
+
+crates/bench/src/bin/exp_federated.rs:

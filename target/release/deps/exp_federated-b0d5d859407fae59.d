@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_federated-b0d5d859407fae59.d: crates/bench/src/bin/exp_federated.rs
+
+/root/repo/target/release/deps/exp_federated-b0d5d859407fae59: crates/bench/src/bin/exp_federated.rs
+
+crates/bench/src/bin/exp_federated.rs:

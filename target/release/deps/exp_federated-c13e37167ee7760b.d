@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_federated-c13e37167ee7760b.d: crates/bench/src/bin/exp_federated.rs
+
+/root/repo/target/release/deps/exp_federated-c13e37167ee7760b: crates/bench/src/bin/exp_federated.rs
+
+crates/bench/src/bin/exp_federated.rs:

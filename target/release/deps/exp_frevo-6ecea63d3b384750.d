@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_frevo-6ecea63d3b384750.d: crates/bench/src/bin/exp_frevo.rs
+
+/root/repo/target/release/deps/exp_frevo-6ecea63d3b384750: crates/bench/src/bin/exp_frevo.rs
+
+crates/bench/src/bin/exp_frevo.rs:

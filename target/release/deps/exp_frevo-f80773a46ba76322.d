@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_frevo-f80773a46ba76322.d: crates/bench/src/bin/exp_frevo.rs
+
+/root/repo/target/release/deps/exp_frevo-f80773a46ba76322: crates/bench/src/bin/exp_frevo.rs
+
+crates/bench/src/bin/exp_frevo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_frevo-f8a41c127a7450de.d: crates/bench/src/bin/exp_frevo.rs
+
+/root/repo/target/release/deps/exp_frevo-f8a41c127a7450de: crates/bench/src/bin/exp_frevo.rs
+
+crates/bench/src/bin/exp_frevo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_kb-9ce4caf490496183.d: crates/bench/src/bin/exp_kb.rs
+
+/root/repo/target/release/deps/exp_kb-9ce4caf490496183: crates/bench/src/bin/exp_kb.rs
+
+crates/bench/src/bin/exp_kb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_kb-b549f36ab3c94aa2.d: crates/bench/src/bin/exp_kb.rs
+
+/root/repo/target/release/deps/exp_kb-b549f36ab3c94aa2: crates/bench/src/bin/exp_kb.rs
+
+crates/bench/src/bin/exp_kb.rs:

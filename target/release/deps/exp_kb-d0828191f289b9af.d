@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_kb-d0828191f289b9af.d: crates/bench/src/bin/exp_kb.rs
+
+/root/repo/target/release/deps/exp_kb-d0828191f289b9af: crates/bench/src/bin/exp_kb.rs
+
+crates/bench/src/bin/exp_kb.rs:

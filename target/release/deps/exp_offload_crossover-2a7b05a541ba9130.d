@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_offload_crossover-2a7b05a541ba9130.d: crates/bench/src/bin/exp_offload_crossover.rs
+
+/root/repo/target/release/deps/exp_offload_crossover-2a7b05a541ba9130: crates/bench/src/bin/exp_offload_crossover.rs
+
+crates/bench/src/bin/exp_offload_crossover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_offload_crossover-5004747b24ae04a9.d: crates/bench/src/bin/exp_offload_crossover.rs
+
+/root/repo/target/release/deps/exp_offload_crossover-5004747b24ae04a9: crates/bench/src/bin/exp_offload_crossover.rs
+
+crates/bench/src/bin/exp_offload_crossover.rs:

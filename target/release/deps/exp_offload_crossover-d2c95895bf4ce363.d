@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_offload_crossover-d2c95895bf4ce363.d: crates/bench/src/bin/exp_offload_crossover.rs
+
+/root/repo/target/release/deps/exp_offload_crossover-d2c95895bf4ce363: crates/bench/src/bin/exp_offload_crossover.rs
+
+crates/bench/src/bin/exp_offload_crossover.rs:

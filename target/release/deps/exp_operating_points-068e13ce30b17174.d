@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_operating_points-068e13ce30b17174.d: crates/bench/src/bin/exp_operating_points.rs
+
+/root/repo/target/release/deps/exp_operating_points-068e13ce30b17174: crates/bench/src/bin/exp_operating_points.rs
+
+crates/bench/src/bin/exp_operating_points.rs:

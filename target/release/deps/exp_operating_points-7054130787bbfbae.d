@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_operating_points-7054130787bbfbae.d: crates/bench/src/bin/exp_operating_points.rs
+
+/root/repo/target/release/deps/exp_operating_points-7054130787bbfbae: crates/bench/src/bin/exp_operating_points.rs
+
+crates/bench/src/bin/exp_operating_points.rs:

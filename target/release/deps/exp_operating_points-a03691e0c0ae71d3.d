@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_operating_points-a03691e0c0ae71d3.d: crates/bench/src/bin/exp_operating_points.rs
+
+/root/repo/target/release/deps/exp_operating_points-a03691e0c0ae71d3: crates/bench/src/bin/exp_operating_points.rs
+
+crates/bench/src/bin/exp_operating_points.rs:

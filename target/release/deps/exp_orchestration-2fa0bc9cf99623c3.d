@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_orchestration-2fa0bc9cf99623c3.d: crates/bench/src/bin/exp_orchestration.rs
+
+/root/repo/target/release/deps/exp_orchestration-2fa0bc9cf99623c3: crates/bench/src/bin/exp_orchestration.rs
+
+crates/bench/src/bin/exp_orchestration.rs:

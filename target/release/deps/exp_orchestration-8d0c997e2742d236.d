@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_orchestration-8d0c997e2742d236.d: crates/bench/src/bin/exp_orchestration.rs
+
+/root/repo/target/release/deps/exp_orchestration-8d0c997e2742d236: crates/bench/src/bin/exp_orchestration.rs
+
+crates/bench/src/bin/exp_orchestration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_orchestration-f30fc38b12aa99b5.d: crates/bench/src/bin/exp_orchestration.rs
+
+/root/repo/target/release/deps/exp_orchestration-f30fc38b12aa99b5: crates/bench/src/bin/exp_orchestration.rs
+
+crates/bench/src/bin/exp_orchestration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_security_e2e-694944fcefe3d935.d: crates/bench/src/bin/exp_security_e2e.rs
+
+/root/repo/target/release/deps/exp_security_e2e-694944fcefe3d935: crates/bench/src/bin/exp_security_e2e.rs
+
+crates/bench/src/bin/exp_security_e2e.rs:

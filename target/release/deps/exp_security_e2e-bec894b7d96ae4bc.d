@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_security_e2e-bec894b7d96ae4bc.d: crates/bench/src/bin/exp_security_e2e.rs
+
+/root/repo/target/release/deps/exp_security_e2e-bec894b7d96ae4bc: crates/bench/src/bin/exp_security_e2e.rs
+
+crates/bench/src/bin/exp_security_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_security_e2e-f35484ee3395b4d2.d: crates/bench/src/bin/exp_security_e2e.rs
+
+/root/repo/target/release/deps/exp_security_e2e-f35484ee3395b4d2: crates/bench/src/bin/exp_security_e2e.rs
+
+crates/bench/src/bin/exp_security_e2e.rs:

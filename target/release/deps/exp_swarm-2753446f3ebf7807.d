@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_swarm-2753446f3ebf7807.d: crates/bench/src/bin/exp_swarm.rs
+
+/root/repo/target/release/deps/exp_swarm-2753446f3ebf7807: crates/bench/src/bin/exp_swarm.rs
+
+crates/bench/src/bin/exp_swarm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_swarm-4052ef495f8e0030.d: crates/bench/src/bin/exp_swarm.rs
+
+/root/repo/target/release/deps/exp_swarm-4052ef495f8e0030: crates/bench/src/bin/exp_swarm.rs
+
+crates/bench/src/bin/exp_swarm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_swarm-7b305ed3831ca177.d: crates/bench/src/bin/exp_swarm.rs
+
+/root/repo/target/release/deps/exp_swarm-7b305ed3831ca177: crates/bench/src/bin/exp_swarm.rs
+
+crates/bench/src/bin/exp_swarm.rs:

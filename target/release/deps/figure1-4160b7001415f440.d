@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-4160b7001415f440.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-4160b7001415f440: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

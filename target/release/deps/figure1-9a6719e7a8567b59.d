@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-9a6719e7a8567b59.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-9a6719e7a8567b59: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure1-ab227eb887f4c37e.d: crates/bench/src/bin/figure1.rs
+
+/root/repo/target/release/deps/figure1-ab227eb887f4c37e: crates/bench/src/bin/figure1.rs
+
+crates/bench/src/bin/figure1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-2b400d65dec4acf5.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-2b400d65dec4acf5: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure2-d905a62474f6623f.d: crates/bench/src/bin/figure2.rs
+
+/root/repo/target/release/deps/figure2-d905a62474f6623f: crates/bench/src/bin/figure2.rs
+
+crates/bench/src/bin/figure2.rs:

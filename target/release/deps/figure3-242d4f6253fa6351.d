@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-242d4f6253fa6351.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-242d4f6253fa6351: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-24e57712493b5edb.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-24e57712493b5edb: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure3-37c6bce3c4c43ab2.d: crates/bench/src/bin/figure3.rs
+
+/root/repo/target/release/deps/figure3-37c6bce3c4c43ab2: crates/bench/src/bin/figure3.rs
+
+crates/bench/src/bin/figure3.rs:

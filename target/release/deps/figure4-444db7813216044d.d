@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-444db7813216044d.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-444db7813216044d: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

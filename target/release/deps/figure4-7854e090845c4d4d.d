@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-7854e090845c4d4d.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-7854e090845c4d4d: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

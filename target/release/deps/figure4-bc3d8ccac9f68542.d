@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure4-bc3d8ccac9f68542.d: crates/bench/src/bin/figure4.rs
+
+/root/repo/target/release/deps/figure4-bc3d8ccac9f68542: crates/bench/src/bin/figure4.rs
+
+crates/bench/src/bin/figure4.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/myrtus-11caa24cab87e09f.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/release/deps/libmyrtus-11caa24cab87e09f.rlib: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/release/deps/libmyrtus-11caa24cab87e09f.rmeta: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/myrtus-9f1b5054ffde45cc.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/release/deps/libmyrtus-9f1b5054ffde45cc.rlib: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/release/deps/libmyrtus-9f1b5054ffde45cc.rmeta: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:

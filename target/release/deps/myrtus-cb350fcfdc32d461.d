@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/myrtus-cb350fcfdc32d461.d: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/release/deps/libmyrtus-cb350fcfdc32d461.rlib: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+/root/repo/target/release/deps/libmyrtus-cb350fcfdc32d461.rmeta: crates/myrtus/src/lib.rs crates/myrtus/src/inventory.rs
+
+crates/myrtus/src/lib.rs:
+crates/myrtus/src/inventory.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/myrtus_bench-484e84e1350d0d3f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmyrtus_bench-484e84e1350d0d3f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmyrtus_bench-484e84e1350d0d3f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

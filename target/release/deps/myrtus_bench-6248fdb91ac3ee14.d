@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/myrtus_bench-6248fdb91ac3ee14.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmyrtus_bench-6248fdb91ac3ee14.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmyrtus_bench-6248fdb91ac3ee14.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

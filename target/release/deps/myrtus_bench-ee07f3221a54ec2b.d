@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/myrtus_bench-ee07f3221a54ec2b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmyrtus_bench-ee07f3221a54ec2b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmyrtus_bench-ee07f3221a54ec2b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/myrtus_continuum-ad8d3436d3ca2821.d: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs
+
+/root/repo/target/release/deps/libmyrtus_continuum-ad8d3436d3ca2821.rlib: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs
+
+/root/repo/target/release/deps/libmyrtus_continuum-ad8d3436d3ca2821.rmeta: crates/continuum/src/lib.rs crates/continuum/src/cluster.rs crates/continuum/src/energy.rs crates/continuum/src/engine.rs crates/continuum/src/fault.rs crates/continuum/src/ids.rs crates/continuum/src/monitor.rs crates/continuum/src/net.rs crates/continuum/src/node.rs crates/continuum/src/stats.rs crates/continuum/src/task.rs crates/continuum/src/time.rs crates/continuum/src/topology.rs
+
+crates/continuum/src/lib.rs:
+crates/continuum/src/cluster.rs:
+crates/continuum/src/energy.rs:
+crates/continuum/src/engine.rs:
+crates/continuum/src/fault.rs:
+crates/continuum/src/ids.rs:
+crates/continuum/src/monitor.rs:
+crates/continuum/src/net.rs:
+crates/continuum/src/node.rs:
+crates/continuum/src/stats.rs:
+crates/continuum/src/task.rs:
+crates/continuum/src/time.rs:
+crates/continuum/src/topology.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/myrtus_dpe-2529d60fcf3d76e0.d: crates/dpe/src/lib.rs crates/dpe/src/cgra.rs crates/dpe/src/codegen.rs crates/dpe/src/deploy.rs crates/dpe/src/dse.rs crates/dpe/src/flow.rs crates/dpe/src/hls.rs crates/dpe/src/ir.rs crates/dpe/src/kernels.rs crates/dpe/src/mdc.rs crates/dpe/src/nn.rs crates/dpe/src/transform.rs
+
+/root/repo/target/release/deps/libmyrtus_dpe-2529d60fcf3d76e0.rlib: crates/dpe/src/lib.rs crates/dpe/src/cgra.rs crates/dpe/src/codegen.rs crates/dpe/src/deploy.rs crates/dpe/src/dse.rs crates/dpe/src/flow.rs crates/dpe/src/hls.rs crates/dpe/src/ir.rs crates/dpe/src/kernels.rs crates/dpe/src/mdc.rs crates/dpe/src/nn.rs crates/dpe/src/transform.rs
+
+/root/repo/target/release/deps/libmyrtus_dpe-2529d60fcf3d76e0.rmeta: crates/dpe/src/lib.rs crates/dpe/src/cgra.rs crates/dpe/src/codegen.rs crates/dpe/src/deploy.rs crates/dpe/src/dse.rs crates/dpe/src/flow.rs crates/dpe/src/hls.rs crates/dpe/src/ir.rs crates/dpe/src/kernels.rs crates/dpe/src/mdc.rs crates/dpe/src/nn.rs crates/dpe/src/transform.rs
+
+crates/dpe/src/lib.rs:
+crates/dpe/src/cgra.rs:
+crates/dpe/src/codegen.rs:
+crates/dpe/src/deploy.rs:
+crates/dpe/src/dse.rs:
+crates/dpe/src/flow.rs:
+crates/dpe/src/hls.rs:
+crates/dpe/src/ir.rs:
+crates/dpe/src/kernels.rs:
+crates/dpe/src/mdc.rs:
+crates/dpe/src/nn.rs:
+crates/dpe/src/transform.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/myrtus_kb-aa65b81a05372211.d: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs
+
+/root/repo/target/release/deps/libmyrtus_kb-aa65b81a05372211.rlib: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs
+
+/root/repo/target/release/deps/libmyrtus_kb-aa65b81a05372211.rmeta: crates/kb/src/lib.rs crates/kb/src/command.rs crates/kb/src/facade.rs crates/kb/src/history.rs crates/kb/src/raft.rs crates/kb/src/registry.rs crates/kb/src/store.rs
+
+crates/kb/src/lib.rs:
+crates/kb/src/command.rs:
+crates/kb/src/facade.rs:
+crates/kb/src/history.rs:
+crates/kb/src/raft.rs:
+crates/kb/src/registry.rs:
+crates/kb/src/store.rs:

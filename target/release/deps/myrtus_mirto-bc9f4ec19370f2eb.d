@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/myrtus_mirto-bc9f4ec19370f2eb.d: crates/mirto/src/lib.rs crates/mirto/src/agent.rs crates/mirto/src/api.rs crates/mirto/src/deployer.rs crates/mirto/src/engine.rs crates/mirto/src/fl.rs crates/mirto/src/frevo.rs crates/mirto/src/images.rs crates/mirto/src/managers/mod.rs crates/mirto/src/managers/network.rs crates/mirto/src/managers/node.rs crates/mirto/src/managers/privsec.rs crates/mirto/src/managers/wl.rs crates/mirto/src/placement.rs crates/mirto/src/policies.rs crates/mirto/src/rl.rs crates/mirto/src/swarm.rs
+
+/root/repo/target/release/deps/libmyrtus_mirto-bc9f4ec19370f2eb.rlib: crates/mirto/src/lib.rs crates/mirto/src/agent.rs crates/mirto/src/api.rs crates/mirto/src/deployer.rs crates/mirto/src/engine.rs crates/mirto/src/fl.rs crates/mirto/src/frevo.rs crates/mirto/src/images.rs crates/mirto/src/managers/mod.rs crates/mirto/src/managers/network.rs crates/mirto/src/managers/node.rs crates/mirto/src/managers/privsec.rs crates/mirto/src/managers/wl.rs crates/mirto/src/placement.rs crates/mirto/src/policies.rs crates/mirto/src/rl.rs crates/mirto/src/swarm.rs
+
+/root/repo/target/release/deps/libmyrtus_mirto-bc9f4ec19370f2eb.rmeta: crates/mirto/src/lib.rs crates/mirto/src/agent.rs crates/mirto/src/api.rs crates/mirto/src/deployer.rs crates/mirto/src/engine.rs crates/mirto/src/fl.rs crates/mirto/src/frevo.rs crates/mirto/src/images.rs crates/mirto/src/managers/mod.rs crates/mirto/src/managers/network.rs crates/mirto/src/managers/node.rs crates/mirto/src/managers/privsec.rs crates/mirto/src/managers/wl.rs crates/mirto/src/placement.rs crates/mirto/src/policies.rs crates/mirto/src/rl.rs crates/mirto/src/swarm.rs
+
+crates/mirto/src/lib.rs:
+crates/mirto/src/agent.rs:
+crates/mirto/src/api.rs:
+crates/mirto/src/deployer.rs:
+crates/mirto/src/engine.rs:
+crates/mirto/src/fl.rs:
+crates/mirto/src/frevo.rs:
+crates/mirto/src/images.rs:
+crates/mirto/src/managers/mod.rs:
+crates/mirto/src/managers/network.rs:
+crates/mirto/src/managers/node.rs:
+crates/mirto/src/managers/privsec.rs:
+crates/mirto/src/managers/wl.rs:
+crates/mirto/src/placement.rs:
+crates/mirto/src/policies.rs:
+crates/mirto/src/rl.rs:
+crates/mirto/src/swarm.rs:

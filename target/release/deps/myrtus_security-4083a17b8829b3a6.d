@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/myrtus_security-4083a17b8829b3a6.d: crates/security/src/lib.rs crates/security/src/adt.rs crates/security/src/aes.rs crates/security/src/ascon.rs crates/security/src/authn.rs crates/security/src/channel.rs crates/security/src/gaiax.rs crates/security/src/lwc.rs crates/security/src/pk.rs crates/security/src/sha2.rs crates/security/src/suite.rs crates/security/src/trust.rs
+
+/root/repo/target/release/deps/libmyrtus_security-4083a17b8829b3a6.rlib: crates/security/src/lib.rs crates/security/src/adt.rs crates/security/src/aes.rs crates/security/src/ascon.rs crates/security/src/authn.rs crates/security/src/channel.rs crates/security/src/gaiax.rs crates/security/src/lwc.rs crates/security/src/pk.rs crates/security/src/sha2.rs crates/security/src/suite.rs crates/security/src/trust.rs
+
+/root/repo/target/release/deps/libmyrtus_security-4083a17b8829b3a6.rmeta: crates/security/src/lib.rs crates/security/src/adt.rs crates/security/src/aes.rs crates/security/src/ascon.rs crates/security/src/authn.rs crates/security/src/channel.rs crates/security/src/gaiax.rs crates/security/src/lwc.rs crates/security/src/pk.rs crates/security/src/sha2.rs crates/security/src/suite.rs crates/security/src/trust.rs
+
+crates/security/src/lib.rs:
+crates/security/src/adt.rs:
+crates/security/src/aes.rs:
+crates/security/src/ascon.rs:
+crates/security/src/authn.rs:
+crates/security/src/channel.rs:
+crates/security/src/gaiax.rs:
+crates/security/src/lwc.rs:
+crates/security/src/pk.rs:
+crates/security/src/sha2.rs:
+crates/security/src/suite.rs:
+crates/security/src/trust.rs:

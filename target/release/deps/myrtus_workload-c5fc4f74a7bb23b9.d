@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/myrtus_workload-c5fc4f74a7bb23b9.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libmyrtus_workload-c5fc4f74a7bb23b9.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libmyrtus_workload-c5fc4f74a7bb23b9.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/compile.rs crates/workload/src/graph.rs crates/workload/src/opset.rs crates/workload/src/scenarios.rs crates/workload/src/tosca.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/compile.rs:
+crates/workload/src/graph.rs:
+crates/workload/src/opset.rs:
+crates/workload/src/scenarios.rs:
+crates/workload/src/tosca.rs:
+crates/workload/src/trace.rs:

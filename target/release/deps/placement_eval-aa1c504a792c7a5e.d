@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/placement_eval-aa1c504a792c7a5e.d: crates/bench/benches/placement_eval.rs
+
+/root/repo/target/release/deps/placement_eval-aa1c504a792c7a5e: crates/bench/benches/placement_eval.rs
+
+crates/bench/benches/placement_eval.rs:

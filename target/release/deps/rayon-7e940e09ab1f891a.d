@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-7e940e09ab1f891a.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-7e940e09ab1f891a.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-7e940e09ab1f891a.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-af53bd21082820f2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-af53bd21082820f2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-fe2a19d0fd6ab7ef.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-fe2a19d0fd6ab7ef: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-82242da919ea52b4.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-82242da919ea52b4: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

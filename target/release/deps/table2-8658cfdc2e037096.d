@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-8658cfdc2e037096.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-8658cfdc2e037096: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

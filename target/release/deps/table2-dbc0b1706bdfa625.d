@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-dbc0b1706bdfa625.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-dbc0b1706bdfa625: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-42b50ee80579108a.d: crates/myrtus/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-42b50ee80579108a: crates/myrtus/../../examples/quickstart.rs
+
+crates/myrtus/../../examples/quickstart.rs:

@@ -21,10 +21,7 @@ fn fingerprint(r: &myrtus::mirto::engine::OrchestrationReport) -> String {
         r.events
     );
     for a in &r.apps {
-        s.push_str(&format!(
-            ";{}:{}:{}:{}",
-            a.app_id, a.completed, a.failed, a.deadline_misses
-        ));
+        s.push_str(&format!(";{}:{}:{}:{}", a.app_id, a.completed, a.failed, a.deadline_misses));
     }
     s
 }

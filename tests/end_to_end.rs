@@ -16,9 +16,7 @@ use myrtus::workload::scenarios;
 #[test]
 fn api_accepted_application_runs_end_to_end() {
     let mut api = ApiDaemon::new(b"it-secret");
-    let token = api
-        .authenticator()
-        .issue("ci", &["deploy"], SimTime::from_secs(10));
+    let token = api.authenticator().issue("ci", &["deploy"], SimTime::from_secs(10));
     let profile = scenarios::telerehab_with(1).to_profile();
     let resp = api
         .handle(&ApiRequest { token, operation: Operation::Deploy { profile } }, SimTime::ZERO)
@@ -38,8 +36,8 @@ fn api_accepted_application_runs_end_to_end() {
 
 #[test]
 fn dpe_package_feeds_the_engine() {
-    let result = run_flow(&scenarios::smart_mobility_with(SimTime::from_secs(2)))
-        .expect("flow succeeds");
+    let result =
+        run_flow(&scenarios::smart_mobility_with(SimTime::from_secs(2))).expect("flow succeeds");
     let text = result.spec.to_package();
     let spec = DeploymentSpec::from_package(&text).expect("round trips");
     let report = run_orchestration(
@@ -73,11 +71,7 @@ fn every_policy_completes_the_standard_mix() {
             SimTime::from_secs(4),
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(
-            report.apps[0].completed > 0,
-            "{name} completes something: {:?}",
-            report.apps[0]
-        );
+        assert!(report.apps[0].completed > 0, "{name} completes something: {:?}", report.apps[0]);
     }
 }
 
@@ -85,13 +79,9 @@ fn every_policy_completes_the_standard_mix() {
 fn cognitive_policies_beat_silos_on_the_mixed_workload() {
     let horizon = SimTime::from_secs(6);
     let apps = || scenarios::standard_mix(2);
-    let greedy = run_orchestration(
-        Box::new(GreedyBestFit::new()),
-        EngineConfig::default(),
-        apps(),
-        horizon,
-    )
-    .expect("placeable");
+    let greedy =
+        run_orchestration(Box::new(GreedyBestFit::new()), EngineConfig::default(), apps(), horizon)
+            .expect("placeable");
     let cloud = run_orchestration(
         Box::new(LayerPinned::cloud_only()),
         EngineConfig::static_baseline(),
@@ -120,16 +110,9 @@ fn engine_against_custom_topology() {
         .fmdcs(2)
         .cloud_servers(2)
         .build();
-    let report = OrchestrationEngine::new(
-        Box::new(GreedyBestFit::new()),
-        EngineConfig::default(),
-    )
-    .run(
-        &mut continuum,
-        vec![scenarios::telerehab_with(1)],
-        SimTime::from_secs(3),
-    )
-    .expect("placeable");
+    let report = OrchestrationEngine::new(Box::new(GreedyBestFit::new()), EngineConfig::default())
+        .run(&mut continuum, vec![scenarios::telerehab_with(1)], SimTime::from_secs(3))
+        .expect("placeable");
     assert!(report.apps[0].completed > 0);
     assert_eq!(report.layer_energy_j.len(), 3);
 }

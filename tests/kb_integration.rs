@@ -35,9 +35,7 @@ fn monitoring_reports_replicate_to_every_kb_replica() {
             .map(|n| node_security_level(n.spec().kind()).tier())
             .unwrap_or(0);
         let record = NodeRecord::from_snapshot(snap, tier, report.at);
-        cluster
-            .propose(leader, record.to_command())
-            .expect("leader accepts");
+        cluster.propose(leader, record.to_command()).expect("leader accepts");
     }
     cluster.run_for(SimDuration::from_secs(1));
 
@@ -73,17 +71,13 @@ fn registry_survives_leader_failover() {
         .propose(new_leader, KvCommand::put("/registry/nodes/000002", b"fog|up"))
         .expect("accepts");
     cluster.run_for(SimDuration::from_millis(500));
-    assert!(cluster
-        .committed_value(new_leader, "/registry/nodes/000002")
-        .is_some());
+    assert!(cluster.committed_value(new_leader, "/registry/nodes/000002").is_some());
 }
 
 #[test]
 fn logical_kb_view_matches_simulation_truth() {
     let mut continuum = ContinuumBuilder::new().build();
-    continuum
-        .sim_mut()
-        .run_until(SimTime::from_secs(2), &mut NullDriver);
+    continuum.sim_mut().run_until(SimTime::from_secs(2), &mut NullDriver);
     let report = MonitoringReport::collect(continuum.sim());
     let mut kb = KnowledgeBase::new();
     kb.ingest_report(&report, |_| 1);
@@ -94,17 +88,9 @@ fn logical_kb_view_matches_simulation_truth() {
         continuum.edge().len()
     );
     // Energy history exists for the cloud server with a positive value.
-    let cloud_name = continuum
-        .sim()
-        .node(continuum.cloud()[0])
-        .expect("exists")
-        .spec()
-        .name()
-        .to_string();
-    let latest = kb
-        .history()
-        .latest(&format!("{cloud_name}/energy_j"))
-        .expect("sampled");
+    let cloud_name =
+        continuum.sim().node(continuum.cloud()[0]).expect("exists").spec().name().to_string();
+    let latest = kb.history().latest(&format!("{cloud_name}/energy_j")).expect("sampled");
     assert!(latest.value > 0.0);
 }
 

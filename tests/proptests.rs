@@ -9,14 +9,14 @@ use myrtus::continuum::time::{SimDuration, SimTime};
 use myrtus::dpe::ir::{Actor, ActorKind, DataflowGraph};
 use myrtus::kb::command::KvCommand;
 use myrtus::kb::store::KvStore;
+use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+use myrtus::mirto::policies::GreedyBestFit;
 use myrtus::security::ascon::{ascon128_open, ascon128_seal};
 use myrtus::security::sha2::{sha256, sha512};
 use myrtus::security::suite::SecurityLevel;
 use myrtus::workload::arrival::ArrivalSpec;
 use myrtus::workload::compile::Tag;
 use myrtus::workload::tosca::{Application, Component, ComponentKind, SecurityTier};
-use myrtus::mirto::engine::{run_orchestration, EngineConfig};
-use myrtus::mirto::policies::GreedyBestFit;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

@@ -67,10 +67,7 @@ fn enforcement_adds_measurable_overhead() {
     let run = |enforce| {
         run_orchestration(
             Box::new(GreedyBestFit::new()),
-            EngineConfig {
-                enforce_security: enforce,
-                ..EngineConfig::static_baseline()
-            },
+            EngineConfig { enforce_security: enforce, ..EngineConfig::static_baseline() },
             vec![scenarios::telerehab_with(1)],
             horizon,
         )

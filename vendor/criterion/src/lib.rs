@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` subset the MYRTUS benches use.
+//!
+//! It is a real (if simple) benchmarking harness, not a dummy: each
+//! `bench_function` does a warm-up, picks an iteration count targeting
+//! a fixed per-sample budget, takes `sample_size` samples, and prints
+//! the median with min/max spread in criterion-like format. There are
+//! no HTML reports, statistics beyond the median, or regression
+//! tracking — enough to compare e.g. cached vs uncached evaluation.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// Prevents the optimizer from deleting a value or computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-sample measurement driver handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher { samples: Vec::new(), sample_count }
+    }
+
+    /// Measures `f` over warm-up plus `sample_count` timed samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and calibration: find how many iterations fit the
+        // per-sample budget.
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_BUDGET.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self) -> Option<(Duration, Duration, Duration)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        Some((sorted[0], median, *sorted.last().expect("non-empty")))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_count: usize,
+    throughput: Option<&Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::new(sample_count);
+    f(&mut b);
+    match b.report() {
+        Some((lo, med, hi)) => {
+            let rate = throughput
+                .map(|t| t.rate(med))
+                .map(|r| format!("  thrpt: {r}"))
+                .unwrap_or_default();
+            println!(
+                "{name:<48} time: [{} {} {}]{rate}",
+                fmt_duration(lo),
+                fmt_duration(med),
+                fmt_duration(hi)
+            );
+        }
+        None => println!("{name:<48} (no samples)"),
+    }
+}
+
+/// Benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Id from a parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for rate reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+impl Throughput {
+    fn rate(&self, per_iter: Duration) -> String {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match self {
+            Throughput::Bytes(b) => {
+                let rate = *b as f64 / secs;
+                if rate > 1e9 {
+                    format!("{:.2} GiB/s", rate / (1u64 << 30) as f64)
+                } else {
+                    format!("{:.2} MiB/s", rate / (1u64 << 20) as f64)
+                }
+            }
+            Throughput::Elements(e) => format!("{:.0} elem/s", *e as f64 / secs),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, self.throughput.as_ref(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Display, D: ?Sized, F: FnMut(&mut Bencher, &D)>(
+        &mut self,
+        id: I,
+        input: &D,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, self.throughput.as_ref(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3).throughput(Throughput::Bytes(1024));
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| black_box(7)));
+        g.bench_with_input(BenchmarkId::new("x", 1), &5u64, |b, &v| b.iter(|| black_box(v * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,262 @@
+//! Offline stand-in for the `rayon` parallel-iterator subset the MYRTUS
+//! plan-time evaluation fast path uses: `par_iter`/`into_par_iter`,
+//! `map`, and order-preserving `collect`, plus `for_each` and `sum`.
+//!
+//! Execution model: the chain of `map` adapters is composed into one
+//! closure and applied over the materialized items by a pool of scoped
+//! `std::thread`s, each thread taking a contiguous index chunk. Results
+//! are written back slot-by-slot, so output order always equals input
+//! order regardless of thread scheduling — the property the workspace's
+//! serial-vs-parallel determinism contract relies on.
+//!
+//! Thread count: `MYRTUS_EVAL_THREADS` (or `RAYON_NUM_THREADS`) if set,
+//! otherwise `std::thread::available_parallelism()`. With one thread
+//! (or tiny inputs) everything runs inline with zero spawn overhead.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads the pool would use.
+pub fn current_num_threads() -> usize {
+    for var in ["MYRTUS_EVAL_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Applies `f` to every item, in parallel, preserving input order.
+fn parallel_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    // Hand each worker a disjoint contiguous item chunk and a matching
+    // slice of output slots; order is restored structurally.
+    let mut work: Vec<(Vec<T>, &mut [Option<R>])> = Vec::with_capacity(threads);
+    {
+        let chunk = n.div_ceil(threads);
+        let mut rest: &mut [Option<R>] = &mut slots;
+        let mut items = items;
+        while !items.is_empty() {
+            let take = chunk.min(items.len());
+            let tail = items.split_off(take);
+            let (head, new_rest) = rest.split_at_mut(take);
+            work.push((std::mem::replace(&mut items, tail), head));
+            rest = new_rest;
+        }
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (chunk_items, out) in work {
+            scope.spawn(move || {
+                for (slot, item) in out.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+/// A parallel iterator: a source of `Send` items plus a composed
+/// per-item transformation.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the chain so far.
+    type Item: Send;
+
+    /// Runs the chain, applying `consume` to each source item, in
+    /// parallel, returning results in input order.
+    fn exec<R, F>(self, consume: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Collects the items in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(self.exec(|x| x))
+    }
+
+    /// Applies `f` to every item (effects only).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.exec(f);
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.exec(|x| x).into_iter().sum()
+    }
+}
+
+/// Sinks for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// `map` adapter.
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn exec<R2, G>(self, consume: G) -> Vec<R2>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        self.inner.exec(move |x| consume(f(x)))
+    }
+}
+
+/// Source backed by a materialized `Vec`.
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn exec<R, F>(self, consume: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        parallel_apply(self.items, consume)
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter { items: self.collect() }
+    }
+}
+
+/// Types whose references yield parallel iterators (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send + 'a;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecParIter<&'a T> {
+        VecParIter { items: self.iter().collect() }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn order_is_preserved() {
+        let v: Vec<usize> = (0..1_000).into_par_iter().map(|i| i * 2).collect();
+        let expect: Vec<usize> = (0..1_000).map(|i| i * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn ref_iter_and_sum() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: u64 = data.into_par_iter().sum();
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn forced_multi_thread_keeps_order() {
+        std::env::set_var("MYRTUS_EVAL_THREADS", "4");
+        let v: Vec<usize> = (0..97).into_par_iter().map(|i| i + 1).collect();
+        std::env::remove_var("MYRTUS_EVAL_THREADS");
+        let expect: Vec<usize> = (1..98).collect();
+        assert_eq!(v, expect);
+    }
+}

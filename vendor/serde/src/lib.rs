@@ -1,0 +1,70 @@
+//! Offline stand-in for the subset of `serde` this workspace touches:
+//! the `Serialize`/`Deserialize` traits (plus `Serializer`/
+//! `Deserializer` for hand-written `with = "..."` modules) and the
+//! derive macros, which expand to nothing.
+//!
+//! No serializer backend exists in the workspace (there is no
+//! `serde_json` or similar), so the derives only need to parse; the few
+//! manual impls below cover the `bytes_serde` helper in `myrtus-kb`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Data-format serializer handle (opaque in this stand-in).
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Error value.
+    type Error;
+}
+
+/// Data-format deserializer handle (opaque in this stand-in).
+pub trait Deserializer<'de>: Sized {
+    /// Error value.
+    type Error;
+}
+
+/// Types that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` (no backend ships with this stand-in).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value (no backend ships with this stand-in).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! impl_noop_serde {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+                unreachable!("the offline serde stand-in has no serializer backend")
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                unreachable!("the offline serde stand-in has no deserializer backend")
+            }
+        }
+    )*};
+}
+impl_noop_serde!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, String);
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unreachable!("the offline serde stand-in has no serializer backend")
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        unreachable!("the offline serde stand-in has no serializer backend")
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        unreachable!("the offline serde stand-in has no deserializer backend")
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in. The workspace derives the traits widely but never feeds
+//! the types to a serializer generically, so an empty expansion is
+//! sufficient; the `attributes(serde)` registration keeps inert
+//! `#[serde(...)]` field attributes accepted.
+
+use proc_macro::TokenStream;
+
+/// Accepts the derive and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the derive and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
