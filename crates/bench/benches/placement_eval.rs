@@ -62,6 +62,7 @@ fn bench_placement_eval(c: &mut Criterion) {
         dag: &dag,
         candidates: vec![all.clone(); dag.nodes().len()],
         estimator: None,
+        obs: myrtus::obs::Obs::disabled(),
     };
     group.bench_function(BenchmarkId::from_parameter("uncached"), |b| {
         b.iter(|| batch.iter().map(|p| evaluate(&uncached, p)).filter(|s| s.feasible).count());
@@ -81,6 +82,7 @@ fn bench_placement_eval(c: &mut Criterion) {
             continuum.sim().now(),
             &cache,
         )),
+        obs: myrtus::obs::Obs::disabled(),
     };
     group.bench_function(BenchmarkId::from_parameter("cached"), |b| {
         b.iter(|| batch.iter().map(|p| evaluate(&cached, p)).filter(|s| s.feasible).count());
@@ -103,6 +105,7 @@ fn bench_placement_eval(c: &mut Criterion) {
                     continuum.sim().now(),
                     &cold,
                 )),
+                obs: myrtus::obs::Obs::disabled(),
             };
             batch.iter().map(|p| evaluate(&ctx, p)).filter(|s| s.feasible).count()
         });

@@ -35,6 +35,7 @@ fn bench_placement(c: &mut Criterion) {
         dag: &dag,
         candidates: vec![all; dag.nodes().len()],
         estimator: None,
+        obs: myrtus::obs::Obs::disabled(),
     };
 
     let mut group = c.benchmark_group("placement-22-nodes");

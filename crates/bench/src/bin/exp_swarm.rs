@@ -35,6 +35,7 @@ fn main() {
             dag: &dag,
             candidates: vec![all; dag.nodes().len()],
             estimator: None,
+            obs: myrtus::obs::Obs::disabled(),
         };
         let score = |p: &myrtus::mirto::placement::Placement| evaluate(&ctx, p).objective(0.0);
 
@@ -99,6 +100,7 @@ fn main() {
         dag: &dag,
         candidates: vec![pool; dag.nodes().len()],
         estimator: None,
+        obs: myrtus::obs::Obs::disabled(),
     };
     let (_, optimal) = exhaustive_best(&ctx, 0.0).expect("small space");
     let mut rows = Vec::new();

@@ -75,6 +75,7 @@ fn main() {
             dag: &dag,
             candidates,
             estimator: None,
+            obs: myrtus::obs::Obs::disabled(),
         };
         wl.deploy(0, &ctx).expect("placeable")
     };

@@ -9,6 +9,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use myrtus_obs::{Obs, TraceKind};
+
 use crate::ids::{MsgId, NodeId, TaskId, TimerId};
 use crate::net::{Message, Network, NetworkError, Protocol};
 use crate::node::{ExecutionMode, NodeSpec, NodeState};
@@ -185,12 +187,28 @@ pub struct SimCore {
     next_msg: u64,
     next_timer: u64,
     processed_events: u64,
+    obs: Obs,
 }
+
+/// Upper bounds (milliseconds) of the `task_latency_ms` histogram.
+pub const TASK_LATENCY_BOUNDS_MS: &[f64] = &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0];
 
 impl SimCore {
     /// Creates an empty simulation at time zero.
     pub fn new() -> Self {
         SimCore::default()
+    }
+
+    /// Installs an observability handle; all simulator counters and
+    /// trace events are recorded through it from then on. The default
+    /// handle is disabled (every recording call is a no-op branch).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The installed observability handle (disabled by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Current simulation time.
@@ -279,8 +297,27 @@ impl SimCore {
         if !st.is_up() {
             return Err(SimError::NodeDown(node));
         }
+        self.note_dispatch(node, task.id);
         self.push(self.now, EventKind::TaskArrival { node, task });
         Ok(())
+    }
+
+    /// Records a task submission in the observability layer.
+    fn note_dispatch(&self, node: NodeId, task: TaskId) {
+        self.obs.counter_inc("sim_tasks_dispatched", "");
+        self.obs.trace(
+            self.now.as_micros(),
+            TraceKind::TaskDispatch { node: node.as_raw(), task: task.as_raw() },
+        );
+    }
+
+    /// Records a task entering service in the observability layer.
+    fn note_start(&self, node: NodeId, task: TaskId) {
+        self.obs.counter_inc("sim_tasks_started", "");
+        self.obs.trace(
+            self.now.as_micros(),
+            TraceKind::TaskStart { node: node.as_raw(), task: task.as_raw() },
+        );
     }
 
     /// Submits a task whose input must first travel from `src` to `node`
@@ -306,6 +343,7 @@ impl SimCore {
         }
         let path = self.network.route(src, node)?;
         let eta = self.network.transfer(self.now, &path, task.input_bytes, protocol);
+        self.note_dispatch(node, task.id);
         self.push(eta, EventKind::TaskArrival { node, task });
         Ok(eta)
     }
@@ -343,6 +381,7 @@ impl SimCore {
             }));
         }
         let eta = self.network.transfer(self.now, path, task.input_bytes, protocol);
+        self.note_dispatch(node, task.id);
         self.push(eta, EventKind::TaskArrival { node, task });
         Ok(eta)
     }
@@ -468,12 +507,18 @@ impl SimCore {
                 let now = self.now;
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 if !st.is_up() {
+                    self.obs.counter_inc("sim_tasks_lost", "");
+                    self.obs.trace(
+                        now.as_micros(),
+                        TraceKind::TasksLost { node: node.as_raw(), count: 1 },
+                    );
                     driver.on_event(self, SimEvent::TasksLost { node, tasks: vec![task] });
                     return;
                 }
                 let tid = task.id;
                 if let Some((epoch, service, mode)) = st.admit(now, task) {
                     self.push(now + service, EventKind::TaskFinish { node, task: tid, epoch });
+                    self.note_start(node, tid);
                     driver.on_event(self, SimEvent::TaskStarted { node, task: tid, mode });
                 }
             }
@@ -486,11 +531,30 @@ impl SimCore {
                         now + service,
                         EventKind::TaskFinish { node, task: next_id, epoch: ep },
                     );
+                    self.note_start(node, next_id);
                     driver.on_event(self, SimEvent::TaskStarted { node, task: next_id, mode });
                 }
                 let latency = now.saturating_since(done.released);
+                let deadline_met = !done.misses_deadline(now);
+                self.obs.counter_inc("sim_tasks_completed", "");
+                if !deadline_met {
+                    self.obs.counter_inc("sim_deadline_misses", "");
+                }
+                self.obs.observe(
+                    "task_latency_ms",
+                    TASK_LATENCY_BOUNDS_MS,
+                    latency.as_millis_f64(),
+                );
+                self.obs.trace(
+                    now.as_micros(),
+                    TraceKind::TaskComplete {
+                        node: node.as_raw(),
+                        task: task.as_raw(),
+                        deadline_met,
+                    },
+                );
                 let outcome = TaskOutcome {
-                    deadline_met: !done.misses_deadline(now),
+                    deadline_met,
                     task: done,
                     node,
                     at: now,
@@ -506,20 +570,35 @@ impl SimCore {
                 let now = self.now;
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 let lost = st.set_up(now, false);
+                self.obs.counter_inc("node_crashes", "");
+                self.obs.trace(now.as_micros(), TraceKind::NodeCrash { node: node.as_raw() });
+                if !lost.is_empty() {
+                    self.obs.counter_add("sim_tasks_lost", "", lost.len() as u64);
+                    self.obs.trace(
+                        now.as_micros(),
+                        TraceKind::TasksLost { node: node.as_raw(), count: lost.len() as u64 },
+                    );
+                }
                 driver.on_event(self, SimEvent::TasksLost { node, tasks: lost });
             }
             EventKind::NodeUp(node) => {
                 let now = self.now;
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 st.set_up(now, true);
+                self.obs.counter_inc("node_recoveries", "");
+                self.obs.trace(now.as_micros(), TraceKind::NodeRecover { node: node.as_raw() });
                 driver.on_event(self, SimEvent::NodeRestored(node));
             }
             EventKind::LinkDown(link) => {
                 self.network.set_link_up(link, false);
+                self.obs.counter_inc("link_transitions", "down");
+                self.obs.trace(self.now.as_micros(), TraceKind::LinkDown { link: link.as_raw() });
                 driver.on_event(self, SimEvent::LinkChanged { link, up: false });
             }
             EventKind::LinkUp(link) => {
                 self.network.set_link_up(link, true);
+                self.obs.counter_inc("link_transitions", "up");
+                self.obs.trace(self.now.as_micros(), TraceKind::LinkUp { link: link.as_raw() });
                 driver.on_event(self, SimEvent::LinkChanged { link, up: true });
             }
             EventKind::Timer { id, tag } => {

@@ -108,6 +108,52 @@ impl FaultPlan {
         plan
     }
 
+    /// Samples a chaos plan covering node *and* link faults, including
+    /// never-recovering outages: each node (link) fails independently
+    /// with probability `node_prob` (`link_prob`) at a uniform instant
+    /// in `[0, horizon)`; each failure is permanent (`outage == None`)
+    /// with probability `permanent_prob`, otherwise it heals after a
+    /// uniform outage in `[min_outage, max_outage]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn random_chaos(
+        seed: u64,
+        nodes: &[NodeId],
+        links: &[LinkId],
+        node_prob: f64,
+        link_prob: f64,
+        permanent_prob: f64,
+        horizon: SimTime,
+        min_outage: SimDuration,
+        max_outage: SimDuration,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let sample_outage = |rng: &mut StdRng| -> (SimTime, Option<SimDuration>) {
+            let at = SimTime::from_micros(rng.gen_range(0..horizon.as_micros().max(1)));
+            let outage = if rng.gen::<f64>() < permanent_prob {
+                None
+            } else {
+                Some(SimDuration::from_micros(rng.gen_range(
+                    min_outage.as_micros()..=max_outage.as_micros().max(min_outage.as_micros()),
+                )))
+            };
+            (at, outage)
+        };
+        for &n in nodes {
+            if rng.gen::<f64>() < node_prob {
+                let (at, outage) = sample_outage(&mut rng);
+                plan = plan.crash(n, at, outage);
+            }
+        }
+        for &l in links {
+            if rng.gen::<f64>() < link_prob {
+                let (at, outage) = sample_outage(&mut rng);
+                plan = plan.cut_link(l, at, outage);
+            }
+        }
+        plan
+    }
+
     /// Schedules every fault on the core.
     pub fn apply(&self, sim: &mut SimCore) {
         for f in &self.faults {
@@ -183,6 +229,36 @@ mod tests {
         };
         assert_eq!(mk(7), mk(7));
         assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_covers_links() {
+        let nodes: Vec<NodeId> = (0..20).map(NodeId::from_raw).collect();
+        let links: Vec<LinkId> = (0..20).map(LinkId::from_raw).collect();
+        let mk = |seed| {
+            FaultPlan::random_chaos(
+                seed,
+                &nodes,
+                &links,
+                0.8,
+                0.8,
+                0.3,
+                SimTime::from_secs(10),
+                SimDuration::from_millis(100),
+                SimDuration::from_secs(1),
+            )
+        };
+        assert_eq!(mk(3), mk(3));
+        assert_ne!(mk(3), mk(4));
+        let plan = mk(3);
+        assert!(!plan.faults().is_empty());
+        assert!(!plan.link_faults().is_empty());
+        // permanent_prob = 0.3 over enough samples yields at least one
+        // never-recovering outage for this seed.
+        assert!(
+            plan.faults().iter().any(|f| f.outage.is_none())
+                || plan.link_faults().iter().any(|f| f.outage.is_none())
+        );
     }
 
     #[test]

@@ -505,6 +505,7 @@ impl Network {
 pub struct RouteCache {
     routes: Mutex<RouteMemo>,
     estimates: Mutex<EstimateMemo>,
+    obs: myrtus_obs::Obs,
 }
 
 #[derive(Debug, Default)]
@@ -543,6 +544,18 @@ impl RouteCache {
         RouteCache::default()
     }
 
+    /// Creates an empty cache that records metrics through `obs`.
+    ///
+    /// Only the deterministic `route_cache_invalidations` counter
+    /// (labels `route` / `estimate`, bumped once per observed topology
+    /// epoch change per memo) goes through the observability layer; the
+    /// raw hit/miss counters stay in [`CacheStats`] because concurrent
+    /// scorers can race on a missing key (the estimate is computed
+    /// outside the lock), making those totals nondeterministic.
+    pub fn with_obs(obs: myrtus_obs::Obs) -> Self {
+        RouteCache { obs, ..RouteCache::default() }
+    }
+
     /// Memoized [`Network::route`].
     ///
     /// # Errors
@@ -557,6 +570,12 @@ impl RouteCache {
     ) -> Result<Vec<LinkId>, NetworkError> {
         let mut memo = self.routes.lock().expect("route memo poisoned");
         if memo.epoch != net.epoch() {
+            // Count only real invalidations: discarding cached entries
+            // because the topology epoch moved (a fresh, empty memo
+            // adopting the current epoch discards nothing).
+            if !memo.paths.is_empty() {
+                self.obs.counter_inc("route_cache_invalidations", "route");
+            }
             memo.paths.clear();
             memo.epoch = net.epoch();
         }
@@ -585,6 +604,13 @@ impl RouteCache {
         {
             let mut memo = self.estimates.lock().expect("estimate memo poisoned");
             if memo.epoch != net.epoch() || memo.now != now {
+                // Only topology epoch changes over a non-empty memo
+                // count as invalidations; the memo also resets when the
+                // plan instant advances, which is ordinary time
+                // progress, not staleness.
+                if memo.epoch != net.epoch() && !memo.table.is_empty() {
+                    self.obs.counter_inc("route_cache_invalidations", "estimate");
+                }
                 memo.table.clear();
                 memo.epoch = net.epoch();
                 memo.now = now;
@@ -896,6 +922,62 @@ mod tests {
         let later =
             cache.estimate(&net, queued, n(0), n(1), 125_000, Protocol::Mqtt).expect("reachable");
         assert_eq!(later, net.estimate_transfer(queued, &path, 125_000, Protocol::Mqtt));
+    }
+
+    #[test]
+    fn cache_invalidation_metric_counts_one_per_epoch_bump() {
+        let obs = myrtus_obs::Obs::new(myrtus_obs::ObsConfig::on());
+        let mut net = line3();
+        let cache = RouteCache::with_obs(obs.clone());
+        let probe = |cache: &RouteCache, net: &Network| {
+            for (from, to) in [(0, 1), (0, 2), (1, 2)] {
+                let _ = cache.route(net, n(from), n(to));
+                let _ = cache.estimate(net, SimTime::ZERO, n(from), n(to), 1_000, Protocol::Mqtt);
+            }
+        };
+        // Warm memos: adopting the initial epoch discards nothing.
+        probe(&cache, &net);
+        assert_eq!(obs.counter_sum("route_cache_invalidations"), 0);
+        // Re-probing within the same epoch never counts.
+        probe(&cache, &net);
+        assert_eq!(obs.counter_sum("route_cache_invalidations"), 0);
+        let link = net.route(n(0), n(1)).expect("reachable")[0];
+        for (bump, up) in [(1u64, false), (2, true), (3, false)] {
+            // Every link-state flip bumps the topology epoch once.
+            net.set_link_up(link, up);
+            probe(&cache, &net);
+            assert_eq!(
+                obs.counter_value("route_cache_invalidations", "route"),
+                bump,
+                "exactly one route invalidation per epoch bump"
+            );
+            assert_eq!(
+                obs.counter_value("route_cache_invalidations", "estimate"),
+                bump,
+                "the estimate memo tracks the same epochs"
+            );
+            // Stable epoch again: re-probing must not move the counter.
+            probe(&cache, &net);
+            assert_eq!(obs.counter_sum("route_cache_invalidations"), 2 * bump);
+        }
+    }
+
+    #[test]
+    fn repeated_route_workload_exceeds_ninety_percent_hit_rate() {
+        let net = line3();
+        let cache = RouteCache::new();
+        // A plan sweep keeps re-asking for the same few (src, dst)
+        // pairs; everything after the first ask per pair must hit.
+        for _ in 0..50 {
+            for (from, to) in [(0, 1), (0, 2), (1, 2), (2, 0)] {
+                let _ = cache.route(&net, n(from), n(to));
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.route_misses, 4, "one Dijkstra per distinct pair");
+        let total = stats.route_hits + stats.route_misses;
+        let hit_rate = stats.route_hits as f64 / total as f64;
+        assert!(hit_rate > 0.9, "hit rate {hit_rate:.3} over {total} lookups");
     }
 
     #[test]

@@ -298,6 +298,7 @@ mod tests {
             dag: &dag,
             candidates: vec![all; dag.nodes().len()],
             estimator: None,
+            obs: myrtus_obs::Obs::disabled(),
         };
         let mut policy = AuctionPlacement::new();
         assert_eq!(policy.name(), "agent-auction");
@@ -332,6 +333,7 @@ mod tests {
             dag: &dag,
             candidates,
             estimator: None,
+            obs: myrtus_obs::Obs::disabled(),
         };
         let placement = AuctionPlacement::new().place(&ctx).expect("auctions settle");
         // The High-tier session-store must sit on a High-capable node.

@@ -14,6 +14,7 @@ use myrtus_continuum::cluster::{Federation, PodSpec, ScheduleError};
 use myrtus_continuum::engine::SimCore;
 use myrtus_continuum::ids::{ClusterId, NodeId, PodId};
 use myrtus_continuum::node::Layer;
+use myrtus_obs::{Obs, TraceKind};
 use myrtus_workload::tosca::Application;
 
 use crate::placement::Placement;
@@ -27,6 +28,8 @@ pub struct DeploymentProxy {
     pods: HashMap<(u16, usize), (ClusterId, PodId, NodeId)>,
     binds: u64,
     moves: u64,
+    obs: Obs,
+    clock_us: u64,
 }
 
 fn layer_index(layer: Layer) -> usize {
@@ -62,7 +65,23 @@ impl DeploymentProxy {
             pods: HashMap::new(),
             binds: 0,
             moves: 0,
+            obs: Obs::disabled(),
+            clock_us: 0,
         }
+    }
+
+    /// Attaches an observability handle: deploy/migrate trace events and
+    /// pod counters are recorded through it.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Advances the proxy's notion of simulated time, used to stamp
+    /// deploy/migrate trace events (the proxy itself has no clock).
+    pub fn set_clock(&mut self, at_us: u64) {
+        self.clock_us = at_us;
     }
 
     /// The underlying federation.
@@ -133,6 +152,7 @@ impl DeploymentProxy {
         component: usize,
         node: NodeId,
     ) -> Result<(), ScheduleError> {
+        let mut migrated_from = None;
         if let Some((cl, pod, old_node)) = self.pods.get(&(app_id, component)).copied() {
             if old_node == node {
                 return Ok(());
@@ -141,6 +161,7 @@ impl DeploymentProxy {
                 self.federation.cluster_mut(cl).ok_or(ScheduleError::UnknownCluster(cl))?;
             cluster.evict(pod)?;
             self.moves += 1;
+            migrated_from = Some(old_node);
         }
         let target = self.cluster_for(node)?;
         let spec = Self::pod_spec(app, component);
@@ -149,6 +170,31 @@ impl DeploymentProxy {
         let pod = cluster.bind(spec, node);
         self.binds += 1;
         self.pods.insert((app_id, component), (target, pod, node));
+        match migrated_from {
+            Some(from) => {
+                self.obs.counter_inc("pod_migrations", "");
+                self.obs.trace(
+                    self.clock_us,
+                    TraceKind::Migrate {
+                        app: app_id,
+                        component: component as u32,
+                        from: from.as_raw(),
+                        to: node.as_raw(),
+                    },
+                );
+            }
+            None => {
+                self.obs.counter_inc("pod_binds", "");
+                self.obs.trace(
+                    self.clock_us,
+                    TraceKind::Deploy {
+                        app: app_id,
+                        component: component as u32,
+                        node: node.as_raw(),
+                    },
+                );
+            }
+        }
         Ok(())
     }
 

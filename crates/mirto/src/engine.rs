@@ -28,6 +28,7 @@ use myrtus_continuum::task::TaskInstance;
 use myrtus_continuum::time::{SimDuration, SimTime};
 use myrtus_continuum::topology::Continuum;
 use myrtus_kb::KnowledgeBase;
+use myrtus_obs::{Obs, ObsConfig, TraceKind};
 use myrtus_workload::compile::{compile_requests, CompiledRequest, Tag};
 use myrtus_workload::graph::RequestDag;
 use myrtus_workload::opset::AppPointSet;
@@ -95,6 +96,9 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Runtime manager thresholds (the swarm agents' local rules).
     pub tuning: ManagerTuning,
+    /// Observability: metrics + structured trace spans across the
+    /// simulator and the MAPE-K loop. Off by default (zero overhead).
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +113,7 @@ impl Default for EngineConfig {
             max_retries: 2,
             seed: 7,
             tuning: ManagerTuning::default(),
+            obs: ObsConfig::off(),
         }
     }
 }
@@ -234,6 +239,9 @@ pub struct OrchestrationReport {
     pub pod_moves: u64,
     /// Simulator events processed.
     pub events: u64,
+    /// Observability handle for the run: metric snapshots and the trace
+    /// buffer (empty/no-op when [`EngineConfig::obs`] was disabled).
+    pub obs: Obs,
 }
 
 impl OrchestrationReport {
@@ -308,6 +316,11 @@ pub struct OrchestrationEngine {
     completed: HashMap<u16, u64>,
     failed: HashMap<u16, u64>,
     misses: HashMap<u16, u64>,
+    /// Shared observability handle, cloned into the simulator, the plan
+    /// cache and the deployment proxy. Trace events are only emitted
+    /// from this (serial) driver context; parallel scoring paths record
+    /// counters only, keeping output deterministic.
+    obs: Obs,
 }
 
 impl std::fmt::Debug for OrchestrationEngine {
@@ -333,6 +346,7 @@ impl OrchestrationEngine {
         let mut node_mgr = NodeManager::new();
         node_mgr.eco_threshold = cfg.tuning.eco_threshold;
         node_mgr.boost_threshold = cfg.tuning.boost_threshold;
+        let obs = Obs::new(cfg.obs);
         OrchestrationEngine {
             sec: PrivacySecurityManager::new(cfg.enforce_security),
             cfg,
@@ -341,7 +355,7 @@ impl OrchestrationEngine {
             proxy: None,
             net_mgr: NetworkManager::new(),
             kb: KnowledgeBase::new(),
-            plan_cache: RouteCache::new(),
+            plan_cache: RouteCache::with_obs(obs.clone()),
             app_mon: ApplicationMonitor::new(),
             apps: Vec::new(),
             requests: HashMap::new(),
@@ -356,12 +370,19 @@ impl OrchestrationEngine {
             completed: HashMap::new(),
             failed: HashMap::new(),
             misses: HashMap::new(),
+            obs,
         }
     }
 
     /// The engine's Knowledge Base.
     pub fn kb(&self) -> &KnowledgeBase {
         &self.kb
+    }
+
+    /// The engine's observability handle (no-op unless
+    /// [`EngineConfig::obs`] enabled it).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Deploys applications onto the continuum and runs the simulation to
@@ -399,7 +420,8 @@ impl OrchestrationEngine {
         horizon: SimTime,
     ) -> Result<OrchestrationReport, PlaceError> {
         self.horizon = horizon;
-        self.proxy = Some(DeploymentProxy::new(continuum.sim()));
+        continuum.sim_mut().set_obs(self.obs.clone());
+        self.proxy = Some(DeploymentProxy::new(continuum.sim()).with_obs(self.obs.clone()));
         for (i, (app, start)) in apps.into_iter().enumerate() {
             let app_id = i as u16;
             if start == SimTime::ZERO {
@@ -443,10 +465,12 @@ impl OrchestrationEngine {
                 dag: &dag,
                 candidates,
                 estimator: Some(estimator),
+                obs: self.obs.clone(),
             };
             let placement = self.wl.deploy(app_id, &ctx)?;
             // Execute the decision on the low-level layer (LIQO path).
             if let Some(proxy) = self.proxy.as_mut() {
+                proxy.set_clock(now.as_micros());
                 let _ = proxy.apply_placement(app_id, &app, &placement);
             }
         }
@@ -540,6 +564,11 @@ impl OrchestrationEngine {
             pods_bound: self.proxy.as_ref().map_or(0, DeploymentProxy::binds),
             pod_moves: self.proxy.as_ref().map_or(0, DeploymentProxy::moves),
             events: sim.processed_events(),
+            obs: {
+                self.obs.gauge_set("run_total_energy_j", "", report.total_energy_j());
+                self.obs.gauge_set("run_processed_events", "", sim.processed_events() as f64);
+                self.obs
+            },
         }
     }
 
@@ -594,8 +623,31 @@ impl OrchestrationEngine {
                 dag: &rt.dag,
                 candidates,
                 estimator: Some(estimator),
+                obs: self.obs.clone(),
             };
-            self.wl.reallocate(app_id, &ctx);
+            let moves = self.wl.reallocate(app_id, &ctx);
+            if !moves.is_empty() {
+                self.obs.counter_inc("manager_actions", "wl");
+                self.obs.trace(
+                    sim.now().as_micros(),
+                    TraceKind::ManagerAction {
+                        manager: "wl",
+                        action: "reallocate",
+                        subject: app_id as u64,
+                    },
+                );
+                // Execute the emergency moves on the cluster layer too;
+                // leaving the pods on the dead host would silently
+                // desynchronize the proxy from the live placement.
+                if let Some(proxy) = self.proxy.as_mut() {
+                    proxy.set_clock(sim.now().as_micros());
+                    let rt = &self.apps[app_pos];
+                    for m in &moves {
+                        let comp = rt.dag.nodes()[m.component].component_idx;
+                        let _ = proxy.bind_component(app_id, &rt.app, comp, m.to);
+                    }
+                }
+            }
             if let Some(p) = self.wl.placement(app_id) {
                 dst = p.node_of(stage.component_idx);
             }
@@ -626,7 +678,20 @@ impl OrchestrationEngine {
                     self.sec.protection_wire_overhead(stage.security, src_node, dst);
                 self.pending_flows.insert(tag.encode(), (src_node, dst, sim.now()));
                 if self.cfg.network_management {
-                    match self.net_mgr.route(sim, src_node, dst) {
+                    let detours_before = self.net_mgr.detours();
+                    let chosen = self.net_mgr.route(sim, src_node, dst);
+                    if self.net_mgr.detours() > detours_before {
+                        self.obs.counter_inc("manager_actions", "network");
+                        self.obs.trace(
+                            sim.now().as_micros(),
+                            TraceKind::ManagerAction {
+                                manager: "network",
+                                action: "detour",
+                                subject: dst.as_raw() as u64,
+                            },
+                        );
+                    }
+                    match chosen {
                         Some(path) => {
                             sim.submit_via_path(dst, task, &path, Protocol::Mqtt).map(|_| ())
                         }
@@ -769,17 +834,36 @@ impl OrchestrationEngine {
     }
 
     fn monitoring_round(&mut self, sim: &mut SimCore) {
+        let now_us = sim.now().as_micros();
+        self.obs.counter_inc("mape_rounds", "");
         // Sense: snapshot into the KB.
+        self.obs.trace(now_us, TraceKind::MapePhase { phase: "monitor" });
         let report = MonitoringReport::collect(sim);
         self.kb.ingest_report(&report, |id| {
             sim.node(id).map(|n| node_security_level(n.spec().kind()).tier()).unwrap_or(0)
         });
         // Decide + reconfigure: node operating points.
+        self.obs.trace(now_us, TraceKind::MapePhase { phase: "analyze" });
         if self.cfg.node_adaptation {
-            let _ = self.node_mgr.adapt(sim);
+            if let Ok(decisions) = self.node_mgr.adapt(sim) {
+                for (node, _point) in decisions {
+                    self.obs.counter_inc("manager_actions", "node");
+                    self.obs.trace(
+                        now_us,
+                        TraceKind::ManagerAction {
+                            manager: "node",
+                            action: "op_switch",
+                            subject: node.as_raw() as u64,
+                        },
+                    );
+                }
+            }
         }
-        // Decide + reconfigure: reallocation off unhealthy nodes,
-        // executed on the cluster layer through the deployment proxy.
+        // Decide: reallocation off unhealthy nodes. The binds only
+        // update proxy bookkeeping (no placement input), so they are
+        // batched into the execute step below.
+        self.obs.trace(now_us, TraceKind::MapePhase { phase: "plan" });
+        let mut planned_moves = Vec::new();
         if self.cfg.reallocation {
             for pos in 0..self.apps.len() {
                 let app_id = self.apps[pos].id;
@@ -794,20 +878,38 @@ impl OrchestrationEngine {
                         dag: &rt.dag,
                         candidates,
                         estimator: Some(estimator),
+                        obs: self.obs.clone(),
                     };
                     self.wl.reallocate(app_id, &ctx)
                 };
-                if let Some(proxy) = self.proxy.as_mut() {
-                    for m in &moves {
-                        let comp = self.apps[pos].dag.nodes()[m.component].component_idx;
-                        let _ = proxy.bind_component(app_id, &self.apps[pos].app, comp, m.to);
-                    }
+                if !moves.is_empty() {
+                    self.obs.counter_inc("manager_actions", "wl");
+                    self.obs.trace(
+                        now_us,
+                        TraceKind::ManagerAction {
+                            manager: "wl",
+                            action: "reallocate",
+                            subject: app_id as u64,
+                        },
+                    );
+                    planned_moves.push((pos, app_id, moves));
                 }
             }
         }
-        // Decide + reconfigure: application operating points — degrade
-        // under sustained deadline misses, recover after clean rounds
-        // (refs [29][30]).
+        // Reconfigure: execute the planned moves on the cluster layer
+        // through the deployment proxy, then adapt application operating
+        // points — degrade under sustained deadline misses, recover
+        // after clean rounds (refs [29][30]).
+        self.obs.trace(now_us, TraceKind::MapePhase { phase: "execute" });
+        if let Some(proxy) = self.proxy.as_mut() {
+            proxy.set_clock(now_us);
+            for (pos, app_id, moves) in &planned_moves {
+                for m in moves {
+                    let comp = self.apps[*pos].dag.nodes()[m.component].component_idx;
+                    let _ = proxy.bind_component(*app_id, &self.apps[*pos].app, comp, m.to);
+                }
+            }
+        }
         if self.cfg.app_point_adaptation {
             for rt in &mut self.apps {
                 let done = rt.window_done;
@@ -822,12 +924,30 @@ impl OrchestrationEngine {
                     rt.point_idx += 1;
                     rt.clean_rounds = 0;
                     self.app_point_switches += 1;
+                    self.obs.counter_inc("manager_actions", "app");
+                    self.obs.trace(
+                        now_us,
+                        TraceKind::ManagerAction {
+                            manager: "app",
+                            action: "degrade",
+                            subject: rt.id as u64,
+                        },
+                    );
                 } else if missed == 0 {
                     rt.clean_rounds += 1;
                     if rt.clean_rounds >= 3 && rt.point_idx > 0 {
                         rt.point_idx -= 1;
                         rt.clean_rounds = 0;
                         self.app_point_switches += 1;
+                        self.obs.counter_inc("manager_actions", "app");
+                        self.obs.trace(
+                            now_us,
+                            TraceKind::ManagerAction {
+                                manager: "app",
+                                action: "recover",
+                                subject: rt.id as u64,
+                            },
+                        );
                     }
                 } else {
                     rt.clean_rounds = 0;

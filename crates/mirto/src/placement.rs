@@ -80,6 +80,12 @@ pub struct PlanContext<'a> {
     /// falls back to uncached per-call network estimates. Cached and
     /// uncached paths return bit-identical values for the same snapshot.
     pub estimator: Option<PlanEstimator<'a>>,
+    /// Observability handle: [`evaluate`] counts rejected (infeasible)
+    /// candidates through it, labelled by rejection reason. Counter
+    /// totals stay deterministic under parallel batch scoring because
+    /// every candidate is evaluated exactly once; no trace events are
+    /// emitted from this (possibly parallel) path. Disabled by default.
+    pub obs: myrtus_obs::Obs,
 }
 
 impl PlanContext<'_> {
@@ -132,13 +138,15 @@ pub fn evaluate(ctx: &PlanContext<'_>, placement: &Placement) -> PlacementScore 
     let nodes = ctx.dag.nodes();
     // Short-circuit every infeasibility: accumulating latency or energy
     // past the first violation would only produce misleading partial
-    // estimates that objective() discards anyway.
+    // estimates that objective() discards anyway. Each rejection is
+    // counted with its reason so silently-dropped candidates stay
+    // visible to tests and experiments.
     if placement.len() != nodes.len() {
-        return PlacementScore::INFEASIBLE;
+        return reject(ctx, "arity_mismatch");
     }
     for (i, cands) in ctx.candidates.iter().enumerate() {
         if !cands.contains(&placement.node_of(nodes[i].component_idx)) {
-            return PlacementScore::INFEASIBLE;
+            return reject(ctx, "forbidden_candidate");
         }
     }
 
@@ -148,7 +156,7 @@ pub fn evaluate(ctx: &PlanContext<'_>, placement: &Placement) -> PlacementScore 
         let n = &nodes[i];
         let host = placement.node_of(n.component_idx);
         let Some(state) = ctx.sim.node(host) else {
-            return PlacementScore::INFEASIBLE;
+            return reject(ctx, "unknown_node");
         };
         let speed = state.core_speed_mc_per_us();
         // Utilization-aware service estimate: a busy node stretches
@@ -168,7 +176,7 @@ pub fn evaluate(ctx: &PlanContext<'_>, placement: &Placement) -> PlacementScore 
             if hop_us.is_infinite() {
                 // A required edge crosses a partitioned network: the
                 // placement can never serve a request.
-                return PlacementScore::INFEASIBLE;
+                return reject(ctx, "unreachable_hop");
             }
             ready = ready.max(finish[p] + hop_us);
         }
@@ -180,6 +188,16 @@ pub fn evaluate(ctx: &PlanContext<'_>, placement: &Placement) -> PlacementScore 
         est_energy_j: energy,
         feasible: true,
     }
+}
+
+/// Counts one infeasible candidate (`placement_rejected{reason}` plus
+/// the unlabelled `placement_rejected_total`) and returns the canonical
+/// infeasible score. Safe from parallel scorers: counters are
+/// commutative, so the totals are deterministic.
+fn reject(ctx: &PlanContext<'_>, reason: &'static str) -> PlacementScore {
+    ctx.obs.counter_inc("placement_rejected", reason);
+    ctx.obs.counter_inc("placement_rejected_total", "");
+    PlacementScore::INFEASIBLE
 }
 
 /// Scores a batch of candidate placements, fanning the (pure,
@@ -239,6 +257,7 @@ mod tests {
             dag: &dag,
             candidates: vec![all.clone(); dag.nodes().len()],
             estimator: None,
+            obs: myrtus_obs::Obs::disabled(),
         };
         let edge = c.edge()[0];
         let colocated = Placement::new(vec![edge; dag.nodes().len()]);
@@ -263,6 +282,7 @@ mod tests {
             dag: &dag,
             candidates: vec![vec![c.cloud()[0]]; dag.nodes().len()],
             estimator: None,
+            obs: myrtus_obs::Obs::disabled(),
         };
         let p = Placement::new(vec![c.edge()[0]; dag.nodes().len()]);
         let s = evaluate(&ctx, &p);
@@ -304,6 +324,7 @@ mod tests {
                 candidates: vec![all.clone(); dag.nodes().len()],
                 estimator: use_cache
                     .then(|| PlanEstimator::new(c.sim().network(), c.sim().now(), &cache)),
+                obs: myrtus_obs::Obs::disabled(),
             };
             let s = evaluate(&ctx, &p);
             assert!(!s.feasible, "unreachable hop must falsify feasibility");
@@ -326,6 +347,7 @@ mod tests {
             dag: &dag,
             candidates: vec![all; dag.nodes().len()],
             estimator: None,
+            obs: myrtus_obs::Obs::disabled(),
         };
         // Sensor at the edge, everything else in the cloud: pays the
         // camera-frame upload.
@@ -348,6 +370,39 @@ mod tests {
         p.reassign(0, b);
         assert_eq!(p.node_of(0), b);
         assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn rejected_candidates_are_counted_with_reasons() {
+        let (c, app) = fixture();
+        let dag = RequestDag::from_application(&app).expect("valid");
+        let kb = KnowledgeBase::new();
+        let obs = myrtus_obs::Obs::new(myrtus_obs::ObsConfig::on());
+        let ctx = PlanContext {
+            sim: c.sim(),
+            kb: &kb,
+            app: &app,
+            dag: &dag,
+            candidates: vec![vec![c.cloud()[0]]; dag.nodes().len()],
+            estimator: None,
+            obs: obs.clone(),
+        };
+        // One arity mismatch, two forbidden candidates, one feasible.
+        let batch = vec![
+            Placement::new(vec![c.cloud()[0]]),
+            Placement::new(vec![c.edge()[0]; dag.nodes().len()]),
+            Placement::new(vec![c.edge()[1]; dag.nodes().len()]),
+            Placement::new(vec![c.cloud()[0]; dag.nodes().len()]),
+        ];
+        let scores = evaluate_batch(&ctx, &batch);
+        let rejected = scores.iter().filter(|s| !s.feasible).count() as u64;
+        assert_eq!(rejected, 3);
+        assert_eq!(obs.counter_value("placement_rejected", "arity_mismatch"), 1);
+        assert_eq!(obs.counter_value("placement_rejected", "forbidden_candidate"), 2);
+        // Every rejection carries a reason: the labelled series sum to
+        // the unlabelled total, which matches the infeasible scores.
+        assert_eq!(obs.counter_sum("placement_rejected"), rejected);
+        assert_eq!(obs.counter_value("placement_rejected_total", ""), rejected);
     }
 
     #[test]

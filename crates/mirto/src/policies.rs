@@ -313,6 +313,7 @@ mod tests {
                 dag: &self.dag,
                 candidates: vec![all; self.dag.nodes().len()],
                 estimator: None,
+                obs: myrtus_obs::Obs::disabled(),
             }
         }
     }

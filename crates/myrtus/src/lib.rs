@@ -35,6 +35,7 @@ pub use myrtus_continuum as continuum;
 pub use myrtus_dpe as dpe;
 pub use myrtus_kb as kb;
 pub use myrtus_mirto as mirto;
+pub use myrtus_obs as obs;
 pub use myrtus_security as security;
 pub use myrtus_workload as workload;
 

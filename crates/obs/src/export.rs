@@ -1,0 +1,225 @@
+//! Deterministic exporters: JSON Lines and fixed-width tables.
+//!
+//! JSON is emitted by hand (the workspace's vendored `serde` stub has
+//! no serializer backend) with a fixed key order per record type, so a
+//! byte-for-byte comparison of two exports is a valid determinism
+//! check. Floats use Rust's shortest round-trip `Display`, which is
+//! itself deterministic.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes one trace event as a single JSON object (no newline).
+/// Key order is fixed: `seq`, `at_us`, `type`, then payload fields in
+/// declaration order.
+pub fn trace_event_json(e: &TraceEvent) -> String {
+    let head =
+        format!("{{\"seq\":{},\"at_us\":{},\"type\":\"{}\"", e.seq, e.at_us, e.kind.type_name());
+    let tail = match e.kind {
+        TraceKind::TaskDispatch { node, task } | TraceKind::TaskStart { node, task } => {
+            format!(",\"node\":{node},\"task\":{task}}}")
+        }
+        TraceKind::TaskComplete { node, task, deadline_met } => {
+            format!(",\"node\":{node},\"task\":{task},\"deadline_met\":{deadline_met}}}")
+        }
+        TraceKind::TasksLost { node, count } => format!(",\"node\":{node},\"count\":{count}}}"),
+        TraceKind::NodeCrash { node } | TraceKind::NodeRecover { node } => {
+            format!(",\"node\":{node}}}")
+        }
+        TraceKind::LinkDown { link } | TraceKind::LinkUp { link } => format!(",\"link\":{link}}}"),
+        TraceKind::MapePhase { phase } => format!(",\"phase\":\"{}\"}}", esc(phase)),
+        TraceKind::ManagerAction { manager, action, subject } => {
+            format!(
+                ",\"manager\":\"{}\",\"action\":\"{}\",\"subject\":{subject}}}",
+                esc(manager),
+                esc(action)
+            )
+        }
+        TraceKind::Deploy { app, component, node } => {
+            format!(",\"app\":{app},\"component\":{component},\"node\":{node}}}")
+        }
+        TraceKind::Migrate { app, component, from, to } => {
+            format!(",\"app\":{app},\"component\":{component},\"from\":{from},\"to\":{to}}}")
+        }
+    };
+    head + &tail
+}
+
+/// The whole trace as JSON Lines, oldest event first. Empty input
+/// yields the empty string.
+pub fn trace_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&trace_event_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// A metrics snapshot as JSON Lines: counters, then gauges, then
+/// histograms, each sorted by key (the snapshot is already sorted).
+pub fn metrics_jsonl(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for ((name, label), value) in &snap.counters {
+        out.push_str(&format!(
+            "{{\"kind\":\"counter\",\"metric\":\"{}\",\"label\":\"{}\",\"value\":{value}}}\n",
+            esc(name),
+            esc(label)
+        ));
+    }
+    for ((name, label), value) in &snap.gauges {
+        out.push_str(&format!(
+            "{{\"kind\":\"gauge\",\"metric\":\"{}\",\"label\":\"{}\",\"value\":{value}}}\n",
+            esc(name),
+            esc(label)
+        ));
+    }
+    for (name, h) in &snap.histograms {
+        let mut buckets = String::from("[");
+        for (i, count) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            let bound =
+                h.bounds.get(i).map_or_else(|| "\"+inf\"".to_owned(), |b| format!("\"{b}\""));
+            buckets.push_str(&format!("[{bound},{count}]"));
+        }
+        buckets.push(']');
+        out.push_str(&format!(
+            "{{\"kind\":\"histogram\",\"metric\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":{buckets}}}\n",
+            esc(name),
+            h.count,
+            h.sum
+        ));
+    }
+    out
+}
+
+/// A metrics snapshot as a fixed-width, human-readable table (sorted,
+/// so also deterministic).
+pub fn metrics_table(snap: &MetricsSnapshot) -> String {
+    let mut rows: Vec<(String, String, String)> = Vec::new();
+    for ((name, label), value) in &snap.counters {
+        rows.push(("counter".into(), series_name(name, label), value.to_string()));
+    }
+    for ((name, label), value) in &snap.gauges {
+        rows.push(("gauge".into(), series_name(name, label), value.to_string()));
+    }
+    for (name, h) in &snap.histograms {
+        rows.push(("histogram".into(), format!("{name}.count"), h.count.to_string()));
+        rows.push(("histogram".into(), format!("{name}.sum"), h.sum.to_string()));
+        for (i, count) in h.buckets.iter().enumerate() {
+            let bound = h.bounds.get(i).map_or_else(|| "+inf".to_owned(), |b| b.to_string());
+            rows.push(("histogram".into(), format!("{name}.le.{bound}"), count.to_string()));
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    let kind_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0).max("KIND".len());
+    let name_w = rows.iter().map(|r| r.1.len()).max().unwrap_or(0).max("METRIC".len());
+    let mut out = format!("{:<kind_w$}  {:<name_w$}  VALUE\n", "KIND", "METRIC");
+    for (kind, name, value) in rows {
+        out.push_str(&format!("{kind:<kind_w$}  {name:<name_w$}  {value}\n"));
+    }
+    out
+}
+
+fn series_name(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::trace::TraceBuffer;
+
+    #[test]
+    fn trace_jsonl_is_one_valid_object_per_line() {
+        let mut buf = TraceBuffer::new(16);
+        buf.push(10, TraceKind::TaskDispatch { node: 1, task: 2 });
+        buf.push(20, TraceKind::TaskComplete { node: 1, task: 2, deadline_met: false });
+        buf.push(30, TraceKind::MapePhase { phase: "plan" });
+        let out = trace_jsonl(&buf.events());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"at_us\":10,\"type\":\"task_dispatch\",\"node\":1,\"task\":2}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"at_us\":20,\"type\":\"task_complete\",\"node\":1,\"task\":2,\"deadline_met\":false}"
+        );
+        assert_eq!(lines[2], "{\"seq\":2,\"at_us\":30,\"type\":\"mape_phase\",\"phase\":\"plan\"}");
+    }
+
+    #[test]
+    fn metrics_jsonl_orders_counters_gauges_histograms() {
+        static BOUNDS: &[f64] = &[1.0];
+        let r = MetricsRegistry::new();
+        r.observe("lat", BOUNDS, 0.5);
+        r.gauge_set("util", "node-0", 0.25);
+        r.counter_add("done", "", 3);
+        let out = metrics_jsonl(&r.snapshot());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"counter\",\"metric\":\"done\",\"label\":\"\",\"value\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"kind\":\"gauge\",\"metric\":\"util\",\"label\":\"node-0\",\"value\":0.25}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"kind\":\"histogram\",\"metric\":\"lat\",\"count\":1,\"sum\":0.5,\"buckets\":[[\"1\",1],[\"+inf\",0]]}"
+        );
+    }
+
+    #[test]
+    fn exports_are_reproducible() {
+        let build = || {
+            let r = MetricsRegistry::new();
+            r.counter_add("b", "y", 2);
+            r.counter_add("a", "x", 1);
+            r.gauge_set("g", "", 7.5);
+            metrics_jsonl(&r.snapshot()) + &metrics_table(&r.snapshot())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn table_is_empty_for_empty_snapshot() {
+        assert!(metrics_table(&MetricsSnapshot::default()).is_empty());
+        assert!(metrics_jsonl(&MetricsSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,264 @@
+//! # myrtus-obs
+//!
+//! Deterministic observability substrate for the MYRTUS continuum
+//! reproduction: a [`MetricsRegistry`] of monotonic counters, gauges and
+//! fixed-bucket histograms, plus a bounded [`TraceBuffer`] of structured,
+//! sim-time-stamped [`TraceEvent`]s — all behind a cheap, clonable
+//! [`Obs`] handle that is a no-op when disabled.
+//!
+//! Design rules (see DESIGN.md § Observability):
+//!
+//! * **No wall-clock.** Every event is stamped with *simulated* time in
+//!   microseconds (`at_us`); exports never contain host timestamps, so
+//!   two runs with the same seed export byte-identical artifacts.
+//! * **Static names.** Metrics are keyed by `&'static str` names and
+//!   labels and stored in `BTreeMap`s, so export order is the sorted
+//!   key order — never `HashMap` iteration order.
+//! * **Zero overhead when disabled.** [`Obs`] wraps an
+//!   `Option<Arc<..>>`; the disabled handle is `None` and every
+//!   recording call is a single branch on it.
+//! * **Serial-context traces only.** Trace events must be emitted from
+//!   deterministic (serial) code paths; parallel scoring paths record
+//!   only order-independent counter totals.
+//!
+//! ```
+//! use myrtus_obs::{Obs, ObsConfig, TraceKind};
+//!
+//! let obs = Obs::new(ObsConfig::on());
+//! obs.counter_inc("sim_tasks_dispatched", "");
+//! obs.trace(1_000, TraceKind::TaskDispatch { node: 0, task: 7 });
+//! assert_eq!(obs.counter_value("sim_tasks_dispatched", ""), 1);
+//! assert!(obs.export_trace_jsonl().contains("\"type\":\"task_dispatch\""));
+//!
+//! let off = Obs::disabled();
+//! off.counter_inc("sim_tasks_dispatched", "");
+//! assert_eq!(off.counter_value("sim_tasks_dispatched", ""), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use trace::{TraceBuffer, TraceEvent, TraceKind};
+
+use std::sync::{Arc, Mutex};
+
+/// Configuration for the observability layer.
+///
+/// `Copy` so it can live inside other `Copy` config structs (e.g.
+/// `mirto::engine::EngineConfig`). Off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch. When `false`, [`Obs::new`] returns the same
+    /// no-op handle as [`Obs::disabled`].
+    pub enabled: bool,
+    /// Ring capacity of the trace buffer: older events are evicted
+    /// (and counted as dropped) once this many are retained.
+    pub trace_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Default trace ring capacity (events retained).
+    pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+    /// Observability off (the default).
+    pub const fn off() -> Self {
+        ObsConfig { enabled: false, trace_capacity: Self::DEFAULT_TRACE_CAPACITY }
+    }
+
+    /// Observability on with the default trace capacity.
+    pub const fn on() -> Self {
+        ObsConfig { enabled: true, trace_capacity: Self::DEFAULT_TRACE_CAPACITY }
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::off()
+    }
+}
+
+struct Inner {
+    metrics: MetricsRegistry,
+    traces: Mutex<TraceBuffer>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner").finish_non_exhaustive()
+    }
+}
+
+/// Cheap, clonable observability handle.
+///
+/// A disabled handle holds no allocation at all; every recording call
+/// first branches on `self.0.is_none()` and returns immediately, which
+/// keeps the instrumented hot paths within noise of the uninstrumented
+/// ones. Clones share the same registry and trace buffer, so a single
+/// handle can be installed into the simulator, the plan cache and the
+/// deployment proxy and observed from the final report.
+#[derive(Debug, Clone, Default)]
+pub struct Obs(Option<Arc<Inner>>);
+
+impl Obs {
+    /// Builds a handle from a config; disabled configs yield a no-op
+    /// handle indistinguishable from [`Obs::disabled`].
+    pub fn new(cfg: ObsConfig) -> Self {
+        if !cfg.enabled {
+            return Obs(None);
+        }
+        Obs(Some(Arc::new(Inner {
+            metrics: MetricsRegistry::new(),
+            traces: Mutex::new(TraceBuffer::new(cfg.trace_capacity)),
+        })))
+    }
+
+    /// The no-op handle.
+    pub const fn disabled() -> Self {
+        Obs(None)
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `delta` to the monotonic counter `name{label}`.
+    pub fn counter_add(&self, name: &'static str, label: &'static str, delta: u64) {
+        if let Some(inner) = &self.0 {
+            inner.metrics.counter_add(name, label, delta);
+        }
+    }
+
+    /// Increments the monotonic counter `name{label}` by one.
+    pub fn counter_inc(&self, name: &'static str, label: &'static str) {
+        self.counter_add(name, label, 1);
+    }
+
+    /// Sets the gauge `name{label}` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &'static str, label: &'static str, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner.metrics.gauge_set(name, label, value);
+        }
+    }
+
+    /// Records `value` into the fixed-bucket histogram `name` with the
+    /// given static upper bounds (an implicit `+inf` bucket is always
+    /// appended). The bounds of the *first* observation win; later
+    /// observations reuse them.
+    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+        if let Some(inner) = &self.0 {
+            inner.metrics.observe(name, bounds, value);
+        }
+    }
+
+    /// Appends a trace event stamped with simulated time `at_us`.
+    ///
+    /// Must only be called from serial (deterministic) contexts — see
+    /// the crate-level determinism rules.
+    pub fn trace(&self, at_us: u64, kind: TraceKind) {
+        if let Some(inner) = &self.0 {
+            inner.traces.lock().expect("trace lock").push(at_us, kind);
+        }
+    }
+
+    /// Current value of counter `name{label}` (0 when disabled/absent).
+    pub fn counter_value(&self, name: &'static str, label: &'static str) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.metrics.counter_value(name, label))
+    }
+
+    /// Sum of counter `name` across all labels (0 when disabled).
+    pub fn counter_sum(&self, name: &'static str) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.metrics.counter_sum(name))
+    }
+
+    /// A deterministic, sorted snapshot of every metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.0.as_ref().map_or_else(MetricsSnapshot::default, |i| i.metrics.snapshot())
+    }
+
+    /// A copy of the retained trace events, oldest first.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.0.as_ref().map_or_else(Vec::new, |i| i.traces.lock().expect("trace lock").events())
+    }
+
+    /// Number of retained trace events.
+    pub fn trace_len(&self) -> usize {
+        self.0.as_ref().map_or(0, |i| i.traces.lock().expect("trace lock").len())
+    }
+
+    /// Number of trace events evicted from the ring so far.
+    pub fn trace_dropped(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.traces.lock().expect("trace lock").dropped())
+    }
+
+    /// The retained trace as deterministic JSON Lines (one event per
+    /// line, oldest first; empty string when disabled).
+    pub fn export_trace_jsonl(&self) -> String {
+        export::trace_jsonl(&self.trace_events())
+    }
+
+    /// All metrics as deterministic JSON Lines, sorted by kind then
+    /// name then label.
+    pub fn export_metrics_jsonl(&self) -> String {
+        export::metrics_jsonl(&self.metrics_snapshot())
+    }
+
+    /// All metrics as a fixed-width, human-readable table.
+    pub fn export_metrics_table(&self) -> String {
+        export::metrics_table(&self.metrics_snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::new(ObsConfig::default());
+        assert!(!obs.enabled());
+        obs.counter_add("c", "l", 5);
+        obs.gauge_set("g", "", 1.0);
+        obs.observe("h", &[1.0], 0.5);
+        obs.trace(0, TraceKind::MapePhase { phase: "monitor" });
+        assert_eq!(obs.counter_value("c", "l"), 0);
+        assert_eq!(obs.trace_len(), 0);
+        assert!(obs.export_trace_jsonl().is_empty());
+        assert!(obs.export_metrics_jsonl().is_empty());
+        assert!(obs.metrics_snapshot().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::new(ObsConfig::on());
+        let twin = obs.clone();
+        twin.counter_inc("c", "");
+        obs.counter_inc("c", "");
+        assert_eq!(obs.counter_value("c", ""), 2);
+        twin.trace(3, TraceKind::NodeCrash { node: 1 });
+        assert_eq!(obs.trace_len(), 1);
+        assert_eq!(obs.trace_events()[0].at_us, 3);
+    }
+
+    #[test]
+    fn counter_sum_spans_labels() {
+        let obs = Obs::new(ObsConfig::on());
+        obs.counter_add("placement_rejected", "arity_mismatch", 2);
+        obs.counter_add("placement_rejected", "unreachable_hop", 3);
+        obs.counter_inc("other", "");
+        assert_eq!(obs.counter_sum("placement_rejected"), 5);
+        assert_eq!(obs.counter_sum("missing"), 0);
+    }
+
+    #[test]
+    fn config_defaults_are_off() {
+        assert_eq!(ObsConfig::default(), ObsConfig::off());
+        assert!(ObsConfig::on().enabled);
+        assert_eq!(ObsConfig::on().trace_capacity, ObsConfig::DEFAULT_TRACE_CAPACITY);
+    }
+}

@@ -1,0 +1,184 @@
+//! Deterministic metrics registry: monotonic counters, gauges and
+//! fixed-bucket histograms keyed by static names, stored in `BTreeMap`s
+//! so every snapshot and export is in sorted key order.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Key of a metric series: `(name, label)`. The label discriminates
+/// series under one name (e.g. `placement_rejected{reason}`); use `""`
+/// for unlabelled series.
+pub type SeriesKey = (&'static str, &'static str);
+
+/// A fixed-bucket histogram: cumulative-style buckets with static upper
+/// bounds plus an implicit `+inf` bucket, a total count and a sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Static upper bounds of the finite buckets (ascending).
+    pub bounds: &'static [f64],
+    /// Per-bucket observation counts; `buckets.len() == bounds.len() + 1`
+    /// (the last entry is the `+inf` bucket).
+    pub buckets: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Histogram { bounds, buckets: vec![0; bounds.len() + 1], count: 0, sum: 0.0 }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A sorted, point-in-time copy of every metric — the only way data
+/// leaves the registry, so exports cannot observe torn state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by `(name, label)`.
+    pub counters: Vec<(SeriesKey, u64)>,
+    /// Gauges (last write wins), sorted by `(name, label)`.
+    pub gauges: Vec<(SeriesKey, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether the snapshot holds no series at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Thread-safe registry of counters, gauges and histograms.
+///
+/// A single mutex guards all three maps: recording is far off any
+/// per-event hot path (the simulator records a handful of counters per
+/// dispatched task) and one lock keeps snapshots consistent.
+pub struct MetricsRegistry {
+    store: Mutex<Store>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry { store: Mutex::new(Store::default()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Store> {
+        self.store.lock().expect("metrics lock")
+    }
+
+    /// Adds `delta` to counter `name{label}`, creating it at 0 first.
+    pub fn counter_add(&self, name: &'static str, label: &'static str, delta: u64) {
+        *self.lock().counters.entry((name, label)).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name{label}` (0 when absent).
+    pub fn counter_value(&self, name: &'static str, label: &'static str) -> u64 {
+        self.lock().counters.get(&(name, label)).copied().unwrap_or(0)
+    }
+
+    /// Sum of counter `name` across all labels.
+    pub fn counter_sum(&self, name: &'static str) -> u64 {
+        self.lock().counters.iter().filter(|((n, _), _)| *n == name).map(|(_, v)| v).sum()
+    }
+
+    /// Sets gauge `name{label}` to `value`.
+    pub fn gauge_set(&self, name: &'static str, label: &'static str, value: f64) {
+        self.lock().gauges.insert((name, label), value);
+    }
+
+    /// Records `value` into histogram `name`; the first observation
+    /// fixes the bucket bounds.
+    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+        self.lock().histograms.entry(name).or_insert_with(|| Histogram::new(bounds)).observe(value);
+    }
+
+    /// Sorted snapshot of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let s = self.lock();
+        MetricsSnapshot {
+            counters: s.counters.iter().map(|(k, v)| (*k, *v)).collect(),
+            gauges: s.gauges.iter().map(|(k, v)| (*k, *v)).collect(),
+            histograms: s.histograms.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_labelled() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a", "x", 2);
+        r.counter_add("a", "x", 3);
+        r.counter_add("a", "y", 1);
+        assert_eq!(r.counter_value("a", "x"), 5);
+        assert_eq!(r.counter_value("a", "y"), 1);
+        assert_eq!(r.counter_sum("a"), 6);
+        assert_eq!(r.counter_value("a", "z"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_the_last_write() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("g", "", 1.5);
+        r.gauge_set("g", "", -2.0);
+        assert_eq!(r.snapshot().gauges, vec![(("g", ""), -2.0)]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        static BOUNDS: &[f64] = &[1.0, 10.0];
+        let r = MetricsRegistry::new();
+        for v in [0.5, 1.0, 2.0, 100.0] {
+            r.observe("h", BOUNDS, v);
+        }
+        let snap = r.snapshot();
+        let (name, h) = &snap.histograms[0];
+        assert_eq!(*name, "h");
+        // 0.5 and 1.0 land in <=1.0; 2.0 in <=10.0; 100.0 in +inf.
+        assert_eq!(h.buckets, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 103.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_key() {
+        let r = MetricsRegistry::new();
+        r.counter_add("zeta", "", 1);
+        r.counter_add("alpha", "b", 1);
+        r.counter_add("alpha", "a", 1);
+        let keys: Vec<SeriesKey> = r.snapshot().counters.into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![("alpha", "a"), ("alpha", "b"), ("zeta", "")]);
+    }
+}

@@ -4,15 +4,103 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! Set `MYRTUS_OBS_DIR=<dir>` to run the same scenario with
+//! observability enabled plus a small fault window, and export the
+//! structured trace and metric snapshot as JSONL into `<dir>`:
+//!
+//! ```sh
+//! MYRTUS_OBS_DIR=out cargo run --example quickstart
+//! head out/quickstart_trace.jsonl
+//! ```
 
-use myrtus::continuum::time::SimTime;
-use myrtus::continuum::topology::ContinuumBuilder;
+use myrtus::continuum::fault::FaultPlan;
+use myrtus::continuum::ids::NodeId;
+use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::continuum::topology::{Continuum, ContinuumBuilder};
 use myrtus::mirto::api::{ApiDaemon, ApiRequest, ApiResponse, Operation};
 use myrtus::mirto::engine::{EngineConfig, OrchestrationEngine};
 use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::obs::{ObsConfig, TraceKind};
 use myrtus::workload::scenarios;
 
+const HORIZON: SimTime = SimTime::from_secs(6);
+
+fn obs_engine() -> OrchestrationEngine {
+    OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig { obs: ObsConfig::on(), ..EngineConfig::default() },
+    )
+}
+
+/// Uses the trace of a fault-free probe run to aim a node crash at the
+/// midpoint of a real task's service window — guaranteed lost work,
+/// picked deterministically (same seed, same probe, same pick).
+fn pick_crash(probe: &mut Continuum) -> (u32, u64) {
+    let report = obs_engine()
+        .run(probe, vec![scenarios::telerehab_with(3)], HORIZON)
+        .expect("probe placeable");
+    let events = report.obs.trace_events();
+    for (i, e) in events.iter().enumerate() {
+        let TraceKind::TaskStart { node, task } = e.kind else { continue };
+        if e.at_us < 300_000 {
+            continue;
+        }
+        for later in &events[i + 1..] {
+            let TraceKind::TaskComplete { node: n2, task: t2, .. } = later.kind else { continue };
+            if n2 == node && t2 == task {
+                if later.at_us.saturating_sub(e.at_us) > 200 {
+                    return (node, e.at_us + (later.at_us - e.at_us) / 2);
+                }
+                break;
+            }
+        }
+    }
+    panic!("probe run has no task with a >200 µs service window");
+}
+
+/// The observability-enabled variant: same scenario, plus a
+/// crash-and-recover on a loaded host and a link cut-and-heal, with the
+/// trace and metric snapshot exported as JSONL (and a pretty table).
+fn run_with_observability(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+    let (victim, crash_at_us) = pick_crash(&mut ContinuumBuilder::new().build());
+    let mut continuum = ContinuumBuilder::new().build();
+    let link = continuum
+        .sim()
+        .network()
+        .iter_links()
+        .map(|(id, _, _)| id)
+        .next()
+        .expect("the reference topology has links");
+    FaultPlan::new()
+        .crash(
+            NodeId::from_raw(victim),
+            SimTime::from_micros(crash_at_us),
+            Some(SimDuration::from_millis(400)),
+        )
+        .cut_link(link, SimTime::from_millis(500), Some(SimDuration::from_millis(200)))
+        .apply(continuum.sim_mut());
+    let report = obs_engine().run(&mut continuum, vec![scenarios::telerehab_with(3)], HORIZON)?;
+
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("quickstart_trace.jsonl"), report.obs.export_trace_jsonl())?;
+    std::fs::write(dir.join("quickstart_metrics.jsonl"), report.obs.export_metrics_jsonl())?;
+    std::fs::write(dir.join("quickstart_metrics.txt"), report.obs.export_metrics_table())?;
+    println!(
+        "observability: {} trace events ({} dropped), exports under {}",
+        report.obs.trace_len(),
+        report.obs.trace_dropped(),
+        dir.display()
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Observability mode: same scenario, instrumented and exported.
+    if let Some(dir) = std::env::var_os("MYRTUS_OBS_DIR") {
+        return run_with_observability(std::path::Path::new(&dir));
+    }
+
     // 1. Build the paper's reference infrastructure (Fig. 2).
     let mut continuum = ContinuumBuilder::new().build();
     println!(

@@ -1,0 +1,169 @@
+//! Chaos suite: seeded random fault plans — node crashes, link cuts,
+//! never-recovering outages — thrown at the full orchestration stack
+//! with observability enabled. The engine must survive every plan
+//! without panicking, task accounting must stay conservative, and the
+//! structured trace must pair every recovering crash with its recovery
+//! at exactly `at + outage`.
+
+use myrtus::continuum::fault::FaultPlan;
+use myrtus::continuum::ids::LinkId;
+use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::continuum::topology::ContinuumBuilder;
+use myrtus::mirto::engine::{EngineConfig, OrchestrationEngine, OrchestrationReport};
+use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::obs::{ObsConfig, TraceKind};
+use myrtus::workload::scenarios;
+
+const HORIZON: SimTime = SimTime::from_secs(5);
+
+/// One chaos run: sample a fault plan from `seed`, apply it, and run
+/// the full cognitive loop with observability on.
+fn chaos_run(seed: u64) -> (FaultPlan, OrchestrationReport) {
+    let mut continuum = ContinuumBuilder::new().build();
+    let nodes = continuum.all_nodes();
+    let links: Vec<LinkId> = continuum.sim().network().iter_links().map(|(id, _, _)| id).collect();
+    let plan = FaultPlan::random_chaos(
+        seed,
+        &nodes,
+        &links,
+        0.25,
+        0.25,
+        0.3,
+        HORIZON,
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(1),
+    );
+    plan.apply(continuum.sim_mut());
+    let engine = OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig { obs: ObsConfig::on(), ..EngineConfig::default() },
+    );
+    let report = engine
+        .run(&mut continuum, vec![scenarios::telerehab_with(2)], HORIZON)
+        .expect("time-zero placement precedes every fault");
+    (plan, report)
+}
+
+#[test]
+fn chaos_runs_survive_and_account_conservatively() {
+    for seed in 0..6 {
+        let (_, report) = chaos_run(seed);
+        let obs = &report.obs;
+        let dispatched = obs.counter_value("sim_tasks_dispatched", "");
+        let started = obs.counter_value("sim_tasks_started", "");
+        let completed = obs.counter_value("sim_tasks_completed", "");
+        assert!(
+            completed <= started && started <= dispatched,
+            "seed {seed}: completed {completed} <= started {started} <= dispatched {dispatched}"
+        );
+        let a = &report.apps[0];
+        assert!(
+            a.completed + a.failed <= 60,
+            "seed {seed}: at most the 60 issued requests resolve: {a:?}"
+        );
+        // The trace's lost-task tally agrees with the metric (nothing
+        // was evicted from the ring, so both saw every loss).
+        assert_eq!(obs.trace_dropped(), 0, "seed {seed}: ring capacity suffices");
+        let traced_lost: u64 = obs
+            .trace_events()
+            .iter()
+            .map(|e| match e.kind {
+                TraceKind::TasksLost { count, .. } => count,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(traced_lost, obs.counter_value("sim_tasks_lost", ""), "seed {seed}");
+    }
+}
+
+#[test]
+fn every_recovering_crash_is_paired_in_the_trace() {
+    for seed in 0..6 {
+        let (plan, report) = chaos_run(seed);
+        assert_eq!(report.obs.trace_dropped(), 0, "pairing needs the full trace");
+        let events = report.obs.trace_events();
+        for f in plan.faults() {
+            let crashed = events.iter().any(|e| {
+                e.at_us == f.at.as_micros()
+                    && matches!(e.kind, TraceKind::NodeCrash { node } if node == f.node.as_raw())
+            });
+            assert!(crashed, "seed {seed}: crash of {:?} at {} traced", f.node, f.at);
+            match f.outage {
+                Some(outage) if f.at + outage <= HORIZON => {
+                    let back_at = (f.at + outage).as_micros();
+                    let recovered = events.iter().any(|e| {
+                        e.at_us == back_at
+                            && matches!(
+                                e.kind,
+                                TraceKind::NodeRecover { node } if node == f.node.as_raw()
+                            )
+                    });
+                    assert!(
+                        recovered,
+                        "seed {seed}: {:?} recovers at exactly at + outage = {back_at} µs",
+                        f.node
+                    );
+                }
+                _ => {
+                    // Permanent outage (or one healing past the horizon):
+                    // the node must never come back within the run.
+                    let recovered = events.iter().any(|e| {
+                        matches!(
+                            e.kind,
+                            TraceKind::NodeRecover { node } if node == f.node.as_raw()
+                        )
+                    });
+                    assert!(!recovered, "seed {seed}: {:?} never recovers", f.node);
+                }
+            }
+        }
+        for f in plan.link_faults() {
+            let cut = events.iter().any(|e| {
+                e.at_us == f.at.as_micros()
+                    && matches!(e.kind, TraceKind::LinkDown { link } if link == f.link.as_raw())
+            });
+            assert!(cut, "seed {seed}: cut of {:?} at {} traced", f.link, f.at);
+            if let Some(outage) = f.outage {
+                if f.at + outage <= HORIZON {
+                    let back_at = (f.at + outage).as_micros();
+                    let restored = events.iter().any(|e| {
+                        e.at_us == back_at
+                            && matches!(
+                                e.kind,
+                                TraceKind::LinkUp { link } if link == f.link.as_raw()
+                            )
+                    });
+                    assert!(restored, "seed {seed}: {:?} restored at {back_at} µs", f.link);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_disabled_observability_stays_silent() {
+    // The same chaos plan with observability off must still survive and
+    // must record nothing at all.
+    let mut continuum = ContinuumBuilder::new().build();
+    let nodes = continuum.all_nodes();
+    let links: Vec<LinkId> = continuum.sim().network().iter_links().map(|(id, _, _)| id).collect();
+    FaultPlan::random_chaos(
+        1,
+        &nodes,
+        &links,
+        0.25,
+        0.25,
+        0.3,
+        HORIZON,
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(1),
+    )
+    .apply(continuum.sim_mut());
+    let engine = OrchestrationEngine::new(Box::new(GreedyBestFit::new()), EngineConfig::default());
+    let report =
+        engine.run(&mut continuum, vec![scenarios::telerehab_with(2)], HORIZON).expect("places");
+    assert!(!report.obs.enabled());
+    assert!(report.obs.export_trace_jsonl().is_empty());
+    assert!(report.obs.export_metrics_jsonl().is_empty());
+    assert!(report.apps[0].completed > 0, "the run still makes progress");
+}

@@ -2,11 +2,14 @@
 //! bit-identical experiment outcomes across the whole stack — the
 //! property every experiment in EXPERIMENTS.md relies on.
 
+use myrtus::continuum::fault::FaultPlan;
 use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::continuum::topology::ContinuumBuilder;
 use myrtus::kb::raft::RaftCluster;
-use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+use myrtus::mirto::engine::{run_orchestration, EngineConfig, OrchestrationEngine};
 use myrtus::mirto::policies::GreedyBestFit;
 use myrtus::mirto::swarm::PsoPlacement;
+use myrtus::obs::{Obs, ObsConfig, TraceKind};
 use myrtus::workload::scenarios;
 
 fn fingerprint(r: &myrtus::mirto::engine::OrchestrationReport) -> String {
@@ -58,6 +61,158 @@ fn different_seeds_differ_somewhere() {
     assert_eq!(fingerprint(&a1), fingerprint(&a2));
     let b = run(99);
     assert!(b.total_completed() > 0);
+}
+
+const GOLDEN_HORIZON: SimTime = SimTime::from_secs(6);
+
+fn golden_engine() -> OrchestrationEngine {
+    OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig { obs: ObsConfig::on(), ..EngineConfig::default() },
+    )
+}
+
+/// Deterministically picks a crash instant that is guaranteed to lose
+/// work: run the scenario once fault-free, then find a task on the
+/// busiest trace window whose service spans a comfortable interval and
+/// aim the crash at its midpoint. Same seed → same probe → same pick.
+fn pick_crash() -> (u32, u64) {
+    static PICK: std::sync::OnceLock<(u32, u64)> = std::sync::OnceLock::new();
+    *PICK.get_or_init(|| {
+        let mut continuum = ContinuumBuilder::new().build();
+        let report = golden_engine()
+            .run(&mut continuum, vec![scenarios::telerehab_with(3)], GOLDEN_HORIZON)
+            .expect("probe placeable");
+        let events = report.obs.trace_events();
+        for (i, e) in events.iter().enumerate() {
+            let TraceKind::TaskStart { node, task } = e.kind else { continue };
+            if e.at_us < 300_000 {
+                continue;
+            }
+            for later in &events[i + 1..] {
+                let TraceKind::TaskComplete { node: n2, task: t2, .. } = later.kind else {
+                    continue;
+                };
+                if n2 == node && t2 == task {
+                    if later.at_us.saturating_sub(e.at_us) > 200 {
+                        return (node, e.at_us + (later.at_us - e.at_us) / 2);
+                    }
+                    break;
+                }
+            }
+        }
+        panic!("probe run has no task with a >200 µs service window");
+    })
+}
+
+/// The quickstart scenario plus a small fault window, with
+/// observability on: every documented trace type occurs and the JSONL
+/// exports are byte-identical across identical-seed runs.
+fn golden_run() -> (String, String) {
+    use myrtus::continuum::ids::NodeId;
+    let (victim, crash_at_us) = pick_crash();
+    let mut continuum = ContinuumBuilder::new().build();
+    // A crash-and-recover on a loaded host plus a link cut-and-heal:
+    // enough churn to exercise crash/recover, link down/up, task loss,
+    // reallocation and migration events.
+    let link = continuum
+        .sim()
+        .network()
+        .iter_links()
+        .map(|(id, _, _)| id)
+        .next()
+        .expect("the reference topology has links");
+    FaultPlan::new()
+        .crash(
+            NodeId::from_raw(victim),
+            SimTime::from_micros(crash_at_us),
+            Some(SimDuration::from_millis(400)),
+        )
+        .cut_link(link, SimTime::from_millis(500), Some(SimDuration::from_millis(200)))
+        .apply(continuum.sim_mut());
+    let report = golden_engine()
+        .run(&mut continuum, vec![scenarios::telerehab_with(3)], GOLDEN_HORIZON)
+        .expect("placeable");
+    assert_eq!(report.obs.trace_dropped(), 0, "the ring retains the whole run");
+    (report.obs.export_trace_jsonl(), report.obs.export_metrics_jsonl())
+}
+
+#[test]
+fn observability_exports_are_byte_identical_across_runs() {
+    let (trace_a, metrics_a) = golden_run();
+    let (trace_b, metrics_b) = golden_run();
+    assert!(!trace_a.is_empty() && !metrics_a.is_empty());
+    assert_eq!(trace_a, trace_b, "trace JSONL is byte-identical");
+    assert_eq!(metrics_a, metrics_b, "metric snapshot JSONL is byte-identical");
+}
+
+#[test]
+fn golden_trace_covers_every_documented_type() {
+    let (trace, _) = golden_run();
+    for ty in TraceKind::ALL_TYPES {
+        assert!(
+            trace.contains(&format!("\"type\":\"{ty}\"")),
+            "golden trace contains at least one {ty} event"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_serial_evaluation_agree_under_observability() {
+    use myrtus::continuum::ids::NodeId;
+    use myrtus::kb::KnowledgeBase;
+    use myrtus::mirto::placement::{evaluate, evaluate_batch, Placement, PlanContext};
+    use myrtus::workload::graph::RequestDag;
+
+    let continuum = ContinuumBuilder::new().build();
+    let app = scenarios::telerehab();
+    let dag = RequestDag::from_application(&app).expect("valid");
+    let kb = KnowledgeBase::new();
+    // Candidates restricted to the cloud: edge-heavy placements in the
+    // batch are rejected, so the rejection counters get real traffic.
+    let candidates = vec![vec![continuum.cloud()[0]]; dag.nodes().len()];
+    let all: Vec<NodeId> = continuum.all_nodes();
+    let batch: Vec<Placement> = (0..64)
+        .map(|i| {
+            Placement::new(
+                (0..dag.nodes().len()).map(|j| all[(i * 5 + j * 3) % all.len()]).collect(),
+            )
+        })
+        .chain(std::iter::once(Placement::new(vec![continuum.cloud()[0]; dag.nodes().len()])))
+        .collect();
+
+    let score = |obs: &Obs, serial: bool| {
+        let ctx = PlanContext {
+            sim: continuum.sim(),
+            kb: &kb,
+            app: &app,
+            dag: &dag,
+            candidates: candidates.clone(),
+            estimator: None,
+            obs: obs.clone(),
+        };
+        if serial {
+            batch.iter().map(|p| evaluate(&ctx, p)).collect::<Vec<_>>()
+        } else {
+            evaluate_batch(&ctx, &batch)
+        }
+    };
+    let obs_par = Obs::new(ObsConfig::on());
+    let obs_ser = Obs::new(ObsConfig::on());
+    let parallel = score(&obs_par, false);
+    let serial = score(&obs_ser, true);
+    assert_eq!(parallel, serial, "batch scoring is order-insensitive");
+    assert_eq!(
+        obs_par.export_metrics_jsonl(),
+        obs_ser.export_metrics_jsonl(),
+        "rejection counters agree between the parallel and serial paths"
+    );
+    assert!(obs_par.counter_value("placement_rejected", "forbidden_candidate") > 0);
+    assert_eq!(
+        obs_par.counter_sum("placement_rejected"),
+        obs_par.counter_value("placement_rejected_total", ""),
+        "every rejection carries a reason label"
+    );
 }
 
 #[test]
