@@ -1,0 +1,59 @@
+//! Renders a markdown run report from exported observability artifacts.
+//!
+//! ```sh
+//! MYRTUS_OBS_DIR=out cargo run --example quickstart
+//! cargo run --bin myrtus-report -- out
+//! cat out/report.md
+//! ```
+//!
+//! The artifact directory is the first argument, or `MYRTUS_OBS_DIR`
+//! when omitted. Artifacts are discovered by filename suffix
+//! (`*_trace.jsonl`, `*_metrics.jsonl`, `*_timeseries.csv`,
+//! `*_critical_path.csv`); missing ones render as empty sections. The
+//! report is written to `<dir>/report.md` and is byte-identical across
+//! same-seed runs.
+
+use std::path::{Path, PathBuf};
+
+use myrtus_bench::report::{render, ReportInputs};
+
+/// First file in `dir` (sorted by name) whose name ends with `suffix`.
+fn find_artifact(dir: &Path, suffix: &str) -> Option<PathBuf> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(suffix)))
+        .collect();
+    names.sort();
+    names.into_iter().next()
+}
+
+fn read_artifact(dir: &Path, suffix: &str) -> String {
+    find_artifact(dir, suffix).and_then(|p| std::fs::read_to_string(p).ok()).unwrap_or_default()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args_os()
+        .nth(1)
+        .or_else(|| std::env::var_os("MYRTUS_OBS_DIR"))
+        .ok_or("usage: myrtus-report <artifact-dir>  (or set MYRTUS_OBS_DIR)")?;
+    let dir = PathBuf::from(dir);
+    let trace = read_artifact(&dir, "_trace.jsonl");
+    let metrics = read_artifact(&dir, "_metrics.jsonl");
+    let timeseries = read_artifact(&dir, "_timeseries.csv");
+    let critical_path = read_artifact(&dir, "_critical_path.csv");
+    if trace.is_empty() && metrics.is_empty() && timeseries.is_empty() {
+        return Err(format!("no observability artifacts under {}", dir.display()).into());
+    }
+    let report = render(&ReportInputs {
+        trace_jsonl: &trace,
+        metrics_jsonl: &metrics,
+        timeseries_csv: &timeseries,
+        critical_path_csv: &critical_path,
+    });
+    let out = dir.join("report.md");
+    std::fs::write(&out, &report)?;
+    println!("wrote {} ({} bytes)", out.display(), report.len());
+    Ok(())
+}

@@ -1,6 +1,8 @@
 //! Shared experiment-harness helpers for the table/figure reproduction
 //! binaries: aligned table rendering and policy-comparison sweeps.
 
+pub mod report;
+
 use myrtus::continuum::time::SimTime;
 use myrtus::mirto::agent::AuctionPlacement;
 use myrtus::mirto::engine::{run_orchestration, EngineConfig, OrchestrationReport};

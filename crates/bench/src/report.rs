@@ -1,0 +1,413 @@
+//! Deterministic markdown run reports over exported observability
+//! artifacts.
+//!
+//! [`render`] consumes the four text artifacts a run exports — the
+//! trace JSONL, the metrics JSONL, the time-series CSV and the
+//! critical-path CSV — and folds them into one human-readable
+//! `report.md`: run summary, per-layer utilization timelines, windowed
+//! latency percentiles, fault timeline, top-k critical-path tasks and
+//! the MAPE round summary. Everything is pure string → string, so the
+//! report is byte-identical whenever the artifacts are, and the whole
+//! pipeline is testable in memory.
+
+use myrtus::obs::export::{parse_metrics_jsonl, parse_trace_jsonl, ParsedMetric};
+use myrtus::obs::span::{reconstruct, SpanOutcome, TaskSpan};
+use myrtus::obs::timeseries::{parse_timeseries_csv, TsSample};
+use myrtus::obs::TraceKind;
+
+/// The artifact bundle one run exports; every field is the full text of
+/// the corresponding file ("" when absent).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReportInputs<'a> {
+    /// Trace export (`*_trace.jsonl`).
+    pub trace_jsonl: &'a str,
+    /// Metric snapshot export (`*_metrics.jsonl`).
+    pub metrics_jsonl: &'a str,
+    /// Scraped time series (`*_timeseries.csv`).
+    pub timeseries_csv: &'a str,
+    /// Measured per-app critical paths (`*_critical_path.csv`).
+    pub critical_path_csv: &'a str,
+}
+
+/// Number of equal-width windows the latency-percentile section slices
+/// the run into.
+const LATENCY_WINDOWS: u64 = 8;
+
+/// How many slowest tasks the critical-path section lists.
+const TOP_K: usize = 5;
+
+/// ASCII levels for the utilization sparklines, lowest to highest.
+const LEVELS: &[u8] = b" .:-=+*#@";
+
+/// Renders the full markdown report from the artifact bundle.
+pub fn render(inputs: &ReportInputs) -> String {
+    let events = parse_trace_jsonl(inputs.trace_jsonl);
+    let metrics = parse_metrics_jsonl(inputs.metrics_jsonl);
+    let series = parse_timeseries_csv(inputs.timeseries_csv);
+    let spans = reconstruct(&events);
+
+    let mut out = String::from("# MYRTUS run report\n");
+    out.push_str(&run_summary(&metrics, &spans));
+    out.push_str(&utilization_timelines(&series));
+    out.push_str(&latency_percentiles(&spans.spans));
+    out.push_str(&fault_timeline(&events));
+    out.push_str(&critical_path_section(inputs.critical_path_csv, &spans.spans));
+    out.push_str(&mape_summary(&events, &metrics));
+    out
+}
+
+fn counter(metrics: &[ParsedMetric], name: &str) -> u64 {
+    metrics
+        .iter()
+        .filter_map(|m| match m {
+            ParsedMetric::Counter { metric, value, .. } if metric == name => Some(*value),
+            _ => None,
+        })
+        .sum()
+}
+
+fn run_summary(metrics: &[ParsedMetric], spans: &myrtus::obs::SpanSet) -> String {
+    let rows: &[(&str, u64)] = &[
+        ("tasks dispatched", counter(metrics, "sim_tasks_dispatched")),
+        ("tasks completed", counter(metrics, "sim_tasks_completed")),
+        ("tasks lost", counter(metrics, "sim_tasks_lost")),
+        ("deadline misses", counter(metrics, "sim_deadline_misses")),
+        ("node crashes", counter(metrics, "node_crashes")),
+        ("node recoveries", counter(metrics, "node_recoveries")),
+        ("link transitions", counter(metrics, "link_transitions")),
+        ("MAPE rounds", counter(metrics, "mape_rounds")),
+        ("scrapes", counter(metrics, "obs_scrapes")),
+        ("trace events dropped", counter(metrics, "trace_events_dropped")),
+    ];
+    let mut s = String::from("\n## Run summary\n\n| metric | value |\n|---|---:|\n");
+    for (name, value) in rows {
+        s.push_str(&format!("| {name} | {value} |\n"));
+    }
+    s.push_str(&format!(
+        "\nSpan conservation: {} dispatched = {} completed + {} lost + {} in flight ({}).\n",
+        spans.dispatched,
+        spans.completed,
+        spans.lost,
+        spans.in_flight,
+        if spans.is_conserved() { "holds" } else { "VIOLATED" }
+    ));
+    s
+}
+
+fn sparkline(samples: &[TsSample], max: f64) -> String {
+    samples
+        .iter()
+        .map(|s| {
+            let frac = if max > 0.0 { (s.value / max).clamp(0.0, 1.0) } else { 0.0 };
+            let idx = (frac * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[idx.min(LEVELS.len() - 1)] as char
+        })
+        .collect()
+}
+
+fn utilization_timelines(series: &[(String, String, Vec<TsSample>)]) -> String {
+    let mut s = String::from("\n## Per-layer utilization\n");
+    let layers: Vec<&(String, String, Vec<TsSample>)> =
+        series.iter().filter(|(name, _, _)| name == "layer_utilization").collect();
+    if layers.is_empty() {
+        s.push_str("\nNo `layer_utilization` series (scraping disabled?).\n");
+        return s;
+    }
+    s.push('\n');
+    for (_, label, samples) in layers {
+        let (min, max, sum) = samples.iter().fold((f64::MAX, f64::MIN, 0.0), |(lo, hi, acc), p| {
+            (lo.min(p.value), hi.max(p.value), acc + p.value)
+        });
+        let mean = sum / samples.len() as f64;
+        s.push_str(&format!(
+            "- `{label:5}` [{}] min {min:.2} mean {mean:.2} max {max:.2} ({} samples)\n",
+            sparkline(samples, 1.0),
+            samples.len()
+        ));
+    }
+    if let Some((_, _, samples)) =
+        series.iter().find(|(name, label, _)| name == "deadline_miss_rate" && label.is_empty())
+    {
+        let peak = samples.iter().fold(0.0f64, |hi, p| hi.max(p.value));
+        s.push_str(&format!(
+            "\nWindowed deadline-miss rate peaked at {peak:.3} over {} scrape windows.\n",
+            samples.len()
+        ));
+    }
+    s
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn latency_percentiles(spans: &[TaskSpan]) -> String {
+    let mut s = String::from("\n## Windowed latency percentiles\n");
+    let completed: Vec<&TaskSpan> = spans
+        .iter()
+        .filter(|sp| matches!(sp.outcome, SpanOutcome::Completed { .. }))
+        .filter(|sp| sp.total_us().is_some())
+        .collect();
+    if completed.is_empty() {
+        s.push_str("\nNo completed task spans.\n");
+        return s;
+    }
+    let end = completed.iter().filter_map(|sp| sp.ended_at_us).max().unwrap_or(0).max(1);
+    let width = end.div_ceil(LATENCY_WINDOWS);
+    s.push_str("\n| window (ms) | tasks | p50 ms | p95 ms | max ms |\n|---|---:|---:|---:|---:|\n");
+    for w in 0..LATENCY_WINDOWS {
+        let (lo, hi) = (w * width, (w + 1) * width);
+        let mut totals: Vec<u64> = completed
+            .iter()
+            .filter(|sp| sp.ended_at_us.is_some_and(|t| t >= lo && t < hi))
+            .filter_map(|sp| sp.total_us())
+            .collect();
+        if totals.is_empty() {
+            continue;
+        }
+        totals.sort_unstable();
+        s.push_str(&format!(
+            "| {:.0}–{:.0} | {} | {:.2} | {:.2} | {:.2} |\n",
+            lo as f64 / 1e3,
+            hi as f64 / 1e3,
+            totals.len(),
+            percentile(&totals, 50.0) as f64 / 1e3,
+            percentile(&totals, 95.0) as f64 / 1e3,
+            totals.last().copied().unwrap_or(0) as f64 / 1e3,
+        ));
+    }
+    let mut all: Vec<u64> = completed.iter().filter_map(|sp| sp.total_us()).collect();
+    all.sort_unstable();
+    s.push_str(&format!(
+        "\nOverall: {} completed spans, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms.\n",
+        all.len(),
+        percentile(&all, 50.0) as f64 / 1e3,
+        percentile(&all, 95.0) as f64 / 1e3,
+        percentile(&all, 99.0) as f64 / 1e3,
+        all.last().copied().unwrap_or(0) as f64 / 1e3,
+    ));
+    s
+}
+
+fn fault_timeline(events: &[myrtus::obs::TraceEvent]) -> String {
+    let mut s = String::from("\n## Fault timeline\n");
+    let mut rows = Vec::new();
+    for e in events {
+        let what = match e.kind {
+            TraceKind::NodeCrash { node } => format!("node {node} crashed"),
+            TraceKind::NodeRecover { node } => format!("node {node} recovered"),
+            TraceKind::LinkDown { link } => format!("link {link} down"),
+            TraceKind::LinkUp { link } => format!("link {link} up"),
+            _ => continue,
+        };
+        rows.push((e.at_us, what));
+    }
+    if rows.is_empty() {
+        s.push_str("\nNo faults injected or observed.\n");
+        return s;
+    }
+    s.push_str("\n| at (ms) | event |\n|---:|---|\n");
+    for (at_us, what) in rows {
+        s.push_str(&format!("| {:.1} | {what} |\n", at_us as f64 / 1e3));
+    }
+    s
+}
+
+fn critical_path_section(critical_path_csv: &str, spans: &[TaskSpan]) -> String {
+    let mut s = String::from("\n## Critical path\n");
+    // Per-app measured chain, exported as `app,stage,node,finished_at_us`.
+    let rows: Vec<Vec<&str>> = critical_path_csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').collect::<Vec<&str>>())
+        .filter(|f| f.len() == 4)
+        .collect();
+    if rows.is_empty() {
+        s.push_str("\nNo critical-path export found.\n");
+    } else {
+        let mut apps: Vec<&str> = rows.iter().map(|f| f[0]).collect();
+        apps.dedup();
+        for app in apps {
+            let chain: Vec<String> = rows
+                .iter()
+                .filter(|f| f[0] == app)
+                .map(|f| format!("{} @ {}", f[1], f[2]))
+                .collect();
+            s.push_str(&format!("\n- app `{app}`: {}\n", chain.join(" → ")));
+        }
+    }
+    // Top-k slowest spans with the transfer / wait / compute breakdown.
+    let slowest: Vec<&TaskSpan> = {
+        let mut v: Vec<&TaskSpan> = spans.iter().filter(|sp| sp.total_us().is_some()).collect();
+        v.sort_by_key(|sp| (std::cmp::Reverse(sp.total_us().unwrap_or(0)), sp.task));
+        v.truncate(TOP_K);
+        v
+    };
+    if !slowest.is_empty() {
+        s.push_str(
+            "\n| task | node | transfer ms | queue wait ms | compute ms | total ms |\n\
+             |---:|---:|---:|---:|---:|---:|\n",
+        );
+        for sp in slowest {
+            let ms = |v: Option<u64>| {
+                v.map_or("—".to_string(), |us| format!("{:.2}", us as f64 / 1e3))
+            };
+            s.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                sp.task,
+                sp.node,
+                ms(sp.transfer_us()),
+                ms(sp.queue_wait_us()),
+                ms(sp.compute_us()),
+                ms(sp.total_us()),
+            ));
+        }
+    }
+    s
+}
+
+fn mape_summary(events: &[myrtus::obs::TraceEvent], metrics: &[ParsedMetric]) -> String {
+    let mut s = String::from("\n## MAPE round summary\n");
+    let mut phases: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    let mut actions: std::collections::BTreeMap<(&str, &str), u64> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        match e.kind {
+            TraceKind::MapePhase { phase } => *phases.entry(phase).or_default() += 1,
+            TraceKind::ManagerAction { manager, action, .. } => {
+                *actions.entry((manager, action)).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    s.push_str(&format!("\nRounds completed: {}.\n", counter(metrics, "mape_rounds")));
+    if !phases.is_empty() {
+        s.push_str("\n| phase | occurrences |\n|---|---:|\n");
+        for (phase, n) in &phases {
+            s.push_str(&format!("| {phase} | {n} |\n"));
+        }
+    }
+    if !actions.is_empty() {
+        s.push_str("\n| manager | action | count |\n|---|---|---:|\n");
+        for ((manager, action), n) in &actions {
+            s.push_str(&format!("| {manager} | {action} | {n} |\n"));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_inputs() -> (String, String, String, String) {
+        let trace = "\
+{\"seq\":0,\"at_us\":100,\"type\":\"task_dispatch\",\"node\":1,\"task\":7}\n\
+{\"seq\":1,\"at_us\":150,\"type\":\"task_arrive\",\"node\":1,\"task\":7}\n\
+{\"seq\":2,\"at_us\":200,\"type\":\"task_start\",\"node\":1,\"task\":7}\n\
+{\"seq\":3,\"at_us\":900,\"type\":\"task_complete\",\"node\":1,\"task\":7,\"deadline_met\":true}\n\
+{\"seq\":4,\"at_us\":500,\"type\":\"node_crash\",\"node\":2}\n\
+{\"seq\":5,\"at_us\":800,\"type\":\"node_recover\",\"node\":2}\n\
+{\"seq\":6,\"at_us\":600,\"type\":\"mape_phase\",\"phase\":\"monitor\"}\n\
+{\"seq\":7,\"at_us\":610,\"type\":\"manager_action\",\"manager\":\"wl\",\"action\":\"reallocate\",\"subject\":3}\n"
+            .to_string();
+        let metrics = "\
+{\"kind\":\"counter\",\"metric\":\"sim_tasks_dispatched\",\"label\":\"\",\"value\":1}\n\
+{\"kind\":\"counter\",\"metric\":\"sim_tasks_completed\",\"label\":\"\",\"value\":1}\n\
+{\"kind\":\"counter\",\"metric\":\"mape_rounds\",\"label\":\"\",\"value\":4}\n"
+            .to_string();
+        let ts = "\
+series,label,at_us,value\n\
+layer_utilization,edge,100000,0.5\n\
+layer_utilization,edge,200000,0.75\n\
+deadline_miss_rate,,200000,0.25\n"
+            .to_string();
+        let cp = "app,stage,node,finished_at_us\n0,camera,edge/e0,900\n0,fusion,fog/f1,1800\n"
+            .to_string();
+        (trace, metrics, ts, cp)
+    }
+
+    #[test]
+    fn report_has_every_section() {
+        let (trace, metrics, ts, cp) = sample_inputs();
+        let md = render(&ReportInputs {
+            trace_jsonl: &trace,
+            metrics_jsonl: &metrics,
+            timeseries_csv: &ts,
+            critical_path_csv: &cp,
+        });
+        for heading in [
+            "# MYRTUS run report",
+            "## Run summary",
+            "## Per-layer utilization",
+            "## Windowed latency percentiles",
+            "## Fault timeline",
+            "## Critical path",
+            "## MAPE round summary",
+        ] {
+            assert!(md.contains(heading), "missing {heading} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn report_reflects_the_artifacts() {
+        let (trace, metrics, ts, cp) = sample_inputs();
+        let md = render(&ReportInputs {
+            trace_jsonl: &trace,
+            metrics_jsonl: &metrics,
+            timeseries_csv: &ts,
+            critical_path_csv: &cp,
+        });
+        assert!(md.contains("| tasks dispatched | 1 |"));
+        assert!(md.contains("node 2 crashed"));
+        assert!(md.contains("node 2 recovered"));
+        assert!(md.contains("camera @ edge/e0 → fusion @ fog/f1"));
+        assert!(md.contains("| wl | reallocate | 1 |"));
+        assert!(md.contains("Rounds completed: 4."));
+        // 1 dispatched = 1 completed + 0 lost + 0 in flight.
+        assert!(md.contains("holds"));
+        // The span: transfer 0.05 ms, wait 0.05 ms, compute 0.70 ms.
+        assert!(md.contains("| 7 | 1 | 0.05 | 0.05 | 0.70 | 0.80 |"), "{md}");
+    }
+
+    #[test]
+    fn report_is_deterministic_and_total_on_empty_inputs() {
+        let empty = ReportInputs::default();
+        let a = render(&empty);
+        let b = render(&empty);
+        assert_eq!(a, b);
+        assert!(a.contains("No completed task spans."));
+        assert!(a.contains("No faults injected or observed."));
+        let (trace, metrics, ts, cp) = sample_inputs();
+        let full = ReportInputs {
+            trace_jsonl: &trace,
+            metrics_jsonl: &metrics,
+            timeseries_csv: &ts,
+            critical_path_csv: &cp,
+        };
+        assert_eq!(render(&full), render(&full));
+    }
+
+    #[test]
+    fn sparkline_quantizes_to_ascii_levels() {
+        let samples: Vec<TsSample> =
+            [0.0, 0.5, 1.0].iter().map(|&v| TsSample { at_us: 0, value: v }).collect();
+        let line = sparkline(&samples, 1.0);
+        assert_eq!(line.len(), 3);
+        assert!(line.starts_with(' ') && line.ends_with('@'));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [10, 20, 30, 40];
+        assert_eq!(percentile(&v, 0.0), 10);
+        assert_eq!(percentile(&v, 50.0), 30);
+        assert_eq!(percentile(&v, 100.0), 40);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+}

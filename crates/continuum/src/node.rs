@@ -27,16 +27,30 @@ pub enum Layer {
 impl Layer {
     /// All layers, edge first.
     pub const ALL: [Layer; 3] = [Layer::Edge, Layer::Fog, Layer::Cloud];
+
+    /// Static lowercase label (`"edge"`, `"fog"`, `"cloud"`), usable as
+    /// a metric series label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Layer::Edge => "edge",
+            Layer::Fog => "fog",
+            Layer::Cloud => "cloud",
+        }
+    }
+
+    /// Position of this layer in [`Layer::ALL`].
+    pub const fn index(self) -> usize {
+        match self {
+            Layer::Edge => 0,
+            Layer::Fog => 1,
+            Layer::Cloud => 2,
+        }
+    }
 }
 
 impl std::fmt::Display for Layer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            Layer::Edge => "edge",
-            Layer::Fog => "fog",
-            Layer::Cloud => "cloud",
-        };
-        f.write_str(s)
+        f.write_str(self.label())
     }
 }
 

@@ -28,7 +28,9 @@ use myrtus_continuum::task::TaskInstance;
 use myrtus_continuum::time::{SimDuration, SimTime};
 use myrtus_continuum::topology::Continuum;
 use myrtus_kb::KnowledgeBase;
-use myrtus_obs::{Obs, ObsConfig, TraceKind};
+use myrtus_obs::span::causal_chain;
+use myrtus_obs::timeseries::trend_rising;
+use myrtus_obs::{index_label, Obs, ObsConfig, TraceKind};
 use myrtus_workload::compile::{compile_requests, CompiledRequest, Tag};
 use myrtus_workload::graph::RequestDag;
 use myrtus_workload::opset::AppPointSet;
@@ -147,6 +149,15 @@ struct RequestState {
     finish_at: Vec<Option<SimTime>>,
 }
 
+/// The worst completed request seen so far for one application:
+/// latency, full stage trace and measured critical path.
+#[derive(Debug, Default)]
+struct SlowestRequest {
+    latency_ms: f64,
+    trace: Vec<StageSpan>,
+    critical_path: Vec<StageSpan>,
+}
+
 #[derive(Debug)]
 struct AppRuntime {
     id: u16,
@@ -193,6 +204,10 @@ pub struct AppReport {
     /// Stage-by-stage trace of the slowest completed request — where the
     /// worst-case latency was spent.
     pub slowest_trace: Vec<StageSpan>,
+    /// Measured critical path of that slowest request: the chain of
+    /// binding dependencies (each stage waited on the listed
+    /// predecessor last), source first. A subset of `slowest_trace`.
+    pub critical_path: Vec<StageSpan>,
 }
 
 impl AppReport {
@@ -311,7 +326,7 @@ pub struct OrchestrationEngine {
     lost_tasks: u64,
     latencies_ms: HashMap<u16, Vec<f64>>,
     qualities: HashMap<u16, Vec<f64>>,
-    slowest: HashMap<u16, (f64, Vec<StageSpan>)>,
+    slowest: HashMap<u16, SlowestRequest>,
     app_point_switches: u64,
     completed: HashMap<u16, u64>,
     failed: HashMap<u16, u64>,
@@ -545,7 +560,12 @@ impl OrchestrationEngine {
                     .filter(|v| !v.is_empty())
                     .map(|v| v.iter().sum::<f64>() / v.len() as f64)
                     .unwrap_or(1.0),
-                slowest_trace: self.slowest.get(&a.id).map(|(_, t)| t.clone()).unwrap_or_default(),
+                slowest_trace: self.slowest.get(&a.id).map(|s| s.trace.clone()).unwrap_or_default(),
+                critical_path: self
+                    .slowest
+                    .get(&a.id)
+                    .map(|s| s.critical_path.clone())
+                    .unwrap_or_default(),
             })
             .collect();
         OrchestrationReport {
@@ -780,24 +800,35 @@ impl OrchestrationEngine {
                 let quality = rt.points.get(point_idx).map(|p| p.quality).unwrap_or(1.0);
                 self.qualities.entry(tag.app).or_default().push(quality);
             }
-            // Application monitoring: keep the worst request's trace.
+            // Application monitoring: keep the worst request's trace
+            // plus its measured critical path (the chain of binding
+            // dependencies that set the end-to-end latency).
             let lat_ms = latency.as_millis_f64();
-            let entry = self.slowest.entry(tag.app).or_insert((0.0, Vec::new()));
-            if lat_ms > entry.0 {
+            let entry = self.slowest.entry(tag.app).or_default();
+            if lat_ms > entry.latency_ms {
+                let span = |j: usize, stg: &myrtus_workload::compile::CompiledStage| {
+                    Some(StageSpan {
+                        stage: stg.name.clone(),
+                        node: state.finish_node[j]?,
+                        finished_at: state.finish_at[j]?,
+                    })
+                };
                 let trace: Vec<StageSpan> = state
                     .compiled
                     .stages
                     .iter()
                     .enumerate()
-                    .filter_map(|(j, stg)| {
-                        Some(StageSpan {
-                            stage: stg.name.clone(),
-                            node: state.finish_node[j]?,
-                            finished_at: state.finish_at[j]?,
-                        })
-                    })
+                    .filter_map(|(j, stg)| span(j, stg))
                     .collect();
-                *entry = (lat_ms, trace);
+                let preds: Vec<Vec<usize>> =
+                    state.compiled.stages.iter().map(|s| s.preds.clone()).collect();
+                let finish_us: Vec<Option<u64>> =
+                    state.finish_at.iter().map(|f| f.map(|t| t.as_micros())).collect();
+                let critical_path: Vec<StageSpan> = causal_chain(&preds, &finish_us)
+                    .into_iter()
+                    .filter_map(|j| span(j, &state.compiled.stages[j]))
+                    .collect();
+                *entry = SlowestRequest { latency_ms: lat_ms, trace, critical_path };
             }
             let now = sim.now();
             self.kb.record_kpi(
@@ -911,16 +942,33 @@ impl OrchestrationEngine {
             }
         }
         if self.cfg.app_point_adaptation {
-            for rt in &mut self.apps {
+            for (pos, rt) in self.apps.iter_mut().enumerate() {
                 let done = rt.window_done;
                 let missed = rt.window_missed;
                 rt.window_done = 0;
                 rt.window_missed = 0;
+                // Surface the window stats before they are reset, so
+                // the per-round view survives into the exports.
+                let app_label = index_label(pos);
+                self.obs.gauge_set("app_window_done", app_label, done as f64);
+                self.obs.gauge_set("app_window_missed", app_label, missed as f64);
                 if done == 0 {
                     continue;
                 }
                 let miss_rate = missed as f64 / done as f64;
-                if miss_rate > 0.2 && rt.point_idx + 1 < rt.points.len() {
+                // Rolling-window view for the Analyze phase: the trend
+                // over recent rounds, not just this snapshot. A
+                // monotonically rising miss-rate that has reached 0.1
+                // triggers a degrade even before the instantaneous 0.2
+                // threshold does. With observability off the series is
+                // empty and only the snapshot rule applies.
+                self.obs.ts_record("app_window_miss_rate", app_label, now_us, miss_rate);
+                let recent = self.obs.ts_last_n("app_window_miss_rate", app_label, 3);
+                let trending = recent.len() == 3
+                    && trend_rising(&recent)
+                    && recent.last().is_some_and(|s| s.value >= 0.1);
+                let snapshot = miss_rate > 0.2;
+                if (snapshot || trending) && rt.point_idx + 1 < rt.points.len() {
                     rt.point_idx += 1;
                     rt.clean_rounds = 0;
                     self.app_point_switches += 1;
@@ -929,7 +977,7 @@ impl OrchestrationEngine {
                         now_us,
                         TraceKind::ManagerAction {
                             manager: "app",
-                            action: "degrade",
+                            action: if snapshot { "degrade" } else { "degrade_trend" },
                             subject: rt.id as u64,
                         },
                     );
@@ -1277,6 +1325,41 @@ mod tests {
             trace.windows(2).all(|w| w[0].finished_at <= w[1].finished_at),
             "chain stages finish in order"
         );
+        // The measured critical path is a non-empty, time-ordered
+        // subset of the trace ending at the last-finishing stage.
+        let cp = &report.apps[0].critical_path;
+        assert!(!cp.is_empty(), "a completed request has a critical path");
+        assert!(cp.len() <= trace.len());
+        assert!(cp.windows(2).all(|w| w[0].finished_at <= w[1].finished_at));
+        assert_eq!(
+            cp.last().map(|s| s.finished_at),
+            trace.iter().map(|s| s.finished_at).max(),
+            "the critical path ends at the latest finish"
+        );
+        assert!(cp.iter().all(|c| trace.iter().any(|t| t == c)), "subset of the trace");
+    }
+
+    #[test]
+    fn window_stats_surface_as_gauges_and_series() {
+        let report = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig { obs: ObsConfig::on(), ..EngineConfig::default() },
+            vec![small_telerehab()],
+            SimTime::from_secs(5),
+        )
+        .expect("placeable");
+        let snap = report.obs.metrics_snapshot();
+        let gauge = |name: &str| {
+            snap.gauges.iter().find(|((n, l), _)| *n == name && *l == "0").map(|(_, v)| *v)
+        };
+        assert!(gauge("app_window_done").is_some(), "window done gauge exported");
+        assert!(gauge("app_window_missed").is_some(), "window missed gauge exported");
+        // Each monitoring round with completions records one miss-rate
+        // sample for the trend window.
+        let samples = report.obs.ts_series("app_window_miss_rate", "0");
+        assert!(!samples.is_empty(), "miss-rate series recorded");
+        assert!(samples.iter().all(|s| (0.0..=1.0).contains(&s.value)));
+        assert!(samples.windows(2).all(|w| w[0].at_us < w[1].at_us), "one sample per round");
     }
 
     #[test]

@@ -40,9 +40,13 @@
 
 pub mod export;
 pub mod metrics;
+pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanOutcome, SpanSet, TaskSpan};
+pub use timeseries::{TimeSeriesStore, TsSample};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};
 
 use std::sync::{Arc, Mutex};
@@ -59,20 +63,45 @@ pub struct ObsConfig {
     /// Ring capacity of the trace buffer: older events are evicted
     /// (and counted as dropped) once this many are retained.
     pub trace_capacity: usize,
+    /// Simulated-time interval between periodic telemetry scrapes, in
+    /// microseconds. `0` disables the scrape timer (no time series are
+    /// recorded). The simulator arms a repeating sim-time timer at this
+    /// interval and samples node/link/rate series into the
+    /// [`TimeSeriesStore`].
+    pub scrape_interval_us: u64,
 }
 
 impl ObsConfig {
     /// Default trace ring capacity (events retained).
     pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
+    /// Default scrape interval: 100 ms of simulated time.
+    pub const DEFAULT_SCRAPE_INTERVAL_US: u64 = 100_000;
+
     /// Observability off (the default).
     pub const fn off() -> Self {
-        ObsConfig { enabled: false, trace_capacity: Self::DEFAULT_TRACE_CAPACITY }
+        ObsConfig {
+            enabled: false,
+            trace_capacity: Self::DEFAULT_TRACE_CAPACITY,
+            scrape_interval_us: 0,
+        }
     }
 
-    /// Observability on with the default trace capacity.
+    /// Observability on with the default trace capacity and scrape
+    /// interval.
     pub const fn on() -> Self {
-        ObsConfig { enabled: true, trace_capacity: Self::DEFAULT_TRACE_CAPACITY }
+        ObsConfig {
+            enabled: true,
+            trace_capacity: Self::DEFAULT_TRACE_CAPACITY,
+            scrape_interval_us: Self::DEFAULT_SCRAPE_INTERVAL_US,
+        }
+    }
+
+    /// The same config with a different scrape interval (0 disables
+    /// the periodic scrape).
+    pub const fn with_scrape_interval_us(mut self, scrape_interval_us: u64) -> Self {
+        self.scrape_interval_us = scrape_interval_us;
+        self
     }
 }
 
@@ -85,6 +114,8 @@ impl Default for ObsConfig {
 struct Inner {
     metrics: MetricsRegistry,
     traces: Mutex<TraceBuffer>,
+    timeseries: TimeSeriesStore,
+    scrape_interval_us: u64,
 }
 
 impl std::fmt::Debug for Inner {
@@ -114,6 +145,8 @@ impl Obs {
         Obs(Some(Arc::new(Inner {
             metrics: MetricsRegistry::new(),
             traces: Mutex::new(TraceBuffer::new(cfg.trace_capacity)),
+            timeseries: TimeSeriesStore::new(),
+            scrape_interval_us: cfg.scrape_interval_us,
         })))
     }
 
@@ -146,13 +179,19 @@ impl Obs {
         }
     }
 
-    /// Records `value` into the fixed-bucket histogram `name` with the
-    /// given static upper bounds (an implicit `+inf` bucket is always
-    /// appended). The bounds of the *first* observation win; later
-    /// observations reuse them.
-    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
+    /// Records `value` into the fixed-bucket histogram `name{label}`
+    /// with the given static upper bounds (an implicit `+inf` bucket is
+    /// always appended). The bounds of a series' *first* observation
+    /// win; later observations reuse them.
+    pub fn observe(
+        &self,
+        name: &'static str,
+        label: &'static str,
+        bounds: &'static [f64],
+        value: f64,
+    ) {
         if let Some(inner) = &self.0 {
-            inner.metrics.observe(name, bounds, value);
+            inner.metrics.observe(name, label, bounds, value);
         }
     }
 
@@ -176,9 +215,60 @@ impl Obs {
         self.0.as_ref().map_or(0, |i| i.metrics.counter_sum(name))
     }
 
-    /// A deterministic, sorted snapshot of every metric.
+    /// A deterministic, sorted snapshot of every metric. The trace
+    /// ring's eviction tally is injected as the `trace_events_dropped`
+    /// counter (present even at 0), so ring overflow is visible in
+    /// every export.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.0.as_ref().map_or_else(MetricsSnapshot::default, |i| i.metrics.snapshot())
+        self.0.as_ref().map_or_else(MetricsSnapshot::default, |i| {
+            let mut snap = i.metrics.snapshot();
+            let dropped = i.traces.lock().expect("trace lock").dropped();
+            snap.counters.push((("trace_events_dropped", ""), dropped));
+            snap.counters.sort_by_key(|(k, _)| *k);
+            snap
+        })
+    }
+
+    /// The configured scrape interval in simulated microseconds (0 when
+    /// disabled or when the handle itself is disabled).
+    pub fn scrape_interval_us(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.scrape_interval_us)
+    }
+
+    /// Appends a time-series sample to `name{label}` at simulated time
+    /// `at_us`. Like traces, series must only be recorded from serial
+    /// contexts (the scrape timer and the MAPE monitoring round).
+    pub fn ts_record(&self, name: &'static str, label: &str, at_us: u64, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner.timeseries.record(name, label, at_us, value);
+        }
+    }
+
+    /// All samples of time series `name{label}`, oldest first.
+    pub fn ts_series(&self, name: &'static str, label: &str) -> Vec<TsSample> {
+        self.0.as_ref().map_or_else(Vec::new, |i| i.timeseries.series(name, label))
+    }
+
+    /// The last `n` samples of time series `name{label}`, oldest first.
+    pub fn ts_last_n(&self, name: &'static str, label: &str, n: usize) -> Vec<TsSample> {
+        self.0.as_ref().map_or_else(Vec::new, |i| i.timeseries.last_n(name, label, n))
+    }
+
+    /// Total number of time-series samples recorded so far.
+    pub fn ts_sample_count(&self) -> usize {
+        self.0.as_ref().map_or(0, |i| i.timeseries.sample_count())
+    }
+
+    /// All time series as deterministic CSV (`series,label,at_us,value`
+    /// rows in sorted series order; empty string when disabled or when
+    /// nothing was scraped).
+    pub fn export_timeseries_csv(&self) -> String {
+        self.0.as_ref().map_or_else(String::new, |i| i.timeseries.export_csv())
+    }
+
+    /// All time series as deterministic JSON Lines.
+    pub fn export_timeseries_jsonl(&self) -> String {
+        self.0.as_ref().map_or_else(String::new, |i| i.timeseries.export_jsonl())
     }
 
     /// A copy of the retained trace events, oldest first.
@@ -214,6 +304,16 @@ impl Obs {
     }
 }
 
+/// Maps a small index to a static label (`"0"` … `"15"`, saturating at
+/// `"16+"`). Counter and gauge labels must be `&'static str`; this
+/// table lets per-application or per-round series be labelled without
+/// leaking memory for unbounded dynamic strings.
+pub fn index_label(i: usize) -> &'static str {
+    const LABELS: &[&str] =
+        &["0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15"];
+    LABELS.get(i).copied().unwrap_or("16+")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,13 +324,64 @@ mod tests {
         assert!(!obs.enabled());
         obs.counter_add("c", "l", 5);
         obs.gauge_set("g", "", 1.0);
-        obs.observe("h", &[1.0], 0.5);
+        obs.observe("h", "", &[1.0], 0.5);
         obs.trace(0, TraceKind::MapePhase { phase: "monitor" });
+        obs.ts_record("util", "edge", 0, 0.5);
         assert_eq!(obs.counter_value("c", "l"), 0);
         assert_eq!(obs.trace_len(), 0);
+        assert_eq!(obs.ts_sample_count(), 0);
+        assert_eq!(obs.scrape_interval_us(), 0);
         assert!(obs.export_trace_jsonl().is_empty());
         assert!(obs.export_metrics_jsonl().is_empty());
+        assert!(obs.export_timeseries_csv().is_empty());
         assert!(obs.metrics_snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_snapshot_always_reports_dropped_counter() {
+        let obs = Obs::new(ObsConfig::on());
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counters, vec![(("trace_events_dropped", ""), 0)]);
+        assert!(obs.export_metrics_jsonl().contains(
+            "{\"kind\":\"counter\",\"metric\":\"trace_events_dropped\",\"label\":\"\",\"value\":0}"
+        ));
+    }
+
+    #[test]
+    fn overflowing_ring_surfaces_in_the_snapshot() {
+        let obs = Obs::new(ObsConfig { trace_capacity: 2, ..ObsConfig::on() });
+        for i in 0..5 {
+            obs.trace(i, TraceKind::NodeCrash { node: i as u32 });
+        }
+        assert_eq!(obs.trace_dropped(), 3);
+        let snap = obs.metrics_snapshot();
+        assert!(snap.counters.contains(&(("trace_events_dropped", ""), 3)));
+        // Sort order holds even with other counters interleaved.
+        obs.counter_inc("zz_late", "");
+        obs.counter_inc("aa_early", "");
+        let keys: Vec<_> = obs.metrics_snapshot().counters.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![("aa_early", ""), ("trace_events_dropped", ""), ("zz_late", "")]);
+    }
+
+    #[test]
+    fn timeseries_flow_through_the_handle() {
+        let obs = Obs::new(ObsConfig::on());
+        assert_eq!(obs.scrape_interval_us(), ObsConfig::DEFAULT_SCRAPE_INTERVAL_US);
+        obs.ts_record("util", "edge", 0, 0.25);
+        obs.ts_record("util", "edge", 100, 0.5);
+        assert_eq!(obs.ts_series("util", "edge").len(), 2);
+        assert_eq!(obs.ts_last_n("util", "edge", 1)[0].value, 0.5);
+        assert_eq!(obs.ts_sample_count(), 2);
+        assert!(obs.export_timeseries_csv().starts_with("series,label,at_us,value\n"));
+        assert!(obs.export_timeseries_jsonl().contains("\"series\":\"util\""));
+    }
+
+    #[test]
+    fn index_labels_saturate() {
+        assert_eq!(index_label(0), "0");
+        assert_eq!(index_label(15), "15");
+        assert_eq!(index_label(16), "16+");
+        assert_eq!(index_label(999), "16+");
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl Histogram {
 struct Store {
     counters: BTreeMap<SeriesKey, u64>,
     gauges: BTreeMap<SeriesKey, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    histograms: BTreeMap<SeriesKey, Histogram>,
 }
 
 /// A sorted, point-in-time copy of every metric — the only way data
@@ -53,8 +53,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(SeriesKey, u64)>,
     /// Gauges (last write wins), sorted by `(name, label)`.
     pub gauges: Vec<(SeriesKey, f64)>,
-    /// Histograms, sorted by name.
-    pub histograms: Vec<(&'static str, Histogram)>,
+    /// Histograms, sorted by `(name, label)`.
+    pub histograms: Vec<(SeriesKey, Histogram)>,
 }
 
 impl MetricsSnapshot {
@@ -109,10 +109,20 @@ impl MetricsRegistry {
         self.lock().gauges.insert((name, label), value);
     }
 
-    /// Records `value` into histogram `name`; the first observation
-    /// fixes the bucket bounds.
-    pub fn observe(&self, name: &'static str, bounds: &'static [f64], value: f64) {
-        self.lock().histograms.entry(name).or_insert_with(|| Histogram::new(bounds)).observe(value);
+    /// Records `value` into histogram `name{label}`; the first
+    /// observation of a series fixes its bucket bounds.
+    pub fn observe(
+        &self,
+        name: &'static str,
+        label: &'static str,
+        bounds: &'static [f64],
+        value: f64,
+    ) {
+        self.lock()
+            .histograms
+            .entry((name, label))
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
     }
 
     /// Sorted snapshot of everything.
@@ -161,15 +171,29 @@ mod tests {
         static BOUNDS: &[f64] = &[1.0, 10.0];
         let r = MetricsRegistry::new();
         for v in [0.5, 1.0, 2.0, 100.0] {
-            r.observe("h", BOUNDS, v);
+            r.observe("h", "", BOUNDS, v);
         }
         let snap = r.snapshot();
-        let (name, h) = &snap.histograms[0];
-        assert_eq!(*name, "h");
+        let (key, h) = &snap.histograms[0];
+        assert_eq!(*key, ("h", ""));
         // 0.5 and 1.0 land in <=1.0; 2.0 in <=10.0; 100.0 in +inf.
         assert_eq!(h.buckets, vec![2, 1, 1]);
         assert_eq!(h.count, 4);
         assert!((h.sum - 103.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_labels_are_independent_series() {
+        static BOUNDS: &[f64] = &[1.0];
+        let r = MetricsRegistry::new();
+        r.observe("wait", "edge", BOUNDS, 0.5);
+        r.observe("wait", "edge", BOUNDS, 2.0);
+        r.observe("wait", "cloud", BOUNDS, 0.1);
+        let snap = r.snapshot();
+        let keys: Vec<SeriesKey> = snap.histograms.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![("wait", "cloud"), ("wait", "edge")]);
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.histograms[1].1.count, 2);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Causal task spans reconstructed from the structured trace.
+//!
+//! The simulator emits flat `task_dispatch` → `task_arrive` →
+//! `task_start` → `task_complete`/`task_lost` events; [`reconstruct`]
+//! folds that stream into one [`TaskSpan`] per task with a
+//! transfer / queue-wait / compute breakdown, and [`causal_chain`]
+//! extracts the measured critical path through a stage DAG (the chain
+//! of binding dependencies that actually determined the end-to-end
+//! latency).
+
+use std::collections::BTreeMap;
+
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Terminal state of a task span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// The task completed (with or without meeting its deadline).
+    Completed {
+        /// Whether the deadline was met.
+        deadline_met: bool,
+    },
+    /// The task was lost to a node failure.
+    Lost,
+    /// The task was still queued/running when the trace ended.
+    InFlight,
+}
+
+/// One task's reconstructed lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpan {
+    /// Task id (raw).
+    pub task: u64,
+    /// Node the task last targeted (arrival/start/completion node).
+    pub node: u32,
+    /// Dispatch instant (µs), if the dispatch event is in the trace.
+    pub dispatched_at_us: Option<u64>,
+    /// Arrival instant at the executing node (µs).
+    pub arrived_at_us: Option<u64>,
+    /// Service start instant (µs).
+    pub started_at_us: Option<u64>,
+    /// Completion or loss instant (µs).
+    pub ended_at_us: Option<u64>,
+    /// How the span ended.
+    pub outcome: SpanOutcome,
+}
+
+impl TaskSpan {
+    /// Network transfer time: dispatch → arrival (0 for local submits).
+    pub fn transfer_us(&self) -> Option<u64> {
+        Some(self.arrived_at_us?.saturating_sub(self.dispatched_at_us?))
+    }
+
+    /// Queue wait: arrival → service start.
+    pub fn queue_wait_us(&self) -> Option<u64> {
+        Some(self.started_at_us?.saturating_sub(self.arrived_at_us?))
+    }
+
+    /// Compute (service) time: start → completion.
+    pub fn compute_us(&self) -> Option<u64> {
+        match self.outcome {
+            SpanOutcome::Completed { .. } => {
+                Some(self.ended_at_us?.saturating_sub(self.started_at_us?))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whole span: dispatch → terminal event.
+    pub fn total_us(&self) -> Option<u64> {
+        Some(self.ended_at_us?.saturating_sub(self.dispatched_at_us?))
+    }
+}
+
+/// Every span of a trace plus the conservation tallies over them.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSet {
+    /// Spans sorted by task id.
+    pub spans: Vec<TaskSpan>,
+    /// Spans with a dispatch event.
+    pub dispatched: u64,
+    /// Spans that completed.
+    pub completed: u64,
+    /// Spans that were lost.
+    pub lost: u64,
+    /// Spans still in flight at the end of the trace.
+    pub in_flight: u64,
+}
+
+impl SpanSet {
+    /// The conservation law every complete trace must satisfy:
+    /// `dispatched = completed + lost + in_flight`.
+    pub fn is_conserved(&self) -> bool {
+        self.dispatched == self.completed + self.lost + self.in_flight
+    }
+
+    /// Spans sorted by total duration, longest first (ties by task id);
+    /// spans without a measurable total sort last.
+    pub fn slowest(&self, k: usize) -> Vec<TaskSpan> {
+        let mut v = self.spans.clone();
+        v.sort_by(|a, b| {
+            b.total_us().unwrap_or(0).cmp(&a.total_us().unwrap_or(0)).then(a.task.cmp(&b.task))
+        });
+        v.truncate(k);
+        v
+    }
+}
+
+/// Folds a trace into per-task spans.
+///
+/// Tasks whose dispatch was evicted from the ring still get a span
+/// (with `dispatched_at_us: None`), so the function is total over
+/// truncated traces; conservation should only be asserted when the
+/// ring dropped nothing.
+pub fn reconstruct(events: &[TraceEvent]) -> SpanSet {
+    let mut map: BTreeMap<u64, TaskSpan> = BTreeMap::new();
+    let blank = |task: u64, node: u32| TaskSpan {
+        task,
+        node,
+        dispatched_at_us: None,
+        arrived_at_us: None,
+        started_at_us: None,
+        ended_at_us: None,
+        outcome: SpanOutcome::InFlight,
+    };
+    for e in events {
+        match e.kind {
+            TraceKind::TaskDispatch { node, task } => {
+                let s = map.entry(task).or_insert_with(|| blank(task, node));
+                s.dispatched_at_us = Some(e.at_us);
+                s.node = node;
+            }
+            TraceKind::TaskArrive { node, task } => {
+                let s = map.entry(task).or_insert_with(|| blank(task, node));
+                s.arrived_at_us = Some(e.at_us);
+                s.node = node;
+            }
+            TraceKind::TaskStart { node, task } => {
+                let s = map.entry(task).or_insert_with(|| blank(task, node));
+                s.started_at_us = Some(e.at_us);
+                s.node = node;
+            }
+            TraceKind::TaskComplete { node, task, deadline_met } => {
+                let s = map.entry(task).or_insert_with(|| blank(task, node));
+                s.ended_at_us = Some(e.at_us);
+                s.node = node;
+                s.outcome = SpanOutcome::Completed { deadline_met };
+            }
+            TraceKind::TaskLost { node, task } => {
+                let s = map.entry(task).or_insert_with(|| blank(task, node));
+                s.ended_at_us = Some(e.at_us);
+                s.node = node;
+                s.outcome = SpanOutcome::Lost;
+            }
+            _ => {}
+        }
+    }
+    let mut set = SpanSet::default();
+    for s in map.into_values() {
+        if s.dispatched_at_us.is_some() {
+            set.dispatched += 1;
+        }
+        match s.outcome {
+            SpanOutcome::Completed { .. } => set.completed += 1,
+            SpanOutcome::Lost => set.lost += 1,
+            SpanOutcome::InFlight => set.in_flight += 1,
+        }
+        set.spans.push(s);
+    }
+    set
+}
+
+/// Extracts the measured critical path through a stage DAG.
+///
+/// `preds[i]` lists the predecessors of stage `i` and `finish_us[i]`
+/// its measured finish instant (`None` for stages that never ran).
+/// Starting from the finished stage with the latest finish, the walk
+/// repeatedly steps to the predecessor that finished *last* — the
+/// binding dependency — until it reaches a stage with no finished
+/// predecessor. Ties break toward the lower stage index. Returns the
+/// chain in execution order (source first); empty when nothing
+/// finished.
+pub fn causal_chain(preds: &[Vec<usize>], finish_us: &[Option<u64>]) -> Vec<usize> {
+    debug_assert_eq!(preds.len(), finish_us.len());
+    let mut cur = match finish_us
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.map(|v| (i, v)))
+        // max_by_key returns the *last* max; scan manually for first-wins.
+        .fold(None::<(usize, u64)>, |best, (i, v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        }) {
+        Some((i, _)) => i,
+        None => return Vec::new(),
+    };
+    let mut chain = vec![cur];
+    loop {
+        let binding = preds[cur].iter().filter_map(|&p| finish_us[p].map(|v| (p, v))).fold(
+            None::<(usize, u64)>,
+            |best, (p, v)| match best {
+                Some((_, bv)) if bv >= v => best,
+                _ => Some((p, v)),
+            },
+        );
+        match binding {
+            Some((p, _)) => {
+                chain.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, at_us: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { seq, at_us, kind }
+    }
+
+    #[test]
+    fn full_lifecycle_breaks_down() {
+        let events = [
+            ev(0, 100, TraceKind::TaskDispatch { node: 1, task: 7 }),
+            ev(1, 250, TraceKind::TaskArrive { node: 1, task: 7 }),
+            ev(2, 400, TraceKind::TaskStart { node: 1, task: 7 }),
+            ev(3, 900, TraceKind::TaskComplete { node: 1, task: 7, deadline_met: true }),
+        ];
+        let set = reconstruct(&events);
+        assert_eq!(set.spans.len(), 1);
+        let s = set.spans[0];
+        assert_eq!(s.transfer_us(), Some(150));
+        assert_eq!(s.queue_wait_us(), Some(150));
+        assert_eq!(s.compute_us(), Some(500));
+        assert_eq!(s.total_us(), Some(800));
+        assert_eq!(s.outcome, SpanOutcome::Completed { deadline_met: true });
+        assert!(set.is_conserved());
+    }
+
+    #[test]
+    fn conservation_counts_every_fate() {
+        let events = [
+            ev(0, 0, TraceKind::TaskDispatch { node: 0, task: 1 }),
+            ev(1, 0, TraceKind::TaskArrive { node: 0, task: 1 }),
+            ev(2, 0, TraceKind::TaskStart { node: 0, task: 1 }),
+            ev(3, 50, TraceKind::TaskComplete { node: 0, task: 1, deadline_met: false }),
+            ev(4, 10, TraceKind::TaskDispatch { node: 2, task: 2 }),
+            ev(5, 60, TraceKind::TaskLost { node: 2, task: 2 }),
+            ev(6, 70, TraceKind::TaskDispatch { node: 3, task: 3 }),
+        ];
+        let set = reconstruct(&events);
+        assert_eq!(set.dispatched, 3);
+        assert_eq!(set.completed, 1);
+        assert_eq!(set.lost, 1);
+        assert_eq!(set.in_flight, 1);
+        assert!(set.is_conserved());
+    }
+
+    #[test]
+    fn truncated_trace_is_handled() {
+        // The dispatch was evicted from the ring; the span survives
+        // without a dispatch instant and conservation does not hold.
+        let events = [ev(0, 5, TraceKind::TaskComplete { node: 0, task: 9, deadline_met: true })];
+        let set = reconstruct(&events);
+        assert_eq!(set.spans.len(), 1);
+        assert_eq!(set.dispatched, 0);
+        assert_eq!(set.completed, 1);
+        assert!(set.spans[0].total_us().is_none());
+        assert!(!set.is_conserved());
+    }
+
+    #[test]
+    fn slowest_ranks_by_total() {
+        let mut events = Vec::new();
+        for (task, dur) in [(1u64, 100u64), (2, 300), (3, 200)] {
+            events.push(ev(0, 0, TraceKind::TaskDispatch { node: 0, task }));
+            events.push(ev(0, dur, TraceKind::TaskComplete { node: 0, task, deadline_met: true }));
+        }
+        let top = reconstruct(&events).slowest(2);
+        assert_eq!(top.iter().map(|s| s.task).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn causal_chain_follows_binding_dependency() {
+        // Diamond: 0 → {1, 2} → 3; stage 2 finished later, so the
+        // critical path is 0 → 2 → 3.
+        let preds = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let finish = vec![Some(10), Some(20), Some(50), Some(60)];
+        assert_eq!(causal_chain(&preds, &finish), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn causal_chain_handles_missing_stages() {
+        let preds = vec![vec![], vec![0], vec![1]];
+        // The sink never finished: the chain ends at the last finished
+        // stage.
+        let finish = vec![Some(10), Some(30), None];
+        assert_eq!(causal_chain(&preds, &finish), vec![0, 1]);
+        assert_eq!(causal_chain(&preds, &[None, None, None]), Vec::<usize>::new());
+        assert_eq!(causal_chain(&[], &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn causal_chain_ties_break_low() {
+        let preds = vec![vec![], vec![], vec![0, 1]];
+        let finish = vec![Some(10), Some(10), Some(20)];
+        assert_eq!(causal_chain(&preds, &finish), vec![0, 2]);
+    }
+}

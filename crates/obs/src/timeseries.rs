@@ -1,0 +1,222 @@
+//! Deterministic time series: append-only sample streams keyed by
+//! `(series, label)`, fed by the simulator's periodic scrape timer.
+//!
+//! Unlike the counter/gauge registry in [`crate::metrics`], series
+//! labels are *owned* strings, so one series per node/link/application
+//! can be recorded without a static label table. Samples are stamped
+//! with simulated time only and retained in insertion order, so the CSV
+//! and JSONL exports are byte-reproducible across identical-seed runs.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One sample of a time series: a value at a simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsSample {
+    /// Simulated time of the sample, microseconds.
+    pub at_us: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Append-only store of time series, keyed by `(series, label)` in a
+/// `BTreeMap` so exports walk series in sorted order.
+#[derive(Debug, Default)]
+pub struct TimeSeriesStore {
+    series: Mutex<BTreeMap<(&'static str, String), Vec<TsSample>>>,
+}
+
+impl TimeSeriesStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TimeSeriesStore::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(&'static str, String), Vec<TsSample>>> {
+        self.series.lock().expect("timeseries lock")
+    }
+
+    /// Appends a sample to `name{label}`.
+    ///
+    /// Samples are expected (but not required) to arrive in
+    /// non-decreasing `at_us` order — the scrape timer guarantees that.
+    pub fn record(&self, name: &'static str, label: &str, at_us: u64, value: f64) {
+        self.lock().entry((name, label.to_owned())).or_default().push(TsSample { at_us, value });
+    }
+
+    /// All samples of `name{label}`, oldest first (empty when absent).
+    pub fn series(&self, name: &'static str, label: &str) -> Vec<TsSample> {
+        self.lock().get(&(name, label.to_owned())).cloned().unwrap_or_default()
+    }
+
+    /// The last `n` samples of `name{label}`, oldest first.
+    pub fn last_n(&self, name: &'static str, label: &str, n: usize) -> Vec<TsSample> {
+        let s = self.series(name, label);
+        let skip = s.len().saturating_sub(n);
+        s[skip..].to_vec()
+    }
+
+    /// Sorted `(series, label)` keys present in the store.
+    pub fn keys(&self) -> Vec<(&'static str, String)> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Total number of samples across all series.
+    pub fn sample_count(&self) -> usize {
+        self.lock().values().map(Vec::len).sum()
+    }
+
+    /// The whole store as CSV: `series,label,at_us,value`, sorted by
+    /// series then label then sample order. An empty store yields the
+    /// empty string (no header), so "no time series" is
+    /// distinguishable from "an empty table".
+    pub fn export_csv(&self) -> String {
+        let s = self.lock();
+        if s.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("series,label,at_us,value\n");
+        for ((name, label), samples) in s.iter() {
+            for smp in samples {
+                out.push_str(&format!("{name},{label},{},{}\n", smp.at_us, smp.value));
+            }
+        }
+        out
+    }
+
+    /// The whole store as JSON Lines, one sample per line.
+    pub fn export_jsonl(&self) -> String {
+        let s = self.lock();
+        let mut out = String::new();
+        for ((name, label), samples) in s.iter() {
+            for smp in samples {
+                out.push_str(&format!(
+                    "{{\"series\":\"{}\",\"label\":\"{}\",\"at_us\":{},\"value\":{}}}\n",
+                    crate::export::esc(name),
+                    crate::export::esc(label),
+                    smp.at_us,
+                    smp.value
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Parses a CSV produced by [`TimeSeriesStore::export_csv`] back into
+/// `(series, label, samples)` triples in file order. Lines that do not
+/// have exactly four comma-separated fields (including the header) are
+/// skipped, so the parser is total.
+pub fn parse_timeseries_csv(csv: &str) -> Vec<(String, String, Vec<TsSample>)> {
+    let mut out: Vec<(String, String, Vec<TsSample>)> = Vec::new();
+    for line in csv.lines() {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 || fields[0] == "series" {
+            continue;
+        }
+        let (Ok(at_us), Ok(value)) = (fields[2].parse::<u64>(), fields[3].parse::<f64>()) else {
+            continue;
+        };
+        let sample = TsSample { at_us, value };
+        match out.last_mut() {
+            Some((n, l, samples)) if n == fields[0] && l == fields[1] => samples.push(sample),
+            _ => out.push((fields[0].to_owned(), fields[1].to_owned(), vec![sample])),
+        }
+    }
+    out
+}
+
+/// Whether a window of samples shows a (weakly) rising trend: at least
+/// two samples, non-decreasing throughout, and strictly higher at the
+/// end than at the start. The MAPE Analyze phase uses this over rolling
+/// windows to react to *degradation trends* rather than single
+/// snapshots.
+pub fn trend_rising(samples: &[TsSample]) -> bool {
+    samples.len() >= 2
+        && samples.windows(2).all(|w| w[1].value >= w[0].value)
+        && samples.last().map(|s| s.value).unwrap_or(0.0)
+            > samples.first().map(|s| s.value).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let ts = TimeSeriesStore::new();
+        ts.record("util", "edge", 0, 0.5);
+        ts.record("util", "edge", 100, 0.75);
+        ts.record("util", "fog", 0, 0.25);
+        assert_eq!(ts.series("util", "edge").len(), 2);
+        assert_eq!(ts.series("util", "edge")[1].value, 0.75);
+        assert_eq!(ts.series("util", "cloud"), vec![]);
+        assert_eq!(ts.sample_count(), 3);
+        assert_eq!(ts.keys(), vec![("util", "edge".to_owned()), ("util", "fog".to_owned())]);
+    }
+
+    #[test]
+    fn last_n_takes_the_tail() {
+        let ts = TimeSeriesStore::new();
+        for i in 0..5 {
+            ts.record("x", "", i * 10, i as f64);
+        }
+        let tail = ts.last_n("x", "", 2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].value, 3.0);
+        assert_eq!(tail[1].value, 4.0);
+        assert_eq!(ts.last_n("x", "", 99).len(), 5);
+    }
+
+    #[test]
+    fn csv_roundtrips() {
+        let ts = TimeSeriesStore::new();
+        ts.record("b", "y", 10, 1.5);
+        ts.record("a", "x", 0, 0.25);
+        ts.record("a", "x", 100, 0.5);
+        let csv = ts.export_csv();
+        assert!(csv.starts_with("series,label,at_us,value\n"));
+        let parsed = parse_timeseries_csv(&csv);
+        // BTreeMap order: a before b.
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "a");
+        assert_eq!(
+            parsed[0].2,
+            vec![TsSample { at_us: 0, value: 0.25 }, TsSample { at_us: 100, value: 0.5 }]
+        );
+        assert_eq!(parsed[1].1, "y");
+    }
+
+    #[test]
+    fn empty_store_exports_nothing() {
+        let ts = TimeSeriesStore::new();
+        assert!(ts.export_csv().is_empty());
+        assert!(ts.export_jsonl().is_empty());
+        assert!(parse_timeseries_csv("").is_empty());
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let build = || {
+            let ts = TimeSeriesStore::new();
+            ts.record("z", "", 5, 1.0);
+            ts.record("m", "q", 1, 2.0);
+            ts.export_csv() + &ts.export_jsonl()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn trend_detection() {
+        let s = |vals: &[f64]| -> Vec<TsSample> {
+            vals.iter().enumerate().map(|(i, &v)| TsSample { at_us: i as u64, value: v }).collect()
+        };
+        assert!(trend_rising(&s(&[0.1, 0.2, 0.3])));
+        assert!(trend_rising(&s(&[0.1, 0.1, 0.3])));
+        assert!(!trend_rising(&s(&[0.3, 0.2, 0.1])));
+        assert!(!trend_rising(&s(&[0.1, 0.1, 0.1])));
+        assert!(!trend_rising(&s(&[0.1, 0.3, 0.2])));
+        assert!(!trend_rising(&s(&[0.5])));
+        assert!(!trend_rising(&[]));
+    }
+}

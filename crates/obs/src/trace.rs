@@ -18,6 +18,15 @@ pub enum TraceKind {
         /// Task id.
         task: u64,
     },
+    /// A task arrived at its destination node (after any network
+    /// transfer); `dispatch → arrive` measures transfer time and
+    /// `arrive → start` queue wait.
+    TaskArrive {
+        /// Destination node (raw id).
+        node: u32,
+        /// Task id.
+        task: u64,
+    },
     /// A task started executing on a node.
     TaskStart {
         /// Executing node (raw id).
@@ -35,12 +44,14 @@ pub enum TraceKind {
         /// deadline-free tasks).
         deadline_met: bool,
     },
-    /// Tasks were lost (crash of their host, or arrival at a down node).
-    TasksLost {
-        /// Node that lost them (raw id).
+    /// A task was lost (crash of its host, or arrival at a down node).
+    /// Emitted once per task so span reconstruction can attribute every
+    /// loss.
+    TaskLost {
+        /// Node that lost it (raw id).
         node: u32,
-        /// How many were lost at once.
-        count: u64,
+        /// Task id.
+        task: u64,
     },
     /// A node went down (fault injection or scheduled outage).
     NodeCrash {
@@ -104,9 +115,10 @@ impl TraceKind {
     /// scenario coverage.
     pub const ALL_TYPES: &'static [&'static str] = &[
         "task_dispatch",
+        "task_arrive",
         "task_start",
         "task_complete",
-        "tasks_lost",
+        "task_lost",
         "node_crash",
         "node_recover",
         "link_down",
@@ -121,9 +133,10 @@ impl TraceKind {
     pub const fn type_name(&self) -> &'static str {
         match self {
             TraceKind::TaskDispatch { .. } => "task_dispatch",
+            TraceKind::TaskArrive { .. } => "task_arrive",
             TraceKind::TaskStart { .. } => "task_start",
             TraceKind::TaskComplete { .. } => "task_complete",
-            TraceKind::TasksLost { .. } => "tasks_lost",
+            TraceKind::TaskLost { .. } => "task_lost",
             TraceKind::NodeCrash { .. } => "node_crash",
             TraceKind::NodeRecover { .. } => "node_recover",
             TraceKind::LinkDown { .. } => "link_down",
@@ -231,9 +244,10 @@ mod tests {
     fn type_names_cover_every_variant() {
         let samples = [
             TraceKind::TaskDispatch { node: 0, task: 0 },
+            TraceKind::TaskArrive { node: 0, task: 0 },
             TraceKind::TaskStart { node: 0, task: 0 },
             TraceKind::TaskComplete { node: 0, task: 0, deadline_met: true },
-            TraceKind::TasksLost { node: 0, count: 1 },
+            TraceKind::TaskLost { node: 0, task: 0 },
             TraceKind::NodeCrash { node: 0 },
             TraceKind::NodeRecover { node: 0 },
             TraceKind::LinkDown { link: 0 },

@@ -86,12 +86,28 @@ fn run_with_observability(dir: &std::path::Path) -> Result<(), Box<dyn std::erro
     std::fs::write(dir.join("quickstart_trace.jsonl"), report.obs.export_trace_jsonl())?;
     std::fs::write(dir.join("quickstart_metrics.jsonl"), report.obs.export_metrics_jsonl())?;
     std::fs::write(dir.join("quickstart_metrics.txt"), report.obs.export_metrics_table())?;
+    std::fs::write(dir.join("quickstart_timeseries.csv"), report.obs.export_timeseries_csv())?;
+    let mut cp = String::from("app,stage,node,finished_at_us\n");
+    for app in &report.apps {
+        for span in &app.critical_path {
+            cp.push_str(&format!(
+                "{},{},{},{}\n",
+                app.app_id,
+                span.stage,
+                span.node,
+                span.finished_at.as_micros()
+            ));
+        }
+    }
+    std::fs::write(dir.join("quickstart_critical_path.csv"), cp)?;
     println!(
-        "observability: {} trace events ({} dropped), exports under {}",
+        "observability: {} trace events ({} dropped), {} time-series samples, exports under {}",
         report.obs.trace_len(),
         report.obs.trace_dropped(),
+        report.obs.ts_sample_count(),
         dir.display()
     );
+    println!("render the run report with: cargo run --bin myrtus-report -- {}", dir.display());
     Ok(())
 }
 

@@ -64,15 +64,49 @@ fn chaos_runs_survive_and_account_conservatively() {
         // The trace's lost-task tally agrees with the metric (nothing
         // was evicted from the ring, so both saw every loss).
         assert_eq!(obs.trace_dropped(), 0, "seed {seed}: ring capacity suffices");
-        let traced_lost: u64 = obs
+        let traced_lost = obs
             .trace_events()
             .iter()
-            .map(|e| match e.kind {
-                TraceKind::TasksLost { count, .. } => count,
-                _ => 0,
-            })
-            .sum();
+            .filter(|e| matches!(e.kind, TraceKind::TaskLost { .. }))
+            .count() as u64;
         assert_eq!(traced_lost, obs.counter_value("sim_tasks_lost", ""), "seed {seed}");
+    }
+}
+
+#[test]
+fn spans_are_conserved_across_chaos_runs() {
+    // Property: over any seeded fault plan, every dispatched task span
+    // resolves to exactly one of completed / lost / in-flight.
+    for seed in 0..8 {
+        let (_, report) = chaos_run(seed);
+        assert_eq!(report.obs.trace_dropped(), 0, "seed {seed}: reconstruction needs every event");
+        let spans = myrtus::obs::span::reconstruct(&report.obs.trace_events());
+        assert!(
+            spans.is_conserved(),
+            "seed {seed}: {} dispatched != {} completed + {} lost + {} in flight",
+            spans.dispatched,
+            spans.completed,
+            spans.lost,
+            spans.in_flight
+        );
+        assert_eq!(
+            spans.dispatched,
+            report.obs.counter_value("sim_tasks_dispatched", ""),
+            "seed {seed}: span census agrees with the dispatch counter"
+        );
+        assert_eq!(
+            spans.lost,
+            report.obs.counter_value("sim_tasks_lost", ""),
+            "seed {seed}: span census agrees with the loss counter"
+        );
+        // Every resolved span has a consistent stage breakdown.
+        for sp in &spans.spans {
+            if let (Some(total), Some(t), Some(w), Some(c)) =
+                (sp.total_us(), sp.transfer_us(), sp.queue_wait_us(), sp.compute_us())
+            {
+                assert_eq!(t + w + c, total, "seed {seed}: task {} breakdown sums", sp.task);
+            }
+        }
     }
 }
 

@@ -105,10 +105,19 @@ fn pick_crash() -> (u32, u64) {
     })
 }
 
+/// Everything the golden run exports, ready for byte comparison.
+struct GoldenArtifacts {
+    trace_jsonl: String,
+    metrics_jsonl: String,
+    timeseries_csv: String,
+    /// Stage names of app 0's measured critical path, source first.
+    critical_path: Vec<String>,
+}
+
 /// The quickstart scenario plus a small fault window, with
 /// observability on: every documented trace type occurs and the JSONL
 /// exports are byte-identical across identical-seed runs.
-fn golden_run() -> (String, String) {
+fn golden_run() -> GoldenArtifacts {
     use myrtus::continuum::ids::NodeId;
     let (victim, crash_at_us) = pick_crash();
     let mut continuum = ContinuumBuilder::new().build();
@@ -134,27 +143,73 @@ fn golden_run() -> (String, String) {
         .run(&mut continuum, vec![scenarios::telerehab_with(3)], GOLDEN_HORIZON)
         .expect("placeable");
     assert_eq!(report.obs.trace_dropped(), 0, "the ring retains the whole run");
-    (report.obs.export_trace_jsonl(), report.obs.export_metrics_jsonl())
+    GoldenArtifacts {
+        trace_jsonl: report.obs.export_trace_jsonl(),
+        metrics_jsonl: report.obs.export_metrics_jsonl(),
+        timeseries_csv: report.obs.export_timeseries_csv(),
+        critical_path: report.apps[0].critical_path.iter().map(|s| s.stage.clone()).collect(),
+    }
 }
 
 #[test]
 fn observability_exports_are_byte_identical_across_runs() {
-    let (trace_a, metrics_a) = golden_run();
-    let (trace_b, metrics_b) = golden_run();
-    assert!(!trace_a.is_empty() && !metrics_a.is_empty());
-    assert_eq!(trace_a, trace_b, "trace JSONL is byte-identical");
-    assert_eq!(metrics_a, metrics_b, "metric snapshot JSONL is byte-identical");
+    let a = golden_run();
+    let b = golden_run();
+    assert!(!a.trace_jsonl.is_empty() && !a.metrics_jsonl.is_empty());
+    assert!(!a.timeseries_csv.is_empty(), "scraping is on by default under ObsConfig::on()");
+    assert_eq!(a.trace_jsonl, b.trace_jsonl, "trace JSONL is byte-identical");
+    assert_eq!(a.metrics_jsonl, b.metrics_jsonl, "metric snapshot JSONL is byte-identical");
+    assert_eq!(a.timeseries_csv, b.timeseries_csv, "time-series CSV is byte-identical");
+    assert_eq!(a.critical_path, b.critical_path, "measured critical path is stable");
 }
 
 #[test]
 fn golden_trace_covers_every_documented_type() {
-    let (trace, _) = golden_run();
+    let trace = golden_run().trace_jsonl;
     for ty in TraceKind::ALL_TYPES {
         assert!(
             trace.contains(&format!("\"type\":\"{ty}\"")),
             "golden trace contains at least one {ty} event"
         );
     }
+}
+
+#[test]
+fn golden_spans_and_critical_path_match_the_fixture() {
+    use myrtus::obs::span::{reconstruct, SpanOutcome};
+
+    let golden = golden_run();
+    let events = myrtus::obs::export::parse_trace_jsonl(&golden.trace_jsonl);
+    let spans = reconstruct(&events);
+    // Conservation over the full golden trace: the aimed crash loses
+    // work, the rest completes or is still in flight at the horizon.
+    assert!(
+        spans.is_conserved(),
+        "{} = {} + {} + {}",
+        spans.dispatched,
+        spans.completed,
+        spans.lost,
+        spans.in_flight
+    );
+    assert!(spans.lost >= 1, "the crash is aimed at a live service window");
+    assert!(spans.completed > 0);
+    // Every fully resolved span decomposes exactly into its stages.
+    for sp in &spans.spans {
+        if let SpanOutcome::Completed { .. } = sp.outcome {
+            if let (Some(total), Some(t), Some(w), Some(c)) =
+                (sp.total_us(), sp.transfer_us(), sp.queue_wait_us(), sp.compute_us())
+            {
+                assert_eq!(t + w + c, total, "task {} breakdown sums to its total", sp.task);
+            }
+        }
+    }
+    let slowest = spans.slowest(3);
+    assert_eq!(slowest.len(), 3);
+    assert!(slowest[0].total_us() >= slowest[2].total_us());
+    // The measured critical path of the telerehab pipeline runs from
+    // the camera source to the session store sink.
+    assert_eq!(golden.critical_path.first().map(String::as_str), Some("camera"));
+    assert_eq!(golden.critical_path.last().map(String::as_str), Some("session-store"));
 }
 
 #[test]
