@@ -71,6 +71,10 @@ fn run_summary(metrics: &[ParsedMetric], spans: &myrtus::obs::SpanSet) -> String
         ("tasks dispatched", counter(metrics, "sim_tasks_dispatched")),
         ("tasks completed", counter(metrics, "sim_tasks_completed")),
         ("tasks lost", counter(metrics, "sim_tasks_lost")),
+        ("task retries", counter(metrics, "task_retries")),
+        ("task timeouts", counter(metrics, "task_timeouts")),
+        ("tasks given up", counter(metrics, "task_gave_up")),
+        ("replica dedups", counter(metrics, "replica_dedups")),
         ("deadline misses", counter(metrics, "sim_deadline_misses")),
         ("node crashes", counter(metrics, "node_crashes")),
         ("node recoveries", counter(metrics, "node_recoveries")),
@@ -84,13 +88,20 @@ fn run_summary(metrics: &[ParsedMetric], spans: &myrtus::obs::SpanSet) -> String
         s.push_str(&format!("| {name} | {value} |\n"));
     }
     s.push_str(&format!(
-        "\nSpan conservation: {} dispatched = {} completed + {} lost + {} in flight ({}).\n",
+        "\nSpan conservation: {} dispatched = {} completed + {} lost + {} cancelled + {} in flight ({}).\n",
         spans.dispatched,
         spans.completed,
         spans.lost,
+        spans.cancelled,
         spans.in_flight,
         if spans.is_conserved() { "holds" } else { "VIOLATED" }
     ));
+    if spans.retried_attempts > 0 {
+        s.push_str(&format!(
+            "Retried attempts folded into logical spans: {}.\n",
+            spans.retried_attempts
+        ));
+    }
     s
 }
 

@@ -7,13 +7,14 @@
 //! ties in time are broken by insertion order.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use myrtus_obs::{Obs, TraceKind};
 
 use crate::ids::{MsgId, NodeId, TaskId, TimerId};
 use crate::net::{Message, Network, NetworkError, Protocol};
 use crate::node::{ExecutionMode, Layer, NodeSpec, NodeState};
+use crate::retry::RetryPolicy;
 use crate::task::{TaskInstance, TaskOutcome};
 use crate::time::{SimDuration, SimTime};
 
@@ -68,6 +69,28 @@ enum EventKind {
     /// Periodic telemetry scrape (armed only when observability is on
     /// with a non-zero scrape interval; re-arms itself).
     Scrape,
+    /// A failed attempt's backoff elapsed: re-offer the task to the
+    /// driver for another placement (retry policy installed).
+    TaskRecover {
+        node: NodeId,
+        task: TaskInstance,
+        attempt: u32,
+    },
+    /// Per-attempt timeout guard armed at dispatch; stale (ignored)
+    /// unless the task is still on the same attempt and unfinished.
+    AttemptTimeout {
+        node: NodeId,
+        task: TaskId,
+        attempt: u32,
+    },
+    /// Surfaces a deferred `TaskStarted` notification for a queued task
+    /// promoted while the driver held the core (see
+    /// [`SimCore::cancel_task`]).
+    NotifyStarted {
+        node: NodeId,
+        task: TaskId,
+        mode: ExecutionMode,
+    },
 }
 
 /// Notifications surfaced to the [`Driver`].
@@ -102,6 +125,27 @@ pub enum SimEvent {
     },
     /// A message reached its destination.
     MessageDelivered(Message),
+    /// A lost or timed-out task finished its backoff and is re-offered
+    /// for another attempt (only with a [`RetryPolicy`] installed). The
+    /// driver should re-place and resubmit the task — typically on a
+    /// surviving node other than `node` — or call
+    /// [`SimCore::note_give_up`] when no placement exists.
+    TaskRecovered {
+        /// The node the failed attempt targeted.
+        node: NodeId,
+        /// The task to re-place (same id across attempts).
+        task: TaskInstance,
+        /// Retry number (1-based: the first retry is attempt 1).
+        attempt: u32,
+    },
+    /// A task exhausted its retry budget and is abandoned; the driver
+    /// should mark the owning request degraded/failed, not wedged.
+    TaskAbandoned {
+        /// The node the final failed attempt targeted.
+        node: NodeId,
+        /// The abandoned task.
+        task: TaskInstance,
+    },
     /// A timer registered with [`SimCore::set_timer`] fired.
     Timer {
         /// The timer id returned at registration.
@@ -208,6 +252,22 @@ pub struct SimCore {
     queued_at: HashMap<u64, SimTime>,
     scrape_armed: bool,
     window: ScrapeWindow,
+    /// Installed retry policy; `None` keeps the legacy drop-on-loss
+    /// semantics (losses surface as [`SimEvent::TasksLost`]).
+    retry: Option<RetryPolicy>,
+    /// Attempts consumed per live task (raw id → count, first dispatch
+    /// counts as 1); entries are dropped on completion/give-up.
+    attempts: HashMap<u64, u32>,
+    /// Tasks that reached a terminal state (completed, abandoned or
+    /// externally cancelled); pending recover/timeout events for them
+    /// are stale.
+    finished: HashSet<u64>,
+    /// Tasks cancelled while their input was still in flight (replica
+    /// dedup): dropped with a `task_cancelled` trace on arrival.
+    cancelled_pending: HashSet<u64>,
+    /// Tasks timed out while their input was still in flight: the
+    /// retry/give-up decision is taken on arrival.
+    timeout_pending: HashSet<u64>,
 }
 
 /// Counter values at the previous scrape; deltas against the current
@@ -253,6 +313,21 @@ impl SimCore {
     /// The installed observability handle (disabled by default).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Installs (or removes) the per-task retry policy. With a policy
+    /// installed, lost and timed-out tasks are re-offered to the driver
+    /// as [`SimEvent::TaskRecovered`] after a deterministic backoff
+    /// instead of being dropped with [`SimEvent::TasksLost`]; tasks
+    /// that exhaust the attempt budget surface as
+    /// [`SimEvent::TaskAbandoned`] and count `task_gave_up`.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry = policy;
+    }
+
+    /// The installed retry policy, if any.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
     }
 
     /// Current simulation time.
@@ -341,9 +416,104 @@ impl SimCore {
         if !st.is_up() {
             return Err(SimError::NodeDown(node));
         }
-        self.note_dispatch(node, task.id);
+        let id = task.id;
+        self.note_dispatch(node, id);
         self.push(self.now, EventKind::TaskArrival { node, task });
+        self.arm_attempt(node, id);
         Ok(())
+    }
+
+    /// Books a dispatch against the retry policy: counts the attempt
+    /// and arms the per-attempt timeout guard when one is configured.
+    /// No-op without a policy.
+    fn arm_attempt(&mut self, node: NodeId, task: TaskId) {
+        let Some(policy) = self.retry else { return };
+        let raw = task.as_raw();
+        let attempt = *self.attempts.entry(raw).or_insert(1);
+        if let Some(timeout) = policy.attempt_timeout {
+            self.push(self.now + timeout, EventKind::AttemptTimeout { node, task, attempt });
+        }
+    }
+
+    /// Decides what happens after a failed attempt (loss, timeout):
+    /// schedules a backed-off re-offer while the budget lasts, else
+    /// gives up and notifies the driver. Callers have already traced
+    /// the failure itself.
+    fn handle_attempt_failure<D: Driver>(
+        &mut self,
+        node: NodeId,
+        task: TaskInstance,
+        driver: &mut D,
+    ) {
+        let Some(policy) = self.retry else { return };
+        let raw = task.id.as_raw();
+        let used = self.attempts.get(&raw).copied().unwrap_or(1);
+        if policy.may_retry(used) {
+            self.attempts.insert(raw, used + 1);
+            let backoff = policy.backoff_for(used, raw);
+            self.push(self.now + backoff, EventKind::TaskRecover { node, task, attempt: used });
+        } else {
+            self.obs.counter_inc("task_gave_up", "");
+            self.finished.insert(raw);
+            self.attempts.remove(&raw);
+            driver.on_event(self, SimEvent::TaskAbandoned { node, task });
+        }
+    }
+
+    /// Records that the driver could not re-place a recovered task
+    /// (e.g. every candidate node is down): the task terminates in the
+    /// give-up state and any pending retry machinery for it goes stale.
+    pub fn note_give_up(&mut self, task: TaskId) {
+        let raw = task.as_raw();
+        self.obs.counter_inc("task_gave_up", "");
+        self.finished.insert(raw);
+        self.attempts.remove(&raw);
+    }
+
+    /// Cancels a task wherever it currently is — running, queued, or
+    /// still in network transfer — marking it terminal so pending
+    /// retry/timeout events go stale. Used for first-completion-wins
+    /// replica dedup. Returns `false` when the task already reached a
+    /// terminal state.
+    pub fn cancel_task(&mut self, node: NodeId, task: TaskId) -> bool {
+        let raw = task.as_raw();
+        if self.finished.contains(&raw) {
+            return false;
+        }
+        self.finished.insert(raw);
+        self.attempts.remove(&raw);
+        let now = self.now;
+        if let Some((_, next)) =
+            self.nodes.get_mut(node.index()).and_then(|st| st.cancel(now, task))
+        {
+            self.queued_at.remove(&raw);
+            self.obs.trace(
+                now.as_micros(),
+                TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
+            );
+            if let Some((next_id, ep, service, mode)) = next {
+                // The driver holds the core during this call, so the
+                // promoted task's start notification is deferred
+                // through the event queue (same instant, later seq).
+                let layer =
+                    self.nodes.get(node.index()).map(|st| st.spec().layer().label()).unwrap_or("");
+                if let Some(arrived) = self.queued_at.remove(&next_id.as_raw()) {
+                    self.obs.observe(
+                        "task_queue_wait_ms",
+                        layer,
+                        TASK_QUEUE_WAIT_BOUNDS_MS,
+                        now.saturating_since(arrived).as_millis_f64(),
+                    );
+                }
+                self.push(now + service, EventKind::TaskFinish { node, task: next_id, epoch: ep });
+                self.note_start(node, next_id);
+                self.push(now, EventKind::NotifyStarted { node, task: next_id, mode });
+            }
+        } else {
+            // Not at the node yet: drop it on arrival.
+            self.cancelled_pending.insert(raw);
+        }
+        true
     }
 
     /// Records a task submission in the observability layer.
@@ -387,8 +557,10 @@ impl SimCore {
         }
         let path = self.network.route(src, node)?;
         let eta = self.network.transfer(self.now, &path, task.input_bytes, protocol);
-        self.note_dispatch(node, task.id);
+        let id = task.id;
+        self.note_dispatch(node, id);
         self.push(eta, EventKind::TaskArrival { node, task });
+        self.arm_attempt(node, id);
         Ok(eta)
     }
 
@@ -425,8 +597,10 @@ impl SimCore {
             }));
         }
         let eta = self.network.transfer(self.now, path, task.input_bytes, protocol);
-        self.note_dispatch(node, task.id);
+        let id = task.id;
+        self.note_dispatch(node, id);
         self.push(eta, EventKind::TaskArrival { node, task });
+        self.arm_attempt(node, id);
         Ok(eta)
     }
 
@@ -549,14 +723,37 @@ impl SimCore {
         match kind {
             EventKind::TaskArrival { node, task } => {
                 let now = self.now;
+                let raw = task.id.as_raw();
+                if self.cancelled_pending.remove(&raw) {
+                    // Cancelled (replica dedup) while in transfer.
+                    self.obs.trace(
+                        now.as_micros(),
+                        TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
+                    );
+                    return;
+                }
+                if self.timeout_pending.remove(&raw) {
+                    // Timed out while in transfer: the attempt ends
+                    // here and the retry/give-up decision is taken now.
+                    self.obs.trace(
+                        now.as_micros(),
+                        TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
+                    );
+                    self.handle_attempt_failure(node, task, driver);
+                    return;
+                }
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 if !st.is_up() {
                     self.obs.counter_inc("sim_tasks_lost", "");
                     self.obs.trace(
                         now.as_micros(),
-                        TraceKind::TaskLost { node: node.as_raw(), task: task.id.as_raw() },
+                        TraceKind::TaskLost { node: node.as_raw(), task: raw },
                     );
-                    driver.on_event(self, SimEvent::TasksLost { node, tasks: vec![task] });
+                    if self.retry.is_some() {
+                        self.handle_attempt_failure(node, task, driver);
+                    } else {
+                        driver.on_event(self, SimEvent::TasksLost { node, tasks: vec![task] });
+                    }
                     return;
                 }
                 let tid = task.id;
@@ -594,6 +791,10 @@ impl SimCore {
                     );
                     self.note_start(node, next_id);
                     driver.on_event(self, SimEvent::TaskStarted { node, task: next_id, mode });
+                }
+                if self.retry.is_some() {
+                    self.finished.insert(task.as_raw());
+                    self.attempts.remove(&task.as_raw());
                 }
                 let latency = now.saturating_since(done.released);
                 let deadline_met = !done.misses_deadline(now);
@@ -644,7 +845,17 @@ impl SimCore {
                         );
                     }
                 }
-                driver.on_event(self, SimEvent::TasksLost { node, tasks: lost });
+                if self.retry.is_some() {
+                    // The crash itself is still surfaced (trust models
+                    // key off it), but the lost tasks ride the recovery
+                    // queue instead of the notification.
+                    driver.on_event(self, SimEvent::TasksLost { node, tasks: Vec::new() });
+                    for t in lost {
+                        self.handle_attempt_failure(node, t, driver);
+                    }
+                } else {
+                    driver.on_event(self, SimEvent::TasksLost { node, tasks: lost });
+                }
             }
             EventKind::NodeUp(node) => {
                 let now = self.now;
@@ -675,6 +886,77 @@ impl SimCore {
                 if interval > 0 {
                     self.push(self.now + SimDuration::from_micros(interval), EventKind::Scrape);
                 }
+            }
+            EventKind::TaskRecover { node, task, attempt } => {
+                let raw = task.id.as_raw();
+                if self.finished.contains(&raw) {
+                    return;
+                }
+                self.obs.counter_inc("task_retries", "");
+                self.obs.trace(
+                    self.now.as_micros(),
+                    TraceKind::TaskRetry { node: node.as_raw(), task: raw, attempt },
+                );
+                driver.on_event(self, SimEvent::TaskRecovered { node, task, attempt });
+            }
+            EventKind::AttemptTimeout { node, task, attempt } => {
+                let raw = task.as_raw();
+                // Stale once the task finished or moved to a newer
+                // attempt (the loss path already rescheduled it).
+                if self.finished.contains(&raw) || self.attempts.get(&raw).copied() != Some(attempt)
+                {
+                    return;
+                }
+                let now = self.now;
+                self.obs.counter_inc("task_timeouts", "");
+                self.obs.trace(
+                    now.as_micros(),
+                    TraceKind::TaskTimeout { node: node.as_raw(), task: raw },
+                );
+                let cancelled =
+                    self.nodes.get_mut(node.index()).and_then(|st| st.cancel(now, task));
+                match cancelled {
+                    Some((inst, next)) => {
+                        self.queued_at.remove(&raw);
+                        self.obs.trace(
+                            now.as_micros(),
+                            TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
+                        );
+                        if let Some((next_id, ep, service, mode)) = next {
+                            let layer = self
+                                .nodes
+                                .get(node.index())
+                                .map(|st| st.spec().layer().label())
+                                .unwrap_or("");
+                            if let Some(arrived) = self.queued_at.remove(&next_id.as_raw()) {
+                                self.obs.observe(
+                                    "task_queue_wait_ms",
+                                    layer,
+                                    TASK_QUEUE_WAIT_BOUNDS_MS,
+                                    now.saturating_since(arrived).as_millis_f64(),
+                                );
+                            }
+                            self.push(
+                                now + service,
+                                EventKind::TaskFinish { node, task: next_id, epoch: ep },
+                            );
+                            self.note_start(node, next_id);
+                            driver.on_event(
+                                self,
+                                SimEvent::TaskStarted { node, task: next_id, mode },
+                            );
+                        }
+                        self.handle_attempt_failure(node, inst, driver);
+                    }
+                    None => {
+                        // Input still in transfer: end the attempt when
+                        // it lands.
+                        self.timeout_pending.insert(raw);
+                    }
+                }
+            }
+            EventKind::NotifyStarted { node, task, mode } => {
+                driver.on_event(self, SimEvent::TaskStarted { node, task, mode });
             }
         }
     }
@@ -774,21 +1056,36 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    /// Test driver that exercises the recovery path instead of hoarding
+    /// losses: recovered tasks are resubmitted to their node when it is
+    /// back up (else given up), so tests assert delivery, not silent
+    /// accumulation.
     #[derive(Default)]
     struct Recorder {
         started: Vec<TaskId>,
         completed: Vec<TaskOutcome>,
         lost: Vec<TaskInstance>,
+        recovered: Vec<(TaskId, u32)>,
+        abandoned: Vec<TaskId>,
         messages: Vec<Message>,
         timers: Vec<u64>,
     }
 
     impl Driver for Recorder {
-        fn on_event(&mut self, _sim: &mut SimCore, event: SimEvent) {
+        fn on_event(&mut self, sim: &mut SimCore, event: SimEvent) {
             match event {
                 SimEvent::TaskStarted { task, .. } => self.started.push(task),
                 SimEvent::TaskCompleted(o) => self.completed.push(o),
                 SimEvent::TasksLost { tasks, .. } => self.lost.extend(tasks),
+                SimEvent::TaskRecovered { node, task, attempt } => {
+                    self.recovered.push((task.id, attempt));
+                    let id = task.id;
+                    if sim.submit_local(node, task).is_err() {
+                        sim.note_give_up(id);
+                        self.abandoned.push(id);
+                    }
+                }
+                SimEvent::TaskAbandoned { task, .. } => self.abandoned.push(task.id),
                 SimEvent::MessageDelivered(m) => self.messages.push(m),
                 SimEvent::Timer { tag, .. } => self.timers.push(tag),
                 SimEvent::NodeRestored(_) | SimEvent::LinkChanged { .. } => {}
@@ -864,6 +1161,81 @@ mod tests {
         sim.submit_local(node, t).expect("node is back up");
         sim.run_until(SimTime::from_secs(6), &mut rec);
         assert_eq!(rec.completed.len(), 1);
+    }
+
+    #[test]
+    fn retry_policy_reoffers_lost_tasks_until_completion() {
+        let (mut sim, node) = one_node_sim();
+        sim.set_retry_policy(Some(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(150),
+            backoff_cap: SimDuration::from_secs(1),
+            jitter_frac: 0.0,
+            attempt_timeout: None,
+            seed: 1,
+        }));
+        for _ in 0..2 {
+            let t = TaskInstance::new(sim.fresh_task_id(), 1_500.0); // ~1 s each
+            sim.submit_local(node, t).expect("submit");
+        }
+        sim.schedule_node_down(node, SimTime::from_millis(100));
+        sim.schedule_node_up(node, SimTime::from_millis(200));
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(5), &mut rec);
+        // The crash still loses the attempts, but they are re-offered
+        // (backoff 150 ms lands after the 200 ms recovery) and finish.
+        assert!(rec.lost.is_empty(), "losses ride the recovery queue, not TasksLost");
+        assert_eq!(rec.recovered.len(), 2);
+        assert_eq!(rec.completed.len(), 2);
+        assert!(rec.abandoned.is_empty());
+    }
+
+    #[test]
+    fn attempt_timeout_cancels_stragglers_and_bounds_give_up() {
+        let (mut sim, node) = one_node_sim();
+        sim.set_retry_policy(Some(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: SimDuration::from_millis(10),
+            backoff_cap: SimDuration::from_millis(10),
+            jitter_frac: 0.0,
+            attempt_timeout: Some(SimDuration::from_millis(50)),
+            seed: 1,
+        }));
+        let straggler = TaskInstance::new(sim.fresh_task_id(), 1_500_000.0); // ~1 s ≫ timeout
+        sim.submit_local(node, straggler).expect("submit");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(5), &mut rec);
+        // Attempt 1 times out at 50 ms, retries at 60 ms; attempt 2
+        // times out at 110 ms and the budget is exhausted.
+        assert_eq!(rec.recovered, vec![(TaskId::from_raw(0), 1)]);
+        assert_eq!(rec.abandoned, vec![TaskId::from_raw(0)]);
+        assert!(rec.completed.is_empty());
+        // A task faster than the timeout completes untouched.
+        let quick = TaskInstance::new(sim.fresh_task_id(), 1.5); // 1 ms
+        sim.submit_local(node, quick).expect("submit");
+        sim.run_until(SimTime::from_secs(6), &mut rec);
+        assert_eq!(rec.completed.len(), 1);
+        assert_eq!(rec.abandoned.len(), 1, "no spurious give-up for completed tasks");
+    }
+
+    #[test]
+    fn cancel_task_makes_pending_finish_stale_and_promotes_queue() {
+        let (mut sim, node) = one_node_sim(); // 4 cores
+        for _ in 0..5 {
+            let t = TaskInstance::new(sim.fresh_task_id(), 1_500.0); // 1 ms each
+            sim.submit_local(node, t).expect("submit");
+        }
+        // Let everything arrive/start, then cancel one running task.
+        sim.run_until(SimTime::from_micros(100), &mut NullDriver);
+        assert!(sim.cancel_task(node, TaskId::from_raw(0)));
+        assert!(!sim.cancel_task(node, TaskId::from_raw(0)), "already terminal");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(2), &mut rec);
+        // 4 of 5 tasks complete; the cancelled one never does, and the
+        // queued task was promoted into the freed core.
+        assert_eq!(rec.completed.len(), 4);
+        assert!(rec.completed.iter().all(|o| o.task.id != TaskId::from_raw(0)));
+        assert_eq!(sim.node(node).map(|n| n.completed()), Some(4));
     }
 
     #[test]

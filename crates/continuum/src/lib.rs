@@ -44,6 +44,7 @@ pub mod ids;
 pub mod monitor;
 pub mod net;
 pub mod node;
+pub mod retry;
 pub mod stats;
 pub mod task;
 pub mod time;
@@ -52,6 +53,7 @@ pub mod topology;
 pub use engine::{Driver, SimCore, SimError, SimEvent};
 pub use ids::{ClusterId, LinkId, MsgId, NodeId, PodId, TaskId, TimerId};
 pub use node::{Layer, NodeKind, NodeSpec};
+pub use retry::RetryPolicy;
 pub use task::{TaskInstance, TaskOutcome};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Continuum, ContinuumBuilder};

@@ -690,6 +690,36 @@ impl NodeState {
         });
         Some((done.task, next))
     }
+
+    /// Cancels a task wherever it sits: removes it from the run set
+    /// (freeing its core — any pending finish event goes stale because
+    /// the running entry is gone) or from the wait queue. Returns the
+    /// cancelled task and, when a core was freed and the queue was
+    /// non-empty, the next task start for the engine to schedule.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn cancel(
+        &mut self,
+        now: SimTime,
+        id: TaskId,
+    ) -> Option<(TaskInstance, Option<(TaskId, u64, SimDuration, ExecutionMode)>)> {
+        if let Some(pos) = self.running.iter().position(|r| r.task.id == id) {
+            let dropped = self.running.swap_remove(pos);
+            self.mem_used_mb = self.mem_used_mb.saturating_sub(dropped.task.mem_mb);
+            self.meter.set_busy_cores(now, self.running.len() as u32);
+            let next = self.queue.pop_front().map(|t| {
+                let tid = t.id;
+                let (ep, service, mode) = self.start(now, t);
+                (tid, ep, service, mode)
+            });
+            return Some((dropped.task, next));
+        }
+        if let Some(pos) = self.queue.iter().position(|t| t.id == id) {
+            let dropped = self.queue.remove(pos).expect("position is in range");
+            self.mem_used_mb = self.mem_used_mb.saturating_sub(dropped.mem_mb);
+            return Some((dropped, None));
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -787,6 +817,32 @@ mod tests {
         assert_eq!(n.running().len(), 0);
         assert_eq!(n.queue_len(), 0);
         assert_eq!(n.mem_used_mb(), 0);
+    }
+
+    #[test]
+    fn cancel_frees_resources_and_promotes_queued_work() {
+        let mut n = hmpsoc_state(); // 2 cores
+        n.admit(SimTime::ZERO, task(1, 100.0));
+        n.admit(SimTime::ZERO, task(2, 100.0));
+        n.admit(SimTime::ZERO, task(3, 100.0));
+        let mem_before = n.mem_used_mb();
+        // Cancelling a running task frees its core and starts the queued one.
+        let (dropped, next) = n.cancel(SimTime::ZERO, TaskId::from_raw(1)).expect("running");
+        assert_eq!(dropped.id, TaskId::from_raw(1));
+        let (next_id, ..) = next.expect("queued task starts");
+        assert_eq!(next_id, TaskId::from_raw(3));
+        assert_eq!(n.running().len(), 2);
+        assert_eq!(n.queue_len(), 0);
+        assert!(n.mem_used_mb() <= mem_before);
+        // Cancelling a queued task removes it without starting anything.
+        n.admit(SimTime::ZERO, task(4, 100.0));
+        let (dropped, next) = n.cancel(SimTime::ZERO, TaskId::from_raw(4)).expect("queued");
+        assert_eq!(dropped.id, TaskId::from_raw(4));
+        assert!(next.is_none());
+        // Unknown tasks are a no-op.
+        assert!(n.cancel(SimTime::ZERO, TaskId::from_raw(99)).is_none());
+        // The cancelled running task's finish event is now stale.
+        assert!(n.finish(SimTime::from_millis(1), TaskId::from_raw(1), 1).is_none());
     }
 
     #[test]

@@ -19,10 +19,11 @@
 use std::collections::HashMap;
 
 use myrtus_continuum::engine::{Driver, SimCore, SimEvent};
-use myrtus_continuum::ids::NodeId;
+use myrtus_continuum::ids::{NodeId, TaskId};
 use myrtus_continuum::monitor::{ApplicationMonitor, MonitoringReport};
 use myrtus_continuum::net::{PlanEstimator, Protocol, RouteCache};
 use myrtus_continuum::node::Layer;
+use myrtus_continuum::retry::RetryPolicy;
 use myrtus_continuum::stats::Summary;
 use myrtus_continuum::task::TaskInstance;
 use myrtus_continuum::time::{SimDuration, SimTime};
@@ -31,7 +32,7 @@ use myrtus_kb::KnowledgeBase;
 use myrtus_obs::span::causal_chain;
 use myrtus_obs::timeseries::trend_rising;
 use myrtus_obs::{index_label, Obs, ObsConfig, TraceKind};
-use myrtus_workload::compile::{compile_requests, CompiledRequest, Tag};
+use myrtus_workload::compile::{compile_requests, CompiledRequest, CompiledStage, Tag};
 use myrtus_workload::graph::RequestDag;
 use myrtus_workload::opset::AppPointSet;
 use myrtus_workload::tosca::Application;
@@ -41,7 +42,7 @@ use crate::managers::network::NetworkManager;
 use crate::managers::node::NodeManager;
 use crate::managers::privsec::{node_security_level, PrivacySecurityManager};
 use crate::managers::wl::WlManager;
-use crate::placement::PlanContext;
+use crate::placement::{replica_target, PlanContext};
 use crate::policies::{PlaceError, PlacementPolicy};
 
 /// Monitoring-timer sentinel tag.
@@ -94,6 +95,16 @@ pub struct EngineConfig {
     pub app_point_adaptation: bool,
     /// Max resubmissions of a lost stage.
     pub max_retries: u32,
+    /// Simulator-level retry policy: lost and timed-out attempts ride
+    /// the recovery queue (deterministic backoff, same task id) and are
+    /// re-offered to the engine as [`SimEvent::TaskRecovered`] instead
+    /// of being dropped. `None` keeps the legacy lose-and-resubmit path
+    /// driven by `max_retries`.
+    pub retry: Option<RetryPolicy>,
+    /// Duplicate deadline-critical stages (those with a per-stage
+    /// latency bound) onto a second surviving node: first completion
+    /// wins and the losing twin is cancelled (`replica_dedups`).
+    pub replicate_critical: bool,
     /// Seed for stochastic arrivals.
     pub seed: u64,
     /// Runtime manager thresholds (the swarm agents' local rules).
@@ -113,6 +124,8 @@ impl Default for EngineConfig {
             reallocation: true,
             app_point_adaptation: true,
             max_retries: 2,
+            retry: None,
+            replicate_critical: false,
             seed: 7,
             tuning: ManagerTuning::default(),
             obs: ObsConfig::off(),
@@ -320,6 +333,10 @@ pub struct OrchestrationEngine {
     app_mon: ApplicationMonitor,
     apps: Vec<AppRuntime>,
     requests: HashMap<u64, RequestState>,
+    /// Replica pairing for k=2 placement: task raw id → (twin raw id,
+    /// node currently hosting the twin). Both directions are kept so
+    /// either copy's completion can cancel the other.
+    replicas: HashMap<u64, (u64, NodeId)>,
     pending_flows: HashMap<u64, (NodeId, NodeId, SimTime)>,
     pending_deploys: HashMap<u16, Application>,
     horizon: SimTime,
@@ -374,6 +391,7 @@ impl OrchestrationEngine {
             app_mon: ApplicationMonitor::new(),
             apps: Vec::new(),
             requests: HashMap::new(),
+            replicas: HashMap::new(),
             pending_flows: HashMap::new(),
             pending_deploys: HashMap::new(),
             horizon: SimTime::ZERO,
@@ -436,6 +454,7 @@ impl OrchestrationEngine {
     ) -> Result<OrchestrationReport, PlaceError> {
         self.horizon = horizon;
         continuum.sim_mut().set_obs(self.obs.clone());
+        continuum.sim_mut().set_retry_policy(self.cfg.retry);
         self.proxy = Some(DeploymentProxy::new(continuum.sim()).with_obs(self.obs.clone()));
         for (i, (app, start)) in apps.into_iter().enumerate() {
             let app_id = i as u16;
@@ -685,6 +704,7 @@ impl OrchestrationEngine {
         if let Some(d) = stage.max_latency {
             task = task.with_deadline(released + d);
         }
+        let primary_id = task.id;
 
         let result = match src {
             None => sim.submit_local(dst, task),
@@ -734,6 +754,60 @@ impl OrchestrationEngine {
                     *self.failed.entry(app_id).or_default() += 1;
                 }
             }
+        } else if self.cfg.replicate_critical && stage.max_latency.is_some() {
+            // k=2 replicated placement for deadline-critical stages:
+            // the twin runs on a different surviving node and the first
+            // completion cancels the other copy.
+            self.submit_replica(sim, app_pos, &stage, tag.encode(), primary_id, dst, src, released);
+        }
+    }
+
+    /// Submits a duplicate of a deadline-critical stage onto a second
+    /// node (never the primary's), pairing the two copies so the first
+    /// completion can cancel the loser. A stage with no distinct
+    /// surviving candidate simply runs unreplicated.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_replica(
+        &mut self,
+        sim: &mut SimCore,
+        app_pos: usize,
+        stage: &CompiledStage,
+        tag: u64,
+        primary: TaskId,
+        primary_node: NodeId,
+        src: Option<NodeId>,
+        released: SimTime,
+    ) {
+        let rt = &self.apps[app_pos];
+        let Some(dag_pos) =
+            rt.dag.nodes().iter().position(|n| n.component_idx == stage.component_idx)
+        else {
+            return;
+        };
+        let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+        let ups = candidates.get(dag_pos).map(Vec::as_slice).unwrap_or(&[]);
+        let Some(twin_node) = replica_target(primary_node, ups) else { return };
+        let mut twin = TaskInstance::new(sim.fresh_task_id(), stage.work_mc)
+            .with_mem_mb(stage.mem_mb)
+            .with_io_bytes(stage.input_bytes, stage.output_bytes)
+            .with_released(released)
+            .with_tag(tag);
+        if let Some(cfg) = stage.accel_cfg {
+            twin = twin.with_accel(cfg);
+        }
+        if let Some(d) = stage.max_latency {
+            twin = twin.with_deadline(released + d);
+        }
+        let twin_id = twin.id;
+        let sent = match src {
+            Some(s) if s != twin_node => {
+                sim.submit_via_network(s, twin_node, twin, Protocol::Mqtt).map(|_| ())
+            }
+            _ => sim.submit_local(twin_node, twin),
+        };
+        if sent.is_ok() {
+            self.replicas.insert(primary.as_raw(), (twin_id.as_raw(), twin_node));
+            self.replicas.insert(twin_id.as_raw(), (primary.as_raw(), primary_node));
         }
     }
 
@@ -744,6 +818,14 @@ impl OrchestrationEngine {
     ) {
         let tag = Tag::decode(outcome.task.tag);
         let key = req_key(tag.app, tag.request);
+        // First-completion-wins replica dedup: the winner cancels its
+        // still-running twin wherever it currently is.
+        if let Some((sib, sib_node)) = self.replicas.remove(&outcome.task.id.as_raw()) {
+            self.replicas.remove(&sib);
+            if sim.cancel_task(sib_node, TaskId::from_raw(sib)) {
+                self.obs.counter_inc("replica_dedups", "");
+            }
+        }
         // Network Manager reward on the transfer decision for this stage.
         if let Some((src, dst, sent)) = self.pending_flows.remove(&outcome.task.tag) {
             self.net_mgr.reward(src, dst, outcome.at.saturating_since(sent));
@@ -840,6 +922,120 @@ impl OrchestrationEngine {
         }
         for j in ready {
             self.submit_stage(sim, tag.app, tag.request, j);
+        }
+    }
+
+    /// Marks a request failed (once) — degraded, not wedged: its other
+    /// stages keep their terminal accounting and the app's report shows
+    /// the loss instead of the run hanging on it.
+    fn mark_failed(&mut self, app_id: u16, key: u64) {
+        if let Some(st) = self.requests.get_mut(&key) {
+            if !st.failed && !st.completed {
+                st.failed = true;
+                *self.failed.entry(app_id).or_default() += 1;
+            }
+        }
+    }
+
+    /// Handles a recovered attempt (crash or timeout already traced by
+    /// the simulator): re-places the task on a surviving node other
+    /// than the one that failed it — scored through the plan-time
+    /// route/transfer memo when the stage has an upstream data source —
+    /// and resubmits the *same* task instance, or gives it up when no
+    /// host survives.
+    fn on_task_recovered(&mut self, sim: &mut SimCore, failed: NodeId, task: TaskInstance) {
+        self.lost_tasks += 1;
+        self.sec.observe(failed, myrtus_security::trust::Observation::TaskFailed);
+        let tag = Tag::decode(task.tag);
+        let key = req_key(tag.app, tag.request);
+        let si = tag.stage as usize;
+        let alive = self
+            .requests
+            .get(&key)
+            .is_some_and(|st| !st.failed && si < st.done.len() && !st.done[si]);
+        let Some(app_pos) = self.app_index(tag.app) else {
+            sim.note_give_up(task.id);
+            return;
+        };
+        if !alive {
+            // The request already failed, or the stage completed on the
+            // surviving replica: terminate this attempt quietly.
+            sim.note_give_up(task.id);
+            return;
+        }
+        let src = self.requests.get(&key).and_then(|st| {
+            st.compiled.stages[si].preds.iter().filter_map(|&p| st.finish_node[p]).next_back()
+        });
+        let comp_idx = self.requests[&key].compiled.stages[si].component_idx;
+        let target = {
+            let rt = &self.apps[app_pos];
+            let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+            let dag_pos =
+                rt.dag.nodes().iter().position(|n| n.component_idx == comp_idx).unwrap_or(0);
+            // Prefer a host other than the one that failed the
+            // attempt, but don't insist on it: after a *timeout* the
+            // node is still alive (crashed hosts are already dropped
+            // by the candidate filter), and for a stage with a single
+            // eligible host the right move is to retry in place, not
+            // to give up.
+            let eligible: Vec<NodeId> = candidates.get(dag_pos).cloned().unwrap_or_default();
+            let others: Vec<NodeId> = eligible.iter().copied().filter(|&n| n != failed).collect();
+            let ups = if others.is_empty() { eligible } else { others };
+            match src {
+                // Surviving host closest (plan-time transfer cost,
+                // through the shared route cache) to the data source;
+                // ties break on node id, keeping the pick deterministic.
+                Some(s) => {
+                    let est = PlanEstimator::new(sim.network(), sim.now(), &self.plan_cache);
+                    ups.iter().copied().min_by(|&a, &b| {
+                        let ca = est.transfer_us(s, a, task.input_bytes, Protocol::Mqtt);
+                        let cb = est.transfer_us(s, b, task.input_bytes, Protocol::Mqtt);
+                        ca.partial_cmp(&cb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.as_raw().cmp(&b.as_raw()))
+                    })
+                }
+                None => replica_target(failed, &ups).or_else(|| ups.iter().copied().min()),
+            }
+        };
+        let Some(dst) = target else {
+            sim.note_give_up(task.id);
+            self.mark_failed(tag.app, key);
+            return;
+        };
+        // Keep the twin pairing pointed at the task's new host so a
+        // later dedup cancels it in the right place.
+        if let Some(&(sib, _)) = self.replicas.get(&task.id.as_raw()) {
+            if let Some(entry) = self.replicas.get_mut(&sib) {
+                entry.1 = dst;
+            }
+        }
+        let id = task.id;
+        let sent = match src {
+            Some(s) if s != dst => sim.submit_via_network(s, dst, task, Protocol::Mqtt).map(|_| ()),
+            _ => sim.submit_local(dst, task),
+        };
+        if sent.is_err() {
+            sim.note_give_up(id);
+            self.mark_failed(tag.app, key);
+        }
+    }
+
+    /// A task exhausted its retry budget: degrade the owning request
+    /// instead of wedging it — unless its replica twin is still in
+    /// flight and can complete the stage on its own.
+    fn on_task_abandoned(&mut self, task: &TaskInstance) {
+        self.lost_tasks += 1;
+        let tag = Tag::decode(task.tag);
+        let key = req_key(tag.app, tag.request);
+        if let Some((sib, _)) = self.replicas.remove(&task.id.as_raw()) {
+            self.replicas.remove(&sib);
+            return; // the twin fights on alone
+        }
+        let si = tag.stage as usize;
+        let done = self.requests.get(&key).is_some_and(|st| si < st.done.len() && st.done[si]);
+        if !done {
+            self.mark_failed(tag.app, key);
         }
     }
 
@@ -1059,6 +1255,8 @@ impl Driver for OrchestrationEngine {
             }
             SimEvent::TaskCompleted(outcome) => self.on_stage_completed(sim, &outcome),
             SimEvent::TasksLost { node, tasks } => self.on_tasks_lost(sim, node, tasks),
+            SimEvent::TaskRecovered { node, task, .. } => self.on_task_recovered(sim, node, task),
+            SimEvent::TaskAbandoned { task, .. } => self.on_task_abandoned(&task),
             SimEvent::TaskStarted { .. }
             | SimEvent::MessageDelivered(_)
             | SimEvent::NodeRestored(_)
@@ -1199,6 +1397,70 @@ mod tests {
             "adaptive {:?} vs static {:?}",
             adaptive.apps[0],
             static_.apps[0]
+        );
+    }
+
+    #[test]
+    fn retry_policy_recovers_crashed_work_and_bounds_failures() {
+        let run = |retry: Option<RetryPolicy>| {
+            let mut continuum = ContinuumBuilder::new().build();
+            let victim = continuum.edge()[3];
+            FaultPlan::new()
+                .crash(victim, SimTime::from_millis(300), Some(SimDuration::from_millis(400)))
+                .apply(continuum.sim_mut());
+            OrchestrationEngine::new(
+                Box::new(GreedyBestFit::new()),
+                EngineConfig { obs: ObsConfig::on(), retry, ..EngineConfig::default() },
+            )
+            .run(&mut continuum, vec![small_telerehab()], SimTime::from_secs(5))
+            .expect("places")
+        };
+        let plain = run(None);
+        let retried = run(Some(RetryPolicy::default()));
+        assert_eq!(
+            plain.obs.counter_value("task_retries", ""),
+            0,
+            "no policy installed, no retries"
+        );
+        let a = &retried.apps[0];
+        assert!(
+            a.completed >= plain.apps[0].completed,
+            "retries never complete less: {a:?} vs {:?}",
+            plain.apps[0]
+        );
+        assert!(a.completed + a.failed <= 60, "bounded accounting: {a:?}");
+        // Recovered tasks either complete on a survivor or are given
+        // up after the attempt budget — both tallies are observable.
+        let retries = retried.obs.counter_value("task_retries", "");
+        let gave_up = retried.obs.counter_value("task_gave_up", "");
+        if retries == 0 {
+            assert_eq!(gave_up, 0, "give-up only follows retry offers");
+        }
+    }
+
+    #[test]
+    fn replicated_placement_dedups_on_first_completion() {
+        let report = run_orchestration(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig {
+                obs: ObsConfig::on(),
+                retry: Some(RetryPolicy::default()),
+                replicate_critical: true,
+                ..EngineConfig::default()
+            },
+            vec![small_telerehab()],
+            SimTime::from_secs(5),
+        )
+        .expect("places");
+        let a = &report.apps[0];
+        assert!(a.completed > 50, "replication keeps the app whole: {a:?}");
+        // Every deadline-critical stage ships a twin, and the first
+        // completion cancels the sibling exactly once.
+        let dedups = report.obs.counter_value("replica_dedups", "");
+        assert!(dedups >= 1, "first-completion-wins fires");
+        assert!(
+            dedups <= 3 * (a.completed + a.failed),
+            "at most one dedup per critical stage per request"
         );
     }
 

@@ -212,6 +212,15 @@ pub fn evaluate_batch(ctx: &PlanContext<'_>, placements: &[Placement]) -> Vec<Pl
     placements.par_iter().map(|p| evaluate(ctx, p)).collect()
 }
 
+/// Picks a deterministic recovery/replica host from `candidates`: the
+/// lowest-id node other than `avoid`. Excluding `avoid` means a
+/// replicated stage can never bind both copies to the same node, and a
+/// recovered task never returns to the node that just failed it.
+/// Returns `None` when no distinct candidate exists.
+pub fn replica_target(avoid: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+    candidates.iter().copied().filter(|&n| n != avoid).min()
+}
+
 /// Network transfer estimate in µs between two nodes: `0` when
 /// co-located or the payload is empty, `+∞` when unreachable (callers
 /// treat an unreachable required edge as an infeasible placement).
@@ -403,6 +412,16 @@ mod tests {
         // the unlabelled total, which matches the infeasible scores.
         assert_eq!(obs.counter_sum("placement_rejected"), rejected);
         assert_eq!(obs.counter_value("placement_rejected_total", ""), rejected);
+    }
+
+    #[test]
+    fn replica_target_avoids_the_primary_deterministically() {
+        let n = |r| NodeId::from_raw(r);
+        assert_eq!(replica_target(n(3), &[n(5), n(3), n(9)]), Some(n(5)));
+        assert_eq!(replica_target(n(5), &[n(5)]), None);
+        assert_eq!(replica_target(n(0), &[]), None);
+        // Order-insensitive: the same set always yields the same pick.
+        assert_eq!(replica_target(n(1), &[n(4), n(2)]), replica_target(n(1), &[n(2), n(4)]));
     }
 
     #[test]

@@ -36,8 +36,13 @@ pub fn trace_event_json(e: &TraceEvent) -> String {
         TraceKind::TaskDispatch { node, task }
         | TraceKind::TaskArrive { node, task }
         | TraceKind::TaskStart { node, task }
-        | TraceKind::TaskLost { node, task } => {
+        | TraceKind::TaskLost { node, task }
+        | TraceKind::TaskTimeout { node, task }
+        | TraceKind::TaskCancelled { node, task } => {
             format!(",\"node\":{node},\"task\":{task}}}")
+        }
+        TraceKind::TaskRetry { node, task, attempt } => {
+            format!(",\"node\":{node},\"task\":{task},\"attempt\":{attempt}}}")
         }
         TraceKind::TaskComplete { node, task, deadline_met } => {
             format!(",\"node\":{node},\"task\":{task},\"deadline_met\":{deadline_met}}}")
@@ -239,6 +244,13 @@ pub fn parse_trace_jsonl(s: &str) -> Vec<TraceEvent> {
                     deadline_met: json_field(line, "deadline_met")? == "true",
                 },
                 "task_lost" => TraceKind::TaskLost { node: node()?, task: task()? },
+                "task_retry" => TraceKind::TaskRetry {
+                    node: node()?,
+                    task: task()?,
+                    attempt: json_u32(line, "attempt")?,
+                },
+                "task_timeout" => TraceKind::TaskTimeout { node: node()?, task: task()? },
+                "task_cancelled" => TraceKind::TaskCancelled { node: node()?, task: task()? },
                 "node_crash" => TraceKind::NodeCrash { node: node()? },
                 "node_recover" => TraceKind::NodeRecover { node: node()? },
                 "link_down" => TraceKind::LinkDown { link: json_u32(line, "link")? },
@@ -412,6 +424,9 @@ mod tests {
         buf.push(20, TraceKind::TaskStart { node: 1, task: 2 });
         buf.push(30, TraceKind::TaskComplete { node: 1, task: 2, deadline_met: true });
         buf.push(40, TraceKind::TaskLost { node: 3, task: 9 });
+        buf.push(42, TraceKind::TaskRetry { node: 3, task: 9, attempt: 1 });
+        buf.push(44, TraceKind::TaskTimeout { node: 3, task: 9 });
+        buf.push(46, TraceKind::TaskCancelled { node: 3, task: 9 });
         buf.push(50, TraceKind::NodeCrash { node: 3 });
         buf.push(60, TraceKind::NodeRecover { node: 3 });
         buf.push(70, TraceKind::LinkDown { link: 5 });

@@ -1,12 +1,18 @@
 //! Causal task spans reconstructed from the structured trace.
 //!
 //! The simulator emits flat `task_dispatch` → `task_arrive` →
-//! `task_start` → `task_complete`/`task_lost` events; [`reconstruct`]
-//! folds that stream into one [`TaskSpan`] per task with a
-//! transfer / queue-wait / compute breakdown, and [`causal_chain`]
-//! extracts the measured critical path through a stage DAG (the chain
-//! of binding dependencies that actually determined the end-to-end
-//! latency).
+//! `task_start` → `task_complete`/`task_lost`/`task_cancelled` events;
+//! [`reconstruct`] folds that stream into one [`TaskSpan`] per task
+//! with a transfer / queue-wait / compute breakdown, and
+//! [`causal_chain`] extracts the measured critical path through a
+//! stage DAG (the chain of binding dependencies that actually
+//! determined the end-to-end latency).
+//!
+//! Retried tasks keep their task id across attempts, so a re-dispatch
+//! after a loss or cancellation folds into the *same* logical span:
+//! the failed attempt is archived in [`TaskSpan::attempts`] and the
+//! top-level timestamps track the latest attempt, keeping the
+//! `transfer + wait + compute = total` identity valid per attempt.
 
 use std::collections::BTreeMap;
 
@@ -20,14 +26,37 @@ pub enum SpanOutcome {
         /// Whether the deadline was met.
         deadline_met: bool,
     },
-    /// The task was lost to a node failure.
+    /// The task was lost to a node failure (and, if retries were
+    /// enabled, never subsequently re-dispatched — a terminal loss).
     Lost,
+    /// The task's last attempt was cancelled (attempt timeout or
+    /// replica dedup) and never re-dispatched.
+    Cancelled,
     /// The task was still queued/running when the trace ended.
     InFlight,
 }
 
-/// One task's reconstructed lifetime.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One archived (failed) attempt of a retried task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptSpan {
+    /// Node this attempt targeted.
+    pub node: u32,
+    /// Dispatch instant (µs) of this attempt.
+    pub dispatched_at_us: Option<u64>,
+    /// Arrival instant (µs) of this attempt.
+    pub arrived_at_us: Option<u64>,
+    /// Service start instant (µs) of this attempt.
+    pub started_at_us: Option<u64>,
+    /// Loss/cancellation instant (µs) of this attempt.
+    pub ended_at_us: Option<u64>,
+    /// Whether the attempt ended in a loss (`true`) or a cancellation
+    /// (`false`).
+    pub lost: bool,
+}
+
+/// One task's reconstructed lifetime. Timestamps describe the *latest*
+/// attempt; earlier failed attempts live in [`TaskSpan::attempts`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpan {
     /// Task id (raw).
     pub task: u64,
@@ -43,20 +72,27 @@ pub struct TaskSpan {
     pub ended_at_us: Option<u64>,
     /// How the span ended.
     pub outcome: SpanOutcome,
+    /// Earlier attempts that were lost or cancelled before the final
+    /// (top-level) attempt, oldest first.
+    pub attempts: Vec<AttemptSpan>,
+    /// Dispatch instant of the *first* attempt (equals
+    /// `dispatched_at_us` for never-retried tasks).
+    pub first_dispatched_at_us: Option<u64>,
 }
 
 impl TaskSpan {
     /// Network transfer time: dispatch → arrival (0 for local submits).
+    /// Latest attempt only.
     pub fn transfer_us(&self) -> Option<u64> {
         Some(self.arrived_at_us?.saturating_sub(self.dispatched_at_us?))
     }
 
-    /// Queue wait: arrival → service start.
+    /// Queue wait: arrival → service start. Latest attempt only.
     pub fn queue_wait_us(&self) -> Option<u64> {
         Some(self.started_at_us?.saturating_sub(self.arrived_at_us?))
     }
 
-    /// Compute (service) time: start → completion.
+    /// Compute (service) time: start → completion. Latest attempt only.
     pub fn compute_us(&self) -> Option<u64> {
         match self.outcome {
             SpanOutcome::Completed { .. } => {
@@ -66,9 +102,21 @@ impl TaskSpan {
         }
     }
 
-    /// Whole span: dispatch → terminal event.
+    /// Whole latest attempt: dispatch → terminal event.
     pub fn total_us(&self) -> Option<u64> {
         Some(self.ended_at_us?.saturating_sub(self.dispatched_at_us?))
+    }
+
+    /// Whole logical task including every retry: first dispatch →
+    /// terminal event of the final attempt.
+    pub fn logical_total_us(&self) -> Option<u64> {
+        Some(self.ended_at_us?.saturating_sub(self.first_dispatched_at_us?))
+    }
+
+    /// Number of attempts seen in the trace (archived failures plus
+    /// the current/final one).
+    pub fn attempt_count(&self) -> u32 {
+        self.attempts.len() as u32 + 1
     }
 }
 
@@ -81,17 +129,22 @@ pub struct SpanSet {
     pub dispatched: u64,
     /// Spans that completed.
     pub completed: u64,
-    /// Spans that were lost.
+    /// Spans whose final attempt was lost.
     pub lost: u64,
+    /// Spans whose final attempt was cancelled.
+    pub cancelled: u64,
     /// Spans still in flight at the end of the trace.
     pub in_flight: u64,
+    /// Total archived (failed-then-retried) attempts across all spans.
+    pub retried_attempts: u64,
 }
 
 impl SpanSet {
     /// The conservation law every complete trace must satisfy:
-    /// `dispatched = completed + lost + in_flight`.
+    /// `dispatched = completed + lost + cancelled + in_flight` — every
+    /// task ends in exactly one final state.
     pub fn is_conserved(&self) -> bool {
-        self.dispatched == self.completed + self.lost + self.in_flight
+        self.dispatched == self.completed + self.lost + self.cancelled + self.in_flight
     }
 
     /// Spans sorted by total duration, longest first (ties by task id);
@@ -111,7 +164,9 @@ impl SpanSet {
 /// Tasks whose dispatch was evicted from the ring still get a span
 /// (with `dispatched_at_us: None`), so the function is total over
 /// truncated traces; conservation should only be asserted when the
-/// ring dropped nothing.
+/// ring dropped nothing. A re-dispatch of a task whose previous
+/// attempt ended in `task_lost`/`task_cancelled` archives that attempt
+/// and restarts the top-level timestamps.
 pub fn reconstruct(events: &[TraceEvent]) -> SpanSet {
     let mut map: BTreeMap<u64, TaskSpan> = BTreeMap::new();
     let blank = |task: u64, node: u32| TaskSpan {
@@ -122,12 +177,34 @@ pub fn reconstruct(events: &[TraceEvent]) -> SpanSet {
         started_at_us: None,
         ended_at_us: None,
         outcome: SpanOutcome::InFlight,
+        attempts: Vec::new(),
+        first_dispatched_at_us: None,
     };
     for e in events {
         match e.kind {
             TraceKind::TaskDispatch { node, task } => {
                 let s = map.entry(task).or_insert_with(|| blank(task, node));
+                match s.outcome {
+                    SpanOutcome::Lost | SpanOutcome::Cancelled => {
+                        s.attempts.push(AttemptSpan {
+                            node: s.node,
+                            dispatched_at_us: s.dispatched_at_us,
+                            arrived_at_us: s.arrived_at_us,
+                            started_at_us: s.started_at_us,
+                            ended_at_us: s.ended_at_us,
+                            lost: s.outcome == SpanOutcome::Lost,
+                        });
+                        s.arrived_at_us = None;
+                        s.started_at_us = None;
+                        s.ended_at_us = None;
+                        s.outcome = SpanOutcome::InFlight;
+                    }
+                    _ => {}
+                }
                 s.dispatched_at_us = Some(e.at_us);
+                if s.first_dispatched_at_us.is_none() {
+                    s.first_dispatched_at_us = Some(e.at_us);
+                }
                 s.node = node;
             }
             TraceKind::TaskArrive { node, task } => {
@@ -152,6 +229,12 @@ pub fn reconstruct(events: &[TraceEvent]) -> SpanSet {
                 s.node = node;
                 s.outcome = SpanOutcome::Lost;
             }
+            TraceKind::TaskCancelled { node, task } => {
+                let s = map.entry(task).or_insert_with(|| blank(task, node));
+                s.ended_at_us = Some(e.at_us);
+                s.node = node;
+                s.outcome = SpanOutcome::Cancelled;
+            }
             _ => {}
         }
     }
@@ -163,8 +246,10 @@ pub fn reconstruct(events: &[TraceEvent]) -> SpanSet {
         match s.outcome {
             SpanOutcome::Completed { .. } => set.completed += 1,
             SpanOutcome::Lost => set.lost += 1,
+            SpanOutcome::Cancelled => set.cancelled += 1,
             SpanOutcome::InFlight => set.in_flight += 1,
         }
+        set.retried_attempts += s.attempts.len() as u64;
         set.spans.push(s);
     }
     set
@@ -233,11 +318,13 @@ mod tests {
         ];
         let set = reconstruct(&events);
         assert_eq!(set.spans.len(), 1);
-        let s = set.spans[0];
+        let s = &set.spans[0];
         assert_eq!(s.transfer_us(), Some(150));
         assert_eq!(s.queue_wait_us(), Some(150));
         assert_eq!(s.compute_us(), Some(500));
         assert_eq!(s.total_us(), Some(800));
+        assert_eq!(s.logical_total_us(), Some(800));
+        assert_eq!(s.attempt_count(), 1);
         assert_eq!(s.outcome, SpanOutcome::Completed { deadline_met: true });
         assert!(set.is_conserved());
     }
@@ -252,13 +339,77 @@ mod tests {
             ev(4, 10, TraceKind::TaskDispatch { node: 2, task: 2 }),
             ev(5, 60, TraceKind::TaskLost { node: 2, task: 2 }),
             ev(6, 70, TraceKind::TaskDispatch { node: 3, task: 3 }),
+            ev(7, 80, TraceKind::TaskDispatch { node: 4, task: 4 }),
+            ev(8, 95, TraceKind::TaskCancelled { node: 4, task: 4 }),
         ];
         let set = reconstruct(&events);
-        assert_eq!(set.dispatched, 3);
+        assert_eq!(set.dispatched, 4);
         assert_eq!(set.completed, 1);
         assert_eq!(set.lost, 1);
+        assert_eq!(set.cancelled, 1);
         assert_eq!(set.in_flight, 1);
         assert!(set.is_conserved());
+    }
+
+    #[test]
+    fn retried_task_folds_into_one_span_with_attempt_breakdown() {
+        let events = [
+            // Attempt 1: dispatched to node 2, lost in a crash.
+            ev(0, 100, TraceKind::TaskDispatch { node: 2, task: 7 }),
+            ev(1, 150, TraceKind::TaskArrive { node: 2, task: 7 }),
+            ev(2, 200, TraceKind::TaskStart { node: 2, task: 7 }),
+            ev(3, 300, TraceKind::TaskLost { node: 2, task: 7 }),
+            ev(4, 320, TraceKind::TaskRetry { node: 2, task: 7, attempt: 1 }),
+            // Attempt 2: re-placed on node 5, completes.
+            ev(5, 320, TraceKind::TaskDispatch { node: 5, task: 7 }),
+            ev(6, 360, TraceKind::TaskArrive { node: 5, task: 7 }),
+            ev(7, 380, TraceKind::TaskStart { node: 5, task: 7 }),
+            ev(8, 500, TraceKind::TaskComplete { node: 5, task: 7, deadline_met: true }),
+        ];
+        let set = reconstruct(&events);
+        assert_eq!(set.spans.len(), 1);
+        let s = &set.spans[0];
+        assert_eq!(s.attempt_count(), 2);
+        assert_eq!(s.outcome, SpanOutcome::Completed { deadline_met: true });
+        // Top-level timestamps describe the final attempt…
+        assert_eq!(s.node, 5);
+        assert_eq!(s.transfer_us(), Some(40));
+        assert_eq!(s.queue_wait_us(), Some(20));
+        assert_eq!(s.compute_us(), Some(120));
+        assert_eq!(s.total_us(), Some(180));
+        // …the archived attempt keeps its own breakdown…
+        let a = s.attempts[0];
+        assert_eq!(a.node, 2);
+        assert_eq!(a.dispatched_at_us, Some(100));
+        assert_eq!(a.ended_at_us, Some(300));
+        assert!(a.lost);
+        // …and the logical span covers first dispatch → final end.
+        assert_eq!(s.logical_total_us(), Some(400));
+        // One dispatched task, one completion: losses folded away.
+        assert_eq!(set.dispatched, 1);
+        assert_eq!(set.completed, 1);
+        assert_eq!(set.lost, 0);
+        assert_eq!(set.retried_attempts, 1);
+        assert!(set.is_conserved());
+    }
+
+    #[test]
+    fn cancelled_then_retried_attempt_is_archived_as_not_lost() {
+        let events = [
+            ev(0, 0, TraceKind::TaskDispatch { node: 1, task: 3 }),
+            ev(1, 10, TraceKind::TaskArrive { node: 1, task: 3 }),
+            ev(2, 90, TraceKind::TaskTimeout { node: 1, task: 3 }),
+            ev(3, 90, TraceKind::TaskCancelled { node: 1, task: 3 }),
+            ev(4, 120, TraceKind::TaskDispatch { node: 2, task: 3 }),
+        ];
+        let set = reconstruct(&events);
+        let s = &set.spans[0];
+        assert_eq!(s.outcome, SpanOutcome::InFlight);
+        assert_eq!(s.attempts.len(), 1);
+        assert!(!s.attempts[0].lost);
+        assert_eq!(s.attempts[0].ended_at_us, Some(90));
+        assert_eq!(set.cancelled, 0);
+        assert_eq!(set.in_flight, 1);
     }
 
     #[test]

@@ -53,6 +53,32 @@ pub enum TraceKind {
         /// Task id.
         task: u64,
     },
+    /// A previously lost or timed-out task was re-offered for another
+    /// attempt after its backoff elapsed.
+    TaskRetry {
+        /// Node the failed attempt targeted (raw id).
+        node: u32,
+        /// Task id.
+        task: u64,
+        /// Retry number (1-based: the first retry is attempt 1).
+        attempt: u32,
+    },
+    /// An attempt exceeded its per-attempt timeout and was cancelled.
+    TaskTimeout {
+        /// Node the attempt was running or queued on (raw id).
+        node: u32,
+        /// Task id.
+        task: u64,
+    },
+    /// A task was cancelled (straggler timeout or replica dedup); the
+    /// span ends without completing, but the task is not lost work —
+    /// another attempt or replica carries it.
+    TaskCancelled {
+        /// Node the cancelled attempt targeted (raw id).
+        node: u32,
+        /// Task id.
+        task: u64,
+    },
     /// A node went down (fault injection or scheduled outage).
     NodeCrash {
         /// The crashed node (raw id).
@@ -119,6 +145,9 @@ impl TraceKind {
         "task_start",
         "task_complete",
         "task_lost",
+        "task_retry",
+        "task_timeout",
+        "task_cancelled",
         "node_crash",
         "node_recover",
         "link_down",
@@ -137,6 +166,9 @@ impl TraceKind {
             TraceKind::TaskStart { .. } => "task_start",
             TraceKind::TaskComplete { .. } => "task_complete",
             TraceKind::TaskLost { .. } => "task_lost",
+            TraceKind::TaskRetry { .. } => "task_retry",
+            TraceKind::TaskTimeout { .. } => "task_timeout",
+            TraceKind::TaskCancelled { .. } => "task_cancelled",
             TraceKind::NodeCrash { .. } => "node_crash",
             TraceKind::NodeRecover { .. } => "node_recover",
             TraceKind::LinkDown { .. } => "link_down",
@@ -248,6 +280,9 @@ mod tests {
             TraceKind::TaskStart { node: 0, task: 0 },
             TraceKind::TaskComplete { node: 0, task: 0, deadline_met: true },
             TraceKind::TaskLost { node: 0, task: 0 },
+            TraceKind::TaskRetry { node: 0, task: 0, attempt: 1 },
+            TraceKind::TaskTimeout { node: 0, task: 0 },
+            TraceKind::TaskCancelled { node: 0, task: 0 },
             TraceKind::NodeCrash { node: 0 },
             TraceKind::NodeRecover { node: 0 },
             TraceKind::LinkDown { link: 0 },

@@ -13,9 +13,18 @@
 //! MYRTUS_OBS_DIR=out cargo run --example quickstart
 //! head out/quickstart_trace.jsonl
 //! ```
+//!
+//! Add `MYRTUS_CHAOS_SEED=<n>` to replace the aimed crash with a
+//! seeded random chaos plan (node crashes, link cuts, permanent
+//! outages) absorbed by the retry subsystem:
+//!
+//! ```sh
+//! MYRTUS_OBS_DIR=out MYRTUS_CHAOS_SEED=1 cargo run --example quickstart
+//! ```
 
 use myrtus::continuum::fault::FaultPlan;
-use myrtus::continuum::ids::NodeId;
+use myrtus::continuum::ids::{LinkId, NodeId};
+use myrtus::continuum::retry::RetryPolicy;
 use myrtus::continuum::time::{SimDuration, SimTime};
 use myrtus::continuum::topology::{Continuum, ContinuumBuilder};
 use myrtus::mirto::api::{ApiDaemon, ApiRequest, ApiResponse, Operation};
@@ -27,9 +36,25 @@ use myrtus::workload::scenarios;
 const HORIZON: SimTime = SimTime::from_secs(6);
 
 fn obs_engine() -> OrchestrationEngine {
+    // Fault tolerance on: retries with a per-attempt timeout, plus k=2
+    // replication of deadline-critical stages (first completion wins).
+    // The timeout sits *above* the congested attempt-latency tail the
+    // duplicated frame transfers produce, so it only catches genuine
+    // stalls (attempts caught by the link cut or the crash window) —
+    // a tighter timeout churns healthy-but-queued attempts into a
+    // retry storm.
+    let retry = RetryPolicy {
+        attempt_timeout: Some(SimDuration::from_millis(150)),
+        ..RetryPolicy::default()
+    };
     OrchestrationEngine::new(
         Box::new(GreedyBestFit::new()),
-        EngineConfig { obs: ObsConfig::on(), ..EngineConfig::default() },
+        EngineConfig {
+            obs: ObsConfig::on(),
+            retry: Some(retry),
+            replicate_critical: true,
+            ..EngineConfig::default()
+        },
     )
 }
 
@@ -63,23 +88,45 @@ fn pick_crash(probe: &mut Continuum) -> (u32, u64) {
 /// crash-and-recover on a loaded host and a link cut-and-heal, with the
 /// trace and metric snapshot exported as JSONL (and a pretty table).
 fn run_with_observability(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
-    let (victim, crash_at_us) = pick_crash(&mut ContinuumBuilder::new().build());
     let mut continuum = ContinuumBuilder::new().build();
-    let link = continuum
-        .sim()
-        .network()
-        .iter_links()
-        .map(|(id, _, _)| id)
-        .next()
-        .expect("the reference topology has links");
-    FaultPlan::new()
-        .crash(
-            NodeId::from_raw(victim),
-            SimTime::from_micros(crash_at_us),
-            Some(SimDuration::from_millis(400)),
+    if let Some(seed) = std::env::var("MYRTUS_CHAOS_SEED").ok().and_then(|s| s.parse::<u64>().ok())
+    {
+        // Chaos mode: a seeded random fault plan instead of the aimed
+        // crash — same retry subsystem, same export pipeline.
+        let nodes = continuum.all_nodes();
+        let links: Vec<LinkId> =
+            continuum.sim().network().iter_links().map(|(id, _, _)| id).collect();
+        FaultPlan::random_chaos(
+            seed,
+            &nodes,
+            &links,
+            0.25,
+            0.25,
+            0.3,
+            HORIZON,
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(1),
         )
-        .cut_link(link, SimTime::from_millis(500), Some(SimDuration::from_millis(200)))
         .apply(continuum.sim_mut());
+        println!("chaos mode: seeded random fault plan (seed {seed}), retries enabled");
+    } else {
+        let (victim, crash_at_us) = pick_crash(&mut ContinuumBuilder::new().build());
+        let link = continuum
+            .sim()
+            .network()
+            .iter_links()
+            .map(|(id, _, _)| id)
+            .next()
+            .expect("the reference topology has links");
+        FaultPlan::new()
+            .crash(
+                NodeId::from_raw(victim),
+                SimTime::from_micros(crash_at_us),
+                Some(SimDuration::from_millis(400)),
+            )
+            .cut_link(link, SimTime::from_millis(500), Some(SimDuration::from_millis(200)))
+            .apply(continuum.sim_mut());
+    }
     let report = obs_engine().run(&mut continuum, vec![scenarios::telerehab_with(3)], HORIZON)?;
 
     std::fs::create_dir_all(dir)?;
@@ -100,6 +147,16 @@ fn run_with_observability(dir: &std::path::Path) -> Result<(), Box<dyn std::erro
         }
     }
     std::fs::write(dir.join("quickstart_critical_path.csv"), cp)?;
+    let app = &report.apps[0];
+    println!(
+        "requests completed/failed: {}/{} — retries {}, timeouts {}, give-ups {}, replica dedups {}",
+        app.completed,
+        app.failed,
+        report.obs.counter_value("task_retries", ""),
+        report.obs.counter_value("task_timeouts", ""),
+        report.obs.counter_value("task_gave_up", ""),
+        report.obs.counter_value("replica_dedups", ""),
+    );
     println!(
         "observability: {} trace events ({} dropped), {} time-series samples, exports under {}",
         report.obs.trace_len(),

@@ -5,12 +5,16 @@
 //! structured trace must pair every recovering crash with its recovery
 //! at exactly `at + outage`.
 
+use std::collections::HashMap;
+
 use myrtus::continuum::fault::FaultPlan;
 use myrtus::continuum::ids::LinkId;
+use myrtus::continuum::retry::RetryPolicy;
 use myrtus::continuum::time::{SimDuration, SimTime};
-use myrtus::continuum::topology::ContinuumBuilder;
+use myrtus::continuum::topology::{Continuum, ContinuumBuilder};
 use myrtus::mirto::engine::{EngineConfig, OrchestrationEngine, OrchestrationReport};
 use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::obs::span::reconstruct;
 use myrtus::obs::{ObsConfig, TraceKind};
 use myrtus::workload::scenarios;
 
@@ -172,6 +176,244 @@ fn every_recovering_crash_is_paired_in_the_trace() {
             }
         }
     }
+}
+
+/// A 32-node continuum for the wide fault-tolerance acceptance runs.
+fn wide_continuum() -> Continuum {
+    ContinuumBuilder::new()
+        .edge_multicores(10)
+        .edge_hmpsocs(8)
+        .edge_riscvs(6)
+        .gateways(4)
+        .fmdcs(2)
+        .cloud_servers(2)
+        .build()
+}
+
+/// One wide chaos run over a seeded random fault plan, with or without
+/// the retry subsystem, so the two arms see the *same* faults.
+fn wide_chaos_run(seed: u64, retry: Option<RetryPolicy>) -> OrchestrationReport {
+    let mut continuum = wide_continuum();
+    assert_eq!(continuum.all_nodes().len(), 32, "the acceptance gate is a 32-node run");
+    let nodes = continuum.all_nodes();
+    let links: Vec<LinkId> = continuum.sim().network().iter_links().map(|(id, _, _)| id).collect();
+    FaultPlan::random_chaos(
+        seed,
+        &nodes,
+        &links,
+        0.25,
+        0.25,
+        0.3,
+        HORIZON,
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(1),
+    )
+    .apply(continuum.sim_mut());
+    let engine = OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig { obs: ObsConfig::on(), retry, ..EngineConfig::default() },
+    );
+    engine
+        .run(&mut continuum, vec![scenarios::telerehab_with(2)], HORIZON)
+        .expect("time-zero placement precedes every fault")
+}
+
+#[test]
+fn retries_complete_nearly_every_dispatched_task_under_chaos() {
+    // Acceptance gate: on a seeded 32-node random-chaos run, the retry
+    // subsystem completes at least 95% of the logical tasks it
+    // dispatches, while the identical plan without retries strands
+    // work on crashed nodes.
+    // Deterministically pick the first seed whose plan actually
+    // strands work when retries are off — that loss is the documented
+    // baseline the retry arm is measured against.
+    let (seed, baseline) = (0..32)
+        .map(|seed| (seed, wide_chaos_run(seed, None)))
+        .find(|(_, r)| reconstruct(&r.obs.trace_events()).lost >= 1)
+        .expect("some seed in 0..32 hits the workload");
+    let retried = wide_chaos_run(seed, Some(RetryPolicy::default()));
+
+    let base_spans = reconstruct(&baseline.obs.trace_events());
+    assert!(
+        base_spans.lost >= 1,
+        "the documented baseline: without retries this plan strands tasks for good"
+    );
+
+    let spans = reconstruct(&retried.obs.trace_events());
+    assert!(spans.is_conserved(), "retry run stays conserved");
+    assert!(
+        retried.obs.counter_value("task_retries", "") >= 1,
+        "the plan actually exercises the recovery path"
+    );
+    let done_frac = spans.completed as f64 / spans.dispatched as f64;
+    assert!(
+        done_frac >= 0.95,
+        "retries complete >= 95% of dispatched tasks: {}/{} = {done_frac:.3}",
+        spans.completed,
+        spans.dispatched
+    );
+    let base_frac = base_spans.completed as f64 / base_spans.dispatched as f64;
+    assert!(
+        done_frac > base_frac,
+        "retries beat the no-retry baseline: {done_frac:.3} vs {base_frac:.3}"
+    );
+}
+
+#[test]
+fn every_task_ends_in_exactly_one_final_state_with_retries_on() {
+    // Conservation law under retries: every dispatched logical task
+    // resolves to exactly one of completed / lost / cancelled /
+    // in-flight, and the trace's retry ledger agrees with the
+    // counters.
+    for seed in 0..6 {
+        let report = wide_chaos_run(seed, Some(RetryPolicy::default()));
+        let obs = &report.obs;
+        assert_eq!(obs.trace_dropped(), 0, "seed {seed}: reconstruction needs every event");
+        let spans = reconstruct(&obs.trace_events());
+        assert!(
+            spans.is_conserved(),
+            "seed {seed}: {} dispatched != {} completed + {} lost + {} cancelled + {} in flight",
+            spans.dispatched,
+            spans.completed,
+            spans.lost,
+            spans.cancelled,
+            spans.in_flight
+        );
+        let traced_retries = obs
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::TaskRetry { .. }))
+            .count() as u64;
+        assert_eq!(
+            traced_retries,
+            obs.counter_value("task_retries", ""),
+            "seed {seed}: every retry offer is traced"
+        );
+        // A retry offer either re-dispatches (archiving the failed
+        // attempt into the span) or the driver declines and the task
+        // is given up — nothing falls through the gap.
+        let gave_up = obs.counter_value("task_gave_up", "");
+        assert!(
+            spans.retried_attempts <= traced_retries,
+            "seed {seed}: archived attempts {} never exceed retry offers {traced_retries}",
+            spans.retried_attempts
+        );
+        assert!(
+            spans.lost + spans.cancelled >= gave_up,
+            "seed {seed}: every given-up task ({gave_up}) ends lost or cancelled ({} + {})",
+            spans.lost,
+            spans.cancelled
+        );
+    }
+}
+
+#[test]
+fn killing_the_busiest_node_mid_run_is_absorbed_by_retries() {
+    // Find the node that executes the most tasks in a fault-free run,
+    // then crash exactly that node mid-run. The retry subsystem must
+    // re-place its in-flight work and keep the application whole.
+    let probe = {
+        let mut continuum = wide_continuum();
+        let engine = OrchestrationEngine::new(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig { obs: ObsConfig::on(), ..EngineConfig::default() },
+        );
+        engine
+            .run(&mut continuum, vec![scenarios::telerehab_with(2)], HORIZON)
+            .expect("fault-free probe places")
+    };
+    let mut starts: HashMap<u32, u64> = HashMap::new();
+    for e in probe.obs.trace_events() {
+        if let TraceKind::TaskStart { node, .. } = e.kind {
+            *starts.entry(node).or_default() += 1;
+        }
+    }
+    let clean = probe.apps[0].completed;
+    assert!(clean > 0, "the probe makes progress");
+    let (&busiest, &load) =
+        starts.iter().max_by_key(|(n, c)| (**c, std::cmp::Reverse(**n))).expect("work ran");
+    assert!(load > 0);
+
+    let mut continuum = wide_continuum();
+    let victim = continuum
+        .all_nodes()
+        .into_iter()
+        .find(|n| n.as_raw() == busiest)
+        .expect("same topology, same ids");
+    FaultPlan::new()
+        .crash(victim, SimTime::from_millis(1_500), Some(SimDuration::from_millis(700)))
+        .apply(continuum.sim_mut());
+    let engine = OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig {
+            obs: ObsConfig::on(),
+            retry: Some(RetryPolicy::default()),
+            ..EngineConfig::default()
+        },
+    );
+    let report = engine
+        .run(&mut continuum, vec![scenarios::telerehab_with(2)], HORIZON)
+        .expect("placement happens before the crash");
+
+    assert!(
+        report.obs.counter_value("task_retries", "") >= 1,
+        "killing the busiest node forces at least one retry"
+    );
+    let spans = reconstruct(&report.obs.trace_events());
+    assert!(
+        spans.spans.iter().any(|s| s.attempts.iter().any(|a| a.lost) && s.ended_at_us.is_some()),
+        "at least one task lost to the crash is retried to completion"
+    );
+    let a = &report.apps[0];
+    assert!(spans.is_conserved());
+    assert_eq!(
+        a.completed, clean,
+        "the application completes exactly as much as the fault-free run"
+    );
+}
+
+#[test]
+fn permanent_total_outage_gives_up_boundedly_instead_of_livelocking() {
+    // Worst case: every node dies for good mid-run. The retry
+    // subsystem must drain — bounded give-up per task, applications
+    // marked degraded — rather than spinning on a continuum that can
+    // never serve another attempt.
+    let mut continuum = ContinuumBuilder::new().build();
+    let mut plan = FaultPlan::new();
+    for node in continuum.all_nodes() {
+        plan = plan.crash(node, SimTime::from_millis(500), None);
+    }
+    plan.apply(continuum.sim_mut());
+    let engine = OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig {
+            obs: ObsConfig::on(),
+            retry: Some(RetryPolicy::default()),
+            ..EngineConfig::default()
+        },
+    );
+    let report = engine
+        .run(&mut continuum, vec![scenarios::telerehab_with(2)], HORIZON)
+        .expect("placement precedes the blackout");
+
+    let obs = &report.obs;
+    let gave_up = obs.counter_value("task_gave_up", "");
+    assert!(gave_up >= 1, "a dead continuum forces give-up");
+    let dispatched = obs.counter_value("sim_tasks_dispatched", "");
+    assert!(
+        gave_up <= dispatched,
+        "give-up is bounded by the work that existed: {gave_up} <= {dispatched}"
+    );
+    let spans = reconstruct(&obs.trace_events());
+    assert!(spans.is_conserved(), "even a blackout conserves the task census");
+    assert_eq!(
+        spans.completed + spans.cancelled + spans.lost,
+        spans.dispatched,
+        "nothing is left dangling in-flight after the blackout drains"
+    );
+    let a = &report.apps[0];
+    assert!(a.failed >= 1, "the application is marked degraded, not wedged");
+    assert!(a.completed + a.failed <= 60, "at most the issued requests resolve");
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Cross-crate integration: API daemon → DPE flow → MIRTO engine →
 //! continuum simulation, exercising every pillar in one path.
 
-use myrtus::continuum::time::SimTime;
+use myrtus::continuum::fault::FaultPlan;
+use myrtus::continuum::retry::RetryPolicy;
+use myrtus::continuum::time::{SimDuration, SimTime};
 use myrtus::continuum::topology::ContinuumBuilder;
 use myrtus::dpe::deploy::DeploymentSpec;
 use myrtus::dpe::flow::run_flow;
@@ -115,6 +117,68 @@ fn engine_against_custom_topology() {
         .expect("placeable");
     assert!(report.apps[0].completed > 0);
     assert_eq!(report.layer_energy_j.len(), 3);
+}
+
+#[test]
+fn recovery_path_delivers_lost_tasks_back_to_completion() {
+    // A crash mid-run with the retry subsystem on: tasks stranded on
+    // the victim are re-offered through the recovery queue, re-placed
+    // on survivors, and the application finishes whole.
+    use myrtus::obs::{span::reconstruct, ObsConfig, TraceKind};
+
+    let probe = run_orchestration(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig { obs: ObsConfig::on(), ..EngineConfig::default() },
+        vec![scenarios::telerehab_with(1)],
+        SimTime::from_secs(3),
+    )
+    .expect("fault-free probe places");
+    let clean = probe.apps[0].completed;
+    let busiest = probe
+        .obs
+        .trace_events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::TaskStart { node, .. } => Some(node),
+            _ => None,
+        })
+        .fold(std::collections::HashMap::<u32, u64>::new(), |mut acc, n| {
+            *acc.entry(n).or_default() += 1;
+            acc
+        })
+        .into_iter()
+        .max_by_key(|(n, c)| (*c, std::cmp::Reverse(*n)))
+        .expect("work ran")
+        .0;
+
+    let mut continuum = ContinuumBuilder::new().build();
+    let victim = continuum
+        .all_nodes()
+        .into_iter()
+        .find(|n| n.as_raw() == busiest)
+        .expect("same default topology");
+    FaultPlan::new()
+        .crash(victim, SimTime::from_millis(900), Some(SimDuration::from_millis(400)))
+        .apply(continuum.sim_mut());
+    let report = OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig {
+            obs: ObsConfig::on(),
+            retry: Some(RetryPolicy::default()),
+            ..EngineConfig::default()
+        },
+    )
+    .run(&mut continuum, vec![scenarios::telerehab_with(1)], SimTime::from_secs(3))
+    .expect("placement precedes the crash");
+
+    assert!(report.obs.counter_value("task_retries", "") >= 1, "the crash forces a retry");
+    let spans = reconstruct(&report.obs.trace_events());
+    assert!(spans.is_conserved());
+    assert!(
+        spans.spans.iter().any(|s| s.attempts.iter().any(|a| a.lost) && s.ended_at_us.is_some()),
+        "a task lost to the crash is delivered on a later attempt"
+    );
+    assert_eq!(report.apps[0].completed, clean, "recovery keeps the application whole");
 }
 
 #[test]

@@ -4,12 +4,15 @@
 
 use proptest::prelude::*;
 
+use myrtus::continuum::ids::NodeId;
+use myrtus::continuum::retry::RetryPolicy;
 use myrtus::continuum::stats::{OnlineStats, Summary};
 use myrtus::continuum::time::{SimDuration, SimTime};
 use myrtus::dpe::ir::{Actor, ActorKind, DataflowGraph};
 use myrtus::kb::command::KvCommand;
 use myrtus::kb::store::KvStore;
 use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+use myrtus::mirto::placement::replica_target;
 use myrtus::mirto::policies::GreedyBestFit;
 use myrtus::security::ascon::{ascon128_open, ascon128_seal};
 use myrtus::security::sha2::{sha256, sha512};
@@ -254,5 +257,63 @@ proptest! {
         let ts = spec.generate(seed);
         prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]));
         prop_assert!(ts.iter().all(|t| *t < SimTime::from_secs(secs)));
+    }
+
+    #[test]
+    fn backoff_schedules_are_monotonic_capped_and_seed_deterministic(
+        base_us in 1u64..1_000_000,
+        cap_mult in 1u64..64,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+        task in any::<u64>(),
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: SimDuration::from_micros(base_us),
+            backoff_cap: SimDuration::from_micros(base_us.saturating_mul(cap_mult)),
+            jitter_frac: jitter,
+            attempt_timeout: None,
+            seed,
+        };
+        // Monotonic non-decreasing, never above the cap.
+        let schedule: Vec<u64> =
+            (1..=16).map(|n| policy.backoff_for(n, task).as_micros()).collect();
+        prop_assert!(schedule.windows(2).all(|w| w[0] <= w[1]), "{schedule:?}");
+        prop_assert!(schedule.iter().all(|d| *d <= policy.backoff_cap.as_micros()));
+        prop_assert!(schedule[0] >= policy.base_backoff.as_micros().min(policy.backoff_cap.as_micros()));
+        // Byte-identical replay for the same seed, divergence is
+        // allowed (not required) for another seed.
+        let replay: Vec<u64> =
+            (1..=16).map(|n| policy.backoff_for(n, task).as_micros()).collect();
+        prop_assert_eq!(&schedule, &replay, "same policy, same task: same schedule");
+        let reseeded = RetryPolicy { seed: seed.wrapping_add(1), ..policy };
+        let other: Vec<u64> =
+            (1..=16).map(|n| reseeded.backoff_for(n, task).as_micros()).collect();
+        prop_assert!(other.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn replica_placement_never_doubles_up_on_the_primary(
+        raw_candidates in proptest::collection::vec(0u32..64, 0..12),
+        avoid in 0u32..64,
+    ) {
+        let avoid = NodeId::from_raw(avoid);
+        let candidates: Vec<NodeId> =
+            raw_candidates.iter().copied().map(NodeId::from_raw).collect();
+        match replica_target(avoid, &candidates) {
+            Some(twin) => {
+                prop_assert_ne!(twin, avoid, "a replica never lands on its primary's node");
+                prop_assert!(candidates.contains(&twin), "the twin is a real candidate");
+                // Deterministic: permuting the candidate list cannot
+                // change the choice.
+                let mut rev = candidates.clone();
+                rev.reverse();
+                prop_assert_eq!(replica_target(avoid, &rev), Some(twin));
+            }
+            None => prop_assert!(
+                candidates.iter().all(|&n| n == avoid),
+                "placement only fails when every candidate is the primary's node"
+            ),
+        }
     }
 }
