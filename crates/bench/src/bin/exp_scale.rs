@@ -1,0 +1,177 @@
+//! E12 — elastic serving: MAPE autoscaling vs a fixed deployment under
+//! a load ramp, and admission control under a doubling best-effort
+//! surge. The two acceptance shapes of the elastic-serving subsystem:
+//!
+//! (a) at peak load the autoscaler's deadline-miss rate is *strictly
+//!     lower* than the fixed-replica baseline's;
+//! (b) with admission control on, the protected tenant's goodput does
+//!     not degrade when the offered bulk load doubles.
+
+use std::time::Instant;
+
+use myrtus::continuum::admission::AdmissionPolicy;
+use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::mirto::engine::{run_orchestration, EngineConfig, OrchestrationReport};
+use myrtus::mirto::managers::elasticity::ElasticityConfig;
+use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::obs::ObsConfig;
+use myrtus::workload::scenarios::{self, surge};
+use myrtus::workload::ArrivalSpec;
+use myrtus_bench::{num, render_table};
+
+/// Completed-but-late fraction of everything that completed.
+fn miss_rate(r: &OrchestrationReport) -> f64 {
+    let a = &r.apps[0];
+    if a.completed == 0 {
+        return 1.0;
+    }
+    a.deadline_misses as f64 / a.completed as f64
+}
+
+/// One pose-pipeline run at `fps`, fixed placement (reallocation off,
+/// so horizontal replicas are the only relief valve), with or without
+/// the autoscaler.
+fn ramp_run(fps: u64, elasticity: Option<ElasticityConfig>) -> OrchestrationReport {
+    let mut app = scenarios::telerehab_with(2);
+    let frames = (fps * 2) as usize;
+    app.arrival = ArrivalSpec::periodic(SimDuration::from_micros(1_000_000 / fps), frames);
+    run_orchestration(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig {
+            obs: ObsConfig::on(),
+            app_point_adaptation: false,
+            reallocation: false,
+            elasticity,
+            ..EngineConfig::default()
+        },
+        vec![app],
+        SimTime::from_secs(6),
+    )
+    .expect("placeable")
+}
+
+/// One surge-mix run at bulk load factor `factor`, with or without the
+/// admission token bucket.
+fn surge_run(factor: f64, admission: Option<AdmissionPolicy>) -> OrchestrationReport {
+    run_orchestration(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig { obs: ObsConfig::on(), admission, ..EngineConfig::default() },
+        surge::surge_mix_scaled(7, SimTime::from_secs(4), factor),
+        SimTime::from_secs(5),
+    )
+    .expect("placeable")
+}
+
+fn main() {
+    let wall = Instant::now();
+    let autoscaler = ElasticityConfig {
+        scale_up_queue: 2.0,
+        scale_up_utilization: 0.5,
+        ..ElasticityConfig::default()
+    };
+
+    // E12a — load ramp 30→900 fps: fixed single pod vs the autoscaler.
+    let mut rows = Vec::new();
+    let mut peak = None;
+    for fps in [30u64, 300, 600, 900] {
+        let t = Instant::now();
+        let fixed = ramp_run(fps, None);
+        let elastic = ramp_run(fps, Some(autoscaler));
+        let secs = t.elapsed().as_secs_f64();
+        rows.push(vec![
+            fps.to_string(),
+            num(miss_rate(&fixed) * 100.0, 1),
+            num(miss_rate(&elastic) * 100.0, 1),
+            num(fixed.apps[0].qos() * 100.0, 1),
+            num(elastic.apps[0].qos() * 100.0, 1),
+            format!(
+                "{} / {}",
+                elastic.obs.counter_value("scale_ups", ""),
+                elastic.obs.counter_value("scale_downs", "")
+            ),
+            num(secs, 2),
+        ]);
+        if fps == 900 {
+            peak = Some((miss_rate(&fixed), miss_rate(&elastic)));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "E12a — deadline-miss rate under a load ramp: fixed pod vs MAPE autoscaler \
+             (telerehab pose pipeline, placement pinned)",
+            &[
+                "fps",
+                "fixed miss %",
+                "elastic miss %",
+                "fixed QoS %",
+                "elastic QoS %",
+                "ups/downs",
+                "wall s",
+            ],
+            &rows
+        )
+    );
+    let (fixed_peak, elastic_peak) = peak.expect("the 900 fps row ran");
+    assert!(
+        elastic_peak < fixed_peak,
+        "shape (a): at peak the autoscaler misses strictly fewer deadlines \
+         ({elastic_peak:.3} vs {fixed_peak:.3})"
+    );
+
+    // E12b — offered bulk load 1×→2×, admission off vs on.
+    let gate = AdmissionPolicy { rate_per_window: 20, ..AdmissionPolicy::default() };
+    let mut rows = Vec::new();
+    let mut goodputs = Vec::new();
+    for factor in [1.0f64, 1.5, 2.0] {
+        let t = Instant::now();
+        let open = surge_run(factor, None);
+        let gated = surge_run(factor, Some(gate));
+        let secs = t.elapsed().as_secs_f64();
+        let bulk_shed: u64 = gated.apps[1..].iter().map(|a| a.shed).sum();
+        rows.push(vec![
+            num(factor, 1),
+            num(open.apps[0].goodput() * 100.0, 1),
+            num(gated.apps[0].goodput() * 100.0, 1),
+            num(gated.apps[0].slo_attainment() * 100.0, 1),
+            bulk_shed.to_string(),
+            gated.apps[0].shed.to_string(),
+            num(secs, 2),
+        ]);
+        goodputs.push(gated.apps[0].goodput());
+        assert_eq!(gated.apps[0].shed, 0, "the protected tenant is never shed");
+    }
+    println!(
+        "{}",
+        render_table(
+            "E12b — doubling the offered bulk load under the admission token bucket \
+             (surge mix, interactive tenant protected)",
+            &[
+                "bulk load ×",
+                "open goodput %",
+                "gated goodput %",
+                "gated SLO %",
+                "bulk shed",
+                "interactive shed",
+                "wall s",
+            ],
+            &rows
+        )
+    );
+    assert!(
+        goodputs.last().expect("2x ran") + 0.02 >= goodputs[0],
+        "shape (b): doubling the bulk load does not dent protected goodput \
+         ({:.3} vs {:.3})",
+        goodputs[goodputs.len() - 1],
+        goodputs[0]
+    );
+
+    println!(
+        "shape check: the fixed pod saturates as the ramp climbs while the autoscaler\n\
+         binds replicas and holds the miss rate down (strictly lower at 900 fps); under\n\
+         the admission bucket the interactive tenant's goodput is flat in the offered\n\
+         bulk load — the overload is converted into typed bulk shedding instead.\n\
+         total wall clock: {:.1} s",
+        wall.elapsed().as_secs_f64()
+    );
+}

@@ -69,12 +69,17 @@ fn counter(metrics: &[ParsedMetric], name: &str) -> u64 {
 fn run_summary(metrics: &[ParsedMetric], spans: &myrtus::obs::SpanSet) -> String {
     let rows: &[(&str, u64)] = &[
         ("tasks dispatched", counter(metrics, "sim_tasks_dispatched")),
+        ("tasks admitted", counter(metrics, "tasks_admitted")),
+        ("tasks shed", counter(metrics, "tasks_shed")),
         ("tasks completed", counter(metrics, "sim_tasks_completed")),
         ("tasks lost", counter(metrics, "sim_tasks_lost")),
         ("task retries", counter(metrics, "task_retries")),
         ("task timeouts", counter(metrics, "task_timeouts")),
         ("tasks given up", counter(metrics, "task_gave_up")),
+        ("recovery queue rejections", counter(metrics, "recovery_queue_rejections")),
         ("replica dedups", counter(metrics, "replica_dedups")),
+        ("scale ups", counter(metrics, "scale_ups")),
+        ("scale downs", counter(metrics, "scale_downs")),
         ("deadline misses", counter(metrics, "sim_deadline_misses")),
         ("node crashes", counter(metrics, "node_crashes")),
         ("node recoveries", counter(metrics, "node_recoveries")),
@@ -88,11 +93,12 @@ fn run_summary(metrics: &[ParsedMetric], spans: &myrtus::obs::SpanSet) -> String
         s.push_str(&format!("| {name} | {value} |\n"));
     }
     s.push_str(&format!(
-        "\nSpan conservation: {} dispatched = {} completed + {} lost + {} cancelled + {} in flight ({}).\n",
+        "\nSpan conservation: {} dispatched = {} completed + {} lost + {} cancelled + {} shed + {} in flight ({}).\n",
         spans.dispatched,
         spans.completed,
         spans.lost,
         spans.cancelled,
+        spans.shed,
         spans.in_flight,
         if spans.is_conserved() { "holds" } else { "VIOLATED" }
     ));
@@ -402,6 +408,30 @@ deadline_miss_rate,,200000,0.25\n"
             critical_path_csv: &cp,
         };
         assert_eq!(render(&full), render(&full));
+    }
+
+    #[test]
+    fn shed_and_scaling_rows_flow_into_the_summary() {
+        let trace = "\
+{\"seq\":0,\"at_us\":100,\"type\":\"task_dispatch\",\"node\":1,\"task\":7}\n\
+{\"seq\":1,\"at_us\":120,\"type\":\"task_shed\",\"node\":1,\"task\":7,\"reason\":\"queue_full\"}\n";
+        let metrics = "\
+{\"kind\":\"counter\",\"metric\":\"tasks_admitted\",\"label\":\"\",\"value\":3}\n\
+{\"kind\":\"counter\",\"metric\":\"tasks_shed\",\"label\":\"queue_full\",\"value\":1}\n\
+{\"kind\":\"counter\",\"metric\":\"scale_ups\",\"label\":\"\",\"value\":2}\n\
+{\"kind\":\"counter\",\"metric\":\"scale_downs\",\"label\":\"\",\"value\":1}\n";
+        let md = render(&ReportInputs {
+            trace_jsonl: trace,
+            metrics_jsonl: metrics,
+            ..ReportInputs::default()
+        });
+        assert!(md.contains("| tasks admitted | 3 |"), "{md}");
+        assert!(md.contains("| tasks shed | 1 |"));
+        assert!(md.contains("| scale ups | 2 |"));
+        assert!(md.contains("| scale downs | 1 |"));
+        // The shed span joins the conservation identity as its own term.
+        assert!(md.contains("1 shed"), "{md}");
+        assert!(md.contains("holds"), "{md}");
     }
 
     #[test]

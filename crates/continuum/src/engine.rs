@@ -11,6 +11,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use myrtus_obs::{Obs, TraceKind};
 
+use crate::admission::{AdmissionDecision, AdmissionPolicy, AdmissionState};
 use crate::ids::{MsgId, NodeId, TaskId, TimerId};
 use crate::net::{Message, Network, NetworkError, Protocol};
 use crate::node::{ExecutionMode, Layer, NodeSpec, NodeState};
@@ -91,6 +92,15 @@ enum EventKind {
         task: TaskId,
         mode: ExecutionMode,
     },
+    /// Surfaces a deferred [`SimEvent::TaskShed`] notification: the
+    /// admission decision is taken synchronously inside the submit
+    /// call, but the driver only learns about it through the queue
+    /// (same instant, later seq) so submits never re-enter the driver.
+    NotifyShed {
+        node: NodeId,
+        task: TaskInstance,
+        reason: &'static str,
+    },
 }
 
 /// Notifications surfaced to the [`Driver`].
@@ -152,6 +162,19 @@ pub enum SimEvent {
         id: TimerId,
         /// The opaque tag passed at registration.
         tag: u64,
+    },
+    /// The admission controller shed a task instead of dispatching it
+    /// (only with an [`AdmissionPolicy`] installed). Shed tasks are
+    /// terminal — no arrival, no retry — and count against the same
+    /// dispatch tally as admitted ones, so the driver should mark the
+    /// owning request failed, not wedged.
+    TaskShed {
+        /// The node the submission targeted.
+        node: NodeId,
+        /// The shed task.
+        task: TaskInstance,
+        /// One of `"queue_full"`, `"rate_limit"`, `"slo_hopeless"`.
+        reason: &'static str,
     },
 }
 
@@ -268,6 +291,14 @@ pub struct SimCore {
     /// Tasks timed out while their input was still in flight: the
     /// retry/give-up decision is taken on arrival.
     timeout_pending: HashSet<u64>,
+    /// Installed admission policy; `None` keeps the legacy
+    /// unconditional-dispatch path byte-identical.
+    admission: Option<AdmissionPolicy>,
+    /// Token-bucket window accounting for the admission policy.
+    adm_state: AdmissionState,
+    /// Recovery events scheduled but not yet re-dispatched, bounded by
+    /// [`RetryPolicy::recovery_queue_cap`] (retry-storm guard).
+    recovery_outstanding: u32,
 }
 
 /// Counter values at the previous scrape; deltas against the current
@@ -328,6 +359,20 @@ impl SimCore {
     /// The installed retry policy, if any.
     pub fn retry_policy(&self) -> Option<RetryPolicy> {
         self.retry
+    }
+
+    /// Installs (or removes) the admission policy. With a policy
+    /// installed, every submit path runs the task through admission
+    /// control first: it is dispatched immediately, dispatched with a
+    /// backpressure delay, or shed with a typed reason (surfacing as
+    /// [`SimEvent::TaskShed`] and counting `tasks_shed{reason}`).
+    pub fn set_admission(&mut self, policy: Option<AdmissionPolicy>) {
+        self.admission = policy;
+    }
+
+    /// The installed admission policy, if any.
+    pub fn admission(&self) -> Option<AdmissionPolicy> {
+        self.admission
     }
 
     /// Current simulation time.
@@ -417,10 +462,64 @@ impl SimCore {
             return Err(SimError::NodeDown(node));
         }
         let id = task.id;
-        self.note_dispatch(node, id);
-        self.push(self.now, EventKind::TaskArrival { node, task });
-        self.arm_attempt(node, id);
+        match self.admission_decision(node, &task) {
+            AdmissionDecision::Shed { reason } => {
+                self.shed_task(node, task, reason);
+            }
+            AdmissionDecision::Admit { delay } => {
+                self.note_dispatch(node, id);
+                self.note_admitted(node, id);
+                self.push(self.now + delay, EventKind::TaskArrival { node, task });
+                self.arm_attempt(node, id);
+            }
+        }
         Ok(())
+    }
+
+    /// Runs the installed admission policy for a submission towards
+    /// `node` (which the caller has already validated as existing and
+    /// up). Without a policy this is the always-admit fast path.
+    fn admission_decision(&mut self, node: NodeId, task: &TaskInstance) -> AdmissionDecision {
+        let Some(policy) = self.admission else {
+            return AdmissionDecision::Admit { delay: SimDuration::ZERO };
+        };
+        let st = &self.nodes[node.index()];
+        let depth = (st.running().len() + st.queue_len()) as u32;
+        let est = if policy.slo_check {
+            Some(self.now + st.estimated_backlog(self.now) + st.service_time(task.work_mc))
+        } else {
+            None
+        };
+        policy.decide(self.now, task, depth, est, &mut self.adm_state)
+    }
+
+    /// Terminates a shed task: it counts as dispatched (conservation:
+    /// `dispatched = … + shed`), is traced and counted with its typed
+    /// reason, and the driver is notified through the event queue.
+    fn shed_task(&mut self, node: NodeId, task: TaskInstance, reason: &'static str) {
+        let raw = task.id.as_raw();
+        self.note_dispatch(node, task.id);
+        self.obs.counter_inc("tasks_shed", reason);
+        self.obs.trace(
+            self.now.as_micros(),
+            TraceKind::TaskShed { node: node.as_raw(), task: raw, reason },
+        );
+        self.finished.insert(raw);
+        self.attempts.remove(&raw);
+        self.push(self.now, EventKind::NotifyShed { node, task, reason });
+    }
+
+    /// Records a task passing admission control (policy installed only,
+    /// so legacy traces stay byte-identical).
+    fn note_admitted(&self, node: NodeId, task: TaskId) {
+        if self.admission.is_none() {
+            return;
+        }
+        self.obs.counter_inc("tasks_admitted", "");
+        self.obs.trace(
+            self.now.as_micros(),
+            TraceKind::TaskAdmitted { node: node.as_raw(), task: task.as_raw() },
+        );
     }
 
     /// Books a dispatch against the retry policy: counts the attempt
@@ -448,8 +547,17 @@ impl SimCore {
         let Some(policy) = self.retry else { return };
         let raw = task.id.as_raw();
         let used = self.attempts.get(&raw).copied().unwrap_or(1);
-        if policy.may_retry(used) {
+        if policy.may_retry(used) && self.recovery_outstanding >= policy.recovery_queue_cap {
+            // Retry-storm guard: the recovery queue is full, so this
+            // attempt is abandoned instead of amplifying the overload.
+            self.obs.counter_inc("recovery_queue_rejections", "");
+            self.obs.counter_inc("task_gave_up", "");
+            self.finished.insert(raw);
+            self.attempts.remove(&raw);
+            driver.on_event(self, SimEvent::TaskAbandoned { node, task });
+        } else if policy.may_retry(used) {
             self.attempts.insert(raw, used + 1);
+            self.recovery_outstanding += 1;
             let backoff = policy.backoff_for(used, raw);
             self.push(self.now + backoff, EventKind::TaskRecover { node, task, attempt: used });
         } else {
@@ -556,9 +664,20 @@ impl SimCore {
             return Err(SimError::NodeDown(node));
         }
         let path = self.network.route(src, node)?;
-        let eta = self.network.transfer(self.now, &path, task.input_bytes, protocol);
+        // The admission decision precedes the transfer: a shed task
+        // never occupies link capacity, and a backpressured one starts
+        // its transfer only when its delay elapses.
+        let delay = match self.admission_decision(node, &task) {
+            AdmissionDecision::Shed { reason } => {
+                self.shed_task(node, task, reason);
+                return Ok(self.now);
+            }
+            AdmissionDecision::Admit { delay } => delay,
+        };
+        let eta = self.network.transfer(self.now + delay, &path, task.input_bytes, protocol);
         let id = task.id;
         self.note_dispatch(node, id);
+        self.note_admitted(node, id);
         self.push(eta, EventKind::TaskArrival { node, task });
         self.arm_attempt(node, id);
         Ok(eta)
@@ -596,9 +715,17 @@ impl SimCore {
                 to: node,
             }));
         }
-        let eta = self.network.transfer(self.now, path, task.input_bytes, protocol);
+        let delay = match self.admission_decision(node, &task) {
+            AdmissionDecision::Shed { reason } => {
+                self.shed_task(node, task, reason);
+                return Ok(self.now);
+            }
+            AdmissionDecision::Admit { delay } => delay,
+        };
+        let eta = self.network.transfer(self.now + delay, path, task.input_bytes, protocol);
         let id = task.id;
         self.note_dispatch(node, id);
+        self.note_admitted(node, id);
         self.push(eta, EventKind::TaskArrival { node, task });
         self.arm_attempt(node, id);
         Ok(eta)
@@ -888,6 +1015,9 @@ impl SimCore {
                 }
             }
             EventKind::TaskRecover { node, task, attempt } => {
+                // The recovery slot frees whether or not the event is
+                // stale (a completed task still consumed its slot).
+                self.recovery_outstanding = self.recovery_outstanding.saturating_sub(1);
                 let raw = task.id.as_raw();
                 if self.finished.contains(&raw) {
                     return;
@@ -958,6 +1088,9 @@ impl SimCore {
             EventKind::NotifyStarted { node, task, mode } => {
                 driver.on_event(self, SimEvent::TaskStarted { node, task, mode });
             }
+            EventKind::NotifyShed { node, task, reason } => {
+                driver.on_event(self, SimEvent::TaskShed { node, task, reason });
+            }
         }
     }
 
@@ -965,7 +1098,8 @@ impl SimCore {
     /// by the periodic scrape timer; series recorded per scrape:
     ///
     /// * `node_utilization{layer/name}`, `node_queue_len{..}`,
-    ///   `node_energy_j{..}`, `node_up{..}` — one series per node;
+    ///   `run_queue_depth{..}` (running + queued), `node_energy_j{..}`,
+    ///   `node_up{..}` — one series per node;
     /// * `layer_utilization{edge|fog|cloud}` (mean over the layer's
     ///   up nodes), `layer_queue_len{..}` (sum);
     /// * `link_up{l<id>}` — one series per link;
@@ -992,6 +1126,8 @@ impl SimCore {
             let util = if up { n.utilization() } else { 0.0 };
             self.obs.ts_record("node_utilization", &label, at, util);
             self.obs.ts_record("node_queue_len", &label, at, n.queue_len() as f64);
+            let depth = if up { n.running().len() + n.queue_len() } else { 0 };
+            self.obs.ts_record("run_queue_depth", &label, at, depth as f64);
             self.obs.ts_record("node_energy_j", &label, at, n.energy_j());
             self.obs.ts_record("node_up", &label, at, if up { 1.0 } else { 0.0 });
             let li = spec.layer().index();
@@ -1067,6 +1203,7 @@ mod tests {
         lost: Vec<TaskInstance>,
         recovered: Vec<(TaskId, u32)>,
         abandoned: Vec<TaskId>,
+        shed: Vec<(TaskId, &'static str)>,
         messages: Vec<Message>,
         timers: Vec<u64>,
     }
@@ -1086,6 +1223,7 @@ mod tests {
                     }
                 }
                 SimEvent::TaskAbandoned { task, .. } => self.abandoned.push(task.id),
+                SimEvent::TaskShed { task, reason, .. } => self.shed.push((task.id, reason)),
                 SimEvent::MessageDelivered(m) => self.messages.push(m),
                 SimEvent::Timer { tag, .. } => self.timers.push(tag),
                 SimEvent::NodeRestored(_) | SimEvent::LinkChanged { .. } => {}
@@ -1173,6 +1311,7 @@ mod tests {
             jitter_frac: 0.0,
             attempt_timeout: None,
             seed: 1,
+            recovery_queue_cap: u32::MAX,
         }));
         for _ in 0..2 {
             let t = TaskInstance::new(sim.fresh_task_id(), 1_500.0); // ~1 s each
@@ -1200,6 +1339,7 @@ mod tests {
             jitter_frac: 0.0,
             attempt_timeout: Some(SimDuration::from_millis(50)),
             seed: 1,
+            recovery_queue_cap: u32::MAX,
         }));
         let straggler = TaskInstance::new(sim.fresh_task_id(), 1_500_000.0); // ~1 s ≫ timeout
         sim.submit_local(node, straggler).expect("submit");
@@ -1410,5 +1550,137 @@ mod tests {
         let e = sim.node(node).map(|n| n.energy_j()).unwrap_or_default();
         // 10 s at 1.5 W idle.
         assert!((e - 15.0).abs() < 1e-6, "idle energy: {e}");
+    }
+
+    #[test]
+    fn admission_queue_bound_sheds_with_reason_and_notifies_driver() {
+        use myrtus_obs::{Obs, ObsConfig};
+        let (mut sim, node) = one_node_sim(); // 4 cores
+        sim.set_obs(Obs::new(ObsConfig::on()));
+        sim.set_admission(Some(AdmissionPolicy {
+            max_queue_depth: 5,
+            ..AdmissionPolicy::default()
+        }));
+        // Fill the node: 4 running + 2 queued once arrivals process.
+        for _ in 0..6 {
+            let t = TaskInstance::new(sim.fresh_task_id(), 15.0); // 10 ms each
+            sim.submit_local(node, t).expect("submit");
+        }
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_millis(1), &mut rec);
+        // Depth is now 6 ≥ 5: the next best-effort submission sheds.
+        let extra = TaskInstance::new(sim.fresh_task_id(), 15.0);
+        let extra_id = extra.id;
+        sim.submit_local(node, extra).expect("shed is not an error");
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.shed, vec![(extra_id, "queue_full")]);
+        assert_eq!(rec.completed.len(), 6, "admitted tasks all complete");
+        let obs = sim.obs();
+        assert_eq!(obs.counter_value("tasks_shed", "queue_full"), 1);
+        assert_eq!(obs.counter_value("tasks_admitted", ""), 6);
+        // Shed tasks still count as dispatched (conservation).
+        assert_eq!(obs.counter_value("sim_tasks_dispatched", ""), 7);
+        let shed_traces = obs
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::TaskShed { .. }))
+            .count();
+        assert_eq!(shed_traces, 1);
+    }
+
+    #[test]
+    fn admission_backpressure_delays_over_rate_arrivals() {
+        let (mut sim, node) = one_node_sim();
+        sim.set_admission(Some(AdmissionPolicy {
+            rate_per_window: 1,
+            window: SimDuration::from_millis(10),
+            max_delay: SimDuration::from_millis(50),
+            ..AdmissionPolicy::default()
+        }));
+        for _ in 0..3 {
+            let t = TaskInstance::new(sim.fresh_task_id(), 1.5); // 1 ms each
+            sim.submit_local(node, t).expect("submit");
+        }
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert!(rec.shed.is_empty(), "within max_delay nothing sheds");
+        let ends: Vec<u64> = rec.completed.iter().map(|o| o.at.as_micros()).collect();
+        // One token per 10 ms window: completions at 1, 11, 21 ms.
+        assert_eq!(ends, vec![1_000, 11_000, 21_000]);
+    }
+
+    #[test]
+    fn protected_priority_tasks_are_never_shed() {
+        let (mut sim, node) = one_node_sim();
+        sim.set_admission(Some(AdmissionPolicy {
+            rate_per_window: 0,
+            max_delay: SimDuration::ZERO,
+            ..AdmissionPolicy::default()
+        }));
+        let vip = TaskInstance::new(sim.fresh_task_id(), 1.5).with_priority(1);
+        let bulk = TaskInstance::new(sim.fresh_task_id(), 1.5);
+        sim.submit_local(node, vip).expect("submit");
+        sim.submit_local(node, bulk).expect("submit");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(1), &mut rec);
+        assert_eq!(rec.completed.len(), 1, "the protected task runs");
+        assert_eq!(rec.shed.len(), 1, "the best-effort task sheds");
+        assert_eq!(rec.shed[0].1, "rate_limit");
+    }
+
+    #[test]
+    fn recovery_queue_cap_bounds_the_retry_storm() {
+        use myrtus_obs::{Obs, ObsConfig};
+        let (mut sim, node) = one_node_sim(); // 4 cores
+        sim.set_obs(Obs::new(ObsConfig::on()));
+        sim.set_retry_policy(Some(RetryPolicy {
+            base_backoff: SimDuration::from_millis(150),
+            backoff_cap: SimDuration::from_secs(1),
+            jitter_frac: 0.0,
+            recovery_queue_cap: 1,
+            ..RetryPolicy::default()
+        }));
+        for _ in 0..3 {
+            let t = TaskInstance::new(sim.fresh_task_id(), 1_500.0); // ~1 s each
+            sim.submit_local(node, t).expect("submit");
+        }
+        sim.schedule_node_down(node, SimTime::from_millis(100));
+        sim.schedule_node_up(node, SimTime::from_millis(200));
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(5), &mut rec);
+        // The crash fails all 3 attempts at once, but only one recovery
+        // slot exists: one task retries and completes, two abandon.
+        assert_eq!(rec.recovered.len(), 1);
+        assert_eq!(rec.abandoned.len(), 2);
+        assert_eq!(rec.completed.len(), 1);
+        assert_eq!(sim.obs().counter_value("recovery_queue_rejections", ""), 2);
+        assert_eq!(sim.obs().counter_value("task_gave_up", ""), 2);
+        // The freed slot is reusable: a later failure retries again.
+        sim.schedule_node_down(node, SimTime::from_millis(5_100));
+        sim.schedule_node_up(node, SimTime::from_millis(5_200));
+        let t = TaskInstance::new(sim.fresh_task_id(), 1_500.0);
+        sim.submit_local(node, t).expect("submit");
+        sim.run_until(SimTime::from_secs(10), &mut rec);
+        assert_eq!(rec.recovered.len(), 2, "slot was released at re-dispatch");
+        assert_eq!(rec.completed.len(), 2);
+    }
+
+    #[test]
+    fn disabled_admission_changes_nothing() {
+        use myrtus_obs::{Obs, ObsConfig};
+        let run = |with_admission: bool| -> String {
+            let (mut sim, node) = one_node_sim();
+            sim.set_obs(Obs::new(ObsConfig::on()));
+            if with_admission {
+                sim.set_admission(None);
+            }
+            for _ in 0..4 {
+                let t = TaskInstance::new(sim.fresh_task_id(), 15.0);
+                sim.submit_local(node, t).expect("submit");
+            }
+            sim.run_until(SimTime::from_secs(1), &mut NullDriver);
+            sim.obs().export_trace_jsonl() + &sim.obs().export_metrics_jsonl()
+        };
+        assert_eq!(run(false), run(true), "admission: None is byte-identical");
     }
 }

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod cluster;
 pub mod energy;
 pub mod engine;
@@ -50,6 +51,7 @@ pub mod task;
 pub mod time;
 pub mod topology;
 
+pub use admission::{AdmissionDecision, AdmissionPolicy};
 pub use engine::{Driver, SimCore, SimError, SimEvent};
 pub use ids::{ClusterId, LinkId, MsgId, NodeId, PodId, TaskId, TimerId};
 pub use node::{Layer, NodeKind, NodeSpec};

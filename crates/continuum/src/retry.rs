@@ -35,6 +35,12 @@ pub struct RetryPolicy {
     /// Seed for the jitter hash; two policies differing only in seed
     /// produce different (but each internally deterministic) schedules.
     pub seed: u64,
+    /// Retry-storm guard: maximum number of recovery events that may be
+    /// outstanding (scheduled but not yet re-dispatched) at once. When
+    /// the queue is full, a failed attempt is abandoned with reason
+    /// instead of snowballing more load onto an already-overloaded
+    /// continuum. `u32::MAX` (the default) disables the guard.
+    pub recovery_queue_cap: u32,
 }
 
 impl Default for RetryPolicy {
@@ -46,12 +52,15 @@ impl Default for RetryPolicy {
             jitter_frac: 0.2,
             attempt_timeout: None,
             seed: 7,
+            recovery_queue_cap: u32::MAX,
         }
     }
 }
 
-/// splitmix64 finalizer: a cheap, high-quality 64-bit mix.
-fn mix(mut z: u64) -> u64 {
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mix. Shared with
+/// the admission controller so both subsystems draw jitter from the
+/// same deterministic family.
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

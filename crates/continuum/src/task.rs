@@ -54,6 +54,10 @@ pub struct TaskInstance {
     /// Opaque correlation tag for the driver (e.g. application/component
     /// identity in the workload crate).
     pub tag: u64,
+    /// QoS class for admission control: tasks at or above an
+    /// [`crate::admission::AdmissionPolicy::protect_priority`] threshold
+    /// bypass rate limiting and queue bounds. Higher is more important.
+    pub priority: u8,
 }
 
 impl TaskInstance {
@@ -75,6 +79,7 @@ impl TaskInstance {
             deadline: None,
             released: SimTime::ZERO,
             tag: 0,
+            priority: 0,
         }
     }
 
@@ -112,6 +117,12 @@ impl TaskInstance {
     /// Sets the opaque correlation tag.
     pub fn with_tag(mut self, tag: u64) -> Self {
         self.tag = tag;
+        self
+    }
+
+    /// Sets the QoS priority class (higher is more important).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
         self
     }
 

@@ -19,13 +19,19 @@ use myrtus_workload::tosca::Application;
 
 use crate::placement::Placement;
 
+/// One bound pod: its cluster, pod id and hosting node.
+type BoundPod = (ClusterId, PodId, NodeId);
+
 /// Executes MIRTO placements on the per-layer cluster federation.
 #[derive(Debug)]
 pub struct DeploymentProxy {
     federation: Federation,
     cluster_of_layer: [ClusterId; 3],
     layer_of_node: HashMap<NodeId, Layer>,
-    pods: HashMap<(u16, usize), (ClusterId, PodId, NodeId)>,
+    pods: HashMap<(u16, usize), BoundPod>,
+    /// Horizontal replicas per component (elastic scaling), bound in
+    /// scale-up order; the primary pod in `pods` is never in here.
+    replica_pods: HashMap<(u16, usize), Vec<BoundPod>>,
     binds: u64,
     moves: u64,
     obs: Obs,
@@ -63,6 +69,7 @@ impl DeploymentProxy {
             cluster_of_layer: [edge, fog, cloud],
             layer_of_node,
             pods: HashMap::new(),
+            replica_pods: HashMap::new(),
             binds: 0,
             moves: 0,
             obs: Obs::disabled(),
@@ -198,6 +205,77 @@ impl DeploymentProxy {
         Ok(())
     }
 
+    /// Binds an additional horizontal replica of a component on `node`
+    /// (elastic scale-up). The replica coexists with the primary pod;
+    /// routing spreads stage tasks across primary + replicas. No-op
+    /// error-free duplicate binds are not deduplicated — callers pick a
+    /// node not already hosting the component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster errors.
+    pub fn scale_up(
+        &mut self,
+        app_id: u16,
+        app: &Application,
+        component: usize,
+        node: NodeId,
+    ) -> Result<(), ScheduleError> {
+        let target = self.cluster_for(node)?;
+        let spec = Self::pod_spec(app, component);
+        let cluster =
+            self.federation.cluster_mut(target).ok_or(ScheduleError::UnknownCluster(target))?;
+        let pod = cluster.bind(spec, node);
+        self.binds += 1;
+        self.replica_pods.entry((app_id, component)).or_default().push((target, pod, node));
+        self.obs.counter_inc("pod_binds", "");
+        self.obs.trace(
+            self.clock_us,
+            TraceKind::Deploy { app: app_id, component: component as u32, node: node.as_raw() },
+        );
+        Ok(())
+    }
+
+    /// Evicts the newest replica of a component (elastic scale-down),
+    /// returning the node it ran on, or `None` when the component has
+    /// no replicas (the primary pod is never scaled away). The eviction
+    /// is bookkeeping-only with respect to the simulator: tasks already
+    /// dispatched to that node — including queued retries — run to
+    /// completion, so scaling down never strands in-flight work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cluster errors.
+    pub fn scale_down(
+        &mut self,
+        app_id: u16,
+        component: usize,
+    ) -> Result<Option<NodeId>, ScheduleError> {
+        let Some(replicas) = self.replica_pods.get_mut(&(app_id, component)) else {
+            return Ok(None);
+        };
+        let Some((cl, pod, node)) = replicas.pop() else { return Ok(None) };
+        if replicas.is_empty() {
+            self.replica_pods.remove(&(app_id, component));
+        }
+        let cluster = self.federation.cluster_mut(cl).ok_or(ScheduleError::UnknownCluster(cl))?;
+        cluster.evict(pod)?;
+        Ok(Some(node))
+    }
+
+    /// Nodes hosting replicas of a component, in scale-up order.
+    pub fn replica_nodes(&self, app: u16, component: usize) -> Vec<NodeId> {
+        self.replica_pods
+            .get(&(app, component))
+            .map(|v| v.iter().map(|(_, _, n)| *n).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of live replicas of a component (excluding the primary).
+    pub fn replica_count(&self, app: u16, component: usize) -> usize {
+        self.replica_pods.get(&(app, component)).map_or(0, Vec::len)
+    }
+
     /// Components (as `(app, component)`) whose pods sit on `node`.
     pub fn components_on(&self, node: NodeId) -> Vec<(u16, usize)> {
         let mut v: Vec<(u16, usize)> =
@@ -267,6 +345,29 @@ mod tests {
         proxy.bind_component(0, &app, 0, placement.node_of(0)).expect("noop");
         assert_eq!(proxy.binds(), binds);
         assert_eq!(proxy.moves(), 0);
+    }
+
+    #[test]
+    fn replicas_scale_up_and_down_lifo_without_touching_the_primary() {
+        let (c, app, placement) = fixture();
+        let mut proxy = DeploymentProxy::new(c.sim());
+        proxy.apply_placement(0, &app, &placement).expect("binds");
+        let primary = proxy.pod_of(0, 1).expect("bound");
+        assert_eq!(proxy.replica_count(0, 1), 0);
+        let r1 = c.edge()[1];
+        let r2 = c.fmdcs()[0];
+        proxy.scale_up(0, &app, 1, r1).expect("scale up");
+        proxy.scale_up(0, &app, 1, r2).expect("scale up");
+        assert_eq!(proxy.replica_count(0, 1), 2);
+        assert_eq!(proxy.replica_nodes(0, 1), vec![r1, r2]);
+        assert!(proxy.requested_cpu_millis(r2) > 0);
+        // Scale-down pops the newest replica first.
+        assert_eq!(proxy.scale_down(0, 1).expect("evicts"), Some(r2));
+        assert_eq!(proxy.requested_cpu_millis(r2), 0);
+        assert_eq!(proxy.scale_down(0, 1).expect("evicts"), Some(r1));
+        assert_eq!(proxy.scale_down(0, 1).expect("empty"), None);
+        // The primary pod never moved.
+        assert_eq!(proxy.pod_of(0, 1).expect("still bound"), primary);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 
+use myrtus_continuum::admission::AdmissionPolicy;
 use myrtus_continuum::engine::{Driver, SimCore, SimEvent};
 use myrtus_continuum::ids::{NodeId, TaskId};
 use myrtus_continuum::monitor::{ApplicationMonitor, MonitoringReport};
@@ -38,6 +39,7 @@ use myrtus_workload::opset::AppPointSet;
 use myrtus_workload::tosca::Application;
 
 use crate::deployer::DeploymentProxy;
+use crate::managers::elasticity::{ElasticityConfig, ElasticityManager, ScaleAction, StageSignals};
 use crate::managers::network::NetworkManager;
 use crate::managers::node::NodeManager;
 use crate::managers::privsec::{node_security_level, PrivacySecurityManager};
@@ -101,6 +103,19 @@ pub struct EngineConfig {
     /// of being dropped. `None` keeps the legacy lose-and-resubmit path
     /// driven by `max_retries`.
     pub retry: Option<RetryPolicy>,
+    /// Simulator-level admission control: token-bucket rate limiting,
+    /// bounded run queues and SLO-aware shedding at dispatch. Tasks of
+    /// deadline-bound (high-QoS) applications carry a protected
+    /// priority and bypass every shed path. `None` (the default) admits
+    /// everything unconditionally — legacy runs are bit-identical.
+    pub admission: Option<AdmissionPolicy>,
+    /// MAPE-driven horizontal pod autoscaling: scale component replicas
+    /// up under pressure (utilization, run-queue depth, deadline-miss
+    /// rate) and back down when idle, with hysteresis and cooldown.
+    /// Reads the scraped TimeSeries store, so it only acts when
+    /// [`EngineConfig::obs`] is enabled. `None` (the default) keeps the
+    /// replica set fixed.
+    pub elasticity: Option<ElasticityConfig>,
     /// Duplicate deadline-critical stages (those with a per-stage
     /// latency bound) onto a second surviving node: first completion
     /// wins and the losing twin is cancelled (`replica_dedups`).
@@ -125,6 +140,8 @@ impl Default for EngineConfig {
             app_point_adaptation: true,
             max_retries: 2,
             retry: None,
+            admission: None,
+            elasticity: None,
             replicate_critical: false,
             seed: 7,
             tuning: ManagerTuning::default(),
@@ -181,6 +198,9 @@ struct AppRuntime {
     window_done: u32,
     window_missed: u32,
     clean_rounds: u32,
+    /// QoS class: deadline-bound apps run protected (≥ the admission
+    /// policy's `protect_priority`), bulk apps run sheddable at 0.
+    priority: u8,
 }
 
 /// One stage of a completed request's execution trace (application
@@ -207,6 +227,8 @@ pub struct AppReport {
     pub completed: u64,
     /// Requests that lost at least one stage permanently.
     pub failed: u64,
+    /// Requests dropped by admission control (load shedding).
+    pub shed: u64,
     /// Completed requests that missed their end-to-end deadline.
     pub deadline_misses: u64,
     /// End-to-end latency summary over completed requests, milliseconds.
@@ -230,6 +252,30 @@ impl AppReport {
             0.0
         } else {
             1.0 - self.deadline_misses as f64 / self.completed as f64
+        }
+    }
+
+    /// Goodput: fraction of terminal requests (completed + failed +
+    /// shed) that completed. The tenant-facing success rate under
+    /// overload — shed work counts against it.
+    pub fn goodput(&self) -> f64 {
+        let total = self.completed + self.failed + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.completed as f64 / total as f64
+        }
+    }
+
+    /// SLO attainment: fraction of terminal requests that completed
+    /// *within* their deadline. Stricter than [`AppReport::goodput`]:
+    /// late completions count against it too.
+    pub fn slo_attainment(&self) -> f64 {
+        let total = self.completed + self.failed + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            (self.completed - self.deadline_misses) as f64 / total as f64
         }
     }
 }
@@ -324,6 +370,7 @@ pub struct OrchestrationEngine {
     node_mgr: NodeManager,
     net_mgr: NetworkManager,
     sec: PrivacySecurityManager,
+    elasticity: Option<ElasticityManager>,
     proxy: Option<DeploymentProxy>,
     kb: KnowledgeBase,
     /// Plan-time route/transfer memo reused across placement sweeps;
@@ -347,6 +394,7 @@ pub struct OrchestrationEngine {
     app_point_switches: u64,
     completed: HashMap<u16, u64>,
     failed: HashMap<u16, u64>,
+    shed: HashMap<u16, u64>,
     misses: HashMap<u16, u64>,
     /// Shared observability handle, cloned into the simulator, the plan
     /// cache and the deployment proxy. Trace events are only emitted
@@ -381,6 +429,7 @@ impl OrchestrationEngine {
         let obs = Obs::new(cfg.obs);
         OrchestrationEngine {
             sec: PrivacySecurityManager::new(cfg.enforce_security),
+            elasticity: cfg.elasticity.map(ElasticityManager::new),
             cfg,
             wl,
             node_mgr,
@@ -402,6 +451,7 @@ impl OrchestrationEngine {
             app_point_switches: 0,
             completed: HashMap::new(),
             failed: HashMap::new(),
+            shed: HashMap::new(),
             misses: HashMap::new(),
             obs,
         }
@@ -455,6 +505,7 @@ impl OrchestrationEngine {
         self.horizon = horizon;
         continuum.sim_mut().set_obs(self.obs.clone());
         continuum.sim_mut().set_retry_policy(self.cfg.retry);
+        continuum.sim_mut().set_admission(self.cfg.admission);
         self.proxy = Some(DeploymentProxy::new(continuum.sim()).with_obs(self.obs.clone()));
         for (i, (app, start)) in apps.into_iter().enumerate() {
             let app_id = i as u16;
@@ -489,6 +540,11 @@ impl OrchestrationEngine {
             .map_err(|_| PlaceError::NoCandidate { component: 0 })?;
         let compiled = compile_requests(&app, app_id, self.cfg.seed, None)
             .map_err(|_| PlaceError::NoCandidate { component: 0 })?;
+        // QoS class for admission control: a deadline-bound application
+        // (any stage with a latency bound) runs protected, bulk runs
+        // sheddable.
+        let priority =
+            u8::from(compiled.iter().any(|r| r.stages.iter().any(|s| s.max_latency.is_some())));
         {
             let candidates = self.sec.candidates(sim, &app, &dag);
             let estimator = PlanEstimator::new(sim.network(), sim.now(), &self.plan_cache);
@@ -544,6 +600,7 @@ impl OrchestrationEngine {
             window_done: 0,
             window_missed: 0,
             clean_rounds: 0,
+            priority,
         });
         Ok(())
     }
@@ -571,6 +628,7 @@ impl OrchestrationEngine {
                 name: a.app.name.clone(),
                 completed: self.completed.get(&a.id).copied().unwrap_or(0),
                 failed: self.failed.get(&a.id).copied().unwrap_or(0),
+                shed: self.shed.get(&a.id).copied().unwrap_or(0),
                 deadline_misses: self.misses.get(&a.id).copied().unwrap_or(0),
                 latency_ms: self.latencies_ms.get(&a.id).and_then(|v| Summary::of(v)),
                 mean_quality: self
@@ -691,12 +749,57 @@ impl OrchestrationEngine {
                 dst = p.node_of(stage.component_idx);
             }
         }
+        // Elastic replicas: serve the stage from the host with the
+        // earliest estimated completion — upstream transfer (via the
+        // plan-time route memo) plus queue backlog plus this task's
+        // service time, so a fast busy node still beats a slow idle one
+        // and locality is only given up when the queue wait exceeds the
+        // shipping cost. Ties break on node id; with no replicas bound
+        // the primary is kept unconditionally.
+        if let Some(proxy) = self.proxy.as_ref() {
+            let replicas = proxy.replica_nodes(app_id, stage.component_idx);
+            if !replicas.is_empty() {
+                let now = sim.now();
+                let est = PlanEstimator::new(sim.network(), now, &self.plan_cache);
+                let best = std::iter::once(dst)
+                    .chain(replicas)
+                    .filter(|&n| sim.node(n).is_some_and(|s| s.is_up()))
+                    .min_by_key(|&n| {
+                        // A remote hop pays transfer plus the Privacy &
+                        // Security Manager's protection work and wire
+                        // overhead, exactly as the real submission will.
+                        let (work, xfer) = match src {
+                            Some(s) if s != n => {
+                                let extra = self.sec.protection_work_mc(
+                                    stage.security,
+                                    s,
+                                    n,
+                                    stage.input_bytes,
+                                );
+                                let wire = stage.input_bytes
+                                    + self.sec.protection_wire_overhead(stage.security, s, n);
+                                (stage.work_mc + extra, est.transfer_us(s, n, wire, Protocol::Mqtt))
+                            }
+                            _ => (stage.work_mc, 0.0),
+                        };
+                        let local = sim
+                            .node(n)
+                            .map(|s| s.estimated_backlog(now) + s.service_time(work))
+                            .unwrap_or(SimDuration::ZERO);
+                        (local.as_micros().saturating_add(xfer as u64), n.as_raw())
+                    });
+                if let Some(n) = best {
+                    dst = n;
+                }
+            }
+        }
 
         let tag = Tag { app: app_id, request, stage: stage_idx as u16 };
         let mut task = TaskInstance::new(sim.fresh_task_id(), stage.work_mc)
             .with_mem_mb(stage.mem_mb)
             .with_io_bytes(stage.input_bytes, stage.output_bytes)
             .with_released(released)
+            .with_priority(self.apps[app_pos].priority)
             .with_tag(tag.encode());
         if let Some(cfg) = stage.accel_cfg {
             task = task.with_accel(cfg);
@@ -791,6 +894,7 @@ impl OrchestrationEngine {
             .with_mem_mb(stage.mem_mb)
             .with_io_bytes(stage.input_bytes, stage.output_bytes)
             .with_released(released)
+            .with_priority(rt.priority)
             .with_tag(tag);
         if let Some(cfg) = stage.accel_cfg {
             twin = twin.with_accel(cfg);
@@ -934,6 +1038,37 @@ impl OrchestrationEngine {
                 st.failed = true;
                 *self.failed.entry(app_id).or_default() += 1;
             }
+        }
+    }
+
+    /// Marks a request shed (once): admission control dropped one of
+    /// its stages, so the request terminates — degraded like a failure
+    /// (no further submissions) but tallied separately, because shedding
+    /// is a *policy* outcome, not a fault.
+    fn mark_shed(&mut self, app_id: u16, key: u64) {
+        if let Some(st) = self.requests.get_mut(&key) {
+            if !st.failed && !st.completed {
+                st.failed = true;
+                *self.shed.entry(app_id).or_default() += 1;
+            }
+        }
+    }
+
+    /// A stage task was dropped by admission control. The simulator has
+    /// already finalized the task (terminal, counted in the dispatch
+    /// tally); here the owning request is retired — unless a replica
+    /// twin is still in flight and can complete the stage alone.
+    fn on_task_shed(&mut self, task: &TaskInstance) {
+        let tag = Tag::decode(task.tag);
+        let key = req_key(tag.app, tag.request);
+        if let Some((sib, _)) = self.replicas.remove(&task.id.as_raw()) {
+            self.replicas.remove(&sib);
+            return; // the twin fights on alone
+        }
+        let si = tag.stage as usize;
+        let done = self.requests.get(&key).is_some_and(|st| si < st.done.len() && st.done[si]);
+        if !done {
+            self.mark_shed(tag.app, key);
         }
     }
 
@@ -1137,6 +1272,13 @@ impl OrchestrationEngine {
                 }
             }
         }
+        // Elasticity Manager: MAPE-driven horizontal scaling off the
+        // scraped telemetry, executed on the cluster layer like the
+        // planned moves above.
+        if let Some(mut mgr) = self.elasticity.take() {
+            self.elasticity_round(sim, now_us, &mut mgr);
+            self.elasticity = Some(mgr);
+        }
         if self.cfg.app_point_adaptation {
             for (pos, rt) in self.apps.iter_mut().enumerate() {
                 let done = rt.window_done;
@@ -1204,6 +1346,124 @@ impl OrchestrationEngine {
             sim.set_timer(self.cfg.monitoring_period, MONITOR_TAG);
         }
     }
+
+    /// One Elasticity Manager round: for every deployed component, read
+    /// the scraped host telemetry, ask the autoscaler for a decision and
+    /// execute it through the deployment proxy. A silent no-op while the
+    /// TimeSeries store has no samples (observability off, or before the
+    /// first scrape), so legacy runs are untouched.
+    fn elasticity_round(&mut self, sim: &mut SimCore, now_us: u64, mgr: &mut ElasticityManager) {
+        let miss_rate =
+            self.obs.ts_last_n("deadline_miss_rate", "", 1).first().map(|s| s.value).unwrap_or(0.0);
+        let now = sim.now();
+        for pos in 0..self.apps.len() {
+            let app_id = self.apps[pos].id;
+            let comps: Vec<(usize, NodeId)> = match self.wl.placement(app_id) {
+                Some(p) => self.apps[pos]
+                    .dag
+                    .nodes()
+                    .iter()
+                    .map(|n| (n.component_idx, p.node_of(n.component_idx)))
+                    .collect(),
+                None => continue,
+            };
+            for (comp, host) in comps {
+                let Some(label) = sim
+                    .node(host)
+                    .map(|n| format!("{}/{}", n.spec().layer().label(), n.spec().name()))
+                else {
+                    continue;
+                };
+                let util = self.obs.ts_last_n("node_utilization", &label, 1);
+                let depth = self.obs.ts_last_n("run_queue_depth", &label, 1);
+                let (Some(u), Some(q)) = (util.first(), depth.first()) else { continue };
+                let replicas = self.proxy.as_ref().map_or(0, |p| p.replica_count(app_id, comp));
+                let signals = StageSignals {
+                    utilization: u.value,
+                    queue_depth: q.value,
+                    miss_rate,
+                    replicas: replicas as u32,
+                };
+                match mgr.decide((app_id, comp), &signals) {
+                    Some(ScaleAction::ScaleUp) => {
+                        // Deterministic target: the least-backlogged
+                        // security-eligible survivor not already hosting
+                        // this component (ties on node id).
+                        let target = {
+                            let rt = &self.apps[pos];
+                            let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+                            let dag_pos = rt
+                                .dag
+                                .nodes()
+                                .iter()
+                                .position(|n| n.component_idx == comp)
+                                .unwrap_or(0);
+                            let occupied: Vec<NodeId> = std::iter::once(host)
+                                .chain(
+                                    self.proxy
+                                        .as_ref()
+                                        .map(|p| p.replica_nodes(app_id, comp))
+                                        .unwrap_or_default(),
+                                )
+                                .collect();
+                            candidates
+                                .get(dag_pos)
+                                .map(Vec::as_slice)
+                                .unwrap_or(&[])
+                                .iter()
+                                .copied()
+                                .filter(|n| !occupied.contains(n))
+                                .min_by_key(|&n| {
+                                    let backlog = sim
+                                        .node(n)
+                                        .map(|s| s.estimated_backlog(now))
+                                        .unwrap_or(SimDuration::ZERO);
+                                    (backlog, n.as_raw())
+                                })
+                        };
+                        let Some(node) = target else { continue };
+                        let bound = {
+                            let rt = &self.apps[pos];
+                            self.proxy
+                                .as_mut()
+                                .is_some_and(|p| p.scale_up(app_id, &rt.app, comp, node).is_ok())
+                        };
+                        if bound {
+                            self.obs.counter_inc("scale_ups", "");
+                            self.obs.counter_inc("manager_actions", "elasticity");
+                            self.obs.trace(
+                                now_us,
+                                TraceKind::ManagerAction {
+                                    manager: "elasticity",
+                                    action: "scale_up",
+                                    subject: app_id as u64,
+                                },
+                            );
+                        }
+                    }
+                    Some(ScaleAction::ScaleDown) => {
+                        let evicted = self
+                            .proxy
+                            .as_mut()
+                            .and_then(|p| p.scale_down(app_id, comp).ok().flatten());
+                        if evicted.is_some() {
+                            self.obs.counter_inc("scale_downs", "");
+                            self.obs.counter_inc("manager_actions", "elasticity");
+                            self.obs.trace(
+                                now_us,
+                                TraceKind::ManagerAction {
+                                    manager: "elasticity",
+                                    action: "scale_down",
+                                    subject: app_id as u64,
+                                },
+                            );
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
 }
 
 impl Driver for OrchestrationEngine {
@@ -1257,6 +1517,7 @@ impl Driver for OrchestrationEngine {
             SimEvent::TasksLost { node, tasks } => self.on_tasks_lost(sim, node, tasks),
             SimEvent::TaskRecovered { node, task, .. } => self.on_task_recovered(sim, node, task),
             SimEvent::TaskAbandoned { task, .. } => self.on_task_abandoned(&task),
+            SimEvent::TaskShed { task, .. } => self.on_task_shed(&task),
             SimEvent::TaskStarted { .. }
             | SimEvent::MessageDelivered(_)
             | SimEvent::NodeRestored(_)
@@ -1511,6 +1772,88 @@ mod tests {
             adaptive.apps[0].qos() >= fixed.apps[0].qos(),
             "degradation buys QoS: {:.3} vs {:.3}",
             adaptive.apps[0].qos(),
+            fixed.apps[0].qos()
+        );
+    }
+
+    #[test]
+    fn admission_protects_deadline_tenants_and_sheds_bulk() {
+        use myrtus_workload::scenarios::surge;
+        let apps = surge::surge_mix(7, SimTime::from_secs(3));
+        let run = |admission: Option<AdmissionPolicy>| {
+            run_orchestration(
+                Box::new(GreedyBestFit::new()),
+                EngineConfig { obs: ObsConfig::on(), admission, ..EngineConfig::default() },
+                apps.clone(),
+                SimTime::from_secs(4),
+            )
+            .expect("places")
+        };
+        let open = run(None);
+        // 20 tokens per 100 ms window: far below the bulk tenants' surge
+        // peak, so unprotected work must spill and shed.
+        let gated =
+            run(Some(AdmissionPolicy { rate_per_window: 20, ..AdmissionPolicy::default() }));
+        assert_eq!(open.apps.iter().map(|a| a.shed).sum::<u64>(), 0, "no policy, no shedding");
+        let interactive = &gated.apps[0];
+        assert_eq!(interactive.shed, 0, "protected tenant is never shed: {interactive:?}");
+        let bulk_shed: u64 = gated.apps[1..].iter().map(|a| a.shed).sum();
+        assert!(bulk_shed > 0, "over-rate bulk load is shed: {:?}", gated.apps);
+        assert!(
+            gated.obs.counter_value("tasks_shed", "rate_limit") > 0,
+            "typed shed counter fires"
+        );
+        assert!(
+            interactive.goodput() + 1e-9 >= open.apps[0].goodput(),
+            "gating never hurts the protected tenant: {:.3} vs {:.3}",
+            interactive.goodput(),
+            open.apps[0].goodput()
+        );
+    }
+
+    #[test]
+    fn elasticity_scales_out_under_overload() {
+        use myrtus_workload::ArrivalSpec;
+        // The 900 fps pose pipeline again: far beyond one edge node.
+        let mut app = scenarios::telerehab_with(2);
+        app.arrival =
+            ArrivalSpec::periodic(myrtus_continuum::time::SimDuration::from_micros(1_111), 1_800);
+        let run = |elasticity: Option<ElasticityConfig>| {
+            run_orchestration(
+                Box::new(GreedyBestFit::new()),
+                EngineConfig {
+                    obs: ObsConfig::on(),
+                    app_point_adaptation: false,
+                    // Pin the placement: with reallocation off the WL
+                    // manager cannot move the hot pipeline to a bigger
+                    // node, so horizontal replicas are the only relief.
+                    reallocation: false,
+                    elasticity,
+                    ..EngineConfig::default()
+                },
+                vec![app.clone()],
+                SimTime::from_secs(5),
+            )
+            .expect("places")
+        };
+        let fixed = run(None);
+        // The WL manager parks the hot pipeline on a fog node that keeps
+        // a steady run queue; a queue trigger of 2 makes that pressure
+        // visible to the autoscaler.
+        let elastic = run(Some(ElasticityConfig {
+            scale_up_queue: 2.0,
+            scale_up_utilization: 0.5,
+            ..ElasticityConfig::default()
+        }));
+        assert_eq!(fixed.obs.counter_value("scale_ups", ""), 0, "no config, no scaling");
+        assert!(
+            elastic.obs.counter_value("scale_ups", "") > 0,
+            "sustained overload triggers scale-up"
+        );
+        assert!(
+            elastic.apps[0].qos() >= fixed.apps[0].qos(),
+            "replicas never cost QoS: {:.3} vs {:.3}",
+            elastic.apps[0].qos(),
             fixed.apps[0].qos()
         );
     }

@@ -1,10 +1,12 @@
-//! The MIRTO Manager's four cooperating drivers (paper Fig. 3, Sect. VI):
+//! The MIRTO Manager's cooperating drivers (paper Fig. 3, Sect. VI):
 //! [`wl::WlManager`] (workload placement and reallocation),
 //! [`node::NodeManager`] (operating points and accelerator configs),
-//! [`network::NetworkManager`] (learned route selection) and
+//! [`network::NetworkManager`] (learned route selection),
 //! [`privsec::PrivacySecurityManager`] (security constraints, protection
-//! overheads and trust).
+//! overheads and trust) and [`elasticity::ElasticityManager`]
+//! (MAPE-driven horizontal pod autoscaling).
 
+pub mod elasticity;
 pub mod network;
 pub mod node;
 pub mod privsec;

@@ -38,8 +38,12 @@ pub fn trace_event_json(e: &TraceEvent) -> String {
         | TraceKind::TaskStart { node, task }
         | TraceKind::TaskLost { node, task }
         | TraceKind::TaskTimeout { node, task }
-        | TraceKind::TaskCancelled { node, task } => {
+        | TraceKind::TaskCancelled { node, task }
+        | TraceKind::TaskAdmitted { node, task } => {
             format!(",\"node\":{node},\"task\":{task}}}")
+        }
+        TraceKind::TaskShed { node, task, reason } => {
+            format!(",\"node\":{node},\"task\":{task},\"reason\":\"{}\"}}", esc(reason))
         }
         TraceKind::TaskRetry { node, task, attempt } => {
             format!(",\"node\":{node},\"task\":{task},\"attempt\":{attempt}}}")
@@ -212,6 +216,12 @@ fn intern(s: &str) -> &'static str {
         "degrade",
         "degrade_trend",
         "recover",
+        "queue_full",
+        "rate_limit",
+        "slo_hopeless",
+        "elasticity",
+        "scale_up",
+        "scale_down",
     ];
     if let Some(k) = KNOWN.iter().find(|k| **k == s) {
         k
@@ -271,6 +281,12 @@ pub fn parse_trace_jsonl(s: &str) -> Vec<TraceEvent> {
                     component: json_u32(line, "component")?,
                     from: json_u32(line, "from")?,
                     to: json_u32(line, "to")?,
+                },
+                "task_admitted" => TraceKind::TaskAdmitted { node: node()?, task: task()? },
+                "task_shed" => TraceKind::TaskShed {
+                    node: node()?,
+                    task: task()?,
+                    reason: intern(json_field(line, "reason")?),
                 },
                 _ => return None,
             })
@@ -435,6 +451,8 @@ mod tests {
         buf.push(95, TraceKind::ManagerAction { manager: "app", action: "degrade", subject: 4 });
         buf.push(100, TraceKind::Deploy { app: 1, component: 2, node: 3 });
         buf.push(110, TraceKind::Migrate { app: 1, component: 2, from: 3, to: 4 });
+        buf.push(120, TraceKind::TaskAdmitted { node: 1, task: 11 });
+        buf.push(125, TraceKind::TaskShed { node: 1, task: 12, reason: "rate_limit" });
         let events = buf.events();
         let parsed = parse_trace_jsonl(&trace_jsonl(&events));
         assert_eq!(parsed, events);

@@ -32,6 +32,9 @@ pub enum SpanOutcome {
     /// The task's last attempt was cancelled (attempt timeout or
     /// replica dedup) and never re-dispatched.
     Cancelled,
+    /// The task was shed by admission control before it ever ran
+    /// (schema v4). Terminal: shed tasks are not retried.
+    Shed,
     /// The task was still queued/running when the trace ended.
     InFlight,
 }
@@ -133,6 +136,8 @@ pub struct SpanSet {
     pub lost: u64,
     /// Spans whose final attempt was cancelled.
     pub cancelled: u64,
+    /// Spans shed by admission control (schema v4; 0 for older traces).
+    pub shed: u64,
     /// Spans still in flight at the end of the trace.
     pub in_flight: u64,
     /// Total archived (failed-then-retried) attempts across all spans.
@@ -141,10 +146,12 @@ pub struct SpanSet {
 
 impl SpanSet {
     /// The conservation law every complete trace must satisfy:
-    /// `dispatched = completed + lost + cancelled + in_flight` — every
-    /// task ends in exactly one final state.
+    /// `dispatched = completed + lost + cancelled + shed + in_flight`
+    /// — every task ends in exactly one final state. Traces predating
+    /// schema v4 have `shed == 0`, so the old five-term law is the
+    /// same check.
     pub fn is_conserved(&self) -> bool {
-        self.dispatched == self.completed + self.lost + self.cancelled + self.in_flight
+        self.dispatched == self.completed + self.lost + self.cancelled + self.shed + self.in_flight
     }
 
     /// Spans sorted by total duration, longest first (ties by task id);
@@ -235,6 +242,12 @@ pub fn reconstruct(events: &[TraceEvent]) -> SpanSet {
                 s.node = node;
                 s.outcome = SpanOutcome::Cancelled;
             }
+            TraceKind::TaskShed { node, task, .. } => {
+                let s = map.entry(task).or_insert_with(|| blank(task, node));
+                s.ended_at_us = Some(e.at_us);
+                s.node = node;
+                s.outcome = SpanOutcome::Shed;
+            }
             _ => {}
         }
     }
@@ -247,6 +260,7 @@ pub fn reconstruct(events: &[TraceEvent]) -> SpanSet {
             SpanOutcome::Completed { .. } => set.completed += 1,
             SpanOutcome::Lost => set.lost += 1,
             SpanOutcome::Cancelled => set.cancelled += 1,
+            SpanOutcome::Shed => set.shed += 1,
             SpanOutcome::InFlight => set.in_flight += 1,
         }
         set.retried_attempts += s.attempts.len() as u64;
@@ -410,6 +424,31 @@ mod tests {
         assert_eq!(s.attempts[0].ended_at_us, Some(90));
         assert_eq!(set.cancelled, 0);
         assert_eq!(set.in_flight, 1);
+    }
+
+    #[test]
+    fn shed_tasks_extend_conservation_to_six_terms() {
+        let events = [
+            // One completed task…
+            ev(0, 0, TraceKind::TaskDispatch { node: 0, task: 1 }),
+            ev(1, 0, TraceKind::TaskArrive { node: 0, task: 1 }),
+            ev(2, 0, TraceKind::TaskStart { node: 0, task: 1 }),
+            ev(3, 40, TraceKind::TaskComplete { node: 0, task: 1, deadline_met: true }),
+            // …and one shed at admission: dispatch is recorded, then
+            // the terminal shed event, with no arrival or start.
+            ev(4, 10, TraceKind::TaskDispatch { node: 0, task: 2 }),
+            ev(5, 10, TraceKind::TaskShed { node: 0, task: 2, reason: "queue_full" }),
+        ];
+        let set = reconstruct(&events);
+        assert_eq!(set.dispatched, 2);
+        assert_eq!(set.completed, 1);
+        assert_eq!(set.shed, 1);
+        assert_eq!(set.in_flight, 0);
+        assert!(set.is_conserved());
+        let s = set.spans.iter().find(|s| s.task == 2).unwrap();
+        assert_eq!(s.outcome, SpanOutcome::Shed);
+        assert!(s.started_at_us.is_none());
+        assert_eq!(s.ended_at_us, Some(10));
     }
 
     #[test]

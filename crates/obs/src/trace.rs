@@ -133,6 +133,24 @@ pub enum TraceKind {
         /// New host (raw id).
         to: u32,
     },
+    /// A task passed admission control (schema v4; only emitted when an
+    /// admission policy is installed).
+    TaskAdmitted {
+        /// Destination node (raw id).
+        node: u32,
+        /// Task id.
+        task: u64,
+    },
+    /// A task was shed by admission control instead of dispatched
+    /// (schema v4). Shed tasks are terminal: no arrival, no retry.
+    TaskShed {
+        /// Destination node (raw id).
+        node: u32,
+        /// Task id.
+        task: u64,
+        /// Why: `"queue_full"`, `"rate_limit"`, or `"slo_hopeless"`.
+        reason: &'static str,
+    },
 }
 
 impl TraceKind {
@@ -158,6 +176,12 @@ impl TraceKind {
         "migrate",
     ];
 
+    /// Schema-v4 extension tags (elastic serving). Kept out of
+    /// [`Self::ALL_TYPES`] so the v3 golden-coverage test — which runs
+    /// an admission-free scenario — stays meaningful; the full
+    /// catalogue is `ALL_TYPES ∪ ELASTIC_TYPES`.
+    pub const ELASTIC_TYPES: &'static [&'static str] = &["task_admitted", "task_shed"];
+
     /// The `"type"` tag this payload serializes under.
     pub const fn type_name(&self) -> &'static str {
         match self {
@@ -177,6 +201,8 @@ impl TraceKind {
             TraceKind::ManagerAction { .. } => "manager_action",
             TraceKind::Deploy { .. } => "deploy",
             TraceKind::Migrate { .. } => "migrate",
+            TraceKind::TaskAdmitted { .. } => "task_admitted",
+            TraceKind::TaskShed { .. } => "task_shed",
         }
     }
 }
@@ -291,8 +317,12 @@ mod tests {
             TraceKind::ManagerAction { manager: "node", action: "op_switch", subject: 0 },
             TraceKind::Deploy { app: 0, component: 0, node: 0 },
             TraceKind::Migrate { app: 0, component: 0, from: 0, to: 1 },
+            TraceKind::TaskAdmitted { node: 0, task: 0 },
+            TraceKind::TaskShed { node: 0, task: 0, reason: "queue_full" },
         ];
         let names: Vec<&str> = samples.iter().map(|k| k.type_name()).collect();
-        assert_eq!(names, TraceKind::ALL_TYPES);
+        let catalogue: Vec<&str> =
+            TraceKind::ALL_TYPES.iter().chain(TraceKind::ELASTIC_TYPES).copied().collect();
+        assert_eq!(names, catalogue);
     }
 }

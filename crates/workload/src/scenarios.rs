@@ -14,6 +14,8 @@ use myrtus_continuum::time::{SimDuration, SimTime};
 use crate::arrival::ArrivalSpec;
 use crate::tosca::{Application, Component, ComponentKind, SecurityTier};
 
+pub mod surge;
+
 /// Accelerator configuration ids used by the scenario kernels, shared
 /// with the DPE (which "synthesizes" the matching bitstreams).
 pub mod accel_cfg {

@@ -1,0 +1,243 @@
+//! Open-loop multi-tenant overload generator for the elastic-serving
+//! experiments: a diurnal ramp with flash-crowd spikes, offered to the
+//! continuum regardless of how fast it drains (open loop), split across
+//! QoS classes — one deadline-bound interactive tenant that admission
+//! control must protect, plus best-effort bulk tenants that are fair
+//! game for load shedding.
+//!
+//! Everything is generated from an explicit seed through a splitmix64
+//! mixer into [`ArrivalSpec::Trace`] instants, so equal seeds yield
+//! byte-identical workloads — the surge CI gate double-runs the same
+//! seed and diffs the reports.
+
+use myrtus_continuum::net::Protocol;
+use myrtus_continuum::node::Layer;
+use myrtus_continuum::time::{SimDuration, SimTime};
+
+use crate::arrival::ArrivalSpec;
+use crate::tosca::{Application, Component, ComponentKind, SecurityTier};
+
+/// Shape of one tenant's offered load over the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurgeSpec {
+    /// Seed for arrival jitter and spike placement.
+    pub seed: u64,
+    /// Generation horizon.
+    pub horizon: SimTime,
+    /// Baseline request rate at the start/end of the diurnal cycle.
+    pub base_rps: f64,
+    /// Peak of the diurnal ramp (mid-horizon).
+    pub peak_rps: f64,
+    /// Number of flash-crowd spikes spread over the horizon.
+    pub spikes: u32,
+    /// Rate multiplier inside a spike.
+    pub spike_factor: f64,
+    /// Duration of one spike.
+    pub spike_len: SimDuration,
+    /// Per-arrival jitter as a fraction of the local inter-arrival gap.
+    pub jitter_frac: f64,
+}
+
+impl Default for SurgeSpec {
+    fn default() -> Self {
+        SurgeSpec {
+            seed: 7,
+            horizon: SimTime::from_secs(10),
+            base_rps: 20.0,
+            peak_rps: 120.0,
+            spikes: 2,
+            spike_factor: 3.0,
+            spike_len: SimDuration::from_millis(300),
+            jitter_frac: 0.2,
+        }
+    }
+}
+
+/// splitmix64 finalizer: one well-mixed word per (seed, index) pair.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform draw in `[0, 1)` keyed on (seed, index).
+fn unit(seed: u64, index: u64) -> f64 {
+    (mix(seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Centres of the flash-crowd spikes: evenly spread over the horizon,
+/// each nudged ±10% of its slot by the seed.
+fn spike_centres(spec: &SurgeSpec) -> Vec<f64> {
+    let h = spec.horizon.as_micros() as f64;
+    let slot = h / (spec.spikes as f64 + 1.0);
+    (1..=spec.spikes as u64)
+        .map(|k| slot * k as f64 + (unit(spec.seed, k.wrapping_mul(77)) - 0.5) * 0.2 * slot)
+        .collect()
+}
+
+/// Instantaneous offered rate at `t_us`: diurnal sin² ramp between
+/// `base_rps` and `peak_rps`, multiplied by `spike_factor` inside a
+/// flash crowd.
+fn rate_at(spec: &SurgeSpec, centres: &[f64], t_us: f64) -> f64 {
+    let h = spec.horizon.as_micros() as f64;
+    let ramp = (std::f64::consts::PI * t_us / h).sin().powi(2);
+    let mut rate = spec.base_rps + (spec.peak_rps - spec.base_rps) * ramp;
+    let half = spec.spike_len.as_micros() as f64 / 2.0;
+    if centres.iter().any(|c| (t_us - c).abs() < half) {
+        rate *= spec.spike_factor;
+    }
+    rate
+}
+
+/// Expands the spec into sorted open-loop release instants. Rate
+/// modulation is quasi-periodic: each gap is the reciprocal of the
+/// local rate, jittered by ±`jitter_frac` of itself.
+pub fn arrivals(spec: &SurgeSpec) -> Vec<SimTime> {
+    let centres = spike_centres(spec);
+    let h = spec.horizon.as_micros() as f64;
+    let mut out = Vec::new();
+    let mut t_us = 0.0f64;
+    let mut i = 0u64;
+    loop {
+        let rate = rate_at(spec, &centres, t_us);
+        if rate <= 0.0 {
+            break;
+        }
+        let gap = 1e6 / rate;
+        let jitter = (unit(spec.seed, i) - 0.5) * 2.0 * spec.jitter_frac * gap;
+        t_us += (gap + jitter).max(1.0);
+        if t_us >= h {
+            break;
+        }
+        out.push(SimTime::from_micros(t_us as u64));
+        i += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The deadline-bound interactive tenant: a steady 30 rps inference
+/// loop with an 80 ms bound on the inference stage. Deadline-bound ⇒
+/// the engine runs it at protected priority, so admission control may
+/// never shed it.
+pub fn interactive_tenant(horizon: SimTime) -> Application {
+    let count = (horizon.as_micros() / 33_333) as usize;
+    Application::new("interactive", ArrivalSpec::periodic(SimDuration::from_micros(33_333), count))
+        .with_component(
+            Component::new("probe", ComponentKind::Sensor)
+                .with_work_mc(0.05)
+                .with_preferred_layer(Layer::Edge),
+        )
+        .with_component(
+            Component::new("infer", ComponentKind::Function)
+                .with_work_mc(3.0)
+                .with_mem_mb(128)
+                .with_max_latency(SimDuration::from_millis(80))
+                .with_security(SecurityTier::Medium),
+        )
+        .with_component(
+            Component::new("act", ComponentKind::Service).with_work_mc(0.2).with_mem_mb(32),
+        )
+        .with_connection("probe", "infer", 65_536, Protocol::Mqtt)
+        .with_connection("infer", "act", 2_048, Protocol::Mqtt)
+}
+
+/// One best-effort bulk tenant driven by the surge trace: no latency
+/// bounds anywhere, so its tasks run at priority 0 — sheddable.
+pub fn bulk_tenant(name: &str, spec: &SurgeSpec) -> Application {
+    Application::new(name, ArrivalSpec::Trace(arrivals(spec)))
+        .with_component(Component::new("ingest", ComponentKind::Sensor).with_work_mc(0.05))
+        .with_component(
+            Component::new("crunch", ComponentKind::Function).with_work_mc(5.0).with_mem_mb(128),
+        )
+        .with_component(Component::new("sink", ComponentKind::Storage).with_work_mc(0.2))
+        .with_connection("ingest", "crunch", 131_072, Protocol::Http)
+        .with_connection("crunch", "sink", 4_096, Protocol::Http)
+}
+
+/// The standard surge mix at load factor 1: the protected interactive
+/// tenant plus two bulk tenants whose ramps are phase-shifted by seed.
+pub fn surge_mix(seed: u64, horizon: SimTime) -> Vec<Application> {
+    surge_mix_scaled(seed, horizon, 1.0)
+}
+
+/// The surge mix with the *bulk* offered load scaled by `load_factor`
+/// (the interactive tenant is untouched) — the "offered load doubles"
+/// axis of the elastic-serving experiments.
+pub fn surge_mix_scaled(seed: u64, horizon: SimTime, load_factor: f64) -> Vec<Application> {
+    let tenant = |idx: u64, name: &str| {
+        let base = SurgeSpec::default();
+        bulk_tenant(
+            name,
+            &SurgeSpec {
+                seed: seed.wrapping_add(idx),
+                horizon,
+                base_rps: base.base_rps * load_factor,
+                peak_rps: base.peak_rps * load_factor,
+                ..base
+            },
+        )
+    };
+    vec![interactive_tenant(horizon), tenant(1, "bulk-a"), tenant(2, "bulk-b")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_seed_deterministic_and_sorted() {
+        let spec = SurgeSpec::default();
+        let a = arrivals(&spec);
+        let b = arrivals(&spec);
+        assert_eq!(a, b, "equal seeds, equal traces");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(!a.is_empty());
+        let other = arrivals(&SurgeSpec { seed: 8, ..spec });
+        assert_ne!(a, other, "different seeds diverge");
+    }
+
+    #[test]
+    fn the_ramp_concentrates_arrivals_mid_horizon() {
+        let spec = SurgeSpec { spikes: 0, jitter_frac: 0.0, ..SurgeSpec::default() };
+        let a = arrivals(&spec);
+        let h = spec.horizon.as_micros();
+        let mid = a.iter().filter(|t| (h / 4..3 * h / 4).contains(&t.as_micros())).count();
+        assert!(
+            mid * 2 > a.len(),
+            "the middle half carries most of the diurnal load: {mid}/{}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn spikes_add_arrivals() {
+        let calm = SurgeSpec { spikes: 0, ..SurgeSpec::default() };
+        let spiky = SurgeSpec { spikes: 3, ..SurgeSpec::default() };
+        assert!(arrivals(&spiky).len() > arrivals(&calm).len(), "flash crowds add load");
+    }
+
+    #[test]
+    fn surge_mix_separates_qos_classes() {
+        let mix = surge_mix(7, SimTime::from_secs(5));
+        assert_eq!(mix.len(), 3);
+        for app in &mix {
+            app.validate().expect("valid app");
+        }
+        let deadline_bound =
+            |a: &Application| a.components.iter().any(|c| c.requirements.max_latency.is_some());
+        assert!(deadline_bound(&mix[0]), "interactive tenant is deadline-bound");
+        assert!(!deadline_bound(&mix[1]) && !deadline_bound(&mix[2]), "bulk tenants are not");
+    }
+
+    #[test]
+    fn load_factor_scales_only_the_bulk_tenants() {
+        let one = surge_mix_scaled(7, SimTime::from_secs(5), 1.0);
+        let two = surge_mix_scaled(7, SimTime::from_secs(5), 2.0);
+        assert_eq!(one[0], two[0], "interactive tenant untouched");
+        let count = |a: &Application| a.arrival.generate(0).len();
+        assert!(count(&two[1]) > count(&one[1]), "bulk load doubles");
+        assert!(count(&two[2]) > count(&one[2]));
+    }
+}

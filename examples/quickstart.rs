@@ -21,6 +21,15 @@
 //! ```sh
 //! MYRTUS_OBS_DIR=out MYRTUS_CHAOS_SEED=1 cargo run --example quickstart
 //! ```
+//!
+//! Or `MYRTUS_SURGE_SEED=<n>` to run the elastic-serving scenario
+//! instead: a seeded open-loop surge (one protected interactive tenant,
+//! two best-effort bulk tenants) through admission control, load
+//! shedding and the MAPE autoscaler:
+//!
+//! ```sh
+//! MYRTUS_OBS_DIR=out MYRTUS_SURGE_SEED=1 cargo run --example quickstart
+//! ```
 
 use myrtus::continuum::fault::FaultPlan;
 use myrtus::continuum::ids::{LinkId, NodeId};
@@ -84,11 +93,91 @@ fn pick_crash(probe: &mut Continuum) -> (u32, u64) {
     panic!("probe run has no task with a >200 µs service window");
 }
 
+/// Writes the run's trace, metric snapshot, time-series CSV and
+/// critical path under `dir` — shared by every observability mode so
+/// the CI determinism gates diff the same file set.
+fn export(
+    dir: &std::path::Path,
+    report: &myrtus::mirto::engine::OrchestrationReport,
+) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("quickstart_trace.jsonl"), report.obs.export_trace_jsonl())?;
+    std::fs::write(dir.join("quickstart_metrics.jsonl"), report.obs.export_metrics_jsonl())?;
+    std::fs::write(dir.join("quickstart_metrics.txt"), report.obs.export_metrics_table())?;
+    std::fs::write(dir.join("quickstart_timeseries.csv"), report.obs.export_timeseries_csv())?;
+    let mut cp = String::from("app,stage,node,finished_at_us\n");
+    for app in &report.apps {
+        for span in &app.critical_path {
+            cp.push_str(&format!(
+                "{},{},{},{}\n",
+                app.app_id,
+                span.stage,
+                span.node,
+                span.finished_at.as_micros()
+            ));
+        }
+    }
+    std::fs::write(dir.join("quickstart_critical_path.csv"), cp)?;
+    Ok(())
+}
+
 /// The observability-enabled variant: same scenario, plus a
 /// crash-and-recover on a loaded host and a link cut-and-heal, with the
 /// trace and metric snapshot exported as JSONL (and a pretty table).
 fn run_with_observability(dir: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
     let mut continuum = ContinuumBuilder::new().build();
+    if let Some(seed) = std::env::var("MYRTUS_SURGE_SEED").ok().and_then(|s| s.parse::<u64>().ok())
+    {
+        // Surge mode: the elastic-serving stack — a seeded open-loop
+        // overload with QoS classes, gated by the admission token
+        // bucket and absorbed by the MAPE autoscaler.
+        use myrtus::continuum::admission::AdmissionPolicy;
+        use myrtus::mirto::managers::elasticity::ElasticityConfig;
+        let engine = OrchestrationEngine::new(
+            Box::new(GreedyBestFit::new()),
+            EngineConfig {
+                obs: ObsConfig::on(),
+                admission: Some(AdmissionPolicy {
+                    rate_per_window: 20,
+                    ..AdmissionPolicy::default()
+                }),
+                elasticity: Some(ElasticityConfig::default()),
+                ..EngineConfig::default()
+            },
+        );
+        println!("surge mode: seeded overload (seed {seed}), admission + autoscaler enabled");
+        let report = engine.run(
+            &mut continuum,
+            scenarios::surge::surge_mix(seed, SimTime::from_secs(4)),
+            SimTime::from_secs(5),
+        )?;
+        export(dir, &report)?;
+        let interactive = &report.apps[0];
+        let bulk_shed: u64 = report.apps[1..].iter().map(|a| a.shed).sum();
+        println!(
+            "interactive tenant: goodput {:.1} %, SLO attainment {:.1} %, shed {}",
+            interactive.goodput() * 100.0,
+            interactive.slo_attainment() * 100.0,
+            interactive.shed,
+        );
+        println!(
+            "bulk tenants shed {bulk_shed} tasks ({} admitted, {} rate-limited, {} queue-full); \
+             autoscaler: {} up / {} down",
+            report.obs.counter_value("tasks_admitted", ""),
+            report.obs.counter_value("tasks_shed", "rate_limit"),
+            report.obs.counter_value("tasks_shed", "queue_full"),
+            report.obs.counter_value("scale_ups", ""),
+            report.obs.counter_value("scale_downs", ""),
+        );
+        println!(
+            "observability: {} trace events ({} dropped), exports under {}",
+            report.obs.trace_len(),
+            report.obs.trace_dropped(),
+            dir.display()
+        );
+        println!("render the run report with: cargo run --bin myrtus-report -- {}", dir.display());
+        return Ok(());
+    }
     if let Some(seed) = std::env::var("MYRTUS_CHAOS_SEED").ok().and_then(|s| s.parse::<u64>().ok())
     {
         // Chaos mode: a seeded random fault plan instead of the aimed
@@ -129,24 +218,7 @@ fn run_with_observability(dir: &std::path::Path) -> Result<(), Box<dyn std::erro
     }
     let report = obs_engine().run(&mut continuum, vec![scenarios::telerehab_with(3)], HORIZON)?;
 
-    std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join("quickstart_trace.jsonl"), report.obs.export_trace_jsonl())?;
-    std::fs::write(dir.join("quickstart_metrics.jsonl"), report.obs.export_metrics_jsonl())?;
-    std::fs::write(dir.join("quickstart_metrics.txt"), report.obs.export_metrics_table())?;
-    std::fs::write(dir.join("quickstart_timeseries.csv"), report.obs.export_timeseries_csv())?;
-    let mut cp = String::from("app,stage,node,finished_at_us\n");
-    for app in &report.apps {
-        for span in &app.critical_path {
-            cp.push_str(&format!(
-                "{},{},{},{}\n",
-                app.app_id,
-                span.stage,
-                span.node,
-                span.finished_at.as_micros()
-            ));
-        }
-    }
-    std::fs::write(dir.join("quickstart_critical_path.csv"), cp)?;
+    export(dir, &report)?;
     let app = &report.apps[0];
     println!(
         "requests completed/failed: {}/{} — retries {}, timeouts {}, give-ups {}, replica dedups {}",

@@ -4,14 +4,19 @@
 
 use proptest::prelude::*;
 
-use myrtus::continuum::ids::NodeId;
+use myrtus::continuum::admission::{AdmissionDecision, AdmissionPolicy, AdmissionState};
+use myrtus::continuum::ids::{NodeId, TaskId};
 use myrtus::continuum::retry::RetryPolicy;
 use myrtus::continuum::stats::{OnlineStats, Summary};
+use myrtus::continuum::task::TaskInstance;
 use myrtus::continuum::time::{SimDuration, SimTime};
 use myrtus::dpe::ir::{Actor, ActorKind, DataflowGraph};
 use myrtus::kb::command::KvCommand;
 use myrtus::kb::store::KvStore;
 use myrtus::mirto::engine::{run_orchestration, EngineConfig};
+use myrtus::mirto::managers::elasticity::{
+    ElasticityConfig, ElasticityManager, ScaleAction, StageSignals,
+};
 use myrtus::mirto::placement::replica_target;
 use myrtus::mirto::policies::GreedyBestFit;
 use myrtus::security::ascon::{ascon128_open, ascon128_seal};
@@ -273,6 +278,7 @@ proptest! {
             backoff_cap: SimDuration::from_micros(base_us.saturating_mul(cap_mult)),
             jitter_frac: jitter,
             attempt_timeout: None,
+            recovery_queue_cap: u32::MAX,
             seed,
         };
         // Monotonic non-decreasing, never above the cap.
@@ -290,6 +296,97 @@ proptest! {
         let other: Vec<u64> =
             (1..=16).map(|n| reseeded.backoff_for(n, task).as_micros()).collect();
         prop_assert!(other.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn admission_is_seed_deterministic_and_monotone_in_rate(
+        gaps in proptest::collection::vec(0u64..40_000, 1..80),
+        rate in 0u32..6,
+        bump in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        // Best-effort arrivals with seeded gaps against a tight
+        // fixed-window bucket: replaying the sequence replays the
+        // decisions byte-for-byte, and raising the token rate can only
+        // grow the admitted set (the documented monotonicity of the
+        // fixed-window shape).
+        let policy = AdmissionPolicy {
+            rate_per_window: rate,
+            window: SimDuration::from_millis(10),
+            max_delay: SimDuration::from_millis(20),
+            seed,
+            ..AdmissionPolicy::default()
+        };
+        let decide_all = |p: &AdmissionPolicy| -> Vec<bool> {
+            let mut st = AdmissionState::default();
+            let mut now = 0u64;
+            gaps.iter()
+                .enumerate()
+                .map(|(i, gap)| {
+                    now += gap;
+                    let t = TaskInstance::new(TaskId::from_raw(i as u64), 1.0);
+                    matches!(
+                        p.decide(SimTime::from_micros(now), &t, 0, None, &mut st),
+                        AdmissionDecision::Admit { .. }
+                    )
+                })
+                .collect()
+        };
+        let low = decide_all(&policy);
+        prop_assert_eq!(&low, &decide_all(&policy), "same arrivals, same decisions");
+        let high = decide_all(&AdmissionPolicy { rate_per_window: rate + bump, ..policy });
+        for (i, (l, h)) in low.iter().zip(&high).enumerate() {
+            prop_assert!(
+                !l || *h,
+                "raising the rate from {rate} by {bump} shed task {i} that was admitted"
+            );
+        }
+    }
+
+    #[test]
+    fn autoscaler_actions_are_deterministic_and_never_flap(
+        raw in proptest::collection::vec(
+            (0.0f64..1.5, 0.0f64..20.0, 0.0f64..1.0, 0u32..5),
+            2..60,
+        ),
+        cooldown in 0u32..5,
+    ) {
+        // Arbitrary telemetry sequences: replaying them replays the
+        // decisions, every action respects the replica bounds, and no
+        // two actions (in particular an up followed by a down) land
+        // within the effective cooldown window.
+        let cfg = ElasticityConfig { cooldown_rounds: cooldown, ..ElasticityConfig::default() };
+        let run = || -> Vec<Option<ScaleAction>> {
+            let mut m = ElasticityManager::new(cfg);
+            raw.iter()
+                .map(|&(utilization, queue_depth, miss_rate, replicas)| {
+                    m.decide((3, 1), &StageSignals { utilization, queue_depth, miss_rate, replicas })
+                })
+                .collect()
+        };
+        let actions = run();
+        prop_assert_eq!(&actions, &run(), "same telemetry, same scaling decisions");
+        let gap = cooldown.max(1) as usize;
+        let mut last: Option<usize> = None;
+        for (round, action) in actions.iter().enumerate() {
+            let Some(action) = action else { continue };
+            let replicas = raw[round].3;
+            match action {
+                ScaleAction::ScaleUp => {
+                    prop_assert!(replicas < cfg.max_replicas, "never scales past the ceiling")
+                }
+                ScaleAction::ScaleDown => {
+                    prop_assert!(replicas > 0, "never evicts a replica that does not exist")
+                }
+            }
+            if let Some(prev) = last {
+                prop_assert!(
+                    round - prev > gap,
+                    "actions at rounds {prev} and {round} violate the {gap}-round cooldown"
+                );
+            }
+            last = Some(round);
+        }
     }
 
     #[test]
