@@ -5,6 +5,21 @@
 //! cognitive engine — receives [`SimEvent`] notifications and reacts by
 //! scheduling further work. The event queue is strictly deterministic:
 //! ties in time are broken by insertion order.
+//!
+//! Two interchangeable backends implement the hot path (selected with
+//! [`SimCore::set_backend`]):
+//!
+//! * [`EngineBackend::Wheel`] (default) — a hierarchical timing wheel
+//!   ([`crate::wheel`]) for the event queue and a paged slab
+//!   ([`crate::slab::TaskBook`]) for per-task state;
+//! * [`EngineBackend::Heap`] — the original `BinaryHeap` +
+//!   `HashMap`/`HashSet` implementation, kept as the simple reference
+//!   twin the wheel is tested against (`tests/engine_equiv.rs` asserts
+//!   byte-identical exports) and as the baseline the bench suite
+//!   measures speedups over.
+//!
+//! Both share one event sequence counter, so they drain events in the
+//! same `(time, seq)` total order and produce identical traces.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -16,8 +31,10 @@ use crate::ids::{MsgId, NodeId, TaskId, TimerId};
 use crate::net::{Message, Network, NetworkError, Protocol};
 use crate::node::{ExecutionMode, Layer, NodeSpec, NodeState};
 use crate::retry::RetryPolicy;
+use crate::slab::TaskBook;
 use crate::task::{TaskInstance, TaskOutcome};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
 
 /// Internal queue entry.
 #[derive(Debug)]
@@ -45,11 +62,17 @@ impl Ord for QueuedEvent {
 }
 
 /// Internal event kinds driven through the queue.
+///
+/// The two task-carrying variants box their [`TaskInstance`] so the
+/// enum stays pointer-sized-small: every *queue-resident* event
+/// (timers, finishes, timeout guards — the ones that sit in the wheel
+/// or heap by the million) would otherwise pay the largest variant's
+/// ~100-byte footprint in storage, copies and cache misses.
 #[derive(Debug)]
 enum EventKind {
     TaskArrival {
         node: NodeId,
-        task: TaskInstance,
+        task: Box<TaskInstance>,
     },
     TaskFinish {
         node: NodeId,
@@ -74,7 +97,7 @@ enum EventKind {
     /// driver for another placement (retry policy installed).
     TaskRecover {
         node: NodeId,
-        task: TaskInstance,
+        task: Box<TaskInstance>,
         attempt: u32,
     },
     /// Per-attempt timeout guard armed at dispatch; stale (ignored)
@@ -101,6 +124,255 @@ enum EventKind {
         task: TaskInstance,
         reason: &'static str,
     },
+}
+
+/// Which data structures back the engine hot path.
+///
+/// Both backends process events in the same `(time, seq)` total order
+/// and produce byte-identical exports; they differ only in throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineBackend {
+    /// Hierarchical timing wheel + paged task slab (the fast default).
+    #[default]
+    Wheel,
+    /// `BinaryHeap` + `HashMap` side tables: the original
+    /// implementation, kept as the reference twin and bench baseline.
+    Heap,
+}
+
+/// The event queue, in the representation the active backend picked.
+//
+// One instance per `SimCore`, never stored in a collection, so the
+// wheel's inline occupancy bitmaps (~2 KiB) inflating the enum are
+// irrelevant — and boxing would put a pointer chase on the hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum EventQueue {
+    Wheel(TimingWheel<EventKind>),
+    Heap(BinaryHeap<Reverse<QueuedEvent>>),
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::Wheel(TimingWheel::new())
+    }
+}
+
+impl EventQueue {
+    fn push(&mut self, at: SimTime, seq: u64, kind: EventKind) {
+        match self {
+            EventQueue::Wheel(w) => w.push(at.as_micros(), seq, kind),
+            EventQueue::Heap(h) => h.push(Reverse(QueuedEvent { at, seq, kind })),
+        }
+    }
+
+    /// Pops the earliest event if it is due at or before `end`.
+    fn pop_due(&mut self, end: SimTime) -> Option<(SimTime, EventKind)> {
+        match self {
+            EventQueue::Wheel(w) => {
+                w.pop_due(end.as_micros()).map(|(at, _, kind)| (SimTime::from_micros(at), kind))
+            }
+            EventQueue::Heap(h) => {
+                if h.peek().is_none_or(|Reverse(e)| e.at > end) {
+                    return None;
+                }
+                let Reverse(e) = h.pop().expect("peeked above");
+                Some((e.at, e.kind))
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Wheel(w) => w.is_empty(),
+            EventQueue::Heap(h) => h.is_empty(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            EventQueue::Wheel(w) => w.reserve(additional),
+            EventQueue::Heap(h) => h.reserve(additional),
+        }
+    }
+}
+
+/// Per-task hot state, in the representation the active backend picked.
+/// The tables are only ever accessed point-wise by raw task id (never
+/// iterated), which is what makes the two representations observably
+/// identical.
+// Single instance per `SimCore` (see `EventQueue` above).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum TaskTable {
+    Slab(TaskBook),
+    Hash(HashTaskTable),
+}
+
+impl Default for TaskTable {
+    fn default() -> Self {
+        TaskTable::Slab(TaskBook::new())
+    }
+}
+
+/// The legacy hash-based task tables (see the field docs on the
+/// structures they replaced in git history / DESIGN.md).
+#[derive(Debug, Default)]
+struct HashTaskTable {
+    /// Arrival instants of tasks sitting in node queues.
+    queued_at: HashMap<u64, SimTime>,
+    /// Attempts consumed per live task (first dispatch counts as 1).
+    attempts: HashMap<u64, u32>,
+    /// Tasks that reached a terminal state; pending recover/timeout
+    /// events for them are stale.
+    finished: HashSet<u64>,
+    /// Tasks cancelled while their input was still in flight.
+    cancelled_pending: HashSet<u64>,
+    /// Tasks timed out while their input was still in flight.
+    timeout_pending: HashSet<u64>,
+}
+
+impl TaskTable {
+    fn stamp_queued(&mut self, raw: u64, at: SimTime) {
+        match self {
+            TaskTable::Slab(b) => b.stamp_queued(raw, at),
+            TaskTable::Hash(h) => {
+                h.queued_at.insert(raw, at);
+            }
+        }
+    }
+
+    fn take_queued(&mut self, raw: u64) -> Option<SimTime> {
+        match self {
+            TaskTable::Slab(b) => b.take_queued(raw),
+            TaskTable::Hash(h) => h.queued_at.remove(&raw),
+        }
+    }
+
+    fn attempts(&self, raw: u64) -> Option<u32> {
+        match self {
+            TaskTable::Slab(b) => b.attempts(raw),
+            TaskTable::Hash(h) => h.attempts.get(&raw).copied(),
+        }
+    }
+
+    fn book_first_attempt(&mut self, raw: u64) -> u32 {
+        match self {
+            TaskTable::Slab(b) => b.book_first_attempt(raw),
+            TaskTable::Hash(h) => *h.attempts.entry(raw).or_insert(1),
+        }
+    }
+
+    fn set_attempts(&mut self, raw: u64, n: u32) {
+        match self {
+            TaskTable::Slab(b) => b.set_attempts(raw, n),
+            TaskTable::Hash(h) => {
+                h.attempts.insert(raw, n);
+            }
+        }
+    }
+
+    fn clear_attempts(&mut self, raw: u64) {
+        match self {
+            TaskTable::Slab(b) => b.clear_attempts(raw),
+            TaskTable::Hash(h) => {
+                h.attempts.remove(&raw);
+            }
+        }
+    }
+
+    fn mark_finished(&mut self, raw: u64) {
+        match self {
+            TaskTable::Slab(b) => b.mark_finished(raw),
+            TaskTable::Hash(h) => {
+                h.finished.insert(raw);
+            }
+        }
+    }
+
+    fn is_finished(&self, raw: u64) -> bool {
+        match self {
+            TaskTable::Slab(b) => b.is_finished(raw),
+            TaskTable::Hash(h) => h.finished.contains(&raw),
+        }
+    }
+
+    fn mark_cancel_pending(&mut self, raw: u64) {
+        match self {
+            TaskTable::Slab(b) => b.mark_cancel_pending(raw),
+            TaskTable::Hash(h) => {
+                h.cancelled_pending.insert(raw);
+            }
+        }
+    }
+
+    fn take_cancel_pending(&mut self, raw: u64) -> bool {
+        match self {
+            TaskTable::Slab(b) => b.take_cancel_pending(raw),
+            TaskTable::Hash(h) => h.cancelled_pending.remove(&raw),
+        }
+    }
+
+    fn mark_timeout_pending(&mut self, raw: u64) {
+        match self {
+            TaskTable::Slab(b) => b.mark_timeout_pending(raw),
+            TaskTable::Hash(h) => {
+                h.timeout_pending.insert(raw);
+            }
+        }
+    }
+
+    fn take_timeout_pending(&mut self, raw: u64) -> bool {
+        match self {
+            TaskTable::Slab(b) => b.take_timeout_pending(raw),
+            TaskTable::Hash(h) => h.timeout_pending.remove(&raw),
+        }
+    }
+}
+
+/// Struct-of-arrays mirror of the per-node values the scrape timer
+/// samples, maintained at the engine's node-mutation sites so a scrape
+/// walks contiguous arrays instead of dereferencing every `NodeState`
+/// (and re-formatting every label) per sample.
+#[derive(Debug, Default)]
+struct NodeHot {
+    up: Vec<bool>,
+    running: Vec<u32>,
+    queued: Vec<u32>,
+    cores: Vec<f64>,
+    layer_idx: Vec<u8>,
+    /// Precomputed `"{layer}/{name}"` series labels.
+    labels: Vec<String>,
+    /// Energy figures refreshed at scrape time.
+    energy: Vec<f64>,
+}
+
+impl NodeHot {
+    fn push(&mut self, spec: &NodeSpec) {
+        self.up.push(true);
+        self.running.push(0);
+        self.queued.push(0);
+        self.cores.push(spec.cores() as f64);
+        self.layer_idx.push(spec.layer().index() as u8);
+        self.labels.push(format!("{}/{}", spec.layer().label(), spec.name()));
+        self.energy.push(0.0);
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.up.reserve(additional);
+        self.running.reserve(additional);
+        self.queued.reserve(additional);
+        self.cores.reserve(additional);
+        self.layer_idx.reserve(additional);
+        self.labels.reserve(additional);
+        self.energy.reserve(additional);
+    }
+
+    fn sync(&mut self, idx: usize, st: &NodeState) {
+        self.up[idx] = st.is_up();
+        self.running[idx] = st.running().len() as u32;
+        self.queued[idx] = st.queue_len() as u32;
+    }
 }
 
 /// Notifications surfaced to the [`Driver`].
@@ -261,36 +533,29 @@ impl From<NetworkError> for SimError {
 #[derive(Debug, Default)]
 pub struct SimCore {
     now: SimTime,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    backend: EngineBackend,
+    queue: EventQueue,
     seq: u64,
     nodes: Vec<NodeState>,
+    /// SoA mirror of the per-node values the scrape path samples.
+    hot: NodeHot,
+    /// Per-link `"l<id>"` series labels, grown lazily at scrape time.
+    link_labels: Vec<String>,
     network: Network,
     next_task: u64,
     next_msg: u64,
     next_timer: u64,
     processed_events: u64,
     obs: Obs,
-    /// Arrival instants of tasks sitting in node queues (raw task id →
-    /// arrival time), so queue wait can be measured when they start.
-    queued_at: HashMap<u64, SimTime>,
+    /// Per-task hot state: queue-arrival stamps (queue-wait measure),
+    /// attempts consumed, terminal / cancelled-in-flight /
+    /// timed-out-in-flight marks.
+    tasks: TaskTable,
     scrape_armed: bool,
     window: ScrapeWindow,
     /// Installed retry policy; `None` keeps the legacy drop-on-loss
     /// semantics (losses surface as [`SimEvent::TasksLost`]).
     retry: Option<RetryPolicy>,
-    /// Attempts consumed per live task (raw id → count, first dispatch
-    /// counts as 1); entries are dropped on completion/give-up.
-    attempts: HashMap<u64, u32>,
-    /// Tasks that reached a terminal state (completed, abandoned or
-    /// externally cancelled); pending recover/timeout events for them
-    /// are stale.
-    finished: HashSet<u64>,
-    /// Tasks cancelled while their input was still in flight (replica
-    /// dedup): dropped with a `task_cancelled` trace on arrival.
-    cancelled_pending: HashSet<u64>,
-    /// Tasks timed out while their input was still in flight: the
-    /// retry/give-up decision is taken on arrival.
-    timeout_pending: HashSet<u64>,
     /// Installed admission policy; `None` keeps the legacy
     /// unconditional-dispatch path byte-identical.
     admission: Option<AdmissionPolicy>,
@@ -322,6 +587,55 @@ impl SimCore {
     /// Creates an empty simulation at time zero.
     pub fn new() -> Self {
         SimCore::default()
+    }
+
+    /// Selects the hot-path backend (timing wheel + slab by default,
+    /// heap + hash tables as the reference twin). Both produce
+    /// byte-identical results; see [`EngineBackend`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been scheduled or processed and a
+    /// *different* backend is requested — the backend must be picked
+    /// before the simulation starts. Re-selecting the current backend
+    /// is always a no-op.
+    pub fn set_backend(&mut self, backend: EngineBackend) {
+        if backend == self.backend {
+            return;
+        }
+        assert!(
+            self.queue.is_empty() && self.processed_events == 0,
+            "select the engine backend before scheduling events"
+        );
+        self.backend = backend;
+        match backend {
+            EngineBackend::Wheel => {
+                self.queue = EventQueue::Wheel(TimingWheel::new());
+                self.tasks = TaskTable::Slab(TaskBook::new());
+            }
+            EngineBackend::Heap => {
+                self.queue = EventQueue::Heap(BinaryHeap::new());
+                self.tasks = TaskTable::Hash(HashTaskTable::default());
+            }
+        }
+    }
+
+    /// The active hot-path backend.
+    pub fn backend(&self) -> EngineBackend {
+        self.backend
+    }
+
+    /// Pre-sizes the node tables for `additional` more nodes (topology
+    /// builders know their counts up front).
+    pub fn reserve_nodes(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+        self.hot.reserve(additional);
+    }
+
+    /// Pre-sizes the event queue for `additional` more in-flight
+    /// events.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
     }
 
     /// Installs an observability handle; all simulator counters and
@@ -388,6 +702,7 @@ impl SimCore {
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
         let id = NodeId::from_raw(self.nodes.len() as u32);
+        self.hot.push(&spec);
         self.nodes.push(NodeState::new(id, spec));
         id
     }
@@ -439,7 +754,7 @@ impl SimCore {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+        self.queue.push(at, seq, kind);
     }
 
     /// Registers a timer that fires `after` from now, carrying `tag`.
@@ -469,7 +784,7 @@ impl SimCore {
             AdmissionDecision::Admit { delay } => {
                 self.note_dispatch(node, id);
                 self.note_admitted(node, id);
-                self.push(self.now + delay, EventKind::TaskArrival { node, task });
+                self.push(self.now + delay, EventKind::TaskArrival { node, task: Box::new(task) });
                 self.arm_attempt(node, id);
             }
         }
@@ -504,8 +819,8 @@ impl SimCore {
             self.now.as_micros(),
             TraceKind::TaskShed { node: node.as_raw(), task: raw, reason },
         );
-        self.finished.insert(raw);
-        self.attempts.remove(&raw);
+        self.tasks.mark_finished(raw);
+        self.tasks.clear_attempts(raw);
         self.push(self.now, EventKind::NotifyShed { node, task, reason });
     }
 
@@ -528,7 +843,7 @@ impl SimCore {
     fn arm_attempt(&mut self, node: NodeId, task: TaskId) {
         let Some(policy) = self.retry else { return };
         let raw = task.as_raw();
-        let attempt = *self.attempts.entry(raw).or_insert(1);
+        let attempt = self.tasks.book_first_attempt(raw);
         if let Some(timeout) = policy.attempt_timeout {
             self.push(self.now + timeout, EventKind::AttemptTimeout { node, task, attempt });
         }
@@ -546,24 +861,27 @@ impl SimCore {
     ) {
         let Some(policy) = self.retry else { return };
         let raw = task.id.as_raw();
-        let used = self.attempts.get(&raw).copied().unwrap_or(1);
+        let used = self.tasks.attempts(raw).unwrap_or(1);
         if policy.may_retry(used) && self.recovery_outstanding >= policy.recovery_queue_cap {
             // Retry-storm guard: the recovery queue is full, so this
             // attempt is abandoned instead of amplifying the overload.
             self.obs.counter_inc("recovery_queue_rejections", "");
             self.obs.counter_inc("task_gave_up", "");
-            self.finished.insert(raw);
-            self.attempts.remove(&raw);
+            self.tasks.mark_finished(raw);
+            self.tasks.clear_attempts(raw);
             driver.on_event(self, SimEvent::TaskAbandoned { node, task });
         } else if policy.may_retry(used) {
-            self.attempts.insert(raw, used + 1);
+            self.tasks.set_attempts(raw, used + 1);
             self.recovery_outstanding += 1;
             let backoff = policy.backoff_for(used, raw);
-            self.push(self.now + backoff, EventKind::TaskRecover { node, task, attempt: used });
+            self.push(
+                self.now + backoff,
+                EventKind::TaskRecover { node, task: Box::new(task), attempt: used },
+            );
         } else {
             self.obs.counter_inc("task_gave_up", "");
-            self.finished.insert(raw);
-            self.attempts.remove(&raw);
+            self.tasks.mark_finished(raw);
+            self.tasks.clear_attempts(raw);
             driver.on_event(self, SimEvent::TaskAbandoned { node, task });
         }
     }
@@ -574,8 +892,8 @@ impl SimCore {
     pub fn note_give_up(&mut self, task: TaskId) {
         let raw = task.as_raw();
         self.obs.counter_inc("task_gave_up", "");
-        self.finished.insert(raw);
-        self.attempts.remove(&raw);
+        self.tasks.mark_finished(raw);
+        self.tasks.clear_attempts(raw);
     }
 
     /// Cancels a task wherever it currently is — running, queued, or
@@ -585,16 +903,17 @@ impl SimCore {
     /// terminal state.
     pub fn cancel_task(&mut self, node: NodeId, task: TaskId) -> bool {
         let raw = task.as_raw();
-        if self.finished.contains(&raw) {
+        if self.tasks.is_finished(raw) {
             return false;
         }
-        self.finished.insert(raw);
-        self.attempts.remove(&raw);
+        self.tasks.mark_finished(raw);
+        self.tasks.clear_attempts(raw);
         let now = self.now;
         if let Some((_, next)) =
             self.nodes.get_mut(node.index()).and_then(|st| st.cancel(now, task))
         {
-            self.queued_at.remove(&raw);
+            self.sync_hot(node);
+            self.tasks.take_queued(raw);
             self.obs.trace(
                 now.as_micros(),
                 TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
@@ -605,7 +924,7 @@ impl SimCore {
                 // through the event queue (same instant, later seq).
                 let layer =
                     self.nodes.get(node.index()).map(|st| st.spec().layer().label()).unwrap_or("");
-                if let Some(arrived) = self.queued_at.remove(&next_id.as_raw()) {
+                if let Some(arrived) = self.tasks.take_queued(next_id.as_raw()) {
                     self.obs.observe(
                         "task_queue_wait_ms",
                         layer,
@@ -619,9 +938,16 @@ impl SimCore {
             }
         } else {
             // Not at the node yet: drop it on arrival.
-            self.cancelled_pending.insert(raw);
+            self.tasks.mark_cancel_pending(raw);
         }
         true
+    }
+
+    /// Re-mirrors a node's hot state after a mutation (see [`NodeHot`]).
+    fn sync_hot(&mut self, node: NodeId) {
+        if let Some(st) = self.nodes.get(node.index()) {
+            self.hot.sync(node.index(), st);
+        }
     }
 
     /// Records a task submission in the observability layer.
@@ -678,7 +1004,7 @@ impl SimCore {
         let id = task.id;
         self.note_dispatch(node, id);
         self.note_admitted(node, id);
-        self.push(eta, EventKind::TaskArrival { node, task });
+        self.push(eta, EventKind::TaskArrival { node, task: Box::new(task) });
         self.arm_attempt(node, id);
         Ok(eta)
     }
@@ -726,7 +1052,7 @@ impl SimCore {
         let id = task.id;
         self.note_dispatch(node, id);
         self.note_admitted(node, id);
-        self.push(eta, EventKind::TaskArrival { node, task });
+        self.push(eta, EventKind::TaskArrival { node, task: Box::new(task) });
         self.arm_attempt(node, id);
         Ok(eta)
     }
@@ -824,14 +1150,10 @@ impl SimCore {
     /// `driver`. Afterwards every node's energy meter is advanced to
     /// `end` so energy figures are directly comparable.
     pub fn run_until<D: Driver>(&mut self, end: SimTime, driver: &mut D) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > end {
-                break;
-            }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            self.now = ev.at;
+        while let Some((at, kind)) = self.queue.pop_due(end) {
+            self.now = at;
             self.processed_events += 1;
-            self.dispatch(ev.kind, driver);
+            self.dispatch(kind, driver);
         }
         self.now = end;
         for n in &mut self.nodes {
@@ -849,9 +1171,10 @@ impl SimCore {
     fn dispatch<D: Driver>(&mut self, kind: EventKind, driver: &mut D) {
         match kind {
             EventKind::TaskArrival { node, task } => {
+                let task = *task;
                 let now = self.now;
                 let raw = task.id.as_raw();
-                if self.cancelled_pending.remove(&raw) {
+                if self.tasks.take_cancel_pending(raw) {
                     // Cancelled (replica dedup) while in transfer.
                     self.obs.trace(
                         now.as_micros(),
@@ -859,7 +1182,7 @@ impl SimCore {
                     );
                     return;
                 }
-                if self.timeout_pending.remove(&raw) {
+                if self.tasks.take_timeout_pending(raw) {
                     // Timed out while in transfer: the attempt ends
                     // here and the retry/give-up decision is taken now.
                     self.obs.trace(
@@ -889,13 +1212,15 @@ impl SimCore {
                     now.as_micros(),
                     TraceKind::TaskArrive { node: node.as_raw(), task: tid.as_raw() },
                 );
-                if let Some((epoch, service, mode)) = st.admit(now, task) {
+                let started = st.admit(now, task);
+                self.sync_hot(node);
+                if let Some((epoch, service, mode)) = started {
                     self.obs.observe("task_queue_wait_ms", layer, TASK_QUEUE_WAIT_BOUNDS_MS, 0.0);
                     self.push(now + service, EventKind::TaskFinish { node, task: tid, epoch });
                     self.note_start(node, tid);
                     driver.on_event(self, SimEvent::TaskStarted { node, task: tid, mode });
                 } else {
-                    self.queued_at.insert(tid.as_raw(), now);
+                    self.tasks.stamp_queued(tid.as_raw(), now);
                 }
             }
             EventKind::TaskFinish { node, task, epoch } => {
@@ -903,8 +1228,9 @@ impl SimCore {
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 let layer = st.spec().layer().label();
                 let Some((done, next)) = st.finish(now, task, epoch) else { return };
+                self.sync_hot(node);
                 if let Some((next_id, ep, service, mode)) = next {
-                    if let Some(arrived) = self.queued_at.remove(&next_id.as_raw()) {
+                    if let Some(arrived) = self.tasks.take_queued(next_id.as_raw()) {
                         self.obs.observe(
                             "task_queue_wait_ms",
                             layer,
@@ -920,8 +1246,8 @@ impl SimCore {
                     driver.on_event(self, SimEvent::TaskStarted { node, task: next_id, mode });
                 }
                 if self.retry.is_some() {
-                    self.finished.insert(task.as_raw());
-                    self.attempts.remove(&task.as_raw());
+                    self.tasks.mark_finished(task.as_raw());
+                    self.tasks.clear_attempts(task.as_raw());
                 }
                 let latency = now.saturating_since(done.released);
                 let deadline_met = !done.misses_deadline(now);
@@ -960,12 +1286,13 @@ impl SimCore {
                 let now = self.now;
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 let lost = st.set_up(now, false);
+                self.sync_hot(node);
                 self.obs.counter_inc("node_crashes", "");
                 self.obs.trace(now.as_micros(), TraceKind::NodeCrash { node: node.as_raw() });
                 if !lost.is_empty() {
                     self.obs.counter_add("sim_tasks_lost", "", lost.len() as u64);
                     for t in &lost {
-                        self.queued_at.remove(&t.id.as_raw());
+                        self.tasks.take_queued(t.id.as_raw());
                         self.obs.trace(
                             now.as_micros(),
                             TraceKind::TaskLost { node: node.as_raw(), task: t.id.as_raw() },
@@ -988,6 +1315,7 @@ impl SimCore {
                 let now = self.now;
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 st.set_up(now, true);
+                self.sync_hot(node);
                 self.obs.counter_inc("node_recoveries", "");
                 self.obs.trace(now.as_micros(), TraceKind::NodeRecover { node: node.as_raw() });
                 driver.on_event(self, SimEvent::NodeRestored(node));
@@ -1015,11 +1343,12 @@ impl SimCore {
                 }
             }
             EventKind::TaskRecover { node, task, attempt } => {
+                let task = *task;
                 // The recovery slot frees whether or not the event is
                 // stale (a completed task still consumed its slot).
                 self.recovery_outstanding = self.recovery_outstanding.saturating_sub(1);
                 let raw = task.id.as_raw();
-                if self.finished.contains(&raw) {
+                if self.tasks.is_finished(raw) {
                     return;
                 }
                 self.obs.counter_inc("task_retries", "");
@@ -1033,8 +1362,7 @@ impl SimCore {
                 let raw = task.as_raw();
                 // Stale once the task finished or moved to a newer
                 // attempt (the loss path already rescheduled it).
-                if self.finished.contains(&raw) || self.attempts.get(&raw).copied() != Some(attempt)
-                {
+                if self.tasks.is_finished(raw) || self.tasks.attempts(raw) != Some(attempt) {
                     return;
                 }
                 let now = self.now;
@@ -1047,7 +1375,8 @@ impl SimCore {
                     self.nodes.get_mut(node.index()).and_then(|st| st.cancel(now, task));
                 match cancelled {
                     Some((inst, next)) => {
-                        self.queued_at.remove(&raw);
+                        self.sync_hot(node);
+                        self.tasks.take_queued(raw);
                         self.obs.trace(
                             now.as_micros(),
                             TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
@@ -1058,7 +1387,7 @@ impl SimCore {
                                 .get(node.index())
                                 .map(|st| st.spec().layer().label())
                                 .unwrap_or("");
-                            if let Some(arrived) = self.queued_at.remove(&next_id.as_raw()) {
+                            if let Some(arrived) = self.tasks.take_queued(next_id.as_raw()) {
                                 self.obs.observe(
                                     "task_queue_wait_ms",
                                     layer,
@@ -1081,7 +1410,7 @@ impl SimCore {
                     None => {
                         // Input still in transfer: end the attempt when
                         // it lands.
-                        self.timeout_pending.insert(raw);
+                        self.tasks.mark_timeout_pending(raw);
                     }
                 }
             }
@@ -1116,26 +1445,30 @@ impl SimCore {
         let mut layer_util = [0.0f64; 3];
         let mut layer_nodes = [0u32; 3];
         let mut layer_queue = [0u64; 3];
-        for n in &mut self.nodes {
+        // Energy is metered lazily inside each NodeState; everything
+        // else the scrape samples comes from the contiguous SoA mirror.
+        for (n, e) in self.nodes.iter_mut().zip(self.hot.energy.iter_mut()) {
             n.refresh_energy(now);
+            *e = n.energy_j();
         }
-        for n in &self.nodes {
-            let spec = n.spec();
-            let label = format!("{}/{}", spec.layer().label(), spec.name());
-            let up = n.is_up();
-            let util = if up { n.utilization() } else { 0.0 };
-            self.obs.ts_record("node_utilization", &label, at, util);
-            self.obs.ts_record("node_queue_len", &label, at, n.queue_len() as f64);
-            let depth = if up { n.running().len() + n.queue_len() } else { 0 };
-            self.obs.ts_record("run_queue_depth", &label, at, depth as f64);
-            self.obs.ts_record("node_energy_j", &label, at, n.energy_j());
-            self.obs.ts_record("node_up", &label, at, if up { 1.0 } else { 0.0 });
-            let li = spec.layer().index();
+        let hot = &self.hot;
+        for i in 0..hot.labels.len() {
+            let label = hot.labels[i].as_str();
+            let up = hot.up[i];
+            // Same expression as `NodeState::utilization` (bit-exact).
+            let util = if up { hot.running[i] as f64 / hot.cores[i] } else { 0.0 };
+            self.obs.ts_record("node_utilization", label, at, util);
+            self.obs.ts_record("node_queue_len", label, at, hot.queued[i] as f64);
+            let depth = if up { hot.running[i] + hot.queued[i] } else { 0 };
+            self.obs.ts_record("run_queue_depth", label, at, depth as f64);
+            self.obs.ts_record("node_energy_j", label, at, hot.energy[i]);
+            self.obs.ts_record("node_up", label, at, if up { 1.0 } else { 0.0 });
+            let li = hot.layer_idx[i] as usize;
             if up {
                 layer_util[li] += util;
                 layer_nodes[li] += 1;
             }
-            layer_queue[li] += n.queue_len() as u64;
+            layer_queue[li] += hot.queued[i] as u64;
         }
         for layer in Layer::ALL {
             let li = layer.index();
@@ -1145,8 +1478,12 @@ impl SimCore {
             self.obs.ts_record("layer_queue_len", layer.label(), at, layer_queue[li] as f64);
         }
         for (id, _, state) in self.network.iter_links() {
-            let label = format!("l{}", id.as_raw());
-            self.obs.ts_record("link_up", &label, at, if state.is_up() { 1.0 } else { 0.0 });
+            let raw = id.as_raw() as usize;
+            while self.link_labels.len() <= raw {
+                self.link_labels.push(format!("l{}", self.link_labels.len()));
+            }
+            let label = self.link_labels[raw].as_str();
+            self.obs.ts_record("link_up", label, at, if state.is_up() { 1.0 } else { 0.0 });
         }
         let cur = ScrapeWindow {
             completed: self.obs.counter_value("sim_tasks_completed", ""),

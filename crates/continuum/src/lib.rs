@@ -46,13 +46,15 @@ pub mod monitor;
 pub mod net;
 pub mod node;
 pub mod retry;
+pub mod slab;
 pub mod stats;
 pub mod task;
 pub mod time;
 pub mod topology;
+pub mod wheel;
 
 pub use admission::{AdmissionDecision, AdmissionPolicy};
-pub use engine::{Driver, SimCore, SimError, SimEvent};
+pub use engine::{Driver, EngineBackend, SimCore, SimError, SimEvent};
 pub use ids::{ClusterId, LinkId, MsgId, NodeId, PodId, TaskId, TimerId};
 pub use node::{Layer, NodeKind, NodeSpec};
 pub use retry::RetryPolicy;

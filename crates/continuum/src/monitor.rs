@@ -78,35 +78,31 @@ impl MonitoringReport {
     /// Collects a snapshot of every node and link from the core.
     pub fn collect(sim: &SimCore) -> MonitoringReport {
         let horizon = sim.now().saturating_since(SimTime::ZERO);
-        let nodes = sim
-            .nodes()
-            .iter()
-            .map(|n| NodeSnapshot {
-                node: n.id(),
-                name: n.spec().name().to_string(),
-                layer: n.spec().layer(),
-                up: n.is_up(),
-                utilization: n.utilization(),
-                queue_len: n.queue_len(),
-                mem_free_mb: n.mem_free_mb(),
-                point_idx: n.point_idx(),
-                energy_j: n.energy_j(),
-                completed: n.completed(),
-                reconfigurations: n.reconfigurations(),
-            })
-            .collect();
-        let links = sim
-            .network()
-            .iter_links()
-            .map(|(id, spec, state)| LinkSnapshot {
-                link: id,
-                from: spec.from(),
-                to: spec.to(),
-                bytes_sent: state.bytes_sent(),
-                messages: state.messages(),
-                utilization: state.utilization(horizon),
-            })
-            .collect();
+        // Both snapshot vectors are sized from the topology up front so
+        // large-continuum collection never re-allocates mid-walk.
+        let mut nodes = Vec::with_capacity(sim.node_count());
+        nodes.extend(sim.nodes().iter().map(|n| NodeSnapshot {
+            node: n.id(),
+            name: n.spec().name().to_string(),
+            layer: n.spec().layer(),
+            up: n.is_up(),
+            utilization: n.utilization(),
+            queue_len: n.queue_len(),
+            mem_free_mb: n.mem_free_mb(),
+            point_idx: n.point_idx(),
+            energy_j: n.energy_j(),
+            completed: n.completed(),
+            reconfigurations: n.reconfigurations(),
+        }));
+        let mut links = Vec::with_capacity(sim.network().link_count());
+        links.extend(sim.network().iter_links().map(|(id, spec, state)| LinkSnapshot {
+            link: id,
+            from: spec.from(),
+            to: spec.to(),
+            bytes_sent: state.bytes_sent(),
+            messages: state.messages(),
+            utilization: state.utilization(horizon),
+        }));
         MonitoringReport { at: sim.now(), nodes, links }
     }
 

@@ -618,29 +618,42 @@ impl NodeState {
         let mut region = None;
         let mut speed = sw_speed;
         let mut extra = SimDuration::ZERO;
-        if let (Some(cfg), Some(accel)) = (task.accel_cfg, self.spec.accelerator().cloned()) {
-            let in_use: Vec<u32> = self.running.iter().filter_map(|r| r.region).collect();
+        // Only the two Copy scalars are needed below, so the spec borrow
+        // can end here (no per-start `AcceleratorSpec` clone).
+        let accel = self.spec.accelerator().map(|a| (a.speedup(), a.reconfig()));
+        if let (Some(cfg), Some((accel_speedup, accel_reconfig))) = (task.accel_cfg, accel) {
+            // Occupancy bitmask over regions (no per-start Vec); fabrics
+            // wider than 128 regions fall back to scanning the run set.
+            let mut in_use_mask: u128 = 0;
+            for r in &self.running {
+                if let Some(g) = r.region {
+                    if g < 128 {
+                        in_use_mask |= 1 << g;
+                    }
+                }
+            }
+            let running = &self.running;
+            let is_free = |i: usize| {
+                if i < 128 {
+                    in_use_mask & (1 << i) == 0
+                } else {
+                    !running.iter().any(|r| r.region == Some(i as u32))
+                }
+            };
             // Prefer a free region already holding this configuration.
-            let hot = self
-                .regions
-                .iter()
-                .enumerate()
-                .find(|(i, c)| **c == Some(cfg) && !in_use.contains(&(*i as u32)));
+            let hot =
+                self.regions.iter().enumerate().find(|(i, c)| **c == Some(cfg) && is_free(*i));
             let slot = hot.map(|(i, _)| (i, true)).or_else(|| {
-                self.regions
-                    .iter()
-                    .enumerate()
-                    .find(|(i, _)| !in_use.contains(&(*i as u32)))
-                    .map(|(i, _)| (i, false))
+                self.regions.iter().enumerate().find(|(i, _)| is_free(*i)).map(|(i, _)| (i, false))
             });
             if let Some((idx, was_hot)) = slot {
                 region = Some(idx as u32);
-                speed = sw_speed * task.accel_speedup.unwrap_or(accel.speedup());
+                speed = sw_speed * task.accel_speedup.unwrap_or(accel_speedup);
                 if was_hot {
                     mode = ExecutionMode::AcceleratedHot;
                 } else {
                     mode = ExecutionMode::AcceleratedReconfigured;
-                    extra = accel.reconfig();
+                    extra = accel_reconfig;
                     self.regions[idx] = Some(cfg);
                     self.reconfigurations += 1;
                 }

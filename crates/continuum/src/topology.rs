@@ -208,7 +208,18 @@ impl ContinuumBuilder {
     /// Panics if there is any edge node but no gateway to attach it to.
     pub fn build(self) -> Continuum {
         let mut sim = SimCore::new();
-        let mut edge = Vec::new();
+        // The builder knows every count up front: pre-size the node
+        // tables and give the event queue room for one in-flight event
+        // per node before the first task is submitted.
+        let node_count = self.multicores
+            + self.hmpsocs
+            + self.riscvs
+            + self.gateways
+            + self.fmdcs
+            + self.cloud_servers;
+        sim.reserve_nodes(node_count);
+        sim.reserve_events(node_count);
+        let mut edge = Vec::with_capacity(self.multicores + self.hmpsocs + self.riscvs);
         for i in 0..self.multicores {
             edge.push(sim.add_node(NodeSpec::preset_edge_multicore(format!("edge-mc-{i}"))));
         }

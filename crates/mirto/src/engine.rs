@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use myrtus_continuum::admission::AdmissionPolicy;
-use myrtus_continuum::engine::{Driver, SimCore, SimEvent};
+use myrtus_continuum::engine::{Driver, EngineBackend, SimCore, SimEvent};
 use myrtus_continuum::ids::{NodeId, TaskId};
 use myrtus_continuum::monitor::{ApplicationMonitor, MonitoringReport};
 use myrtus_continuum::net::{PlanEstimator, Protocol, RouteCache};
@@ -82,6 +82,15 @@ impl Default for ManagerTuning {
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
+    /// Simulator hot-path backend: timing wheel + slab tables (the
+    /// default) or the reference binary-heap + hash-table twin. Both
+    /// produce byte-identical exports; the twin exists for equivalence
+    /// testing and as the benchmark baseline. Applied when the run
+    /// starts, *before* observability arms the scrape timer — but if a
+    /// fault plan (or anything else) has already scheduled events on
+    /// the core, a non-default choice must additionally be set there
+    /// first via [`myrtus_continuum::engine::SimCore::set_backend`].
+    pub backend: EngineBackend,
     /// MAPE-K sensing/adaptation period.
     pub monitoring_period: SimDuration,
     /// Enforce Table II security constraints and overheads.
@@ -132,6 +141,7 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
+            backend: EngineBackend::default(),
             monitoring_period: SimDuration::from_millis(100),
             enforce_security: true,
             node_adaptation: true,
@@ -503,6 +513,9 @@ impl OrchestrationEngine {
         horizon: SimTime,
     ) -> Result<OrchestrationReport, PlaceError> {
         self.horizon = horizon;
+        // Backend selection must precede `set_obs`: arming the scrape
+        // timer schedules the first event, freezing the queue choice.
+        continuum.sim_mut().set_backend(self.cfg.backend);
         continuum.sim_mut().set_obs(self.obs.clone());
         continuum.sim_mut().set_retry_policy(self.cfg.retry);
         continuum.sim_mut().set_admission(self.cfg.admission);

@@ -50,6 +50,7 @@ pub use engine::{
     run_orchestration, EngineConfig, ManagerTuning, OrchestrationEngine, OrchestrationReport,
 };
 pub use images::{ImageRegistry, ScanResult};
+pub use myrtus_continuum::engine::EngineBackend;
 pub use placement::{evaluate, Placement, PlacementScore, PlanContext};
 pub use policies::{
     GreedyBestFit, KubeLike, LayerPinned, PlacementPolicy, RandomPlacement, RoundRobin,

@@ -413,4 +413,69 @@ proptest! {
             ),
         }
     }
+
+    /// The engine's total event order is `(time, insertion sequence)`:
+    /// any interleaving of timer insertions — including equal-timestamp
+    /// bursts and zero-delay timers scheduled *while draining* — must
+    /// fire in insertion order within each instant, identically on the
+    /// timing-wheel and legacy-heap backends.
+    #[test]
+    fn equal_timestamp_events_drain_in_insertion_order_on_both_backends(
+        delays in proptest::collection::vec(0u64..40, 1..120),
+        respawn_mask in any::<u64>(),
+    ) {
+        use myrtus::continuum::engine::{Driver, SimCore, SimEvent};
+        use myrtus::mirto::EngineBackend;
+
+        /// Logs every timer firing and, for tags selected by the mask,
+        /// schedules a zero-delay follow-up *during dispatch* — an
+        /// insertion at exactly `now`, the hardest ordering case.
+        struct TimerLog {
+            fired: Vec<(u64, u64)>,
+            next_tag: u64,
+            respawn_mask: u64,
+            respawns_left: u32,
+        }
+        impl Driver for TimerLog {
+            fn on_event(&mut self, sim: &mut SimCore, event: SimEvent) {
+                let SimEvent::Timer { tag, .. } = event else { return };
+                self.fired.push((sim.now().as_micros(), tag));
+                if self.respawns_left > 0 && self.respawn_mask & (1 << (tag % 64)) != 0 {
+                    self.respawns_left -= 1;
+                    sim.set_timer(SimDuration::ZERO, self.next_tag);
+                    self.next_tag += 1;
+                }
+            }
+        }
+
+        let drain = |backend: EngineBackend| {
+            let mut sim = SimCore::new();
+            sim.set_backend(backend);
+            for (i, &d) in delays.iter().enumerate() {
+                sim.set_timer(SimDuration::from_micros(d), i as u64);
+            }
+            let mut log = TimerLog {
+                fired: Vec::new(),
+                next_tag: delays.len() as u64,
+                respawn_mask,
+                respawns_left: 64,
+            };
+            sim.run_until(SimTime::from_secs(1), &mut log);
+            log
+        };
+
+        let wheel = drain(EngineBackend::Wheel);
+        let heap = drain(EngineBackend::Heap);
+        prop_assert_eq!(&wheel.fired, &heap.fired, "backends disagree on drain order");
+        prop_assert!(wheel.fired.len() >= delays.len(), "every scheduled timer fires");
+        // Tags are assigned in set_timer order, so within one instant
+        // strictly ascending tags == insertion-order draining; across
+        // instants time never goes backwards.
+        for w in wheel.fired.windows(2) {
+            prop_assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "events out of (time, insertion) order: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
 }
