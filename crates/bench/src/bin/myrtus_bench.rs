@@ -1,11 +1,12 @@
-//! PR-6 perf trajectory: the 50k-node / 1M-task engine-core benchmark,
-//! serialized to `BENCH_6.json` at the repo root.
+//! The per-PR perf trajectory: the 50k-node / 1M-task engine-core
+//! benchmark, serialized to `BENCH_<pr>.json` at the repo root
+//! (`--pr` selects the trajectory point, currently 7).
 //!
 //! ```sh
 //! cargo run --release --bin myrtus-bench                 # full profile
 //! cargo run --release --bin myrtus-bench -- --quick      # CI profile
 //! cargo run --release --bin myrtus-bench -- --quick \
-//!     --check crates/bench/baseline/BENCH_6.json         # regression gate
+//!     --check crates/bench/baseline/BENCH_7.json         # regression gate
 //! ```
 //!
 //! The workload is a deterministic open-loop storm: `tasks` timers are
@@ -258,7 +259,8 @@ fn main() {
     // The quick profile still runs long enough (~0.3 s per phase) for
     // the 20% regression floor to sit above run-to-run noise.
     let (nodes, tasks) = if quick { (10_000, 200_000) } else { (50_000, 1_000_000) };
-    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let pr: u32 = flag_val("--pr").map_or(7, |v| v.parse().expect("--pr takes a PR number"));
+    let out_path = flag_val("--out").unwrap_or_else(|| format!("BENCH_{pr}.json"));
 
     eprintln!("engine-core storm: {nodes} nodes, {tasks} tasks, 2 runs per backend");
     let wheel = spawn_phase("wheel", nodes, tasks);
@@ -290,7 +292,7 @@ fn main() {
     let speedup = wheel.events_per_sec / heap.events_per_sec;
 
     let json = format!(
-        "{{\n  \"schema\": \"myrtus-bench/v1\",\n  \"pr\": 6,\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"myrtus-bench/v1\",\n  \"pr\": {pr},\n  \"quick\": {quick},\n  \
          \"nodes\": {nodes},\n  \"tasks\": {tasks},\n  \"events\": {},\n  \
          \"wheel_wall_s\": {:.4},\n  \"wheel_events_per_sec\": {:.1},\n  \
          \"wheel_tasks_per_sec\": {:.1},\n  \"wheel_peak_rss_kb\": {},\n  \

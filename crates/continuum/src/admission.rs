@@ -93,9 +93,20 @@ impl Default for AdmissionPolicy {
 /// Mutable token-bucket state owned by the simulator core: tokens
 /// consumed per window index. Windows strictly before the current one
 /// are pruned on every decision, so the map stays small.
-#[derive(Debug, Default)]
+/// `Clone` lets the `mc` model checker carry paired token-bucket
+/// states (e.g. the same arrival stream under two rates) as explicit
+/// model states.
+#[derive(Debug, Default, Clone)]
 pub struct AdmissionState {
     window_used: BTreeMap<u64, u32>,
+}
+
+impl AdmissionState {
+    /// Tokens consumed per retained window, sorted by window index.
+    /// Observability for tests and the model checker's fingerprints.
+    pub fn used_windows(&self) -> Vec<(u64, u32)> {
+        self.window_used.iter().map(|(w, u)| (*w, *u)).collect()
+    }
 }
 
 /// Outcome of one admission decision.
@@ -115,6 +126,20 @@ pub enum AdmissionDecision {
         /// [`SHED_SLO_HOPELESS`].
         reason: &'static str,
     },
+}
+
+/// Whether the seeded off-by-one protection bug is armed: the boundary
+/// class `priority == protect_priority` loses its shed exemption.
+/// Compiled out of release builds; off by default even in test builds.
+fn mutation_strict_protect() -> bool {
+    #[cfg(any(test, feature = "mc-mutations"))]
+    {
+        crate::mutation::admission_strict_protect()
+    }
+    #[cfg(not(any(test, feature = "mc-mutations")))]
+    {
+        false
+    }
 }
 
 impl AdmissionPolicy {
@@ -142,7 +167,12 @@ impl AdmissionPolicy {
         est_completion: Option<SimTime>,
         state: &mut AdmissionState,
     ) -> AdmissionDecision {
-        if task.priority >= self.protect_priority {
+        let protected = if mutation_strict_protect() {
+            task.priority > self.protect_priority
+        } else {
+            task.priority >= self.protect_priority
+        };
+        if protected {
             return AdmissionDecision::Admit { delay: SimDuration::ZERO };
         }
         if self.max_queue_depth != u32::MAX && queue_depth >= self.max_queue_depth {
@@ -316,6 +346,72 @@ mod tests {
         assert_eq!(
             p.decide(SimTime::from_secs(1), &vip, 1000, Some(SimTime::from_secs(9)), &mut st),
             AdmissionDecision::Admit { delay: SimDuration::ZERO }
+        );
+    }
+
+    #[test]
+    fn protected_boundary_class_admits_at_exactly_full_queue() {
+        // The protection boundary is `>=`: a task whose priority equals
+        // `protect_priority` exactly (not just exceeds it) must bypass
+        // the queue bound even when the queue sits exactly at the
+        // bound — the off-by-one the seeded `strict_protect` mutation
+        // reintroduces.
+        let p = AdmissionPolicy {
+            max_queue_depth: 4,
+            protect_priority: 1,
+            ..AdmissionPolicy::default()
+        };
+        let mut st = AdmissionState::default();
+        let boundary = task(1).with_priority(1);
+        assert_eq!(
+            p.decide(SimTime::ZERO, &boundary, 4, None, &mut st),
+            AdmissionDecision::Admit { delay: SimDuration::ZERO },
+            "priority == protect_priority admits at queue_depth == max_queue_depth"
+        );
+        // One below the bound is the last depth best-effort traffic may
+        // enter; at the bound it sheds.
+        assert!(matches!(
+            p.decide(SimTime::ZERO, &task(2), 3, None, &mut st),
+            AdmissionDecision::Admit { .. }
+        ));
+        assert_eq!(
+            p.decide(SimTime::ZERO, &task(3), 4, None, &mut st),
+            AdmissionDecision::Shed { reason: SHED_QUEUE_FULL }
+        );
+    }
+
+    #[test]
+    fn token_bucket_boundary_at_window_rollover() {
+        // Windows are half-open `[w·W, (w+1)·W)`: the last microsecond
+        // of a window still draws from that window's budget, and the
+        // very first microsecond of the next window gets a fresh one.
+        let p = limited(1); // 1 token per 10 ms window
+        let mut st = AdmissionState::default();
+        let last_us = SimTime::from_micros(9_999);
+        assert_eq!(
+            p.decide(last_us, &task(1), 0, None, &mut st),
+            AdmissionDecision::Admit { delay: SimDuration::ZERO },
+            "last microsecond of window 0 uses window 0's token"
+        );
+        // Window 0 is now dry: a second arrival in the same microsecond
+        // is backpressured to *exactly* the rollover instant, 1 µs away.
+        assert_eq!(
+            p.decide(last_us, &task(2), 0, None, &mut st),
+            AdmissionDecision::Admit { delay: SimDuration::from_micros(1) },
+            "spill lands on the first microsecond of the next window"
+        );
+        // An arrival at exactly the rollover instant belongs to the new
+        // window — whose single token the spilled task above consumed —
+        // so it spills one full window further.
+        assert_eq!(
+            p.decide(SimTime::from_millis(10), &task(3), 0, None, &mut st),
+            AdmissionDecision::Admit { delay: SimDuration::from_millis(10) },
+        );
+        // Crossing a rollover prunes the windows behind it.
+        assert!(
+            st.used_windows().iter().all(|&(w, _)| w >= 1),
+            "window 0 still retained after a decision at the rollover: {:?}",
+            st.used_windows()
         );
     }
 

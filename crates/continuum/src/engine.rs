@@ -36,6 +36,21 @@ use crate::task::{TaskInstance, TaskOutcome};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::TimingWheel;
 
+/// Whether the seeded retry-epoch bug is armed: the stale-recovery
+/// guard is skipped, so a recovery event fires even for a task that
+/// already reached a terminal state (resurrection). Compiled out of
+/// release builds; off by default even in test builds.
+fn mutation_stale_recover() -> bool {
+    #[cfg(any(test, feature = "mc-mutations"))]
+    {
+        crate::mutation::engine_stale_recover()
+    }
+    #[cfg(not(any(test, feature = "mc-mutations")))]
+    {
+        false
+    }
+}
+
 /// Internal queue entry.
 #[derive(Debug)]
 struct QueuedEvent {
@@ -186,6 +201,14 @@ impl EventQueue {
         match self {
             EventQueue::Wheel(w) => w.is_empty(),
             EventQueue::Heap(h) => h.is_empty(),
+        }
+    }
+
+    /// Due time of the earliest pending event, if any.
+    fn next_at(&self) -> Option<SimTime> {
+        match self {
+            EventQueue::Wheel(w) => w.next_at().map(SimTime::from_micros),
+            EventQueue::Heap(h) => h.peek().map(|Reverse(e)| e.at),
         }
     }
 
@@ -1168,6 +1191,34 @@ impl SimCore {
         self.now
     }
 
+    /// Due time of the earliest pending event, if any. Together with
+    /// [`SimCore::step_event`] this gives external explorers (the `mc`
+    /// model checker) single-event granularity over the same dispatch
+    /// path `run_until` uses.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.next_at()
+    }
+
+    /// Processes exactly one pending event — the same pop the
+    /// [`SimCore::run_until`] loop would perform — and returns its due
+    /// time, or `None` when the queue is empty. Unlike `run_until`,
+    /// node energy meters are *not* refreshed afterwards; callers that
+    /// need comparable energy figures finish with a `run_until` call.
+    pub fn step_event<D: Driver>(&mut self, driver: &mut D) -> Option<SimTime> {
+        let (at, kind) = self.queue.pop_due(SimTime::MAX)?;
+        self.now = at;
+        self.processed_events += 1;
+        self.dispatch(kind, driver);
+        Some(at)
+    }
+
+    /// Recovery-queue occupancy: failed attempts waiting for their
+    /// backed-off re-offer (bounded by
+    /// [`crate::retry::RetryPolicy::recovery_queue_cap`]).
+    pub fn recovery_outstanding(&self) -> u32 {
+        self.recovery_outstanding
+    }
+
     fn dispatch<D: Driver>(&mut self, kind: EventKind, driver: &mut D) {
         match kind {
             EventKind::TaskArrival { node, task } => {
@@ -1348,7 +1399,7 @@ impl SimCore {
                 // stale (a completed task still consumed its slot).
                 self.recovery_outstanding = self.recovery_outstanding.saturating_sub(1);
                 let raw = task.id.as_raw();
-                if self.tasks.is_finished(raw) {
+                if self.tasks.is_finished(raw) && !mutation_stale_recover() {
                     return;
                 }
                 self.obs.counter_inc("task_retries", "");
@@ -2000,6 +2051,38 @@ mod tests {
         sim.run_until(SimTime::from_secs(10), &mut rec);
         assert_eq!(rec.recovered.len(), 2, "slot was released at re-dispatch");
         assert_eq!(rec.completed.len(), 2);
+    }
+
+    #[test]
+    fn recovery_queue_cap_saturation_boundary_is_exact() {
+        use myrtus_obs::{Obs, ObsConfig};
+        // A crash failing exactly `cap` attempts at once must fill the
+        // recovery queue without a single rejection; `cap + 1`
+        // simultaneous failures must reject exactly one. Pins the `>=`
+        // in the saturation check — an off-by-one either sheds a
+        // recoverable task or admits a storm one past the guard.
+        let run = |tasks: u64, cap: u32| -> (usize, u64) {
+            let (mut sim, node) = one_node_sim(); // 4 cores
+            sim.set_obs(Obs::new(ObsConfig::on()));
+            sim.set_retry_policy(Some(RetryPolicy {
+                base_backoff: SimDuration::from_millis(150),
+                backoff_cap: SimDuration::from_secs(1),
+                jitter_frac: 0.0,
+                recovery_queue_cap: cap,
+                ..RetryPolicy::default()
+            }));
+            for _ in 0..tasks {
+                let t = TaskInstance::new(sim.fresh_task_id(), 1_500.0); // ~1 s each
+                sim.submit_local(node, t).expect("submit");
+            }
+            sim.schedule_node_down(node, SimTime::from_millis(100));
+            sim.schedule_node_up(node, SimTime::from_millis(200));
+            let mut rec = Recorder::default();
+            sim.run_until(SimTime::from_secs(5), &mut rec);
+            (rec.recovered.len(), sim.obs().counter_value("recovery_queue_rejections", ""))
+        };
+        assert_eq!(run(3, 3), (3, 0), "cap == simultaneous failures: queue exactly full");
+        assert_eq!(run(4, 3), (3, 1), "one past the cap: exactly one rejection");
     }
 
     #[test]

@@ -53,6 +53,46 @@ pub mod time;
 pub mod topology;
 pub mod wheel;
 
+/// Seeded-bug switches for the `mc` model checker.
+///
+/// Each switch arms one deliberately wrong behaviour in a protocol
+/// path so the checker's counterexample search can be validated
+/// against a known violation. Switches are thread-local and default to
+/// off, leaving behaviour byte-identical to a build without this
+/// module; it only exists under `cfg(test)` or the `mc-mutations`
+/// feature, which only `mc`'s dev-dependencies enable.
+#[cfg(any(test, feature = "mc-mutations"))]
+pub mod mutation {
+    use std::cell::Cell;
+
+    thread_local! {
+        static STALE_RECOVER: Cell<bool> = const { Cell::new(false) };
+        static STRICT_PROTECT: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arms/disarms the retry-epoch bug: recovery events fire even for
+    /// tasks that already reached a terminal state.
+    pub fn set_engine_stale_recover(on: bool) {
+        STALE_RECOVER.with(|c| c.set(on));
+    }
+
+    /// Whether the stale-recovery bug is armed on this thread.
+    pub fn engine_stale_recover() -> bool {
+        STALE_RECOVER.with(|c| c.get())
+    }
+
+    /// Arms/disarms the admission off-by-one bug: the boundary class
+    /// `priority == protect_priority` loses its shed exemption.
+    pub fn set_admission_strict_protect(on: bool) {
+        STRICT_PROTECT.with(|c| c.set(on));
+    }
+
+    /// Whether the strict-protect bug is armed on this thread.
+    pub fn admission_strict_protect() -> bool {
+        STRICT_PROTECT.with(|c| c.get())
+    }
+}
+
 pub use admission::{AdmissionDecision, AdmissionPolicy};
 pub use engine::{Driver, EngineBackend, SimCore, SimError, SimEvent};
 pub use ids::{ClusterId, LinkId, MsgId, NodeId, PodId, TaskId, TimerId};

@@ -34,6 +34,35 @@ pub mod raft;
 pub mod registry;
 pub mod store;
 
+/// Seeded-bug switches for the `mc` model checker.
+///
+/// Each switch arms one deliberately wrong behaviour in a protocol
+/// path so the checker's counterexample search can be validated
+/// against a known violation. Switches are thread-local (checker runs
+/// are single-threaded; parallel tests cannot interfere) and default
+/// to off, leaving behaviour byte-identical to a build without this
+/// module. The module only exists under `cfg(test)` or the
+/// `mc-mutations` feature, which only `mc`'s dev-dependencies enable.
+#[cfg(any(test, feature = "mc-mutations"))]
+pub mod mutation {
+    use std::cell::Cell;
+
+    thread_local! {
+        static RAFT_DOUBLE_VOTE: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arms/disarms the election-safety bug: replicas forget their
+    /// vote and may grant twice in one term.
+    pub fn set_raft_double_vote(on: bool) {
+        RAFT_DOUBLE_VOTE.with(|c| c.set(on));
+    }
+
+    /// Whether the double-vote bug is armed on this thread.
+    pub fn raft_double_vote() -> bool {
+        RAFT_DOUBLE_VOTE.with(|c| c.get())
+    }
+}
+
 pub use command::{KvCommand, WatchEvent};
 pub use facade::KnowledgeBase;
 pub use history::HistoryStore;

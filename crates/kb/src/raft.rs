@@ -20,6 +20,21 @@ use myrtus_continuum::time::{SimDuration, SimTime};
 use crate::command::KvCommand;
 use crate::store::{KvSnapshot, KvStore};
 
+/// Whether the seeded election-safety bug is armed: a replica that has
+/// already voted this term "forgets" and grants again. Compiled out of
+/// release builds; the thread-local switch defaults to off, so even
+/// test builds behave identically until a checker arms it.
+fn mutation_forgets_vote() -> bool {
+    #[cfg(any(test, feature = "mc-mutations"))]
+    {
+        crate::mutation::raft_double_vote()
+    }
+    #[cfg(not(any(test, feature = "mc-mutations")))]
+    {
+        false
+    }
+}
+
 /// One replicated log entry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogEntry {
@@ -129,7 +144,12 @@ impl std::fmt::Display for NotLeaderError {
 impl std::error::Error for NotLeaderError {}
 
 /// One Raft replica as a pure state machine.
-#[derive(Debug)]
+///
+/// `Clone` is part of the contract: the `mc` model checker snapshots
+/// whole replicas as explicit states, so every field must be plain
+/// data (the RNG included — the vendored `StdRng` is a clonable
+/// splitmix stream).
+#[derive(Debug, Clone)]
 pub struct RaftNode {
     id: usize,
     n: usize,
@@ -223,6 +243,47 @@ impl RaftNode {
     /// Highest applied index.
     pub fn last_applied(&self) -> u64 {
         self.last_applied
+    }
+
+    /// Who this replica voted for in the current term, if anyone.
+    pub fn voted_for(&self) -> Option<usize> {
+        self.voted_for
+    }
+
+    /// The term recorded at `index` (0 when the index is empty or
+    /// compacted away below the snapshot boundary).
+    pub fn log_term_at(&self, index: u64) -> u64 {
+        self.term_at(index)
+    }
+
+    /// Votes gathered in the current candidacy, sorted by replica id.
+    pub fn votes_granted(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.votes.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The instant at which this replica will start an election unless
+    /// it hears from a leader first. Drivers that want to force a
+    /// timeout deterministically call [`RaftNode::tick`] at this time.
+    pub fn election_deadline(&self) -> SimTime {
+        self.election_deadline
+    }
+
+    /// The instant of the next heartbeat broadcast (leaders only).
+    pub fn heartbeat_due(&self) -> SimTime {
+        self.heartbeat_due
+    }
+
+    /// The leader's next replication index for `peer` (1 on followers,
+    /// where the vector is simply stale).
+    pub fn next_index_of(&self, peer: usize) -> u64 {
+        self.next_index.get(peer).copied().unwrap_or(1)
+    }
+
+    /// The leader's highest known replicated index on `peer`.
+    pub fn match_index_of(&self, peer: usize) -> u64 {
+        self.match_index.get(peer).copied().unwrap_or(0)
     }
 
     fn last_log_term(&self) -> u64 {
@@ -376,9 +437,10 @@ impl RaftNode {
                 let log_ok = last_log_term > self.last_log_term()
                     || (last_log_term == self.last_log_term()
                         && last_log_index >= self.last_log_index());
-                let granted = term == self.term
-                    && log_ok
-                    && (self.voted_for.is_none() || self.voted_for == Some(from));
+                let vote_free = self.voted_for.is_none()
+                    || self.voted_for == Some(from)
+                    || mutation_forgets_vote();
+                let granted = term == self.term && log_ok && vote_free;
                 if granted {
                     self.voted_for = Some(from);
                     self.reset_election_deadline(now);

@@ -1,0 +1,30 @@
+//! Budget-tuning probe for the Raft model: run one budget vector and
+//! print the state count and wall-clock time, without the runner's
+//! starvation floor. Used to size `RaftModel::small()`.
+//!
+//! Usage: `cargo run --release -p mc --example raft_probe -- N E H P D`
+//! where N = nodes, E = election budget, H = heartbeat budget,
+//! P = proposal budget, D = drop budget.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 6 {
+        eprintln!("usage: raft_probe <nodes> <elections> <heartbeats> <proposals> <drops>");
+        std::process::exit(2);
+    }
+    let g = |i: usize| args[i].parse::<u32>().expect("budgets are small integers");
+    let model = mc::raft::RaftModel::with_budgets(g(1) as usize, g(2), g(3), g(4), g(5));
+    let start = std::time::Instant::now();
+    let out = mc::explore(&model, mc::Strategy::Bfs, &mc::Limits::default());
+    let verdict = match out {
+        mc::Outcome::Pass(s) => {
+            format!("PASS  {} states  {} transitions", s.distinct_states, s.transitions)
+        }
+        mc::Outcome::Violation { message, trace, .. } => {
+            print!("{}", mc::render_trace(&trace));
+            format!("FAIL  {message}")
+        }
+        mc::Outcome::LimitReached(s) => format!("LIMIT {} states", s.distinct_states),
+    };
+    println!("{verdict}  elapsed {:.2?}", start.elapsed());
+}

@@ -1,0 +1,273 @@
+//! Model-checks the shipped admission controller
+//! (`myrtus_continuum::admission`).
+//!
+//! The model runs *two* copies of the real [`AdmissionPolicy::decide`]
+//! in lockstep over one arrival/clock/completion history: a low-rate
+//! policy and a high-rate policy that are otherwise identical. Every
+//! state carries both token buckets ([`AdmissionState`] is plain data),
+//! so the checker explores every interleaving of arrivals (of both
+//! priority classes), window-aligned and mid-window clock advances, and
+//! task completions within small budgets.
+//!
+//! Checked invariants:
+//! - **Protected class is never shed**: a task with
+//!   `priority >= protect_priority` admits under both policies, at any
+//!   queue depth and any bucket fill (this is exactly what the seeded
+//!   `admission_strict_protect` mutation breaks at the
+//!   `priority == protect_priority` boundary).
+//! - **Monotonicity in rate**: on identical inputs, anything the
+//!   low-rate policy admits the high-rate policy admits too — raising a
+//!   tenant's rate limit can never make a request worse off.
+//! - **Bucket sanity**: no retained window holds more consumed tokens
+//!   than the policy's rate.
+
+use std::fmt;
+
+use myrtus_continuum::admission::{AdmissionDecision, AdmissionState};
+use myrtus_continuum::ids::TaskId;
+use myrtus_continuum::time::{SimDuration, SimTime};
+use myrtus_continuum::{AdmissionPolicy, TaskInstance};
+
+use crate::{fingerprint_of, Model};
+
+/// One explicit state: the simulated clock, both real token buckets,
+/// and the shared abstract node backlog both policies are consulted
+/// about.
+#[derive(Debug, Clone)]
+pub struct AdmissionSt {
+    now_us: u64,
+    lo: AdmissionState,
+    hi: AdmissionState,
+    /// Abstract run-queue depth of the node both policies guard; grows
+    /// when the (authoritative) high-rate policy admits, shrinks on
+    /// [`AdmissionAction::Complete`].
+    depth: u32,
+    next_task: u64,
+    arrivals_left: u32,
+    advances_left: u32,
+    /// Typed shed tallies `(lo, hi)`, part of the observable state.
+    sheds: (u32, u32),
+    violation: Option<String>,
+}
+
+/// One transition.
+#[derive(Debug, Clone)]
+pub enum AdmissionAction {
+    /// A task of the given priority is submitted to both policies.
+    Arrive {
+        /// Task priority (0 = best-effort, 1 = protected boundary).
+        priority: u8,
+    },
+    /// The clock advances half a token window (exercises intra-window
+    /// boundaries).
+    AdvanceHalf,
+    /// The clock advances one full token window (exercises rollover).
+    AdvanceFull,
+    /// A previously admitted task finishes, freeing queue depth.
+    Complete,
+}
+
+impl fmt::Display for AdmissionAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionAction::Arrive { priority } => {
+                write!(f, "task arrives with priority {priority}")
+            }
+            AdmissionAction::AdvanceHalf => write!(f, "clock advances half a window"),
+            AdmissionAction::AdvanceFull => write!(f, "clock advances one full window"),
+            AdmissionAction::Complete => write!(f, "an admitted task completes"),
+        }
+    }
+}
+
+/// The admission model: paired rate-limited policies over one history.
+#[derive(Debug, Clone)]
+pub struct AdmissionModel {
+    lo: AdmissionPolicy,
+    hi: AdmissionPolicy,
+    arrivals: u32,
+    advances: u32,
+}
+
+impl AdmissionModel {
+    /// The instance used in CI: rate 1 vs rate 2 per 10 ms window, a
+    /// 2-deep queue bound, and budgets sized so the full interleaving
+    /// graph still explores in well under a minute.
+    pub fn small() -> Self {
+        Self::with_budgets(10, 10)
+    }
+
+    /// Custom arrival/advance budgets for tests and tuning.
+    pub fn with_budgets(arrivals: u32, advances: u32) -> Self {
+        let base = AdmissionPolicy {
+            rate_per_window: 1,
+            window: SimDuration::from_millis(10),
+            max_delay: SimDuration::from_millis(20),
+            max_queue_depth: 2,
+            slo_check: false,
+            protect_priority: 1,
+            jitter_frac: 0.0,
+            seed: 7,
+        };
+        AdmissionModel {
+            lo: base,
+            hi: AdmissionPolicy { rate_per_window: 2, ..base },
+            arrivals,
+            advances,
+        }
+    }
+
+    fn half_window_us(&self) -> u64 {
+        (self.lo.window.as_micros() / 2).max(1)
+    }
+}
+
+impl Model for AdmissionModel {
+    type State = AdmissionSt;
+    type Action = AdmissionAction;
+
+    fn name(&self) -> &'static str {
+        "admission"
+    }
+
+    fn initial_states(&self) -> Vec<AdmissionSt> {
+        vec![AdmissionSt {
+            now_us: 0,
+            lo: AdmissionState::default(),
+            hi: AdmissionState::default(),
+            depth: 0,
+            next_task: 0,
+            arrivals_left: self.arrivals,
+            advances_left: self.advances,
+            sheds: (0, 0),
+            violation: None,
+        }]
+    }
+
+    fn actions(&self, s: &AdmissionSt, out: &mut Vec<AdmissionAction>) {
+        if s.arrivals_left > 0 {
+            out.push(AdmissionAction::Arrive { priority: 0 });
+            out.push(AdmissionAction::Arrive { priority: 1 });
+        }
+        if s.advances_left > 0 {
+            out.push(AdmissionAction::AdvanceHalf);
+            out.push(AdmissionAction::AdvanceFull);
+        }
+        if s.depth > 0 {
+            out.push(AdmissionAction::Complete);
+        }
+    }
+
+    fn apply(&self, s: &AdmissionSt, a: &AdmissionAction) -> Option<AdmissionSt> {
+        let mut next = s.clone();
+        match a {
+            AdmissionAction::Arrive { priority } => {
+                next.arrivals_left -= 1;
+                let task = TaskInstance::new(TaskId::from_raw(next.next_task), 1.0)
+                    .with_priority(*priority);
+                next.next_task += 1;
+                let now = SimTime::from_micros(next.now_us);
+                let d_lo = self.lo.decide(now, &task, next.depth, None, &mut next.lo);
+                let d_hi = self.hi.decide(now, &task, next.depth, None, &mut next.hi);
+                if *priority >= self.lo.protect_priority {
+                    for (which, d) in [("low-rate", d_lo), ("high-rate", d_hi)] {
+                        if let AdmissionDecision::Shed { reason } = d {
+                            next.violation = Some(format!(
+                                "protected task (priority {priority} >= protect_priority {}) \
+                                 shed by the {which} policy with reason {reason:?} at depth {}",
+                                self.lo.protect_priority, next.depth
+                            ));
+                        }
+                    }
+                }
+                if let (AdmissionDecision::Admit { .. }, AdmissionDecision::Shed { reason }) =
+                    (d_lo, d_hi)
+                {
+                    next.violation = Some(format!(
+                        "rate monotonicity violated: rate {} admitted the task but \
+                         rate {} shed it ({reason:?})",
+                        self.lo.rate_per_window, self.hi.rate_per_window
+                    ));
+                }
+                if matches!(d_lo, AdmissionDecision::Shed { .. }) {
+                    next.sheds.0 += 1;
+                }
+                match d_hi {
+                    AdmissionDecision::Admit { .. } => next.depth += 1,
+                    AdmissionDecision::Shed { .. } => next.sheds.1 += 1,
+                }
+            }
+            AdmissionAction::AdvanceHalf => {
+                next.advances_left -= 1;
+                next.now_us += self.half_window_us();
+            }
+            AdmissionAction::AdvanceFull => {
+                next.advances_left -= 1;
+                next.now_us += 2 * self.half_window_us();
+            }
+            AdmissionAction::Complete => {
+                next.depth -= 1;
+            }
+        }
+        Some(next)
+    }
+
+    fn fingerprint(&self, s: &AdmissionSt) -> u64 {
+        fingerprint_of(&(
+            s.now_us,
+            s.lo.used_windows(),
+            s.hi.used_windows(),
+            s.depth,
+            s.next_task,
+            s.arrivals_left,
+            s.advances_left,
+            s.sheds,
+            s.violation.is_some(),
+        ))
+    }
+
+    fn check(&self, s: &AdmissionSt) -> Result<(), String> {
+        if let Some(v) = &s.violation {
+            return Err(v.clone());
+        }
+        for (policy, st, which) in [(&self.lo, &s.lo, "low-rate"), (&self.hi, &s.hi, "high-rate")] {
+            for (w, used) in st.used_windows() {
+                if used > policy.rate_per_window {
+                    return Err(format!(
+                        "bucket overflow: {which} window {w} holds {used} consumed tokens \
+                         but the rate is {}",
+                        policy.rate_per_window
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explore, Limits, Outcome, Strategy};
+
+    #[test]
+    fn small_instance_reaches_fixpoint() {
+        let model = AdmissionModel::with_budgets(3, 3);
+        match explore(&model, Strategy::Bfs, &Limits::default()) {
+            Outcome::Pass(stats) => assert!(stats.distinct_states > 10),
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protected_arrivals_always_admit_even_at_full_queue() {
+        let model = AdmissionModel::small();
+        let mut s = model.initial_states().remove(0);
+        // Fill the queue past the bound with protected arrivals.
+        for _ in 0..4 {
+            s = model.apply(&s, &AdmissionAction::Arrive { priority: 1 }).unwrap();
+        }
+        assert!(model.check(&s).is_ok());
+        assert_eq!(s.depth, 4, "every protected arrival admitted");
+    }
+}

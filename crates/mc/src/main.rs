@@ -1,0 +1,111 @@
+//! Runs the four protocol models to fixpoint and reports state-space
+//! statistics. Exits non-zero on an invariant violation (printing the
+//! counterexample trace) or when a model fails to explore at least
+//! [`MIN_STATES`] distinct states — a shrinking state space usually
+//! means an adapter quietly stopped driving the real implementation.
+//!
+//! Usage: `cargo run -p mc [--model raft|retry|admission|scaledown]`.
+
+use std::time::Instant;
+
+use mc::{explore, Limits, Model, Outcome, Strategy};
+
+/// Floor on distinct states per model: the CI tripwire that the models
+/// still explore a non-trivial graph.
+const MIN_STATES: u64 = 10_000;
+
+/// Runs one model and renders its outcome; returns `(ok, states)`.
+fn run_model<M: Model>(model: &M) -> (bool, u64) {
+    let start = Instant::now();
+    let outcome = explore(model, Strategy::Bfs, &Limits::default());
+    let elapsed = start.elapsed();
+    match outcome {
+        Outcome::Pass(stats) => {
+            println!(
+                "{:<10} PASS   {:>9} states  {:>9} transitions  depth {:<4} frontier peak \
+                 {:>8}  {:.2?}",
+                model.name(),
+                stats.distinct_states,
+                stats.transitions,
+                stats.max_depth_seen,
+                stats.frontier_peak,
+                elapsed
+            );
+            (true, stats.distinct_states)
+        }
+        Outcome::Violation { message, trace, stats } => {
+            println!(
+                "{:<10} FAIL after {} states ({:.2?}): {message}",
+                model.name(),
+                stats.distinct_states,
+                elapsed
+            );
+            println!("counterexample ({} actions):", trace.len());
+            print!("{}", mc::render_trace(&trace));
+            (false, stats.distinct_states)
+        }
+        Outcome::LimitReached(stats) => {
+            println!(
+                "{:<10} INCONCLUSIVE: exploration limit hit after {} states ({:.2?}) — \
+                 the model lost its finiteness argument",
+                model.name(),
+                stats.distinct_states,
+                elapsed
+            );
+            (false, stats.distinct_states)
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = match args.iter().position(|a| a == "--model") {
+        Some(i) => match args.get(i + 1) {
+            Some(name) => Some(name.clone()),
+            None => {
+                eprintln!("--model requires a name: raft, retry, admission, scaledown");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let wants = |name: &str| filter.as_deref().is_none_or(|f| f == name);
+
+    let mut failed = false;
+    let mut starved = Vec::new();
+    let mut ran = 0u32;
+    let mut record = |name: &'static str, (ok, states): (bool, u64)| {
+        ran += 1;
+        failed |= !ok;
+        if ok && states < MIN_STATES {
+            starved.push((name, states));
+        }
+    };
+
+    if wants("raft") {
+        record("raft", run_model(&mc::raft::RaftModel::small()));
+    }
+    if wants("retry") {
+        record("retry", run_model(&mc::retry::RetryModel::small()));
+    }
+    if wants("admission") {
+        record("admission", run_model(&mc::admission::AdmissionModel::small()));
+    }
+    if wants("scaledown") {
+        record("scaledown", run_model(&mc::scaledown::ScaleDownModel::small()));
+    }
+
+    if ran == 0 {
+        eprintln!("unknown model {filter:?}: expected raft, retry, admission, or scaledown");
+        std::process::exit(2);
+    }
+    for (name, states) in &starved {
+        println!(
+            "{name:<10} explored only {states} distinct states (< {MIN_STATES}) — \
+             the instance no longer exercises the protocol"
+        );
+    }
+    if failed || !starved.is_empty() {
+        std::process::exit(1);
+    }
+}

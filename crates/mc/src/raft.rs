@@ -1,0 +1,389 @@
+//! Model-checks the shipped Raft implementation (`myrtus_kb::raft`).
+//!
+//! The model drives real [`RaftNode`] replicas — the same state machine
+//! `RaftCluster` and the knowledge base run — through every
+//! interleaving of election timeouts, heartbeats, proposals, message
+//! deliveries (in any order), and message drops, within small action
+//! budgets that keep the graph finite.
+//!
+//! Time is abstracted away soundly: the config pins
+//! `election_min == election_max`, so the randomized jitter span is
+//! zero and the RNG is never drawn from, and each timeout/heartbeat
+//! action ticks its node exactly at the node's own deadline. Deadline
+//! *values* then carry no information (any non-leader may time out
+//! next, which is exactly the asynchronous-network assumption) and are
+//! excluded from fingerprints.
+//!
+//! Checked invariants, straight from the Raft paper:
+//! - **Election safety**: at most one leader is ever elected per term
+//!   (tracked with a history variable across the whole run, not just
+//!   per state).
+//! - **Log matching** on committed prefixes: any two replicas agree on
+//!   the term of every index both have committed.
+//! - **Leader completeness**: a current leader's log contains every
+//!   entry any replica has committed.
+//!
+//! Symmetry: replicas are interchangeable (their RNGs differ by seed
+//! but are never used), so fingerprints are canonicalized as the
+//! minimum over all node-id permutations.
+
+use std::fmt;
+
+use myrtus_continuum::time::{SimDuration, SimTime};
+use myrtus_kb::raft::{RaftMsg, RaftNode, Role};
+use myrtus_kb::{KvCommand, RaftConfig};
+
+use crate::{canonical_fingerprint, fingerprint_of, FpHasher, Model};
+use std::hash::{Hash, Hasher};
+
+/// One in-flight message. The network is a multiset: any pending
+/// message may be delivered (or dropped) next, modelling arbitrary
+/// reordering and loss.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sender replica id.
+    pub from: usize,
+    /// Destination replica id.
+    pub to: usize,
+    /// The wire message.
+    pub msg: RaftMsg,
+}
+
+/// One explicit state: real replicas plus the network and history.
+#[derive(Debug, Clone)]
+pub struct RaftState {
+    /// The replicas, exactly as production runs them.
+    pub nodes: Vec<RaftNode>,
+    /// Undelivered messages.
+    pub net: Vec<Envelope>,
+    /// History variable: every `(term, node)` leadership ever observed.
+    pub leaders_seen: Vec<(u64, usize)>,
+    elections_left: u32,
+    heartbeats_left: u32,
+    proposals_left: u32,
+    drops_left: u32,
+}
+
+/// One transition.
+#[derive(Debug, Clone)]
+pub enum RaftAction {
+    /// Replica `0`'s election timer fires (it starts an election).
+    Timeout(usize),
+    /// Leader replica sends a round of heartbeats.
+    Heartbeat(usize),
+    /// Leader replica appends a client command to its log.
+    Propose(usize),
+    /// Deliver the pending message at network slot `.0` (summary in `.1`).
+    Deliver(usize, String),
+    /// Drop the pending message at network slot `.0` (summary in `.1`).
+    Drop(usize, String),
+}
+
+impl fmt::Display for RaftAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaftAction::Timeout(i) => write!(f, "election timeout fires on node {i}"),
+            RaftAction::Heartbeat(i) => write!(f, "leader {i} sends heartbeats"),
+            RaftAction::Propose(i) => write!(f, "client proposes a command at leader {i}"),
+            RaftAction::Deliver(_, d) => write!(f, "deliver {d}"),
+            RaftAction::Drop(_, d) => write!(f, "drop {d}"),
+        }
+    }
+}
+
+fn summarize(env: &Envelope) -> String {
+    let kind = match &env.msg {
+        RaftMsg::RequestVote { term, .. } => format!("RequestVote(term {term})"),
+        RaftMsg::VoteReply { term, granted } => {
+            format!("VoteReply(term {term}, granted {granted})")
+        }
+        RaftMsg::AppendEntries { term, entries, leader_commit, .. } => {
+            format!("AppendEntries(term {term}, {} entries, commit {leader_commit})", entries.len())
+        }
+        RaftMsg::InstallSnapshot { term, last_index, .. } => {
+            format!("InstallSnapshot(term {term}, upto {last_index})")
+        }
+        RaftMsg::AppendReply { term, success, match_index } => {
+            format!("AppendReply(term {term}, success {success}, match {match_index})")
+        }
+    };
+    format!("{kind} from node {} to node {}", env.from, env.to)
+}
+
+/// The Raft model: `n` real replicas under an adversarial network.
+#[derive(Debug, Clone)]
+pub struct RaftModel {
+    n: usize,
+    elections: u32,
+    heartbeats: u32,
+    proposals: u32,
+    drops: u32,
+}
+
+impl RaftModel {
+    /// A 3-replica instance with the action budgets used in CI: two
+    /// elections (so leadership can be contested and change hands) and
+    /// a replicated, committable proposal, exploring ~3·10^5 distinct
+    /// states. Heartbeats and message drops are off here — each extra
+    /// budget multiplies the graph several-fold past the CI wall-clock
+    /// budget — and are covered at smaller bounds by the in-module
+    /// fixpoint tests.
+    pub fn small() -> Self {
+        RaftModel { n: 3, elections: 2, heartbeats: 0, proposals: 1, drops: 0 }
+    }
+
+    /// Custom budgets for tests and tuning.
+    pub fn with_budgets(
+        n: usize,
+        elections: u32,
+        heartbeats: u32,
+        proposals: u32,
+        drops: u32,
+    ) -> Self {
+        RaftModel { n, elections, heartbeats, proposals, drops }
+    }
+
+    /// Zero-jitter timing so replica behaviour is a pure function of
+    /// the action sequence (the election RNG is never consulted).
+    fn config() -> RaftConfig {
+        RaftConfig {
+            election_min: SimDuration::from_millis(10),
+            election_max: SimDuration::from_millis(10),
+            heartbeat: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Records any leadership visible in `s` into the history variable.
+    fn note_leaders(s: &mut RaftState) {
+        for node in &s.nodes {
+            if node.role() == Role::Leader {
+                let key = (node.term(), node.id());
+                if let Err(pos) = s.leaders_seen.binary_search(&key) {
+                    s.leaders_seen.insert(pos, key);
+                }
+            }
+        }
+    }
+
+    fn push_out(s: &mut RaftState, from: usize, out: Vec<(usize, RaftMsg)>) {
+        for (to, msg) in out {
+            s.net.push(Envelope { from, to, msg });
+        }
+    }
+}
+
+impl Model for RaftModel {
+    type State = RaftState;
+    type Action = RaftAction;
+
+    fn name(&self) -> &'static str {
+        "raft"
+    }
+
+    fn initial_states(&self) -> Vec<RaftState> {
+        let nodes = (0..self.n).map(|id| RaftNode::new(id, self.n, 42, Self::config())).collect();
+        vec![RaftState {
+            nodes,
+            net: Vec::new(),
+            leaders_seen: Vec::new(),
+            elections_left: self.elections,
+            heartbeats_left: self.heartbeats,
+            proposals_left: self.proposals,
+            drops_left: self.drops,
+        }]
+    }
+
+    fn actions(&self, s: &RaftState, out: &mut Vec<RaftAction>) {
+        for (i, node) in s.nodes.iter().enumerate() {
+            match node.role() {
+                Role::Leader => {
+                    if s.heartbeats_left > 0 {
+                        out.push(RaftAction::Heartbeat(i));
+                    }
+                    if s.proposals_left > 0 {
+                        out.push(RaftAction::Propose(i));
+                    }
+                }
+                Role::Follower | Role::Candidate => {
+                    if s.elections_left > 0 {
+                        out.push(RaftAction::Timeout(i));
+                    }
+                }
+            }
+        }
+        for (k, env) in s.net.iter().enumerate() {
+            out.push(RaftAction::Deliver(k, summarize(env)));
+            if s.drops_left > 0 {
+                out.push(RaftAction::Drop(k, summarize(env)));
+            }
+        }
+    }
+
+    fn apply(&self, s: &RaftState, a: &RaftAction) -> Option<RaftState> {
+        let mut next = s.clone();
+        match a {
+            RaftAction::Timeout(i) => {
+                next.elections_left -= 1;
+                let at = next.nodes[*i].election_deadline();
+                let out = next.nodes[*i].tick(at);
+                Self::push_out(&mut next, *i, out);
+            }
+            RaftAction::Heartbeat(i) => {
+                next.heartbeats_left -= 1;
+                let at = next.nodes[*i].heartbeat_due();
+                let out = next.nodes[*i].tick(at);
+                Self::push_out(&mut next, *i, out);
+            }
+            RaftAction::Propose(i) => {
+                next.proposals_left -= 1;
+                let (_, out) = next.nodes[*i].propose(KvCommand::put("/mc/key", b"value")).ok()?;
+                Self::push_out(&mut next, *i, out);
+            }
+            RaftAction::Deliver(k, _) => {
+                let env = next.net.remove(*k);
+                let out = next.nodes[env.to].handle(SimTime::ZERO, env.from, env.msg);
+                Self::push_out(&mut next, env.to, out);
+            }
+            RaftAction::Drop(k, _) => {
+                next.drops_left -= 1;
+                next.net.remove(*k);
+            }
+        }
+        // Drain applied commands so replica memory stays flat; the log
+        // and commit index (which the invariants read) are untouched.
+        for node in &mut next.nodes {
+            let _ = node.take_committed();
+        }
+        Self::note_leaders(&mut next);
+        Some(next)
+    }
+
+    fn fingerprint(&self, s: &RaftState) -> u64 {
+        // Message payloads carry no node ids, so their digests are
+        // permutation-invariant and computed once per state.
+        let payloads: Vec<u64> =
+            s.net.iter().map(|e| fingerprint_of(&format!("{:?}", e.msg))).collect();
+        canonical_fingerprint(self.n, |perm| {
+            let mut h = FpHasher::default();
+            // Invert: position `new` hashes the node whose new name is
+            // `new`, so relabeled states hash identically.
+            let mut inv = vec![0usize; self.n];
+            for (old, &new) in perm.iter().enumerate() {
+                inv[new] = old;
+            }
+            for &old in &inv {
+                let node = &s.nodes[old];
+                node.term().hash(&mut h);
+                (node.role() as u8).hash(&mut h);
+                match node.voted_for() {
+                    Some(v) => (perm[v] as i64).hash(&mut h),
+                    None => (-1i64).hash(&mut h),
+                }
+                node.commit_index().hash(&mut h);
+                let last = node.last_log_index();
+                last.hash(&mut h);
+                for idx in 1..=last {
+                    node.log_term_at(idx).hash(&mut h);
+                }
+                let mut votes: Vec<usize> = node.votes_granted().iter().map(|&v| perm[v]).collect();
+                votes.sort_unstable();
+                votes.hash(&mut h);
+                for &peer_old in &inv {
+                    node.next_index_of(peer_old).hash(&mut h);
+                    node.match_index_of(peer_old).hash(&mut h);
+                }
+            }
+            let mut net: Vec<u64> = s
+                .net
+                .iter()
+                .zip(&payloads)
+                .map(|(e, &payload)| fingerprint_of(&(perm[e.from], perm[e.to], payload)))
+                .collect();
+            net.sort_unstable();
+            net.hash(&mut h);
+            let mut seen: Vec<(u64, usize)> =
+                s.leaders_seen.iter().map(|&(t, id)| (t, perm[id])).collect();
+            seen.sort_unstable();
+            seen.hash(&mut h);
+            (s.elections_left, s.heartbeats_left, s.proposals_left, s.drops_left).hash(&mut h);
+            h.finish()
+        })
+    }
+
+    fn check(&self, s: &RaftState) -> Result<(), String> {
+        // Election safety: one leader per term, ever.
+        for w in s.leaders_seen.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(format!(
+                    "election safety violated: nodes {} and {} were both leader in term {}",
+                    w[0].1, w[1].1, w[0].0
+                ));
+            }
+        }
+        // Log matching on committed prefixes.
+        for i in 0..s.nodes.len() {
+            for j in (i + 1)..s.nodes.len() {
+                let upto = s.nodes[i].commit_index().min(s.nodes[j].commit_index());
+                for idx in 1..=upto {
+                    let (ti, tj) = (s.nodes[i].log_term_at(idx), s.nodes[j].log_term_at(idx));
+                    if ti != tj {
+                        return Err(format!(
+                            "log matching violated: index {idx} has term {ti} on node {i} \
+                             but term {tj} on node {j} (both committed it)"
+                        ));
+                    }
+                }
+            }
+        }
+        // Leader completeness: an entry committed with term `t` is in
+        // the log of every leader of term >= t. (A deposed leader of an
+        // *older* term that has not yet heard of its successor is
+        // legitimately missing newer commits, so it is exempt.)
+        for leader in s.nodes.iter().filter(|n| n.role() == Role::Leader) {
+            for follower in &s.nodes {
+                for idx in 1..=follower.commit_index() {
+                    let t = follower.log_term_at(idx);
+                    if leader.term() < t {
+                        continue;
+                    }
+                    if idx > leader.last_log_index() || leader.log_term_at(idx) != t {
+                        return Err(format!(
+                            "leader completeness violated: node {} committed index {idx} \
+                             (term {t}) but leader {} of term {} lacks or disagrees on it",
+                            follower.id(),
+                            leader.id(),
+                            leader.term()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explore, Limits, Outcome, Strategy};
+
+    #[test]
+    fn tiny_instance_reaches_fixpoint() {
+        let model = RaftModel::with_budgets(2, 1, 1, 0, 0);
+        match explore(&model, Strategy::Bfs, &Limits::default()) {
+            Outcome::Pass(stats) => assert!(stats.distinct_states > 1),
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symmetry_collapses_mirror_elections() {
+        // From the initial state, "node 0 times out" and "node 1 times
+        // out" are the same state up to relabeling.
+        let model = RaftModel::with_budgets(2, 1, 0, 0, 0);
+        let init = &model.initial_states()[0];
+        let a = model.apply(init, &RaftAction::Timeout(0)).unwrap();
+        let b = model.apply(init, &RaftAction::Timeout(1)).unwrap();
+        assert_eq!(model.fingerprint(&a), model.fingerprint(&b));
+    }
+}

@@ -1,0 +1,126 @@
+//! The mutation battery: each shipped protocol compiles in one
+//! deliberately seeded bug behind its crate's `mc-mutations` feature
+//! (enabled here via dev-dependencies, invisible to `cargo build` /
+//! `cargo run` graphs). Every test first explores the clean instance
+//! to fixpoint, then arms the bug and asserts the checker catches it
+//! with a concrete counterexample trace — proving the models are wired
+//! to the real implementations and the invariants have teeth.
+//!
+//! The switches are thread-local and exploration is single-threaded,
+//! so the tests are safe under the parallel test harness.
+
+use mc::{explore, render_trace, Limits, Model, Outcome, Strategy};
+
+/// Arms one thread-local mutation switch for the scope of a test and
+/// disarms it on drop (including on panic), so an assertion failure in
+/// one test cannot leave the bug armed for later code on this thread.
+struct Armed(fn(bool));
+
+impl Armed {
+    fn new(set: fn(bool)) -> Self {
+        set(true);
+        Armed(set)
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        (self.0)(false);
+    }
+}
+
+/// Explores `model` and asserts a clean pass.
+fn assert_clean<M: Model>(model: &M) {
+    match explore(model, Strategy::Bfs, &Limits::default()) {
+        Outcome::Pass(stats) => {
+            println!(
+                "{}: clean run passed, {} distinct states",
+                model.name(),
+                stats.distinct_states
+            )
+        }
+        Outcome::Violation { message, trace, .. } => panic!(
+            "{}: clean instance violated its invariants: {message}\n{}",
+            model.name(),
+            render_trace(&trace)
+        ),
+        Outcome::LimitReached(_) => {
+            panic!("{}: clean instance hit the exploration limit", model.name())
+        }
+    }
+}
+
+/// Explores `model` and asserts the seeded bug is caught, printing the
+/// counterexample and requiring `needle` in the violation message.
+fn assert_caught<M: Model>(model: &M, needle: &str) {
+    match explore(model, Strategy::Bfs, &Limits::default()) {
+        Outcome::Violation { message, trace, stats } => {
+            println!(
+                "{}: seeded bug caught after {} states: {message}\ncounterexample ({} actions):\n{}",
+                model.name(),
+                stats.distinct_states,
+                trace.len(),
+                render_trace(&trace)
+            );
+            assert!(
+                message.contains(needle),
+                "violation message {message:?} does not mention {needle:?}"
+            );
+            assert!(!trace.is_empty(), "violation must come with a non-empty trace");
+        }
+        Outcome::Pass(stats) => panic!(
+            "{}: seeded bug NOT caught — explored {} states clean",
+            model.name(),
+            stats.distinct_states
+        ),
+        Outcome::LimitReached(_) => {
+            panic!("{}: exploration limit hit before the seeded bug was found", model.name())
+        }
+    }
+}
+
+/// Election-safety mutation: a replica forgets its vote and grants
+/// twice in one term, so two candidates of the same term can both
+/// assemble a majority. Two election timeouts on a 3-node cluster are
+/// enough; no proposals or heartbeats needed.
+#[test]
+fn raft_double_vote_breaks_election_safety() {
+    let model = mc::raft::RaftModel::with_budgets(3, 2, 0, 0, 0);
+    assert_clean(&model);
+    let _armed = Armed::new(myrtus_kb::mutation::set_raft_double_vote);
+    assert_caught(&model, "election safety");
+}
+
+/// Retry-epoch mutation: the engine skips its stale-recovery guard, so
+/// a crash recovery resurrects a task that already reached a terminal
+/// state. The window needs a client cancel between the crash and the
+/// backoff-delayed recovery event, hence the cancel budget.
+#[test]
+fn engine_stale_recover_resurrects_terminal_task() {
+    let model = mc::retry::RetryModel::with_budgets(1, 1, 1, 1);
+    assert_clean(&model);
+    let _armed = Armed::new(myrtus_continuum::mutation::set_engine_stale_recover);
+    assert_caught(&model, "stale recoveries");
+}
+
+/// Admission mutation: the boundary class `priority == protect_priority`
+/// loses its shed exemption, so a protected-class task gets shed once
+/// the queue and rate window fill up.
+#[test]
+fn admission_strict_protect_sheds_protected_class() {
+    let model = mc::admission::AdmissionModel::with_budgets(6, 4);
+    assert_clean(&model);
+    let _armed = Armed::new(myrtus_continuum::mutation::set_admission_strict_protect);
+    assert_caught(&model, "protected");
+}
+
+/// Scale-down mutation: the evicted replica is dropped from the route
+/// table but its pod never releases the cluster's resource requests —
+/// one scale-up followed by a scale-down leaks it.
+#[test]
+fn scale_down_leak_orphans_replica_resources() {
+    let model = mc::scaledown::ScaleDownModel::with_budgets(2, 2);
+    assert_clean(&model);
+    let _armed = Armed::new(myrtus_mirto::mutation::set_scale_down_leaks_pod);
+    assert_caught(&model, "orphaned replica");
+}

@@ -23,7 +23,11 @@ use crate::placement::Placement;
 type BoundPod = (ClusterId, PodId, NodeId);
 
 /// Executes MIRTO placements on the per-layer cluster federation.
-#[derive(Debug)]
+///
+/// `Clone` is part of the contract: the `mc` model checker snapshots
+/// whole proxies as explicit states (the [`Obs`] handle clones
+/// shallowly, which is fine — checker states carry a disabled handle).
+#[derive(Debug, Clone)]
 pub struct DeploymentProxy {
     federation: Federation,
     cluster_of_layer: [ClusterId; 3],
@@ -36,6 +40,21 @@ pub struct DeploymentProxy {
     moves: u64,
     obs: Obs,
     clock_us: u64,
+}
+
+/// Whether the seeded scale-down bug is armed: the popped replica's
+/// pod is dropped from the route table but never evicted from its
+/// cluster, leaking its resource requests. Compiled out of release
+/// builds; off by default even in test builds.
+fn mutation_leaks_scaled_down_pod() -> bool {
+    #[cfg(any(test, feature = "mc-mutations"))]
+    {
+        crate::mutation::scale_down_leaks_pod()
+    }
+    #[cfg(not(any(test, feature = "mc-mutations")))]
+    {
+        false
+    }
 }
 
 fn layer_index(layer: Layer) -> usize {
@@ -258,8 +277,11 @@ impl DeploymentProxy {
         if replicas.is_empty() {
             self.replica_pods.remove(&(app_id, component));
         }
-        let cluster = self.federation.cluster_mut(cl).ok_or(ScheduleError::UnknownCluster(cl))?;
-        cluster.evict(pod)?;
+        if !mutation_leaks_scaled_down_pod() {
+            let cluster =
+                self.federation.cluster_mut(cl).ok_or(ScheduleError::UnknownCluster(cl))?;
+            cluster.evict(pod)?;
+        }
         Ok(Some(node))
     }
 

@@ -43,6 +43,31 @@ pub mod policies;
 pub mod rl;
 pub mod swarm;
 
+/// Seeded-bug switches for the `mc` model checker.
+///
+/// Same contract as `myrtus_continuum::mutation`: thread-local, off by
+/// default, compiled only under `cfg(test)` or the `mc-mutations`
+/// feature.
+#[cfg(any(test, feature = "mc-mutations"))]
+pub mod mutation {
+    use std::cell::Cell;
+
+    thread_local! {
+        static SCALE_DOWN_LEAK: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arms/disarms the scale-down bug: the evicted replica's pod
+    /// leaks its cluster resource requests.
+    pub fn set_scale_down_leaks_pod(on: bool) {
+        SCALE_DOWN_LEAK.with(|c| c.set(on));
+    }
+
+    /// Whether the scale-down leak bug is armed on this thread.
+    pub fn scale_down_leaks_pod() -> bool {
+        SCALE_DOWN_LEAK.with(|c| c.get())
+    }
+}
+
 pub use agent::{auction, layer_agents, AuctionPlacement, Bid, MirtoAgent, OffloadQuery};
 pub use api::{ApiDaemon, ApiError, ApiRequest, ApiResponse, Operation};
 pub use deployer::DeploymentProxy;

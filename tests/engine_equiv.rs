@@ -10,6 +10,8 @@
 use myrtus::continuum::admission::AdmissionPolicy;
 use myrtus::continuum::fault::FaultPlan;
 use myrtus::continuum::ids::{LinkId, NodeId};
+use myrtus::continuum::net::Protocol;
+use myrtus::continuum::node::Layer;
 use myrtus::continuum::retry::RetryPolicy;
 use myrtus::continuum::time::{SimDuration, SimTime};
 use myrtus::continuum::topology::{Continuum, ContinuumBuilder};
@@ -18,7 +20,9 @@ use myrtus::mirto::managers::elasticity::ElasticityConfig;
 use myrtus::mirto::policies::GreedyBestFit;
 use myrtus::mirto::EngineBackend;
 use myrtus::obs::ObsConfig;
+use myrtus::workload::arrival::ArrivalSpec;
 use myrtus::workload::scenarios;
+use myrtus::workload::tosca::{Application, Component, ComponentKind};
 use myrtus_bench::report::{render, ReportInputs};
 
 /// Every observable artifact of one run, in export order: trace JSONL,
@@ -172,9 +176,84 @@ fn surge_run(backend: EngineBackend, seed: u64) -> OrchestrationReport {
         .expect("placeable")
 }
 
+/// Adversarial tie-break run: everything in this workload is built to
+/// collide on timestamps. Four byte-identical worker stages share one
+/// deadline class and one work size, frames arrive on an exact 1 ms
+/// grid, retry backoff has zero jitter and a flat cap (every retry of
+/// a simultaneous crash lands on the same future instant), per-attempt
+/// timeouts are identical, and k=2 replication doubles every
+/// deadline-critical stage into equal-deadline twins. Two nodes crash
+/// at the *same* microsecond mid-run so recovery events for many tasks
+/// are enqueued at one timestamp. Correct runs depend entirely on the
+/// `(time, seq)` total order both backends must share — any wheel
+/// bucket-draining or heap sift bias in equal-key ordering diverges
+/// the trace byte-for-byte.
+fn collision_run(backend: EngineBackend) -> OrchestrationReport {
+    let mut app =
+        Application::new("collision", ArrivalSpec::periodic(SimDuration::from_millis(1), 50))
+            .with_component(
+                Component::new("source", ComponentKind::Sensor)
+                    .with_work_mc(0.05)
+                    .with_preferred_layer(Layer::Edge),
+            );
+    for i in 0..4 {
+        app = app
+            .with_component(
+                Component::new(format!("worker-{i}"), ComponentKind::Function)
+                    .with_work_mc(2.0)
+                    .with_mem_mb(32)
+                    .with_max_latency(SimDuration::from_millis(40)),
+            )
+            .with_connection("source", format!("worker-{i}"), 4_096, Protocol::Mqtt);
+    }
+
+    let mut continuum = ContinuumBuilder::new().build();
+    continuum.sim_mut().set_backend(backend);
+    let crash_at = SimTime::from_millis(20);
+    FaultPlan::new()
+        .crash(NodeId::from_raw(1), crash_at, Some(SimDuration::from_millis(10)))
+        .crash(NodeId::from_raw(2), crash_at, Some(SimDuration::from_millis(10)))
+        .apply(continuum.sim_mut());
+    let retry = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: SimDuration::from_millis(5),
+        backoff_cap: SimDuration::from_millis(5),
+        jitter_frac: 0.0,
+        attempt_timeout: Some(SimDuration::from_millis(10)),
+        ..RetryPolicy::default()
+    };
+    let engine = OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig {
+            backend,
+            obs: ObsConfig::on(),
+            retry: Some(retry),
+            replicate_critical: true,
+            ..EngineConfig::default()
+        },
+    );
+    engine.run(&mut continuum, vec![app], SimTime::from_secs(2)).expect("placeable")
+}
+
 #[test]
 fn quickstart_exports_are_backend_identical() {
     both("quickstart", quickstart_run);
+}
+
+#[test]
+fn equal_timestamp_collisions_are_backend_identical() {
+    let report = collision_run(EngineBackend::Wheel);
+    // The scenario must actually produce the collisions it advertises:
+    // replicated twins deduping and the double-crash driving retries.
+    assert!(
+        report.obs.counter_sum("replica_dedups") > 0,
+        "collision scenario produced no replica dedups — twins no longer race"
+    );
+    assert!(
+        report.obs.counter_sum("task_retries") > 0,
+        "collision scenario produced no retries — the aimed crashes miss every task"
+    );
+    both("collision", collision_run);
 }
 
 #[test]
