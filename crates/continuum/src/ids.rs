@@ -78,6 +78,12 @@ define_id!(
     u32
 );
 define_id!(
+    /// Identifies one regional continuum inside a federation.
+    RegionId,
+    "region-",
+    u16
+);
+define_id!(
     /// Identifies a pod (scheduled container group) within a cluster.
     PodId,
     "pod-",

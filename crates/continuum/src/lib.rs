@@ -41,6 +41,7 @@ pub mod cluster;
 pub mod energy;
 pub mod engine;
 pub mod fault;
+pub mod federation;
 pub mod ids;
 pub mod monitor;
 pub mod net;
@@ -68,6 +69,7 @@ pub mod mutation {
     thread_local! {
         static STALE_RECOVER: Cell<bool> = const { Cell::new(false) };
         static STRICT_PROTECT: Cell<bool> = const { Cell::new(false) };
+        static BLIND_AWARD: Cell<bool> = const { Cell::new(false) };
     }
 
     /// Arms/disarms the retry-epoch bug: recovery events fire even for
@@ -91,11 +93,24 @@ pub mod mutation {
     pub fn admission_strict_protect() -> bool {
         STRICT_PROTECT.with(|c| c.get())
     }
+
+    /// Arms/disarms the blind-award bug: the federation auction skips
+    /// its feasibility filter, so a cheap bid from a region that never
+    /// advertised capacity (or cannot satisfy the query) can win.
+    pub fn set_federation_blind_award(on: bool) {
+        BLIND_AWARD.with(|c| c.set(on));
+    }
+
+    /// Whether the blind-award bug is armed on this thread.
+    pub fn federation_blind_award() -> bool {
+        BLIND_AWARD.with(|c| c.get())
+    }
 }
 
 pub use admission::{AdmissionDecision, AdmissionPolicy};
 pub use engine::{Driver, EngineBackend, SimCore, SimError, SimEvent};
-pub use ids::{ClusterId, LinkId, MsgId, NodeId, PodId, TaskId, TimerId};
+pub use federation::{FederatedContinuum, FederatedContinuumBuilder, GossipRegistry, RegionDigest};
+pub use ids::{ClusterId, LinkId, MsgId, NodeId, PodId, RegionId, TaskId, TimerId};
 pub use node::{Layer, NodeKind, NodeSpec};
 pub use retry::RetryPolicy;
 pub use task::{TaskInstance, TaskOutcome};

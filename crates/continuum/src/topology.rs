@@ -208,6 +208,26 @@ impl ContinuumBuilder {
     /// Panics if there is any edge node but no gateway to attach it to.
     pub fn build(self) -> Continuum {
         let mut sim = SimCore::new();
+        let region = self.build_into(&mut sim, "");
+        Continuum {
+            sim,
+            edge: region.edge,
+            gateways: region.gateways,
+            fmdcs: region.fmdcs,
+            cloud: region.cloud,
+        }
+    }
+
+    /// Builds one copy of the reference shape into an *existing* core,
+    /// prefixing every node name, and returns the per-layer node ids.
+    /// [`ContinuumBuilder::build`] is `build_into` with an empty prefix
+    /// on a fresh core; the federation builder calls it once per region
+    /// so N regional continuums share one deterministic event queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is any edge node but no gateway to attach it to.
+    pub fn build_into(&self, sim: &mut SimCore, prefix: &str) -> BuiltRegion {
         // The builder knows every count up front: pre-size the node
         // tables and give the event queue room for one in-flight event
         // per node before the first task is submitted.
@@ -221,22 +241,26 @@ impl ContinuumBuilder {
         sim.reserve_events(node_count);
         let mut edge = Vec::with_capacity(self.multicores + self.hmpsocs + self.riscvs);
         for i in 0..self.multicores {
-            edge.push(sim.add_node(NodeSpec::preset_edge_multicore(format!("edge-mc-{i}"))));
+            edge.push(
+                sim.add_node(NodeSpec::preset_edge_multicore(format!("{prefix}edge-mc-{i}"))),
+            );
         }
         for i in 0..self.hmpsocs {
-            edge.push(sim.add_node(NodeSpec::preset_edge_hmpsoc(format!("edge-hmpsoc-{i}"))));
+            edge.push(
+                sim.add_node(NodeSpec::preset_edge_hmpsoc(format!("{prefix}edge-hmpsoc-{i}"))),
+            );
         }
         for i in 0..self.riscvs {
-            edge.push(sim.add_node(NodeSpec::preset_edge_riscv(format!("edge-riscv-{i}"))));
+            edge.push(sim.add_node(NodeSpec::preset_edge_riscv(format!("{prefix}edge-riscv-{i}"))));
         }
         let gateways: Vec<NodeId> = (0..self.gateways)
-            .map(|i| sim.add_node(NodeSpec::preset_fog_gateway(format!("fog-gw-{i}"))))
+            .map(|i| sim.add_node(NodeSpec::preset_fog_gateway(format!("{prefix}fog-gw-{i}"))))
             .collect();
         let fmdcs: Vec<NodeId> = (0..self.fmdcs)
-            .map(|i| sim.add_node(NodeSpec::preset_fog_fmdc(format!("fog-fmdc-{i}"))))
+            .map(|i| sim.add_node(NodeSpec::preset_fog_fmdc(format!("{prefix}fog-fmdc-{i}"))))
             .collect();
         let cloud: Vec<NodeId> = (0..self.cloud_servers)
-            .map(|i| sim.add_node(NodeSpec::preset_cloud_server(format!("cloud-{i}"))))
+            .map(|i| sim.add_node(NodeSpec::preset_cloud_server(format!("{prefix}cloud-{i}"))))
             .collect();
 
         assert!(edge.is_empty() || !gateways.is_empty(), "edge devices need at least one gateway");
@@ -285,6 +309,65 @@ impl ContinuumBuilder {
             }
         }
 
+        BuiltRegion { edge, gateways, fmdcs, cloud }
+    }
+}
+
+/// Per-layer node ids of one built copy of the reference shape —
+/// what [`ContinuumBuilder::build_into`] hands back for each region.
+#[derive(Debug, Clone)]
+pub struct BuiltRegion {
+    /// Edge-layer node ids.
+    pub edge: Vec<NodeId>,
+    /// Smart-gateway node ids (fog).
+    pub gateways: Vec<NodeId>,
+    /// FMDC node ids (fog).
+    pub fmdcs: Vec<NodeId>,
+    /// Cloud node ids.
+    pub cloud: Vec<NodeId>,
+}
+
+impl BuiltRegion {
+    /// Every node of the region in id order.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .edge
+            .iter()
+            .chain(self.gateways.iter())
+            .chain(self.fmdcs.iter())
+            .chain(self.cloud.iter())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The region's WAN ingress: the first FMDC, falling back to the
+    /// first gateway, then the first cloud server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region has no fog or cloud node at all.
+    pub fn ingress(&self) -> NodeId {
+        self.fmdcs
+            .first()
+            .or_else(|| self.gateways.first())
+            .or_else(|| self.cloud.first())
+            .copied()
+            .expect("a region needs at least one fog or cloud node")
+    }
+}
+
+impl Continuum {
+    /// Assembles a continuum from an already-built core plus per-layer
+    /// ids — the federation builder's aggregate view over all regions.
+    pub fn from_parts(
+        sim: SimCore,
+        edge: Vec<NodeId>,
+        gateways: Vec<NodeId>,
+        fmdcs: Vec<NodeId>,
+        cloud: Vec<NodeId>,
+    ) -> Self {
         Continuum { sim, edge, gateways, fmdcs, cloud }
     }
 }

@@ -12,6 +12,7 @@ use myrtus_continuum::monitor::MonitoringReport;
 use myrtus_continuum::node::Layer;
 use myrtus_continuum::time::SimTime;
 
+use crate::command::KvCommand;
 use crate::history::HistoryStore;
 use crate::registry::{NodeRecord, RegistryView};
 use crate::store::KvStore;
@@ -99,6 +100,25 @@ impl KnowledgeBase {
     pub fn record_kpi(&mut self, app: &str, kpi: &str, at: SimTime, value: f64) {
         self.history.append(format!("app/{app}/{kpi}"), at, value);
     }
+
+    /// Writes one key into a region's shard of the federated KB
+    /// namespace (`/region/{r}/{key}`). Each regional continuum owns
+    /// its shard (implementation view: one Raft group per region); the
+    /// logical view below stays a single ontological KB, so federation
+    /// code reads peers' shards through the same store.
+    pub fn put_region(&mut self, region: u16, key: &str, value: &str, at: SimTime) {
+        let cmd = KvCommand::put(format!("/region/{region}/{key}"), value.as_bytes());
+        self.store.apply(&cmd, at);
+    }
+
+    /// One region's full shard, in key order, values decoded as UTF-8.
+    pub fn region_shard(&self, region: u16) -> Vec<(String, String)> {
+        self.store
+            .range(&format!("/region/{region}/"))
+            .into_iter()
+            .map(|(k, e)| (k.to_string(), String::from_utf8_lossy(&e.value).into_owned()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +168,27 @@ mod tests {
         let mut kb = KnowledgeBase::new();
         kb.record_kpi("telerehab", "latency_us", SimTime::from_millis(1), 42.0);
         assert_eq!(kb.history().latest("app/telerehab/latency_us").map(|s| s.value), Some(42.0));
+    }
+
+    #[test]
+    fn region_shards_are_disjoint_and_ordered() {
+        let mut kb = KnowledgeBase::new();
+        let at = SimTime::from_millis(5);
+        kb.put_region(1, "digest", "util=0.9", at);
+        kb.put_region(0, "digest", "util=0.1", at);
+        kb.put_region(0, "burst", "r2", at);
+        let shard0 = kb.region_shard(0);
+        assert_eq!(
+            shard0,
+            vec![
+                ("/region/0/burst".to_string(), "r2".to_string()),
+                ("/region/0/digest".to_string(), "util=0.1".to_string()),
+            ]
+        );
+        assert_eq!(kb.region_shard(1).len(), 1, "peer shard untouched");
+        // Overwrites update in place within the shard.
+        kb.put_region(0, "digest", "util=0.2", at);
+        assert_eq!(kb.region_shard(0)[1].1, "util=0.2");
+        assert_eq!(kb.region_shard(2), vec![], "unknown shard is empty");
     }
 }

@@ -3,8 +3,10 @@
 //! A deterministic explicit-state model checker for the protocols the
 //! workspace actually ships: Raft leader election and log replication
 //! (`myrtus-kb`), the retry/cancel-epoch and k=2 replication machinery
-//! of the simulation core, admission control (`myrtus-continuum`), and
-//! elastic scale-down (`myrtus-mirto`).
+//! of the simulation core, admission control (`myrtus-continuum`),
+//! elastic scale-down (`myrtus-mirto`), and the federation tier's
+//! gossip registry and sealed-bid burst auction
+//! (`myrtus-continuum::federation`).
 //!
 //! The checker is deliberately small: a [`Model`] is anything with
 //! initial states, enabled actions, a successor function, a canonical
@@ -13,8 +15,9 @@
 //! seen-set and, on violation, reconstructs the action sequence that
 //! reached the bad state as a readable counterexample trace.
 //!
-//! The four bundled models ([`raft`], [`retry`], [`admission`],
-//! [`scaledown`]) are *adapters over the production implementations*,
+//! The five bundled models ([`raft`], [`retry`], [`admission`],
+//! [`scaledown`], [`federation`]) are *adapters over the production
+//! implementations*,
 //! not re-specifications: every transition calls the same public
 //! methods the orchestration stack calls, and every invariant reads
 //! state back through the same accessors.
@@ -42,6 +45,7 @@ use std::fmt::Display;
 use std::hash::{Hash, Hasher};
 
 pub mod admission;
+pub mod federation;
 pub mod raft;
 pub mod retry;
 pub mod scaledown;

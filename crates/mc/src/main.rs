@@ -1,10 +1,10 @@
-//! Runs the four protocol models to fixpoint and reports state-space
+//! Runs the five protocol models to fixpoint and reports state-space
 //! statistics. Exits non-zero on an invariant violation (printing the
 //! counterexample trace) or when a model fails to explore at least
 //! [`MIN_STATES`] distinct states — a shrinking state space usually
 //! means an adapter quietly stopped driving the real implementation.
 //!
-//! Usage: `cargo run -p mc [--model raft|retry|admission|scaledown]`.
+//! Usage: `cargo run -p mc [--model raft|retry|admission|scaledown|federation]`.
 
 use std::time::Instant;
 
@@ -63,7 +63,7 @@ fn main() {
         Some(i) => match args.get(i + 1) {
             Some(name) => Some(name.clone()),
             None => {
-                eprintln!("--model requires a name: raft, retry, admission, scaledown");
+                eprintln!("--model requires a name: raft, retry, admission, scaledown, federation");
                 std::process::exit(2);
             }
         },
@@ -94,9 +94,14 @@ fn main() {
     if wants("scaledown") {
         record("scaledown", run_model(&mc::scaledown::ScaleDownModel::small()));
     }
+    if wants("federation") {
+        record("federation", run_model(&mc::federation::FederationModel::small()));
+    }
 
     if ran == 0 {
-        eprintln!("unknown model {filter:?}: expected raft, retry, admission, or scaledown");
+        eprintln!(
+            "unknown model {filter:?}: expected raft, retry, admission, scaledown, or federation"
+        );
         std::process::exit(2);
     }
     for (name, states) in &starved {

@@ -124,3 +124,15 @@ fn scale_down_leak_orphans_replica_resources() {
     let _armed = Armed::new(myrtus_mirto::mutation::set_scale_down_leaks_pod);
     assert_caught(&model, "orphaned replica");
 }
+
+/// Federation mutation: the sealed-bid auction skips its feasibility
+/// filter, so the silent region's zero-cost placeholder bid (no
+/// published digest, no target node) beats every real advertiser —
+/// the very first open escalates to a region that never advertised.
+#[test]
+fn federation_blind_award_bursts_to_silent_region() {
+    let model = mc::federation::FederationModel::with_budgets(3, 2, 2);
+    assert_clean(&model);
+    let _armed = Armed::new(myrtus_continuum::mutation::set_federation_blind_award);
+    assert_caught(&model, "never advertised");
+}

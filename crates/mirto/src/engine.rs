@@ -16,11 +16,12 @@
 //! * **reconfigure** — operating-point switches, re-placements and task
 //!   resubmissions on the simulator.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use myrtus_continuum::admission::AdmissionPolicy;
 use myrtus_continuum::engine::{Driver, EngineBackend, SimCore, SimEvent};
-use myrtus_continuum::ids::{NodeId, TaskId};
+use myrtus_continuum::federation::{BurstQuery, FederatedContinuum};
+use myrtus_continuum::ids::{NodeId, RegionId, TaskId};
 use myrtus_continuum::monitor::{ApplicationMonitor, MonitoringReport};
 use myrtus_continuum::net::{PlanEstimator, Protocol, RouteCache};
 use myrtus_continuum::node::Layer;
@@ -40,9 +41,10 @@ use myrtus_workload::tosca::Application;
 
 use crate::deployer::DeploymentProxy;
 use crate::managers::elasticity::{ElasticityConfig, ElasticityManager, ScaleAction, StageSignals};
+use crate::managers::federation::{FederationAction, FederationConfig, FederationManager};
 use crate::managers::network::NetworkManager;
 use crate::managers::node::NodeManager;
-use crate::managers::privsec::{node_security_level, PrivacySecurityManager};
+use crate::managers::privsec::{level_for_tier, node_security_level, PrivacySecurityManager};
 use crate::managers::wl::WlManager;
 use crate::placement::{replica_target, PlanContext};
 use crate::policies::{PlaceError, PlacementPolicy};
@@ -129,6 +131,13 @@ pub struct EngineConfig {
     /// latency bound) onto a second surviving node: first completion
     /// wins and the losing twin is cancelled (`replica_dedups`).
     pub replicate_critical: bool,
+    /// Cross-region federation: gossip resource registry plus sealed-bid
+    /// burst auction, the escalation tier above elasticity (replicas
+    /// first, burst to a peer region when the home region saturates).
+    /// Only acts under [`OrchestrationEngine::run_federated`]; `None`
+    /// (the default) keeps every run byte-identical to pre-federation
+    /// builds.
+    pub federation: Option<FederationConfig>,
     /// Seed for stochastic arrivals.
     pub seed: u64,
     /// Runtime manager thresholds (the swarm agents' local rules).
@@ -153,6 +162,7 @@ impl Default for EngineConfig {
             admission: None,
             elasticity: None,
             replicate_critical: false,
+            federation: None,
             seed: 7,
             tuning: ManagerTuning::default(),
             obs: ObsConfig::off(),
@@ -321,6 +331,10 @@ pub struct OrchestrationReport {
     pub pods_bound: u64,
     /// Pod migrations executed through the deployment proxy.
     pub pod_moves: u64,
+    /// Cross-region burst links opened by the Federation Manager.
+    pub bursts: u64,
+    /// Tasks routed across the WAN over an open burst link.
+    pub tasks_bursted: u64,
     /// Simulator events processed.
     pub events: u64,
     /// Observability handle for the run: metric snapshots and the trace
@@ -381,6 +395,13 @@ pub struct OrchestrationEngine {
     net_mgr: NetworkManager,
     sec: PrivacySecurityManager,
     elasticity: Option<ElasticityManager>,
+    fed: Option<FederationManager>,
+    /// Applications whose replica fleet has reached the autoscaler's
+    /// `max_replicas` at least once. The exhausted check is sticky:
+    /// momentary scale-downs (the ETA router sloshes per-component
+    /// queues through zero) must not disarm WAN escalation once the
+    /// autoscaler has demonstrably spent its budget.
+    fed_maxed: HashSet<u16>,
     proxy: Option<DeploymentProxy>,
     kb: KnowledgeBase,
     /// Plan-time route/transfer memo reused across placement sweeps;
@@ -440,6 +461,8 @@ impl OrchestrationEngine {
         OrchestrationEngine {
             sec: PrivacySecurityManager::new(cfg.enforce_security),
             elasticity: cfg.elasticity.map(ElasticityManager::new),
+            fed: None,
+            fed_maxed: HashSet::new(),
             cfg,
             wl,
             node_mgr,
@@ -539,6 +562,52 @@ impl OrchestrationEngine {
         Ok(self.finish(continuum))
     }
 
+    /// Runs a *federated* deployment: each application is pinned to a
+    /// home region of `fed` and placed only on that region's nodes;
+    /// when [`EngineConfig::federation`] is set, the Federation Manager
+    /// gossips per-region digests each MAPE round and may burst an
+    /// overloaded region's tasks to an auctioned peer node over the
+    /// WAN. With `federation: None` the regions run fully isolated —
+    /// the single-region baseline of experiment E14.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] when a time-zero deployment cannot be
+    /// placed inside its home region.
+    pub fn run_federated(
+        mut self,
+        fed: &mut FederatedContinuum,
+        apps: Vec<(Application, RegionId, SimTime)>,
+        horizon: SimTime,
+    ) -> Result<OrchestrationReport, PlaceError> {
+        let regions: Vec<Vec<NodeId>> = fed.regions().iter().map(|r| r.all_nodes()).collect();
+        let ingress: Vec<NodeId> = fed.regions().iter().map(|r| r.ingress()).collect();
+        let cfg = self.cfg.federation.unwrap_or_default();
+        let mut mgr = FederationManager::new(cfg, regions, ingress);
+        for (i, (_, region, _)) in apps.iter().enumerate() {
+            mgr.assign_home(i as u16, *region);
+        }
+        // Without a federation config the manager still pins each app
+        // to its home region (the isolated baseline) but never gossips
+        // or bursts; `federation_round` checks the config.
+        self.fed = Some(mgr);
+        let scheduled = apps.into_iter().map(|(a, _, t)| (a, t)).collect();
+        self.run_scheduled(fed.continuum_mut(), scheduled, horizon)
+    }
+
+    /// Restricts per-component candidate sets to an application's home
+    /// region under federated runs. The identity outside them, so
+    /// legacy paths are untouched.
+    fn region_filter(&self, app_id: u16, candidates: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+        let Some(home) = self.fed.as_ref().and_then(|f| f.home_nodes(app_id)) else {
+            return candidates;
+        };
+        candidates
+            .into_iter()
+            .map(|v| v.into_iter().filter(|n| home.binary_search(n).is_ok()).collect())
+            .collect()
+    }
+
     /// Deployment-time orchestration of one application at the current
     /// simulation instant: validate, place, execute on the cluster
     /// layer, compile the request stream and arm its arrival timers.
@@ -559,7 +628,7 @@ impl OrchestrationEngine {
         let priority =
             u8::from(compiled.iter().any(|r| r.stages.iter().any(|s| s.max_latency.is_some())));
         {
-            let candidates = self.sec.candidates(sim, &app, &dag);
+            let candidates = self.region_filter(app_id, self.sec.candidates(sim, &app, &dag));
             let estimator = PlanEstimator::new(sim.network(), sim.now(), &self.plan_cache);
             let ctx = PlanContext {
                 sim,
@@ -673,6 +742,8 @@ impl OrchestrationEngine {
             app_point_switches: self.app_point_switches,
             pods_bound: self.proxy.as_ref().map_or(0, DeploymentProxy::binds),
             pod_moves: self.proxy.as_ref().map_or(0, DeploymentProxy::moves),
+            bursts: self.fed.as_ref().map_or(0, FederationManager::bursts_opened),
+            tasks_bursted: self.fed.as_ref().map_or(0, FederationManager::tasks_bursted),
             events: sim.processed_events(),
             obs: {
                 self.obs.gauge_set("run_total_energy_j", "", report.total_energy_j());
@@ -724,7 +795,7 @@ impl OrchestrationEngine {
         let dst_up = sim.node(dst).map(|n| n.is_up()).unwrap_or(false);
         if !dst_up && self.cfg.reallocation {
             let rt = &self.apps[app_pos];
-            let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+            let candidates = self.region_filter(app_id, self.sec.candidates(sim, &rt.app, &rt.dag));
             let estimator = PlanEstimator::new(sim.network(), sim.now(), &self.plan_cache);
             let ctx = PlanContext {
                 sim,
@@ -769,13 +840,19 @@ impl OrchestrationEngine {
         // and locality is only given up when the queue wait exceeds the
         // shipping cost. Ties break on node id; with no replicas bound
         // the primary is kept unconditionally.
+        // An open federation burst adds the auctioned peer node as one
+        // more routing candidate: the same ETA math prices the WAN hop
+        // (transfer + Table II protection + remote backlog), so tasks
+        // only cross regions when that beats queueing at home.
+        let burst = self.fed.as_ref().and_then(|f| f.burst_target(app_id));
         if let Some(proxy) = self.proxy.as_ref() {
             let replicas = proxy.replica_nodes(app_id, stage.component_idx);
-            if !replicas.is_empty() {
+            if !replicas.is_empty() || burst.is_some() {
                 let now = sim.now();
                 let est = PlanEstimator::new(sim.network(), now, &self.plan_cache);
                 let best = std::iter::once(dst)
                     .chain(replicas)
+                    .chain(burst.map(|b| b.node))
                     .filter(|&n| sim.node(n).is_some_and(|s| s.is_up()))
                     .min_by_key(|&n| {
                         // A remote hop pays transfer plus the Privacy &
@@ -802,6 +879,12 @@ impl OrchestrationEngine {
                         (local.as_micros().saturating_add(xfer as u64), n.as_raw())
                     });
                 if let Some(n) = best {
+                    if burst.is_some_and(|b| b.node == n && n != dst) {
+                        self.obs.counter_inc("tasks_bursted", "");
+                        if let Some(f) = self.fed.as_mut() {
+                            f.note_bursted();
+                        }
+                    }
                     dst = n;
                 }
             }
@@ -900,7 +983,7 @@ impl OrchestrationEngine {
         else {
             return;
         };
-        let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+        let candidates = self.region_filter(rt.id, self.sec.candidates(sim, &rt.app, &rt.dag));
         let ups = candidates.get(dag_pos).map(Vec::as_slice).unwrap_or(&[]);
         let Some(twin_node) = replica_target(primary_node, ups) else { return };
         let mut twin = TaskInstance::new(sim.fresh_task_id(), stage.work_mc)
@@ -1117,7 +1200,7 @@ impl OrchestrationEngine {
         let comp_idx = self.requests[&key].compiled.stages[si].component_idx;
         let target = {
             let rt = &self.apps[app_pos];
-            let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+            let candidates = self.region_filter(rt.id, self.sec.candidates(sim, &rt.app, &rt.dag));
             let dag_pos =
                 rt.dag.nodes().iter().position(|n| n.component_idx == comp_idx).unwrap_or(0);
             // Prefer a host other than the one that failed the
@@ -1244,7 +1327,8 @@ impl OrchestrationEngine {
                 let app_id = self.apps[pos].id;
                 let moves = {
                     let rt = &self.apps[pos];
-                    let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+                    let candidates =
+                        self.region_filter(app_id, self.sec.candidates(sim, &rt.app, &rt.dag));
                     let estimator = PlanEstimator::new(sim.network(), sim.now(), &self.plan_cache);
                     let ctx = PlanContext {
                         sim,
@@ -1291,6 +1375,13 @@ impl OrchestrationEngine {
         if let Some(mut mgr) = self.elasticity.take() {
             self.elasticity_round(sim, now_us, &mut mgr);
             self.elasticity = Some(mgr);
+        }
+        // Federation Manager: gossip digests, then the escalation tier
+        // above elasticity — burst to an auctioned peer region when the
+        // home region stays saturated with replicas exhausted.
+        if let Some(mut mgr) = self.fed.take() {
+            self.federation_round(sim, now_us, &mut mgr);
+            self.fed = Some(mgr);
         }
         if self.cfg.app_point_adaptation {
             for (pos, rt) in self.apps.iter_mut().enumerate() {
@@ -1360,6 +1451,117 @@ impl OrchestrationEngine {
         }
     }
 
+    /// One Federation Manager round (federated runs with
+    /// [`EngineConfig::federation`] set only): publish every region's
+    /// digest into the gossip registry and the KB's `/region/{r}/`
+    /// shard, run one anti-entropy round, then give each application's
+    /// escalation logic a tick — open a burst when its home region has
+    /// stayed saturated with replicas exhausted, close it on relief.
+    fn federation_round(&mut self, sim: &mut SimCore, now_us: u64, mgr: &mut FederationManager) {
+        if self.cfg.federation.is_none() || !mgr.active() {
+            return;
+        }
+        let now = sim.now();
+        for d in mgr.gossip_round(sim) {
+            let payload = format!(
+                "free_mcps={:.3};util={:.4};queue={:.1};ver={}",
+                d.free_mc_per_s, d.utilization, d.queue_depth, d.version
+            );
+            self.kb.put_region(d.region.as_raw(), "digest", &payload, now);
+        }
+        mgr.update_pressure();
+        let est = PlanEstimator::new(sim.network(), now, &self.plan_cache);
+        for pos in 0..self.apps.len() {
+            let app_id = self.apps[pos].id;
+            // Scale replicas first: only an app whose elasticity budget
+            // is spent (or absent) may burst across the WAN.
+            let replicas_exhausted = match self.cfg.elasticity {
+                None => true,
+                Some(e) => {
+                    let rt = &self.apps[pos];
+                    let at_max = rt.dag.nodes().iter().any(|n| {
+                        self.proxy.as_ref().map_or(0, |p| p.replica_count(app_id, n.component_idx))
+                            as u32
+                            >= e.max_replicas
+                    });
+                    if at_max {
+                        self.fed_maxed.insert(app_id);
+                    }
+                    self.fed_maxed.contains(&app_id)
+                }
+            };
+            let query = self.burst_query(pos);
+            let home = mgr.home_of(app_id).map(RegionId::as_raw).unwrap_or(0);
+            match mgr.tick(sim, &est, app_id, &query, replicas_exhausted) {
+                Some(FederationAction::Open(link)) => {
+                    self.obs.counter_inc("manager_actions", "federation");
+                    self.obs.trace(
+                        now_us,
+                        TraceKind::ManagerAction {
+                            manager: "federation",
+                            action: "burst_open",
+                            subject: app_id as u64,
+                        },
+                    );
+                    self.kb.put_region(home, "burst", &link.region.to_string(), now);
+                }
+                Some(FederationAction::Close(_)) => {
+                    self.obs.counter_inc("manager_actions", "federation");
+                    self.obs.trace(
+                        now_us,
+                        TraceKind::ManagerAction {
+                            manager: "federation",
+                            action: "burst_close",
+                            subject: app_id as u64,
+                        },
+                    );
+                    self.kb.put_region(home, "burst", "none", now);
+                }
+                Some(FederationAction::Migrate { to, .. }) => {
+                    self.obs.counter_inc("manager_actions", "federation");
+                    self.obs.trace(
+                        now_us,
+                        TraceKind::ManagerAction {
+                            manager: "federation",
+                            action: "burst_migrate",
+                            subject: app_id as u64,
+                        },
+                    );
+                    self.kb.put_region(home, "burst", &to.region.to_string(), now);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// The sealed-bid query for one application: conservative over its
+    /// components (max work, memory and security tier; max connection
+    /// payload), so *any* stage of the app can run on a node satisfying
+    /// it.
+    fn burst_query(&self, pos: usize) -> BurstQuery {
+        let rt = &self.apps[pos];
+        let mut q = BurstQuery {
+            work_mc: 0.0,
+            input_bytes: 0,
+            mem_mb: 0,
+            min_tier: 0,
+            min_headroom_mc_per_s: self
+                .cfg
+                .federation
+                .map(|f| f.min_headroom_mc_per_s)
+                .unwrap_or(1.0),
+        };
+        for c in &rt.app.components {
+            q.work_mc = q.work_mc.max(c.requirements.work_mc);
+            q.mem_mb = q.mem_mb.max(c.requirements.mem_mb);
+            q.min_tier = q.min_tier.max(level_for_tier(c.requirements.security).tier());
+        }
+        for conn in &rt.app.connections {
+            q.input_bytes = q.input_bytes.max(conn.bytes_per_req);
+        }
+        q
+    }
+
     /// One Elasticity Manager round: for every deployed component, read
     /// the scraped host telemetry, ask the autoscaler for a decision and
     /// execute it through the deployment proxy. A silent no-op while the
@@ -1387,13 +1589,21 @@ impl OrchestrationEngine {
                 else {
                     continue;
                 };
-                let util = self.obs.ts_last_n("node_utilization", &label, 1);
-                let depth = self.obs.ts_last_n("run_queue_depth", &label, 1);
-                let (Some(u), Some(q)) = (util.first(), depth.first()) else { continue };
+                // Peak over the last few scrapes, not the latest
+                // instant: the ETA router drains hosts in waves, so a
+                // single sample catches a pegged node at a momentary
+                // zero and flaps the fleet down mid-overload.
+                let util = self.obs.ts_last_n("node_utilization", &label, 3);
+                let depth = self.obs.ts_last_n("run_queue_depth", &label, 3);
+                if util.is_empty() || depth.is_empty() {
+                    continue;
+                }
+                let peak =
+                    |s: &[myrtus_obs::TsSample]| s.iter().map(|x| x.value).fold(0.0f64, f64::max);
                 let replicas = self.proxy.as_ref().map_or(0, |p| p.replica_count(app_id, comp));
                 let signals = StageSignals {
-                    utilization: u.value,
-                    queue_depth: q.value,
+                    utilization: peak(&util),
+                    queue_depth: peak(&depth),
                     miss_rate,
                     replicas: replicas as u32,
                 };
@@ -1404,7 +1614,8 @@ impl OrchestrationEngine {
                         // this component (ties on node id).
                         let target = {
                             let rt = &self.apps[pos];
-                            let candidates = self.sec.candidates(sim, &rt.app, &rt.dag);
+                            let candidates = self
+                                .region_filter(app_id, self.sec.candidates(sim, &rt.app, &rt.dag));
                             let dag_pos = rt
                                 .dag
                                 .nodes()

@@ -75,6 +75,7 @@ pub use engine::{
     run_orchestration, EngineConfig, ManagerTuning, OrchestrationEngine, OrchestrationReport,
 };
 pub use images::{ImageRegistry, ScanResult};
+pub use managers::federation::{BurstLink, FederationConfig, FederationManager};
 pub use myrtus_continuum::engine::EngineBackend;
 pub use placement::{evaluate, Placement, PlacementScore, PlanContext};
 pub use policies::{

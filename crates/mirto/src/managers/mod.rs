@@ -3,10 +3,13 @@
 //! [`node::NodeManager`] (operating points and accelerator configs),
 //! [`network::NetworkManager`] (learned route selection),
 //! [`privsec::PrivacySecurityManager`] (security constraints, protection
-//! overheads and trust) and [`elasticity::ElasticityManager`]
-//! (MAPE-driven horizontal pod autoscaling).
+//! overheads and trust), [`elasticity::ElasticityManager`]
+//! (MAPE-driven horizontal pod autoscaling) and
+//! [`federation::FederationManager`] (cross-region burst offload, the
+//! escalation tier above elasticity).
 
 pub mod elasticity;
+pub mod federation;
 pub mod network;
 pub mod node;
 pub mod privsec;

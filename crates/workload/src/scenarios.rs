@@ -14,6 +14,7 @@ use myrtus_continuum::time::{SimDuration, SimTime};
 use crate::arrival::ArrivalSpec;
 use crate::tosca::{Application, Component, ComponentKind, SecurityTier};
 
+pub mod federation;
 pub mod surge;
 
 /// Accelerator configuration ids used by the scenario kernels, shared

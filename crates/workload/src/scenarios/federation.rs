@@ -1,0 +1,122 @@
+//! Multi-region workload mixes for the federation experiments (E14):
+//! every region runs the same two-tenant shape — one deadline-bound
+//! interactive pipeline plus one best-effort bulk tenant — and exactly
+//! one *hot* region has its bulk load scaled up, so cross-region
+//! bursting has somewhere to shed overload to.
+//!
+//! Like [`super::surge`], everything derives from an explicit seed, so
+//! equal seeds yield byte-identical workloads across repeats (the
+//! federation CI gate double-runs the same seed and diffs the exports).
+
+use myrtus_continuum::net::Protocol;
+use myrtus_continuum::time::SimTime;
+
+use super::surge::{arrivals, interactive_tenant, SurgeSpec};
+use crate::arrival::ArrivalSpec;
+use crate::tosca::{Application, Component, ComponentKind};
+
+/// One tenant of a regional mix, tagged with its home region.
+pub type RegionalApp = (Application, u16);
+
+/// Per-request work of the batch `crunch` stage, Mc. Sized so one
+/// region's diurnal peak at load 1× sits near 60% of a small region's
+/// compute, leaving peers headroom to absorb a sibling's 2× overload.
+pub const BATCH_WORK_MC: f64 = 100.0;
+
+/// The cross-region batch tenant: same shape as the surge bulk tenant
+/// but with a much heavier `crunch` stage ([`BATCH_WORK_MC`]) — the
+/// load that actually saturates a region and is worth shipping over a
+/// 40 ms WAN because nothing in it has a deadline.
+pub fn batch_tenant(name: &str, spec: &SurgeSpec) -> Application {
+    Application::new(name, ArrivalSpec::Trace(arrivals(spec)))
+        .with_component(Component::new("ingest", ComponentKind::Sensor).with_work_mc(0.05))
+        .with_component(
+            Component::new("crunch", ComponentKind::Function)
+                .with_work_mc(BATCH_WORK_MC)
+                .with_mem_mb(128),
+        )
+        .with_component(Component::new("sink", ComponentKind::Storage).with_work_mc(0.2))
+        .with_connection("ingest", "crunch", 131_072, Protocol::Http)
+        .with_connection("crunch", "sink", 4_096, Protocol::Http)
+}
+
+/// The standard federated mix: `regions` copies of a two-tenant shape
+/// (deadline-bound interactive + heavy batch), with the `hot` region's
+/// batch offered load scaled by `overload` (2.0 = the E14 single-region
+/// 2× overload). Application names are region-prefixed
+/// (`r0-interactive`, `r0-batch`, …) so reports and exports
+/// disambiguate regions; per-region batch seeds are decorrelated from
+/// `seed` so the ramps are phase-jittered.
+pub fn region_mix(
+    seed: u64,
+    regions: u16,
+    horizon: SimTime,
+    hot: u16,
+    overload: f64,
+) -> Vec<RegionalApp> {
+    let mut out = Vec::new();
+    for r in 0..regions {
+        let mut interactive = interactive_tenant(horizon);
+        interactive.name = format!("r{r}-interactive");
+        out.push((interactive, r));
+
+        let base = SurgeSpec::default();
+        let factor = if r == hot { overload } else { 1.0 };
+        let batch = batch_tenant(
+            &format!("r{r}-batch"),
+            // No flash crowds: the surge default's ×3 spikes hit every
+            // region at once and momentarily drown even well-fed peers.
+            // E14 is about one region's *sustained* diurnal overload,
+            // so the ramp alone carries the story and the siblings keep
+            // real headroom throughout.
+            &SurgeSpec {
+                seed: seed.wrapping_add(0x9E37 * (r as u64 + 1)),
+                horizon,
+                base_rps: base.base_rps * factor,
+                peak_rps: base.peak_rps * factor,
+                spikes: 0,
+                ..base
+            },
+        );
+        out.push((batch, r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_mix_is_deterministic_and_region_tagged() {
+        let a = region_mix(7, 3, SimTime::from_secs(4), 0, 2.0);
+        let b = region_mix(7, 3, SimTime::from_secs(4), 0, 2.0);
+        assert_eq!(a, b, "equal seeds, equal mixes");
+        assert_eq!(a.len(), 6, "two tenants per region");
+        for (app, region) in &a {
+            assert!(app.name.starts_with(&format!("r{region}-")), "{}", app.name);
+            app.validate().expect("valid app");
+        }
+    }
+
+    #[test]
+    fn only_the_hot_region_is_overloaded() {
+        let mix = region_mix(7, 3, SimTime::from_secs(4), 1, 2.0);
+        let count = |app: &Application| app.arrival.generate(0).len();
+        let bulk: Vec<usize> =
+            mix.iter().filter(|(a, _)| a.name.ends_with("-batch")).map(|(a, _)| count(a)).collect();
+        assert!(
+            bulk[1] > bulk[0] * 3 / 2 && bulk[1] > bulk[2] * 3 / 2,
+            "the hot region's bulk load dominates: {bulk:?}"
+        );
+        let interactive: Vec<usize> = mix
+            .iter()
+            .filter(|(a, _)| a.name.ends_with("-interactive"))
+            .map(|(a, _)| count(a))
+            .collect();
+        assert!(
+            interactive.windows(2).all(|w| w[0] == w[1]),
+            "interactive tenants are identical across regions: {interactive:?}"
+        );
+    }
+}

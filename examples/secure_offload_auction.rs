@@ -1,44 +1,104 @@
-//! Inter-agent negotiation with security constraints: layer agents bid
-//! for a stage (paper Sect. IV), the winner opens a Table II secure
-//! channel, and the trust model reacts to an injected incident.
+//! Cross-region offload with security constraints: regions advertise
+//! capacity through the gossip registry, the home region solicits
+//! sealed bids priced from its views (paper Sect. IV), the auction
+//! picks the cheapest feasible peer, the award lands in the ledger and
+//! the winner opens a Table II secure channel. The trust model reacts
+//! to an injected incident at the end.
 //!
 //! ```sh
 //! cargo run --example secure_offload_auction
 //! ```
 
-use myrtus::continuum::topology::ContinuumBuilder;
-use myrtus::mirto::agent::{auction, layer_agents, OffloadQuery};
+use myrtus::continuum::federation::{
+    bid_from_view, run_auction, AuctionBook, BurstQuery, FederatedContinuumBuilder, RegionDigest,
+};
+use myrtus::continuum::ids::RegionId;
+use myrtus::mirto::{FederationConfig, FederationManager};
 use myrtus::security::channel::SecureChannel;
 use myrtus::security::suite::SecurityLevel;
 use myrtus::security::trust::{Observation, TrustModel};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let continuum = ContinuumBuilder::new().build();
-    let agents = layer_agents(&continuum);
-    let source = continuum.edge()[0];
+/// WAN hop of the default federation: 40 ms, 200 Mbit/s.
+const WAN_LATENCY_US: f64 = 40_000.0;
+const WAN_MBPS: f64 = 200.0;
 
-    println!("== offload auctions from {} ==", source);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three reference regions on a full-mesh WAN; the federation
+    // manager gossips each region's digest on the default schedule.
+    let fed = FederatedContinuumBuilder::new().build();
+    let regions = fed.regions().iter().map(|r| r.all_nodes()).collect();
+    let ingress = fed.regions().iter().map(|r| r.ingress()).collect();
+    let mut mgr = FederationManager::new(FederationConfig::default(), regions, ingress);
+    let sim = fed.continuum().sim();
+    let home = RegionId::from_raw(0);
+
+    // A coverage window of anti-entropy rounds spreads every advert to
+    // every peer (n - 1 rounds meet each pair directly).
+    for _ in 0..fed.region_count() - 1 {
+        mgr.gossip_round(sim);
+    }
+
+    println!("== sealed-bid burst auctions from region {} ==", home.as_raw());
+    let mut book = AuctionBook::new();
     let cases = [
-        ("light filter on a big frame", 2.0, 460_800, SecurityLevel::Low),
+        ("light filter on a big frame", 2.0, 460_800u64, SecurityLevel::Low),
         ("pose CNN on a small tensor", 5_000.0, 16_384, SecurityLevel::Medium),
         ("archival batch (PQC required)", 100_000.0, 4_096, SecurityLevel::High),
     ];
-    for (label, work_mc, bytes, level) in cases {
-        let query = OffloadQuery {
-            data_at: source,
+    for (case, (label, work_mc, bytes, level)) in cases.into_iter().enumerate() {
+        let query = BurstQuery {
             work_mc,
             input_bytes: bytes,
             mem_mb: 64,
-            min_level: level,
+            min_tier: level.tier(),
+            min_headroom_mc_per_s: 1_000.0,
         };
-        let win = auction(&agents, continuum.sim(), &query).expect("some agent bids");
+        // Price one sealed bid per peer from the home region's gossip
+        // views: WAN transfer for the sealed payload, the Table II
+        // handshake split across both ends, queueing + service on the
+        // advertised node.
+        let hs = level.suite().handshake_cost();
+        let wire = query.input_bytes + level.suite().record_overhead_bytes();
+        let transfer_us = WAN_LATENCY_US + wire as f64 * 8.0 / WAN_MBPS;
+        let bids: Vec<_> = (0..fed.region_count() as u16)
+            .map(RegionId::from_raw)
+            .filter(|&peer| peer != home)
+            .map(|peer| {
+                let view = mgr.registry().view(home, peer);
+                let dst_mhz =
+                    view.map(|e| e.digest.best_speed_mhz).filter(|&s| s > 0.0).unwrap_or(1_000.0);
+                let handshake_us =
+                    hs.initiator_cycles as f64 / 1_000.0 + hs.responder_cycles as f64 / dst_mhz;
+                bid_from_view(
+                    peer,
+                    view,
+                    mgr.registry().staleness(home, peer),
+                    mgr.config().staleness_limit,
+                    transfer_us,
+                    handshake_us,
+                    |d: &RegionDigest| query.work_mc * 1e6 / d.best_speed_mhz.max(1.0),
+                )
+            })
+            .collect();
+        let win = run_auction(&query, &bids).expect("some advertised peer is feasible");
+        let node = win.node.expect("a feasible bid names its target");
+        book.award(case as u64, win.region).expect("fresh key");
         println!(
-            "  {label:32} → {:5} layer, node {}, ETA {:.2} ms ({} security)",
-            win.layer.to_string(),
-            win.node,
-            win.est_completion.as_millis_f64(),
+            "  {label:32} → region {}, node {node}, {:.2} ms total ({} security)",
+            win.region.as_raw(),
+            win.cost_us() / 1_000.0,
             level
         );
+        println!(
+            "      bid: transfer {:.2} ms, handshake {:.3} ms, compute ETA {:.2} ms",
+            win.transfer_us / 1_000.0,
+            win.handshake_us / 1_000.0,
+            win.eta_us / 1_000.0
+        );
+
+        // The award is exclusive while the link is open: a second
+        // award under the same key is refused until release.
+        assert_eq!(book.award(case as u64, win.region), Err(win.region));
 
         // The winner and requester establish a secure channel at the
         // required level and stream a protected record.
@@ -52,13 +112,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cost.wire_bytes,
             record.len() - b"stage payload".len()
         );
+        book.release(case as u64);
     }
+    assert_eq!(book.live(), 0, "every burst link closed");
 
     // Trust: a node that misbehaves loses future auctions indirectly
     // through the Privacy & Security Manager's trust gate.
     println!("\n== trust reaction to a security incident ==");
     let mut trust = TrustModel::new(0.99);
-    let suspect = continuum.edge()[2];
+    let suspect = fed.continuum().edge()[2];
     for _ in 0..25 {
         trust.observe(suspect, Observation::TaskOk);
     }

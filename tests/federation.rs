@@ -1,0 +1,291 @@
+//! Federation suite: the multi-continuum tier driven end to end. The
+//! gates: federated runs with the whole stack on (gossip registry,
+//! sealed-bid auction, burst links, MAPE autoscaling) export
+//! byte-identical artifacts for equal seeds; cross-region bursting
+//! keeps the hot region's deadline-bound tenant above 90% goodput
+//! under a single-region 2× overload; gossip view staleness obeys the
+//! rotating-stride coverage bound under seeded peer churn; and the
+//! auction is deterministic and cost-minimal over arbitrary bid sets.
+
+use proptest::prelude::*;
+
+use myrtus::continuum::federation::{
+    run_auction, BurstQuery, FederatedContinuumBuilder, GossipConfig, GossipRegistry, RegionDigest,
+    SealedBid,
+};
+use myrtus::continuum::ids::{NodeId, RegionId};
+use myrtus::continuum::time::{SimDuration, SimTime};
+use myrtus::continuum::topology::{ContinuumBuilder, HopSpec};
+use myrtus::mirto::engine::{EngineConfig, OrchestrationEngine, OrchestrationReport};
+use myrtus::mirto::managers::elasticity::ElasticityConfig;
+use myrtus::mirto::policies::GreedyBestFit;
+use myrtus::mirto::FederationConfig;
+use myrtus::obs::ObsConfig;
+use myrtus::workload::scenarios::federation::region_mix;
+
+/// Arrival generation window of the regional mixes.
+const WINDOW: SimTime = SimTime::from_secs(4);
+/// Run horizon: the generation window plus drain time.
+const HORIZON: SimTime = SimTime::from_secs(5);
+/// Regions in the battery scenario.
+const REGIONS: u16 = 3;
+/// The overloaded region.
+const HOT: u16 = 0;
+
+/// The E14 scenario: three small regions on a metro WAN, the hot
+/// region's batch tenant at 2× offered load, autoscaling on, the
+/// federation tier per `federation`.
+fn fed_run(seed: u64, federation: Option<FederationConfig>) -> OrchestrationReport {
+    let shape = ContinuumBuilder::new()
+        .edge_multicores(2)
+        .edge_hmpsocs(2)
+        .edge_riscvs(0)
+        .gateways(1)
+        .fmdcs(0)
+        .cloud_servers(0);
+    let mut fed = FederatedContinuumBuilder::new()
+        .regions(REGIONS as usize)
+        .region_shape(shape)
+        .wan_hop(HopSpec::new(SimDuration::from_millis(10), 400.0))
+        .build();
+    let apps = region_mix(seed, REGIONS, WINDOW, HOT, 2.0)
+        .into_iter()
+        .map(|(app, r)| (app, RegionId::from_raw(r), SimTime::ZERO))
+        .collect();
+    let engine = OrchestrationEngine::new(
+        Box::new(GreedyBestFit::new()),
+        EngineConfig {
+            obs: ObsConfig::on(),
+            seed,
+            elasticity: Some(ElasticityConfig {
+                scale_up_utilization: 0.5,
+                scale_up_queue: 2.0,
+                cooldown_rounds: 1,
+                max_replicas: 4,
+                ..ElasticityConfig::default()
+            }),
+            federation,
+            ..EngineConfig::default()
+        },
+    );
+    engine.run_federated(&mut fed, apps, HORIZON).expect("regional mix places")
+}
+
+/// The battery's federation tuning (the exp_federation defaults).
+fn federation_config() -> FederationConfig {
+    FederationConfig {
+        burst_queue: 8.0,
+        release_queue: 4.0,
+        escalation_rounds: 1,
+        min_headroom_mc_per_s: 2_000.0,
+        ..FederationConfig::default()
+    }
+}
+
+#[test]
+fn federated_exports_are_byte_identical_across_runs() {
+    // The CI federation matrix relies on this: same seed, same trace,
+    // same metric snapshot, same time-series CSV — with gossip,
+    // auction, burst links and the autoscaler all switched on.
+    for seed in [1, 2, 3] {
+        let a = fed_run(seed, Some(federation_config()));
+        let b = fed_run(seed, Some(federation_config()));
+        assert!(a.bursts > 0, "seed {seed}: the scenario actually escalates");
+        assert_eq!(
+            a.obs.export_trace_jsonl(),
+            b.obs.export_trace_jsonl(),
+            "seed {seed}: trace JSONL is byte-identical"
+        );
+        assert_eq!(
+            a.obs.export_metrics_jsonl(),
+            b.obs.export_metrics_jsonl(),
+            "seed {seed}: metric snapshot is byte-identical"
+        );
+        let csv = a.obs.export_timeseries_csv();
+        assert_eq!(csv, b.obs.export_timeseries_csv(), "seed {seed}: CSV is byte-identical");
+        assert_eq!(a.tasks_bursted, b.tasks_bursted, "seed {seed}: identical WAN traffic");
+        // The burst decisions are in the trace for auditability.
+        assert!(
+            a.obs.export_trace_jsonl().contains("burst_open"),
+            "seed {seed}: burst escalations are traced"
+        );
+    }
+}
+
+#[test]
+fn bursting_protects_the_hot_regions_interactive_tenant() {
+    // One region at 2× bulk overload, two healthy peers. With the
+    // federation tier on, the hot region's deadline-bound tenant (the
+    // protected class: its stages carry latency bounds, so the engine
+    // runs it at protected priority) must keep ≥ 90% goodput, and the
+    // relief must actually flow over the WAN.
+    for seed in [1, 2, 3] {
+        let pinned = fed_run(seed, None);
+        let burst = fed_run(seed, Some(federation_config()));
+        let hot = (HOT * 2) as usize;
+        assert!(
+            burst.apps[hot].goodput() >= 0.9,
+            "seed {seed}: hot interactive goodput {:.3} >= 0.9",
+            burst.apps[hot].goodput()
+        );
+        assert!(
+            burst.apps[hot].qos() >= pinned.apps[hot].qos(),
+            "seed {seed}: bursting never hurts the hot tenant's QoS ({:.3} vs {:.3})",
+            burst.apps[hot].qos(),
+            pinned.apps[hot].qos()
+        );
+        assert!(burst.bursts > 0, "seed {seed}: at least one burst link opened");
+        assert!(burst.tasks_bursted > 0, "seed {seed}: tasks crossed the WAN");
+        assert_eq!(pinned.bursts, 0, "seed {seed}: the pinned arm never bursts");
+        assert_eq!(pinned.tasks_bursted, 0, "seed {seed}: the pinned arm keeps tasks home");
+        // Burst routing is advisory, not forced: every region's tenants
+        // still complete the bulk of their traffic.
+        for (i, app) in burst.apps.iter().enumerate() {
+            assert!(
+                app.goodput() >= 0.9,
+                "seed {seed}: app {i} goodput {:.3} stays healthy under federation",
+                app.goodput()
+            );
+        }
+    }
+}
+
+/// A fresh digest for `region` with enough substance to advertise.
+fn digest(region: RegionId) -> RegionDigest {
+    RegionDigest {
+        free_mc_per_s: 1_000.0,
+        utilization: 0.25,
+        queue_depth: 1.0,
+        best_node: Some(NodeId::from_raw(region.as_raw() as u32)),
+        best_speed_mhz: 1_000.0,
+        best_backlog_us: 10.0,
+        best_mem_free_mb: 512,
+        security_tier: 2,
+        ..RegionDigest::empty(region)
+    }
+}
+
+proptest! {
+    /// Staleness bound under seeded churn: every region publishes a
+    /// fresh digest each round it is live; the churn schedule downs at
+    /// most one region per round. Once every region has stayed live
+    /// for a full coverage window (`n - 1` rounds — the rotating
+    /// stride meets every pair directly within it), every view is at
+    /// most one window old.
+    #[test]
+    fn gossip_staleness_stays_bounded_under_churn(
+        n in 3usize..6,
+        seed in any::<u64>(),
+        churn in proptest::collection::vec(0u8..8, 0..24),
+    ) {
+        let mut reg = GossipRegistry::new(n, GossipConfig { fanout: 1, seed });
+        // Churn phase: region (c % n) is down in round r when the
+        // schedule says so; down regions neither publish nor gossip.
+        for &c in &churn {
+            let down: Vec<RegionId> = if (c as usize) < n {
+                vec![RegionId::from_raw(c as u16)]
+            } else {
+                Vec::new()
+            };
+            for r in 0..n as u16 {
+                let region = RegionId::from_raw(r);
+                if !down.contains(&region) {
+                    reg.publish(region, digest(region));
+                }
+            }
+            reg.round_with_churn(&down);
+        }
+        // Recovery window: everyone live and publishing for n-1 rounds.
+        for _ in 0..n - 1 {
+            for r in 0..n as u16 {
+                reg.publish(RegionId::from_raw(r), digest(RegionId::from_raw(r)));
+            }
+            reg.round();
+        }
+        let window = (n - 1) as u64;
+        for by in 0..n as u16 {
+            for of in 0..n as u16 {
+                let staleness = reg
+                    .staleness(RegionId::from_raw(by), RegionId::from_raw(of))
+                    .expect("every pair has met within the window");
+                prop_assert!(
+                    staleness <= window,
+                    "view of {of} held by {by} is {staleness} rounds old (window {window})"
+                );
+            }
+        }
+    }
+}
+
+/// Raw draw for one sealed bid (the vendored proptest has no
+/// `prop_map`, so the test body assembles the bid).
+type RawBid = ((u16, Option<u32>, f64, u8), (u64, bool, f64, f64), f64);
+
+fn bid_from_raw(
+    ((region, node, headroom, tier), (mem, advertised, transfer, handshake), eta): RawBid,
+) -> SealedBid {
+    SealedBid {
+        region: RegionId::from_raw(region),
+        node: node.map(NodeId::from_raw),
+        headroom_mc_per_s: headroom,
+        security_tier: tier,
+        mem_free_mb: mem,
+        advertised,
+        transfer_us: transfer,
+        handshake_us: handshake,
+        eta_us: eta,
+    }
+}
+
+proptest! {
+    /// Auction determinism and optimality: the same query over the
+    /// same bids always yields the same winner, the winner is feasible
+    /// and cost-minimal among feasible bids, and no winner exists
+    /// exactly when no bid is feasible.
+    #[test]
+    fn auction_is_deterministic_and_cost_minimal(
+        raw in proptest::collection::vec(
+            (
+                (0u16..8, proptest::option::of(0u32..64), 0.0f64..100_000.0, 0u8..3),
+                (0u64..4_096, any::<bool>(), 0.0f64..1e6, 0.0f64..1e5),
+                0.0f64..1e6,
+            ),
+            0..12,
+        ),
+        work in 0.1f64..1_000.0,
+        mem in 0u64..2_048,
+        tier in 0u8..3,
+        headroom in 0.0f64..50_000.0,
+    ) {
+        let bids: Vec<SealedBid> = raw.into_iter().map(bid_from_raw).collect();
+        let query = BurstQuery {
+            work_mc: work,
+            input_bytes: 4_096,
+            mem_mb: mem,
+            min_tier: tier,
+            min_headroom_mc_per_s: headroom,
+        };
+        let first = run_auction(&query, &bids).cloned();
+        let second = run_auction(&query, &bids).cloned();
+        prop_assert_eq!(&first, &second, "same seedless inputs, same winner");
+        match first {
+            Some(w) => {
+                prop_assert!(w.feasible(&query), "the winner satisfies the query");
+                for b in bids.iter().filter(|b| b.feasible(&query)) {
+                    prop_assert!(
+                        w.cost_us() <= b.cost_us(),
+                        "winner cost {} beats feasible bid cost {}",
+                        w.cost_us(),
+                        b.cost_us()
+                    );
+                }
+            }
+            None => {
+                prop_assert!(
+                    !bids.iter().any(|b| b.feasible(&query)),
+                    "no winner only when nothing is feasible"
+                );
+            }
+        }
+    }
+}
