@@ -1,6 +1,7 @@
 //! The per-PR perf trajectory: the 50k-node / 1M-task engine-core
-//! benchmark, serialized to `BENCH_<pr>.json` at the repo root
-//! (`--pr` selects the trajectory point, currently 7).
+//! benchmark plus the task-VM interpreter and checkpoint round-trip
+//! microbenchmarks, serialized to `BENCH_<pr>.json` at the repo root
+//! (`--pr` selects the trajectory point, currently 10).
 //!
 //! ```sh
 //! cargo run --release --bin myrtus-bench                 # full profile
@@ -23,8 +24,8 @@
 //!   reproduce its completion fingerprint byte-for-byte;
 //! * **cross-backend identity** — the heap phases must produce the same
 //!   fingerprint, completion count and event count as the wheel;
-//! * `--check <baseline>` — exits non-zero when wheel events/sec drops
-//!   more than 20% below the checked-in baseline.
+//! * `--check <baseline>` — exits non-zero when wheel events/sec or VM
+//!   steps/sec drops more than 20% below the checked-in baseline.
 //!
 //! Each backend's reported numbers are the *faster* of its two runs —
 //! the minimum is the standard noise-robust wall-clock estimator (the
@@ -41,6 +42,8 @@ use myrtus::continuum::task::TaskInstance;
 use myrtus::continuum::time::{SimDuration, SimTime};
 use myrtus::mirto::EngineBackend;
 use myrtus::obs::{Obs, ObsConfig};
+use myrtus::vm::{CostTable, IsaClass, VmState};
+use myrtus::workload::scenarios::programs::{program_for, Mix};
 use myrtus_bench::{num, render_table};
 
 /// Arrival spread of the task storm, microseconds of simulated time.
@@ -175,6 +178,43 @@ fn scrape_overhead(nodes: u64) -> (u64, f64) {
     (samples as u64, elapsed.as_nanos() as f64 / samples as f64)
 }
 
+/// Task-VM interpreter throughput: steps/sec retiring the standard
+/// compute program end-to-end, plus the mean checkpoint round-trip
+/// (snapshot a mid-flight image, serialize to canonical bytes, parse
+/// back, resume) in microseconds — the host-side cost floor under every
+/// simulated live migration.
+fn vm_microbench(reps: u32) -> (f64, f64) {
+    let program = program_for(Mix::Compute, 7, 100.0);
+    let table = CostTable::for_isa(IsaClass::Arm, 1.0);
+
+    let mut steps = 0u64;
+    let mut digest = 0u64;
+    let wall = Instant::now();
+    for rep in 0..reps {
+        let mut vm = VmState::new(&program, 7 ^ u64::from(rep));
+        vm.run_to_halt(&program, &table);
+        steps += vm.steps();
+        digest = digest.wrapping_add(vm.out_digest());
+    }
+    let steps_per_sec = steps as f64 / wall.elapsed().as_secs_f64();
+    assert_ne!(digest, 0, "the interpreter actually ran");
+
+    // Round-trip from the program's midpoint: a representative image
+    // (live stack + locals + PRNG cursor), not a trivial fresh one.
+    let mut vm = VmState::new(&program, 7);
+    let (_, total_cycles) = program.full_cost(7, &table);
+    vm.advance_to(&program, &table, total_cycles / 2);
+    let wall = Instant::now();
+    for _ in 0..reps {
+        let bytes = vm.checkpoint(&program).to_bytes();
+        let cp = myrtus::vm::Checkpoint::from_bytes(&bytes).expect("canonical bytes parse");
+        let resumed = VmState::from_checkpoint(&cp, &program).expect("image matches program");
+        assert_eq!(resumed.steps(), vm.steps(), "resume preserves the step ledger");
+    }
+    let round_trip_us = wall.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    (steps_per_sec, round_trip_us)
+}
+
 /// Minimal extractor for the flat JSON this binary writes: the number
 /// following `"key":`.
 fn json_f64(json: &str, key: &str) -> Option<f64> {
@@ -259,7 +299,7 @@ fn main() {
     // The quick profile still runs long enough (~0.3 s per phase) for
     // the 20% regression floor to sit above run-to-run noise.
     let (nodes, tasks) = if quick { (10_000, 200_000) } else { (50_000, 1_000_000) };
-    let pr: u32 = flag_val("--pr").map_or(7, |v| v.parse().expect("--pr takes a PR number"));
+    let pr: u32 = flag_val("--pr").map_or(10, |v| v.parse().expect("--pr takes a PR number"));
     let out_path = flag_val("--out").unwrap_or_else(|| format!("BENCH_{pr}.json"));
 
     eprintln!("engine-core storm: {nodes} nodes, {tasks} tasks, 2 runs per backend");
@@ -290,6 +330,7 @@ fn main() {
 
     let (scrape_samples, scrape_ns) = scrape_overhead(nodes.min(50_000));
     let speedup = wheel.events_per_sec / heap.events_per_sec;
+    let (vm_steps_per_sec, vm_rt_us) = vm_microbench(if quick { 20 } else { 100 });
 
     let json = format!(
         "{{\n  \"schema\": \"myrtus-bench/v1\",\n  \"pr\": {pr},\n  \"quick\": {quick},\n  \
@@ -300,6 +341,7 @@ fn main() {
          \"heap_tasks_per_sec\": {:.1},\n  \"heap_peak_rss_kb\": {},\n  \
          \"speedup_events_per_sec\": {:.2},\n  \
          \"scrape_samples_per_pass\": {},\n  \"scrape_ns_per_sample\": {:.1},\n  \
+         \"vm_steps_per_sec\": {:.1},\n  \"vm_migration_round_trip_us\": {:.2},\n  \
          \"fingerprint\": \"{:016x}\"\n}}\n",
         wheel.events,
         wheel.wall_s,
@@ -313,6 +355,8 @@ fn main() {
         speedup,
         scrape_samples / 4,
         scrape_ns,
+        vm_steps_per_sec,
+        vm_rt_us,
         wheel.fingerprint,
     );
     std::fs::write(&out_path, &json).expect("write bench json");
@@ -343,6 +387,11 @@ fn main() {
     );
     println!("speedup (events/sec, wheel over heap): {:.2}x", speedup);
     println!("scrape: {:.1} ns/sample ({} samples/pass)", scrape_ns, scrape_samples / 4);
+    println!(
+        "task VM: {:.1} Msteps/s, checkpoint round-trip {:.2} us",
+        vm_steps_per_sec / 1e6,
+        vm_rt_us
+    );
     println!("wrote {out_path}");
 
     if let Some(baseline_path) = flag_val("--check") {
@@ -362,6 +411,22 @@ fn main() {
                 wheel.events_per_sec, floor
             );
             std::process::exit(1);
+        }
+        // The VM gate only arms once the baseline records the metric,
+        // so old baselines keep checking the engine numbers alone.
+        if let Some(base_vm) = json_f64(&baseline, "vm_steps_per_sec") {
+            let vm_floor = 0.8 * base_vm;
+            println!(
+                "regression check: {vm_steps_per_sec:.0} VM steps/s vs baseline {base_vm:.0} \
+                 (floor {vm_floor:.0})"
+            );
+            if vm_steps_per_sec < vm_floor {
+                eprintln!(
+                    "REGRESSION: VM steps/sec dropped >20% below the checked-in baseline \
+                     ({vm_steps_per_sec:.0} < {vm_floor:.0})"
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -25,11 +25,12 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use myrtus_obs::{Obs, TraceKind};
+use myrtus_vm::{Checkpoint, CostTable, IsaClass, Program, VmState};
 
 use crate::admission::{AdmissionDecision, AdmissionPolicy, AdmissionState};
 use crate::ids::{MsgId, NodeId, TaskId, TimerId};
 use crate::net::{Message, Network, NetworkError, Protocol};
-use crate::node::{ExecutionMode, Layer, NodeSpec, NodeState};
+use crate::node::{ExecutionMode, Layer, NodeKind, NodeSpec, NodeState};
 use crate::retry::RetryPolicy;
 use crate::slab::TaskBook;
 use crate::task::{TaskInstance, TaskOutcome};
@@ -44,6 +45,22 @@ fn mutation_stale_recover() -> bool {
     #[cfg(any(test, feature = "mc-mutations"))]
     {
         crate::mutation::engine_stale_recover()
+    }
+    #[cfg(not(any(test, feature = "mc-mutations")))]
+    {
+        false
+    }
+}
+
+/// Whether the seeded double-resume bug is armed: a live migration
+/// delivers the checkpointed task to its destination *twice*, creating
+/// two concurrent live instances of one task — the violation the
+/// exactly-one-live-instance discipline exists to prevent. Compiled
+/// out of release builds; off by default even in test builds.
+fn mutation_double_resume() -> bool {
+    #[cfg(any(test, feature = "mc-mutations"))]
+    {
+        crate::mutation::migration_double_resume()
     }
     #[cfg(not(any(test, feature = "mc-mutations")))]
     {
@@ -138,6 +155,16 @@ enum EventKind {
         node: NodeId,
         task: TaskInstance,
         reason: &'static str,
+    },
+    /// Periodic VM progress slice for a bodied task resident on `node`
+    /// (only armed with a VM runtime installed; re-arms itself while
+    /// the task stays resident). `epoch` invalidates slices armed for
+    /// an earlier residency of the same task — e.g. before a migration
+    /// away and back — so at most one timer chain drives each image.
+    VmSlice {
+        node: NodeId,
+        task: TaskId,
+        epoch: u64,
     },
 }
 
@@ -587,6 +614,80 @@ pub struct SimCore {
     /// Recovery events scheduled but not yet re-dispatched, bounded by
     /// [`RetryPolicy::recovery_queue_cap`] (retry-storm guard).
     recovery_outstanding: u32,
+    /// Installed portable task-body runtime; `None` keeps the legacy
+    /// scalar-cost path byte-identical (see [`SimCore::set_vm`]).
+    vm: Option<VmRuntime>,
+}
+
+/// Configuration of the portable task-body runtime: a library of
+/// deterministic stack-bytecode [`Program`]s plus the cadence at which
+/// resident interpreter images are advanced alongside the scalar
+/// service model. Installed with [`SimCore::set_vm`].
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Program library; [`crate::task::TaskBody::program`] indexes it.
+    pub programs: Vec<Program>,
+    /// Interval between VM progress slices for each resident bodied
+    /// task. Shorter slices track progress more finely (tighter
+    /// checkpoints, more `vm_steps_total` resolution) at the price of
+    /// more event-queue traffic; the default is 5 ms.
+    pub slice: SimDuration,
+}
+
+impl VmConfig {
+    /// Runtime over `programs` with the default 5 ms slice.
+    pub fn new(programs: Vec<Program>) -> Self {
+        VmConfig { programs, slice: SimDuration::from_millis(5) }
+    }
+
+    /// Overrides the slice interval (clamped to ≥ 1 µs at install).
+    pub fn with_slice(mut self, slice: SimDuration) -> Self {
+        self.slice = slice;
+        self
+    }
+}
+
+/// Maps a node kind to the cost-table ISA class its cores execute the
+/// portable bytecode with (paper Fig. 2 hardware classes: ARM-class
+/// edge/gateway parts, the RISC-V MCU, x86-server-class FMDC/cloud).
+fn isa_of(kind: NodeKind) -> IsaClass {
+    match kind {
+        NodeKind::EdgeMulticore | NodeKind::EdgeHmpsoc | NodeKind::FogGateway => IsaClass::Arm,
+        NodeKind::EdgeRiscv => IsaClass::Riscv,
+        NodeKind::FogFmdc | NodeKind::CloudServer => IsaClass::Server,
+    }
+}
+
+/// Live state of the installed task-body runtime.
+#[derive(Debug)]
+struct VmRuntime {
+    programs: Vec<Program>,
+    slice: SimDuration,
+    /// Interpreter images of bodied tasks resident at some node,
+    /// keyed by raw task id.
+    images: HashMap<u64, VmImage>,
+    /// Checkpoints in network transit (live migration in progress);
+    /// consumed by the arrival at the destination.
+    pending: HashMap<u64, Checkpoint>,
+    /// Final step tallies of completed bodied tasks, kept so
+    /// step-conservation invariants stay checkable after completion.
+    retired_steps: HashMap<u64, u64>,
+    /// Residency-epoch source for slice-timer invalidation.
+    next_epoch: u64,
+}
+
+/// One live interpreter image.
+#[derive(Debug)]
+struct VmImage {
+    prog: u32,
+    epoch: u64,
+    /// Global cycle ledger at arrival on the current host; node-local
+    /// service progress adds on top of this.
+    arrival_cycles: u64,
+    /// Steps already counted into `vm_steps_total`.
+    counted_steps: u64,
+    table: CostTable,
+    vm: VmState,
 }
 
 /// Counter values at the previous scrape; deltas against the current
@@ -605,6 +706,10 @@ pub const TASK_LATENCY_BOUNDS_MS: &[f64] = &[1.0, 5.0, 10.0, 50.0, 100.0, 500.0,
 /// Upper bounds (milliseconds) of the per-layer `task_queue_wait_ms`
 /// histograms (same grid as latency: waits are bounded by latencies).
 pub const TASK_QUEUE_WAIT_BOUNDS_MS: &[f64] = TASK_LATENCY_BOUNDS_MS;
+
+/// Upper bounds (bytes) of the `checkpoint_size` histogram recorded at
+/// each live migration.
+pub const CHECKPOINT_SIZE_BOUNDS: &[f64] = &[64.0, 128.0, 256.0, 512.0, 1_024.0, 4_096.0, 16_384.0];
 
 impl SimCore {
     /// Creates an empty simulation at time zero.
@@ -963,7 +1068,321 @@ impl SimCore {
             // Not at the node yet: drop it on arrival.
             self.tasks.mark_cancel_pending(raw);
         }
+        self.vm_drop(raw);
         true
+    }
+
+    /// Installs the portable task-body runtime: a deterministic
+    /// stack-bytecode VM whose programs execute *inside* the scalar
+    /// service model. At each arrival of a bodied task
+    /// ([`TaskInstance::body`]), the engine re-prices `work_mc` from
+    /// the program's remaining per-opcode cost under the hosting
+    /// node's ISA class and DVFS state, keeps an interpreter image in
+    /// step with service progress (cost slices against the event
+    /// queue), and can snapshot the image into a canonical
+    /// [`Checkpoint`] for live migration ([`SimCore::migrate_task`]).
+    ///
+    /// Without this call — the default — bodied tasks execute as plain
+    /// scalar-cost tasks and every export is byte-identical to a run
+    /// without the VM subsystem.
+    pub fn set_vm(&mut self, cfg: VmConfig) {
+        self.vm = Some(VmRuntime {
+            programs: cfg.programs,
+            slice: cfg.slice.max(SimDuration::from_micros(1)),
+            images: HashMap::new(),
+            pending: HashMap::new(),
+            retired_steps: HashMap::new(),
+            next_epoch: 0,
+        });
+    }
+
+    /// Whether a VM runtime is installed.
+    pub fn vm_installed(&self) -> bool {
+        self.vm.is_some()
+    }
+
+    /// Interpreter steps `task`'s body has executed so far: the live
+    /// image's tally while resident, the final tally after completion.
+    /// `None` for scalar tasks, un-arrived bodies, or without a VM
+    /// runtime.
+    pub fn vm_steps_of(&self, task: TaskId) -> Option<u64> {
+        let vm = self.vm.as_ref()?;
+        let raw = task.as_raw();
+        vm.images.get(&raw).map(|i| i.vm.steps()).or_else(|| vm.retired_steps.get(&raw).copied())
+    }
+
+    /// Whether a checkpoint of `task` is currently in network transit
+    /// (live migration in progress).
+    pub fn vm_in_transit(&self, task: TaskId) -> bool {
+        self.vm.as_ref().is_some_and(|vm| vm.pending.contains_key(&task.as_raw()))
+    }
+
+    /// Number of live instances of `task` across every node, running
+    /// or queued. The migration protocol keeps this ≤ 1 at all times —
+    /// the exactly-one-live-instance discipline the `mc` migration
+    /// model checks.
+    pub fn live_instances(&self, task: TaskId) -> usize {
+        self.nodes
+            .iter()
+            .map(|st| {
+                st.running().iter().filter(|r| r.task.id == task).count()
+                    + st.queued().filter(|t| t.id == task).count()
+            })
+            .sum()
+    }
+
+    /// Resolves a bodied task at arrival: resumes the in-transit
+    /// checkpoint if one is pending (live migration) or boots a fresh
+    /// image, re-prices `work_mc` from the program's remaining cost
+    /// under this node's ISA class and current DVFS operating point,
+    /// and arms the slice timer. Unknown program indices leave the
+    /// task on the scalar path.
+    fn vm_admit(&mut self, node: NodeId, task: &mut TaskInstance) {
+        let Some(body) = task.body else { return };
+        let Some((kind, freq)) =
+            self.nodes.get(node.index()).map(|st| (st.spec().kind(), st.point().freq_scale()))
+        else {
+            return;
+        };
+        let raw = task.id.as_raw();
+        let Some(vm) = self.vm.as_mut() else { return };
+        let Some(program) = vm.programs.get(body.program as usize) else { return };
+        let table = CostTable::for_isa(isa_of(kind), freq);
+        // A malformed or mismatched checkpoint degrades to a cold boot
+        // (the pending entry is consumed either way).
+        let resumed =
+            vm.pending.remove(&raw).and_then(|cp| VmState::from_checkpoint(&cp, program).ok());
+        let is_resume = resumed.is_some();
+        let state = resumed.unwrap_or_else(|| VmState::new(program, body.seed));
+        task.work_mc = state.remaining_cycles(program, &table) as f64 / 1e6;
+        let epoch = vm.next_epoch;
+        vm.next_epoch += 1;
+        let image = VmImage {
+            prog: body.program,
+            epoch,
+            arrival_cycles: state.consumed_cycles(),
+            counted_steps: state.steps(),
+            table,
+            vm: state,
+        };
+        vm.images.insert(raw, image);
+        let slice = vm.slice;
+        if is_resume {
+            self.obs.trace(
+                self.now.as_micros(),
+                TraceKind::TaskResume { node: node.as_raw(), task: raw },
+            );
+        }
+        self.push(self.now + slice, EventKind::VmSlice { node, task: task.id, epoch });
+    }
+
+    /// Advances `task`'s interpreter image to `done_mc` megacycles of
+    /// node-local service progress, returning the newly executed steps
+    /// (not yet counted into `vm_steps_total`).
+    fn vm_advance(&mut self, raw: u64, done_mc: f64) -> u64 {
+        let Some(vm) = self.vm.as_mut() else { return 0 };
+        let Some(img) = vm.images.get_mut(&raw) else { return 0 };
+        let Some(program) = vm.programs.get(img.prog as usize) else { return 0 };
+        let target = img.arrival_cycles.saturating_add((done_mc * 1e6).round() as u64);
+        img.vm.advance_to(program, &img.table, target);
+        let delta = img.vm.steps() - img.counted_steps;
+        img.counted_steps = img.vm.steps();
+        delta
+    }
+
+    /// Handles one VM slice tick: advance the image in step with the
+    /// node's scalar service progress and re-arm while the task stays
+    /// resident. Stale epochs (earlier residency) and departed tasks
+    /// end the timer chain.
+    fn vm_slice_tick(&mut self, node: NodeId, task: TaskId, epoch: u64) {
+        let raw = task.as_raw();
+        let now = self.now;
+        let current = self.vm.as_ref().and_then(|vm| vm.images.get(&raw)).map(|img| img.epoch);
+        if current != Some(epoch) {
+            return;
+        }
+        let Some(st) = self.nodes.get(node.index()) else { return };
+        let progress = st.running().iter().find(|r| r.task.id == task).map(|r| {
+            let elapsed = now.saturating_since(r.progress_at).as_micros() as f64;
+            let left = (r.remaining_mc - elapsed * r.speed_mc_per_us).max(0.0);
+            (r.task.work_mc - left).max(0.0)
+        });
+        let resident = progress.is_some() || st.queued().any(|t| t.id == task);
+        if let Some(done_mc) = progress {
+            let delta = self.vm_advance(raw, done_mc);
+            if delta > 0 {
+                self.obs.counter_add("vm_steps_total", "", delta);
+            }
+        }
+        if resident {
+            let slice = self.vm.as_ref().expect("image checked").slice;
+            self.push(now + slice, EventKind::VmSlice { node, task, epoch });
+        }
+        // Not resident at `node` any more (finished, cancelled, lost or
+        // migrated): the terminal paths own the image; the timer dies.
+    }
+
+    /// Finalizes a bodied task at completion: runs the image to halt
+    /// (the scalar model just served exactly the remaining priced
+    /// cycles), counts the tail steps and retires the tally.
+    fn vm_finalize(&mut self, raw: u64) {
+        let Some(vm) = self.vm.as_mut() else { return };
+        let Some(mut img) = vm.images.remove(&raw) else { return };
+        let Some(program) = vm.programs.get(img.prog as usize) else { return };
+        img.vm.run_to_halt(program, &img.table);
+        let delta = img.vm.steps() - img.counted_steps;
+        vm.retired_steps.insert(raw, img.vm.steps());
+        if delta > 0 {
+            self.obs.counter_add("vm_steps_total", "", delta);
+        }
+    }
+
+    /// Drops any interpreter state of `task` (image and in-transit
+    /// checkpoint). Called on the terminal and loss paths; a later
+    /// retry re-arrival then boots a fresh image — cold restart.
+    fn vm_drop(&mut self, raw: u64) {
+        if let Some(vm) = self.vm.as_mut() {
+            vm.images.remove(&raw);
+            vm.pending.remove(&raw);
+        }
+    }
+
+    /// Advances the image to the given service progress and snapshots
+    /// it into a checkpoint, consuming the image. `None` when the task
+    /// has no live image (scalar task, or VM not installed).
+    fn vm_checkpoint(&mut self, raw: u64, done_mc: f64) -> Option<Checkpoint> {
+        let delta = self.vm_advance(raw, done_mc);
+        if delta > 0 {
+            self.obs.counter_add("vm_steps_total", "", delta);
+        }
+        let vm = self.vm.as_mut()?;
+        let img = vm.images.remove(&raw)?;
+        let program = vm.programs.get(img.prog as usize)?;
+        Some(img.vm.checkpoint(program))
+    }
+
+    /// Migrates a task currently running or queued on `from` to `to`,
+    /// re-dispatching it over the network route between them.
+    ///
+    /// With `live: true`, a VM runtime installed and a bodied task,
+    /// the engine snapshots the interpreter into a canonical
+    /// [`Checkpoint`]: only the checkpoint bytes cross the (possibly
+    /// WAN-priced) route, and execution *resumes* at the destination
+    /// from the exact instruction boundary (`task_checkpoint` /
+    /// `task_resume` trace pair, `task_migrations_live`,
+    /// `migration_bytes{live}` and the `checkpoint_size` histogram).
+    /// Otherwise the move is a cold restart: the source attempt is
+    /// cancelled, the input payload is re-shipped and all progress is
+    /// lost (`task_migrations_cold`, `migration_bytes{cold}`).
+    ///
+    /// Admission control is not re-run — the task passed it at
+    /// submission. With a retry policy installed the migration opens a
+    /// fresh attempt epoch, so a timeout guard armed at the source can
+    /// never cancel the migrated instance (the exactly-one-live-
+    /// instance discipline; see the `mc` migration model).
+    ///
+    /// Returns the arrival instant at `to`, or `None` when the
+    /// migration is impossible: unknown or down destination, no route,
+    /// task not resident on `from`, or task already terminal.
+    pub fn migrate_task(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        task: TaskId,
+        protocol: Protocol,
+        live: bool,
+    ) -> Option<SimTime> {
+        let raw = task.as_raw();
+        if from == to || self.tasks.is_finished(raw) {
+            return None;
+        }
+        if !self.nodes.get(to.index()).is_some_and(|st| st.is_up()) {
+            return None;
+        }
+        let path = self.network.route(from, to).ok()?;
+        let now = self.now;
+        let st = self.nodes.get_mut(from.index())?;
+        let done_mc = st.running().iter().find(|r| r.task.id == task).map(|r| {
+            let elapsed = now.saturating_since(r.progress_at).as_micros() as f64;
+            let left = (r.remaining_mc - elapsed * r.speed_mc_per_us).max(0.0);
+            (r.task.work_mc - left).max(0.0)
+        });
+        if done_mc.is_none() && !st.queued().any(|t| t.id == task) {
+            return None;
+        }
+        let (inst, next) = st.cancel(now, task)?;
+        self.sync_hot(from);
+        self.tasks.take_queued(raw);
+        if let Some((next_id, ep, service, mode)) = next {
+            // Deferred start notification for the promoted task, as in
+            // cancel_task: the driver may hold the core.
+            let layer =
+                self.nodes.get(from.index()).map(|st| st.spec().layer().label()).unwrap_or("");
+            if let Some(arrived) = self.tasks.take_queued(next_id.as_raw()) {
+                self.obs.observe(
+                    "task_queue_wait_ms",
+                    layer,
+                    TASK_QUEUE_WAIT_BOUNDS_MS,
+                    now.saturating_since(arrived).as_millis_f64(),
+                );
+            }
+            self.push(
+                now + service,
+                EventKind::TaskFinish { node: from, task: next_id, epoch: ep },
+            );
+            self.note_start(from, next_id);
+            self.push(now, EventKind::NotifyStarted { node: from, task: next_id, mode });
+        }
+        let checkpoint = if live && inst.body.is_some() {
+            self.vm_checkpoint(raw, done_mc.unwrap_or(0.0))
+        } else {
+            None
+        };
+        let wire_bytes = match &checkpoint {
+            Some(cp) => {
+                let bytes = cp.byte_len();
+                self.obs.counter_inc("task_migrations_live", "");
+                self.obs.counter_add("migration_bytes", "live", bytes);
+                self.obs.observe("checkpoint_size", "", CHECKPOINT_SIZE_BOUNDS, bytes as f64);
+                self.obs.trace(
+                    now.as_micros(),
+                    TraceKind::TaskCheckpoint { node: from.as_raw(), task: raw, bytes },
+                );
+                bytes
+            }
+            None => {
+                // Cold restart: drop any interpreter state and ship
+                // the input again; the source attempt ends cancelled.
+                self.vm_drop(raw);
+                self.obs.counter_inc("task_migrations_cold", "");
+                self.obs.counter_add("migration_bytes", "cold", inst.input_bytes);
+                self.obs.trace(
+                    now.as_micros(),
+                    TraceKind::TaskCancelled { node: from.as_raw(), task: raw },
+                );
+                inst.input_bytes
+            }
+        };
+        if let Some(cp) = checkpoint {
+            if let Some(vm) = self.vm.as_mut() {
+                vm.pending.insert(raw, cp);
+            }
+        }
+        let eta = self.network.transfer(now, &path, wire_bytes, protocol);
+        self.note_dispatch(to, task);
+        if let Some(policy) = self.retry {
+            // New attempt epoch: stale guards from the source go inert.
+            let attempt = self.tasks.attempts(raw).map_or(1, |a| a + 1);
+            self.tasks.set_attempts(raw, attempt);
+            if let Some(timeout) = policy.attempt_timeout {
+                self.push(now + timeout, EventKind::AttemptTimeout { node: to, task, attempt });
+            }
+        }
+        if mutation_double_resume() {
+            self.push(eta, EventKind::TaskArrival { node: to, task: Box::new(inst.clone()) });
+        }
+        self.push(eta, EventKind::TaskArrival { node: to, task: Box::new(inst) });
+        Some(eta)
     }
 
     /// Re-mirrors a node's hot state after a mutation (see [`NodeHot`]).
@@ -1222,11 +1641,12 @@ impl SimCore {
     fn dispatch<D: Driver>(&mut self, kind: EventKind, driver: &mut D) {
         match kind {
             EventKind::TaskArrival { node, task } => {
-                let task = *task;
+                let mut task = *task;
                 let now = self.now;
                 let raw = task.id.as_raw();
                 if self.tasks.take_cancel_pending(raw) {
                     // Cancelled (replica dedup) while in transfer.
+                    self.vm_drop(raw);
                     self.obs.trace(
                         now.as_micros(),
                         TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
@@ -1236,6 +1656,7 @@ impl SimCore {
                 if self.tasks.take_timeout_pending(raw) {
                     // Timed out while in transfer: the attempt ends
                     // here and the retry/give-up decision is taken now.
+                    self.vm_drop(raw);
                     self.obs.trace(
                         now.as_micros(),
                         TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
@@ -1245,6 +1666,9 @@ impl SimCore {
                 }
                 let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 if !st.is_up() {
+                    // Any in-transit checkpoint dies with the arrival:
+                    // a retry re-placement restarts cold.
+                    self.vm_drop(raw);
                     self.obs.counter_inc("sim_tasks_lost", "");
                     self.obs.trace(
                         now.as_micros(),
@@ -1263,6 +1687,12 @@ impl SimCore {
                     now.as_micros(),
                     TraceKind::TaskArrive { node: node.as_raw(), task: tid.as_raw() },
                 );
+                if task.body.is_some() && self.vm.is_some() {
+                    // Re-price the work for this host's ISA/DVFS state
+                    // and boot (or resume) the interpreter image.
+                    self.vm_admit(node, &mut task);
+                }
+                let Some(st) = self.nodes.get_mut(node.index()) else { return };
                 let started = st.admit(now, task);
                 self.sync_hot(node);
                 if let Some((epoch, service, mode)) = started {
@@ -1280,6 +1710,9 @@ impl SimCore {
                 let layer = st.spec().layer().label();
                 let Some((done, next)) = st.finish(now, task, epoch) else { return };
                 self.sync_hot(node);
+                // A bodied task ran its program exactly to halt: count
+                // the tail steps and retire the image.
+                self.vm_finalize(task.as_raw());
                 if let Some((next_id, ep, service, mode)) = next {
                     if let Some(arrived) = self.tasks.take_queued(next_id.as_raw()) {
                         self.obs.observe(
@@ -1344,6 +1777,9 @@ impl SimCore {
                     self.obs.counter_add("sim_tasks_lost", "", lost.len() as u64);
                     for t in &lost {
                         self.tasks.take_queued(t.id.as_raw());
+                        // Interpreter state dies with the host; a retry
+                        // re-placement restarts the body cold.
+                        self.vm_drop(t.id.as_raw());
                         self.obs.trace(
                             now.as_micros(),
                             TraceKind::TaskLost { node: node.as_raw(), task: t.id.as_raw() },
@@ -1428,6 +1864,9 @@ impl SimCore {
                     Some((inst, next)) => {
                         self.sync_hot(node);
                         self.tasks.take_queued(raw);
+                        // The timed-out attempt's interpreter state is
+                        // discarded: the retry restarts the body cold.
+                        self.vm_drop(raw);
                         self.obs.trace(
                             now.as_micros(),
                             TraceKind::TaskCancelled { node: node.as_raw(), task: raw },
@@ -1470,6 +1909,9 @@ impl SimCore {
             }
             EventKind::NotifyShed { node, task, reason } => {
                 driver.on_event(self, SimEvent::TaskShed { node, task, reason });
+            }
+            EventKind::VmSlice { node, task, epoch } => {
+                self.vm_slice_tick(node, task, epoch);
             }
         }
     }
@@ -2102,5 +2544,222 @@ mod tests {
             sim.obs().export_trace_jsonl() + &sim.obs().export_metrics_jsonl()
         };
         assert_eq!(run(false), run(true), "admission: None is byte-identical");
+    }
+
+    /// A small but non-trivial bodied workload: a bounded loop mixing
+    /// ALU, PRNG input and digest output, ~20k iterations.
+    fn vm_test_program(iters: i64) -> myrtus_vm::Program {
+        use myrtus_vm::Op;
+        let ops = vec![
+            Op::Push(iters),
+            Op::Store(0),
+            Op::Input,
+            Op::Mix,
+            Op::Push(13),
+            Op::Add,
+            Op::Out,
+            Op::LoopDec(0, 2),
+            Op::Halt,
+        ];
+        Program::new(ops, 1).expect("valid program")
+    }
+
+    #[test]
+    fn disabled_vm_changes_nothing() {
+        use crate::task::TaskBody;
+        use myrtus_obs::{Obs, ObsConfig};
+        let run = |mode: u8| -> String {
+            let (mut sim, node) = one_node_sim();
+            sim.set_obs(Obs::new(ObsConfig::on()));
+            if mode == 1 {
+                // Runtime installed, but no task carries a body.
+                sim.set_vm(VmConfig::new(vec![vm_test_program(100)]));
+            }
+            for i in 0..4u64 {
+                let mut t = TaskInstance::new(sim.fresh_task_id(), 15.0);
+                if mode == 2 {
+                    // Bodies attached, but no runtime installed: the
+                    // tasks must ride the scalar path untouched.
+                    t = t.with_body(TaskBody::new(0, i));
+                }
+                sim.submit_local(node, t).expect("submit");
+            }
+            sim.run_until(SimTime::from_secs(1), &mut NullDriver);
+            sim.obs().export_trace_jsonl() + &sim.obs().export_metrics_jsonl()
+        };
+        let base = run(0);
+        assert_eq!(base, run(1), "set_vm with no bodied tasks is byte-identical");
+        assert_eq!(base, run(2), "bodies without a VM runtime are byte-identical");
+    }
+
+    #[test]
+    fn bodied_task_reprices_work_and_retires_exact_steps() {
+        use crate::task::TaskBody;
+        use myrtus_obs::{Obs, ObsConfig};
+        let program = vm_test_program(20_000);
+        let table = CostTable::for_isa(IsaClass::Arm, 1.0);
+        let (total_steps, total_cycles) = program.full_cost(7, &table);
+        let (mut sim, node) = one_node_sim();
+        sim.set_obs(Obs::new(ObsConfig::on()));
+        sim.set_vm(VmConfig::new(vec![program]));
+        let id = sim.fresh_task_id();
+        // The scalar work field is a placeholder: the VM re-prices it.
+        let t = TaskInstance::new(id, 1.0).with_body(TaskBody::new(0, 7));
+        sim.submit_local(node, t).expect("submit");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_secs(60), &mut rec);
+        assert_eq!(rec.completed.len(), 1);
+        let served = &rec.completed[0].task;
+        assert!(
+            (served.work_mc - total_cycles as f64 / 1e6).abs() < 1e-9,
+            "work_mc must equal the program's cycle cost on the host ISA"
+        );
+        assert_eq!(sim.vm_steps_of(id), Some(total_steps), "every step retired");
+        assert_eq!(sim.obs().counter_value("vm_steps_total", ""), total_steps);
+    }
+
+    /// Two-node harness for migration tests: an ARM edge node and a
+    /// server-class cloud node joined by one duplex link.
+    fn migration_sim() -> (SimCore, NodeId, NodeId) {
+        let mut sim = SimCore::new();
+        let edge = sim.add_node(NodeSpec::preset_edge_multicore("e"));
+        let cloud = sim.add_node(NodeSpec::preset_cloud_server("dc"));
+        sim.network_mut().add_duplex(edge, cloud, SimDuration::from_millis(10), 100.0);
+        (sim, edge, cloud)
+    }
+
+    #[test]
+    fn live_migration_resumes_across_isas_and_conserves_steps() {
+        use crate::task::TaskBody;
+        use myrtus_obs::{Obs, ObsConfig};
+        let program = vm_test_program(20_000);
+        let table = CostTable::for_isa(IsaClass::Arm, 1.0);
+        let total_steps = program.full_cost(7, &table).0;
+        let (mut sim, edge, cloud) = migration_sim();
+        sim.set_obs(Obs::new(ObsConfig::on()));
+        sim.set_vm(VmConfig::new(vec![program]));
+        let id = sim.fresh_task_id();
+        let t = TaskInstance::new(id, 1.0).with_body(TaskBody::new(0, 7)).with_io_bytes(50_000, 0);
+        sim.submit_local(edge, t).expect("submit");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_millis(10), &mut rec);
+        let mid_steps = sim.vm_steps_of(id).expect("image live");
+        let eta = sim.migrate_task(edge, cloud, id, Protocol::Mqtt, true).expect("migratable");
+        assert!(eta > sim.now(), "checkpoint transfer takes time");
+        assert!(sim.vm_in_transit(id), "checkpoint rides the network");
+        assert_eq!(sim.live_instances(id), 0, "no live instance during transfer");
+        sim.run_until(SimTime::from_secs(60), &mut rec);
+        assert_eq!(rec.completed.len(), 1, "the migrated task completes exactly once");
+        assert_eq!(rec.completed[0].node, cloud);
+        assert!(!sim.vm_in_transit(id));
+        // Steps are the portable work measure: the tally at completion
+        // equals the whole program regardless of the ISA switch, and
+        // the source's partial progress was not re-executed.
+        assert_eq!(sim.vm_steps_of(id), Some(total_steps));
+        assert!(mid_steps > 0 && mid_steps < total_steps, "migrated mid-execution");
+        assert_eq!(sim.obs().counter_value("vm_steps_total", ""), total_steps);
+        assert_eq!(sim.obs().counter_value("task_migrations_live", ""), 1);
+        let trace = sim.obs().export_trace_jsonl();
+        assert!(trace.contains("\"type\":\"task_checkpoint\""));
+        assert!(trace.contains("\"type\":\"task_resume\""));
+    }
+
+    #[test]
+    fn cold_migration_restarts_and_finishes_later_than_live() {
+        use crate::task::TaskBody;
+        use myrtus_obs::{Obs, ObsConfig};
+        let finish_at = |live: bool| -> (SimTime, u64) {
+            let (mut sim, edge, cloud) = migration_sim();
+            sim.set_obs(Obs::new(ObsConfig::on()));
+            sim.set_vm(VmConfig::new(vec![vm_test_program(20_000)]));
+            let id = sim.fresh_task_id();
+            let t =
+                TaskInstance::new(id, 1.0).with_body(TaskBody::new(0, 7)).with_io_bytes(50_000, 0);
+            sim.submit_local(edge, t).expect("submit");
+            let mut rec = Recorder::default();
+            sim.run_until(SimTime::from_millis(10), &mut rec);
+            sim.migrate_task(edge, cloud, id, Protocol::Mqtt, live).expect("migratable");
+            sim.run_until(SimTime::from_secs(60), &mut rec);
+            assert_eq!(rec.completed.len(), 1);
+            (rec.completed[0].at, sim.obs().counter_value("vm_steps_total", ""))
+        };
+        let (live_done, live_steps) = finish_at(true);
+        let (cold_done, cold_steps) = finish_at(false);
+        assert!(
+            cold_done > live_done,
+            "cold restart re-executes lost progress: {cold_done:?} vs {live_done:?}"
+        );
+        assert!(cold_steps > live_steps, "the cold path re-runs steps the live path carried over");
+    }
+
+    #[test]
+    fn migrating_a_queued_task_moves_it_without_progress_loss() {
+        use crate::task::TaskBody;
+        let (mut sim, edge, cloud) = migration_sim();
+        sim.set_vm(VmConfig::new(vec![vm_test_program(5_000)]));
+        // Fill every edge core, then queue the bodied victim behind
+        // long scalar tasks.
+        let cores = sim.node(edge).unwrap().spec().cores();
+        for _ in 0..cores {
+            let t = TaskInstance::new(sim.fresh_task_id(), 1_000_000.0);
+            sim.submit_local(edge, t).expect("submit");
+        }
+        let id = sim.fresh_task_id();
+        let t = TaskInstance::new(id, 1.0).with_body(TaskBody::new(0, 3));
+        sim.submit_local(edge, t).expect("submit");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_millis(50), &mut rec);
+        assert_eq!(sim.live_instances(id), 1, "victim is queued at the edge");
+        sim.migrate_task(edge, cloud, id, Protocol::Mqtt, true).expect("queued tasks migrate");
+        sim.run_until(SimTime::from_secs(2), &mut rec);
+        assert!(rec.completed.iter().any(|o| o.task.id == id && o.node == cloud));
+        assert_eq!(sim.live_instances(id), 0);
+    }
+
+    #[test]
+    fn migrate_task_rejects_impossible_moves() {
+        use crate::task::TaskBody;
+        let (mut sim, edge, cloud) = migration_sim();
+        sim.set_vm(VmConfig::new(vec![vm_test_program(5_000)]));
+        let id = sim.fresh_task_id();
+        let t = TaskInstance::new(id, 1.0).with_body(TaskBody::new(0, 1));
+        sim.submit_local(edge, t).expect("submit");
+        let mut rec = Recorder::default();
+        sim.run_until(SimTime::from_millis(1), &mut rec);
+        assert!(sim.migrate_task(edge, edge, id, Protocol::Mqtt, true).is_none(), "self-move");
+        assert!(
+            sim.migrate_task(cloud, edge, id, Protocol::Mqtt, true).is_none(),
+            "task is not resident on the claimed source"
+        );
+        let ghost = sim.fresh_task_id();
+        assert!(sim.migrate_task(edge, cloud, ghost, Protocol::Mqtt, true).is_none());
+        sim.run_until(SimTime::from_secs(60), &mut rec);
+        assert_eq!(rec.completed.len(), 1, "rejected moves leave the task running");
+        // Terminal tasks cannot migrate.
+        assert!(sim.migrate_task(edge, cloud, id, Protocol::Mqtt, true).is_none());
+    }
+
+    #[test]
+    fn double_resume_mutation_breaks_single_instance_discipline() {
+        use crate::task::TaskBody;
+        let run = |armed: bool| -> usize {
+            crate::mutation::set_migration_double_resume(armed);
+            let (mut sim, edge, cloud) = migration_sim();
+            sim.set_vm(VmConfig::new(vec![vm_test_program(20_000)]));
+            let id = sim.fresh_task_id();
+            let t = TaskInstance::new(id, 1.0).with_body(TaskBody::new(0, 7));
+            sim.submit_local(edge, t).expect("submit");
+            let mut rec = Recorder::default();
+            sim.run_until(SimTime::from_millis(10), &mut rec);
+            let eta = sim.migrate_task(edge, cloud, id, Protocol::Mqtt, true).expect("migratable");
+            // Probe just after the resume lands, while the task is
+            // still mid-execution at the destination.
+            sim.run_until(eta + SimDuration::from_millis(1), &mut rec);
+            let live = sim.live_instances(id);
+            crate::mutation::set_migration_double_resume(false);
+            live
+        };
+        assert_eq!(run(false), 1, "clean protocol: exactly one live instance");
+        assert!(run(true) > 1, "armed bug: duplicate instances after resume");
     }
 }

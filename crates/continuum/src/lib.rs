@@ -70,6 +70,7 @@ pub mod mutation {
         static STALE_RECOVER: Cell<bool> = const { Cell::new(false) };
         static STRICT_PROTECT: Cell<bool> = const { Cell::new(false) };
         static BLIND_AWARD: Cell<bool> = const { Cell::new(false) };
+        static DOUBLE_RESUME: Cell<bool> = const { Cell::new(false) };
     }
 
     /// Arms/disarms the retry-epoch bug: recovery events fire even for
@@ -105,14 +106,28 @@ pub mod mutation {
     pub fn federation_blind_award() -> bool {
         BLIND_AWARD.with(|c| c.get())
     }
+
+    /// Arms/disarms the double-resume bug: a live migration delivers
+    /// the checkpointed task to the destination *twice*, so two live
+    /// instances of the same task run concurrently — exactly the
+    /// violation the `exactly-one-live-instance` discipline exists to
+    /// prevent.
+    pub fn set_migration_double_resume(on: bool) {
+        DOUBLE_RESUME.with(|c| c.set(on));
+    }
+
+    /// Whether the double-resume bug is armed on this thread.
+    pub fn migration_double_resume() -> bool {
+        DOUBLE_RESUME.with(|c| c.get())
+    }
 }
 
 pub use admission::{AdmissionDecision, AdmissionPolicy};
-pub use engine::{Driver, EngineBackend, SimCore, SimError, SimEvent};
+pub use engine::{Driver, EngineBackend, SimCore, SimError, SimEvent, VmConfig};
 pub use federation::{FederatedContinuum, FederatedContinuumBuilder, GossipRegistry, RegionDigest};
 pub use ids::{ClusterId, LinkId, MsgId, NodeId, PodId, RegionId, TaskId, TimerId};
 pub use node::{Layer, NodeKind, NodeSpec};
 pub use retry::RetryPolicy;
-pub use task::{TaskInstance, TaskOutcome};
+pub use task::{TaskBody, TaskInstance, TaskOutcome};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Continuum, ContinuumBuilder};

@@ -471,6 +471,12 @@ impl NodeState {
         self.queue.len()
     }
 
+    /// Tasks waiting for a core, in FIFO order (inspection — migration
+    /// policies pick victims from here).
+    pub fn queued(&self) -> impl Iterator<Item = &TaskInstance> {
+        self.queue.iter()
+    }
+
     /// Busy cores / total cores, in `[0, 1]`.
     pub fn utilization(&self) -> f64 {
         self.running.len() as f64 / self.spec.cores() as f64

@@ -58,6 +58,31 @@ pub struct TaskInstance {
     /// [`crate::admission::AdmissionPolicy::protect_priority`] threshold
     /// bypass rate limiting and queue bounds. Higher is more important.
     pub priority: u8,
+    /// Portable executable body, if the task carries one. `None` (the
+    /// default) keeps the scalar-cost path byte-identical: the task is
+    /// just `work_mc` megacycles. With a body and a VM runtime
+    /// installed on the core ([`crate::engine::SimCore::set_vm`]), the
+    /// engine re-prices `work_mc` from the program's per-opcode cost on
+    /// each hosting node and can checkpoint/live-migrate the task.
+    pub body: Option<TaskBody>,
+}
+
+/// Reference to a portable task body: a program in the installed
+/// [`crate::engine::VmConfig`] library plus the seed of its
+/// deterministic input stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskBody {
+    /// Index into the installed program library.
+    pub program: u32,
+    /// Seed of the task's `Op::Input` stream.
+    pub seed: u64,
+}
+
+impl TaskBody {
+    /// Body executing library program `program` with input seed `seed`.
+    pub fn new(program: u32, seed: u64) -> Self {
+        TaskBody { program, seed }
+    }
 }
 
 impl TaskInstance {
@@ -80,6 +105,7 @@ impl TaskInstance {
             released: SimTime::ZERO,
             tag: 0,
             priority: 0,
+            body: None,
         }
     }
 
@@ -123,6 +149,12 @@ impl TaskInstance {
     /// Sets the QoS priority class (higher is more important).
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Attaches a portable executable body.
+    pub fn with_body(mut self, body: TaskBody) -> Self {
+        self.body = Some(body);
         self
     }
 

@@ -4,9 +4,10 @@
 //! workspace actually ships: Raft leader election and log replication
 //! (`myrtus-kb`), the retry/cancel-epoch and k=2 replication machinery
 //! of the simulation core, admission control (`myrtus-continuum`),
-//! elastic scale-down (`myrtus-mirto`), and the federation tier's
+//! elastic scale-down (`myrtus-mirto`), the federation tier's
 //! gossip registry and sealed-bid burst auction
-//! (`myrtus-continuum::federation`).
+//! (`myrtus-continuum::federation`), and the task VM's live-migration
+//! protocol (checkpoint → transfer → resume).
 //!
 //! The checker is deliberately small: a [`Model`] is anything with
 //! initial states, enabled actions, a successor function, a canonical
@@ -15,9 +16,9 @@
 //! seen-set and, on violation, reconstructs the action sequence that
 //! reached the bad state as a readable counterexample trace.
 //!
-//! The five bundled models ([`raft`], [`retry`], [`admission`],
-//! [`scaledown`], [`federation`]) are *adapters over the production
-//! implementations*,
+//! The six bundled models ([`raft`], [`retry`], [`admission`],
+//! [`scaledown`], [`federation`], [`migration`]) are *adapters over
+//! the production implementations*,
 //! not re-specifications: every transition calls the same public
 //! methods the orchestration stack calls, and every invariant reads
 //! state back through the same accessors.
@@ -46,6 +47,7 @@ use std::hash::{Hash, Hasher};
 
 pub mod admission;
 pub mod federation;
+pub mod migration;
 pub mod raft;
 pub mod retry;
 pub mod scaledown;

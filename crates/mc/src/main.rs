@@ -1,10 +1,10 @@
-//! Runs the five protocol models to fixpoint and reports state-space
+//! Runs the six protocol models to fixpoint and reports state-space
 //! statistics. Exits non-zero on an invariant violation (printing the
 //! counterexample trace) or when a model fails to explore at least
 //! [`MIN_STATES`] distinct states — a shrinking state space usually
 //! means an adapter quietly stopped driving the real implementation.
 //!
-//! Usage: `cargo run -p mc [--model raft|retry|admission|scaledown|federation]`.
+//! Usage: `cargo run -p mc [--model raft|retry|admission|scaledown|federation|migration]`.
 
 use std::time::Instant;
 
@@ -63,7 +63,10 @@ fn main() {
         Some(i) => match args.get(i + 1) {
             Some(name) => Some(name.clone()),
             None => {
-                eprintln!("--model requires a name: raft, retry, admission, scaledown, federation");
+                eprintln!(
+                    "--model requires a name: raft, retry, admission, scaledown, federation, \
+                     migration"
+                );
                 std::process::exit(2);
             }
         },
@@ -97,10 +100,14 @@ fn main() {
     if wants("federation") {
         record("federation", run_model(&mc::federation::FederationModel::small()));
     }
+    if wants("migration") {
+        record("migration", run_model(&mc::migration::MigrationModel::small()));
+    }
 
     if ran == 0 {
         eprintln!(
-            "unknown model {filter:?}: expected raft, retry, admission, scaledown, or federation"
+            "unknown model {filter:?}: expected raft, retry, admission, scaledown, federation, \
+             or migration"
         );
         std::process::exit(2);
     }

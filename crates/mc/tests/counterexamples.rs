@@ -136,3 +136,16 @@ fn federation_blind_award_bursts_to_silent_region() {
     let _armed = Armed::new(myrtus_continuum::mutation::set_federation_blind_award);
     assert_caught(&model, "never advertised");
 }
+
+/// Migration mutation: the checkpoint arrival is delivered twice, so
+/// the task resumes on the destination *and* resumes again — two live
+/// instances of one task, the exact split-brain live migration must
+/// exclude. One submission and one live migration suffice; no crashes
+/// needed to expose it.
+#[test]
+fn migration_double_resume_breaks_single_instance() {
+    let model = mc::migration::MigrationModel::with_budgets(1, 1, 0, 0);
+    assert_clean(&model);
+    let _armed = Armed::new(myrtus_continuum::mutation::set_migration_double_resume);
+    assert_caught(&model, "exactly-one-live-instance");
+}

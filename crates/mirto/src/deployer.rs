@@ -38,6 +38,7 @@ pub struct DeploymentProxy {
     replica_pods: HashMap<(u16, usize), Vec<BoundPod>>,
     binds: u64,
     moves: u64,
+    task_moves: u64,
     obs: Obs,
     clock_us: u64,
 }
@@ -91,6 +92,7 @@ impl DeploymentProxy {
             replica_pods: HashMap::new(),
             binds: 0,
             moves: 0,
+            task_moves: 0,
             obs: Obs::disabled(),
             clock_us: 0,
         }
@@ -123,6 +125,28 @@ impl DeploymentProxy {
     /// Pod migrations executed so far.
     pub fn moves(&self) -> u64 {
         self.moves
+    }
+
+    /// Individual task migrations executed so far (burst-backlog
+    /// drains; pods stay put, only in-flight work moves).
+    pub fn task_moves(&self) -> u64 {
+        self.task_moves
+    }
+
+    /// Records one task-level migration: unlike [`bind_component`]
+    /// rebinds, the pod does not move — a single in-flight task was
+    /// checkpointed (or killed) on `from` and resumed (or restarted) on
+    /// `to`. Traced as a [`TraceKind::Migrate`] with the component set
+    /// to `u32::MAX`, the task-migration sentinel.
+    ///
+    /// [`bind_component`]: DeploymentProxy::bind_component
+    pub fn note_task_migration(&mut self, app: u16, from: NodeId, to: NodeId) {
+        self.task_moves += 1;
+        self.obs.counter_inc("task_migrations", "");
+        self.obs.trace(
+            self.clock_us,
+            TraceKind::Migrate { app, component: u32::MAX, from: from.as_raw(), to: to.as_raw() },
+        );
     }
 
     /// Pod currently backing a component.

@@ -27,7 +27,7 @@ use myrtus_continuum::net::{PlanEstimator, Protocol, RouteCache};
 use myrtus_continuum::node::Layer;
 use myrtus_continuum::retry::RetryPolicy;
 use myrtus_continuum::stats::Summary;
-use myrtus_continuum::task::TaskInstance;
+use myrtus_continuum::task::{TaskBody, TaskInstance};
 use myrtus_continuum::time::{SimDuration, SimTime};
 use myrtus_continuum::topology::Continuum;
 use myrtus_kb::KnowledgeBase;
@@ -41,7 +41,9 @@ use myrtus_workload::tosca::Application;
 
 use crate::deployer::DeploymentProxy;
 use crate::managers::elasticity::{ElasticityConfig, ElasticityManager, ScaleAction, StageSignals};
-use crate::managers::federation::{FederationAction, FederationConfig, FederationManager};
+use crate::managers::federation::{
+    BurstLink, FederationAction, FederationConfig, FederationManager,
+};
 use crate::managers::network::NetworkManager;
 use crate::managers::node::NodeManager;
 use crate::managers::privsec::{level_for_tier, node_security_level, PrivacySecurityManager};
@@ -51,6 +53,11 @@ use crate::policies::{PlaceError, PlacementPolicy};
 
 /// Monitoring-timer sentinel tag.
 const MONITOR_TAG: u64 = u64::MAX;
+/// Most resident tasks one burst open/re-award drains to the peer.
+/// Bounds the WAN spike per MAPE round; the ETA router keeps steering
+/// subsequent arrivals, so the drain only has to move the backlog that
+/// already committed to a home node.
+const BURST_MIGRATE_CAP: usize = 8;
 /// Stage field value marking a request-arrival timer.
 const ARRIVAL_STAGE: u16 = 0xFFFF;
 /// Stage field value marking a deferred application deployment.
@@ -79,6 +86,24 @@ impl Default for ManagerTuning {
             queue_threshold: 4,
         }
     }
+}
+
+/// How the engine moves *resident* tasks when the Federation Manager
+/// opens (or re-awards) a burst link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrationMode {
+    /// Never move committed work: the burst node only becomes a routing
+    /// candidate for *future* stage submissions (the PR-8 behaviour;
+    /// keeps legacy runs byte-identical).
+    #[default]
+    Off,
+    /// Kill-and-restart: evict the backlog and re-ship each task's
+    /// inputs to the peer, losing any progress already made.
+    Cold,
+    /// Checkpoint/restore: snapshot each VM-bodied task's state, ship
+    /// the checkpoint over the WAN and resume on the peer — progress
+    /// survives the move. Tasks without a body fall back to cold.
+    Live,
 }
 
 /// Engine configuration.
@@ -138,6 +163,11 @@ pub struct EngineConfig {
     /// (the default) keeps every run byte-identical to pre-federation
     /// builds.
     pub federation: Option<FederationConfig>,
+    /// Backlog handling when a burst link opens or re-awards: leave
+    /// committed work where it is (the default), cold-restart it on the
+    /// peer, or live-migrate VM-bodied tasks via checkpoint/restore.
+    /// Only meaningful with [`EngineConfig::federation`] set.
+    pub migration: MigrationMode,
     /// Seed for stochastic arrivals.
     pub seed: u64,
     /// Runtime manager thresholds (the swarm agents' local rules).
@@ -163,6 +193,7 @@ impl Default for EngineConfig {
             elasticity: None,
             replicate_critical: false,
             federation: None,
+            migration: MigrationMode::Off,
             seed: 7,
             tuning: ManagerTuning::default(),
             obs: ObsConfig::off(),
@@ -335,6 +366,9 @@ pub struct OrchestrationReport {
     pub bursts: u64,
     /// Tasks routed across the WAN over an open burst link.
     pub tasks_bursted: u64,
+    /// In-flight tasks migrated node-to-node (burst-backlog drains,
+    /// cold or live depending on [`EngineConfig::migration`]).
+    pub tasks_migrated: u64,
     /// Simulator events processed.
     pub events: u64,
     /// Observability handle for the run: metric snapshots and the trace
@@ -744,6 +778,7 @@ impl OrchestrationEngine {
             pod_moves: self.proxy.as_ref().map_or(0, DeploymentProxy::moves),
             bursts: self.fed.as_ref().map_or(0, FederationManager::bursts_opened),
             tasks_bursted: self.fed.as_ref().map_or(0, FederationManager::tasks_bursted),
+            tasks_migrated: self.proxy.as_ref().map_or(0, DeploymentProxy::task_moves),
             events: sim.processed_events(),
             obs: {
                 self.obs.gauge_set("run_total_energy_j", "", report.total_energy_j());
@@ -903,6 +938,15 @@ impl OrchestrationEngine {
         if let Some(d) = stage.max_latency {
             task = task.with_deadline(released + d);
         }
+        // Portable body: the stage runs on the task VM when the
+        // deployment shipped a program library. The seed derives from
+        // the correlation tag, so every attempt of the same stage reads
+        // the same input stream regardless of where it executes.
+        if let Some(prog) = stage.program {
+            if sim.vm_installed() {
+                task = task.with_body(TaskBody::new(prog, self.cfg.seed ^ tag.encode()));
+            }
+        }
         let primary_id = task.id;
 
         let result = match src {
@@ -997,6 +1041,11 @@ impl OrchestrationEngine {
         }
         if let Some(d) = stage.max_latency {
             twin = twin.with_deadline(released + d);
+        }
+        if let Some(prog) = stage.program {
+            if sim.vm_installed() {
+                twin = twin.with_body(TaskBody::new(prog, self.cfg.seed ^ tag));
+            }
         }
         let twin_id = twin.id;
         let sent = match src {
@@ -1471,6 +1520,10 @@ impl OrchestrationEngine {
         }
         mgr.update_pressure();
         let est = PlanEstimator::new(sim.network(), now, &self.plan_cache);
+        // Burst awards to drain after the tick loop: the estimator
+        // borrows the network, so backlog migration (which mutates the
+        // simulator) must wait until every application has ticked.
+        let mut awards: Vec<(u16, BurstLink)> = Vec::new();
         for pos in 0..self.apps.len() {
             let app_id = self.apps[pos].id;
             // Scale replicas first: only an app whose elasticity budget
@@ -1504,6 +1557,7 @@ impl OrchestrationEngine {
                         },
                     );
                     self.kb.put_region(home, "burst", &link.region.to_string(), now);
+                    awards.push((app_id, link));
                 }
                 Some(FederationAction::Close(_)) => {
                     self.obs.counter_inc("manager_actions", "federation");
@@ -1528,9 +1582,72 @@ impl OrchestrationEngine {
                         },
                     );
                     self.kb.put_region(home, "burst", &to.region.to_string(), now);
+                    awards.push((app_id, to));
                 }
                 None => {}
             }
+        }
+        for (app_id, link) in awards {
+            self.migrate_backlog(sim, mgr, now_us, app_id, link);
+        }
+    }
+
+    /// Drains up to [`BURST_MIGRATE_CAP`] of the bursting application's
+    /// resident tasks (running first — they carry progress worth
+    /// preserving — then queued, in home-node order) onto the freshly
+    /// awarded peer node. [`MigrationMode::Cold`] re-ships inputs and
+    /// restarts from scratch; [`MigrationMode::Live`] checkpoints each
+    /// VM-bodied task and resumes it on the peer. The simulator
+    /// enforces the exactly-one-live-instance discipline either way.
+    fn migrate_backlog(
+        &mut self,
+        sim: &mut SimCore,
+        mgr: &FederationManager,
+        now_us: u64,
+        app_id: u16,
+        link: BurstLink,
+    ) {
+        if self.cfg.migration == MigrationMode::Off {
+            return;
+        }
+        let live = self.cfg.migration == MigrationMode::Live;
+        let Some(home) = mgr.home_nodes(app_id) else { return };
+        let mut victims: Vec<(NodeId, TaskId)> = Vec::new();
+        for &node in home {
+            if victims.len() >= BURST_MIGRATE_CAP {
+                break;
+            }
+            let Some(st) = sim.node(node) else { continue };
+            let resident = st.running().iter().map(|r| &r.task).chain(st.queued());
+            for t in resident {
+                if victims.len() >= BURST_MIGRATE_CAP {
+                    break;
+                }
+                if Tag::decode(t.tag).app == app_id {
+                    victims.push((node, t.id));
+                }
+            }
+        }
+        let mut moved = 0u64;
+        for (from, id) in victims {
+            if sim.migrate_task(from, link.node, id, Protocol::Mqtt, live).is_some() {
+                moved += 1;
+                if let Some(proxy) = self.proxy.as_mut() {
+                    proxy.set_clock(now_us);
+                    proxy.note_task_migration(app_id, from, link.node);
+                }
+            }
+        }
+        if moved > 0 {
+            self.obs.counter_inc("manager_actions", "federation");
+            self.obs.trace(
+                now_us,
+                TraceKind::ManagerAction {
+                    manager: "federation",
+                    action: "migrate_backlog",
+                    subject: app_id as u64,
+                },
+            );
         }
     }
 
@@ -2189,6 +2306,124 @@ mod tests {
         assert!(!samples.is_empty(), "miss-rate series recorded");
         assert!(samples.iter().all(|s| (0.0..=1.0).contains(&s.value)));
         assert!(samples.windows(2).all(|w| w[0].at_us < w[1].at_us), "one sample per round");
+    }
+
+    #[test]
+    fn bodied_stages_execute_on_the_task_vm() {
+        use myrtus_continuum::engine::VmConfig;
+        use myrtus_workload::scenarios::programs;
+        let run = |bodied: bool| {
+            let mut continuum = ContinuumBuilder::new().build();
+            // Library entry 0 is the compute mix sized to the pose
+            // stage's scalar work, so re-pricing stays in the same
+            // ballpark and the pipeline still meets its deadlines.
+            continuum.sim_mut().set_vm(VmConfig::new(programs::library(7, 9.0)));
+            let mut app = small_telerehab();
+            if bodied {
+                for comp in &mut app.components {
+                    if comp.name == "pose" {
+                        comp.requirements.program = Some(0);
+                    }
+                }
+            }
+            OrchestrationEngine::new(
+                Box::new(GreedyBestFit::new()),
+                EngineConfig { obs: ObsConfig::on(), ..EngineConfig::default() },
+            )
+            .run(&mut continuum, vec![app], SimTime::from_secs(5))
+            .expect("places")
+        };
+        let scalar = run(false);
+        assert_eq!(
+            scalar.obs.counter_value("vm_steps_total", ""),
+            0,
+            "no bodies tagged, no VM activity even with the VM installed"
+        );
+        let bodied = run(true);
+        assert!(
+            bodied.obs.counter_value("vm_steps_total", "") > 0,
+            "bodied stages step the interpreter"
+        );
+        assert!(
+            bodied.apps[0].completed > 50,
+            "VM-priced pose stages still complete the session: {:?}",
+            bodied.apps[0]
+        );
+    }
+
+    #[test]
+    fn burst_awards_drain_the_backlog_via_task_migration() {
+        use myrtus_continuum::engine::VmConfig;
+        use myrtus_continuum::federation::FederatedContinuumBuilder;
+        use myrtus_continuum::ids::RegionId;
+        use myrtus_continuum::topology::HopSpec;
+        use myrtus_workload::scenarios::programs;
+        let run = |migration: MigrationMode| {
+            let shape = ContinuumBuilder::new()
+                .edge_multicores(2)
+                .edge_hmpsocs(2)
+                .edge_riscvs(0)
+                .gateways(1)
+                .fmdcs(0)
+                .cloud_servers(0);
+            let mut fed = FederatedContinuumBuilder::new()
+                .regions(2)
+                .region_shape(shape)
+                .wan_hop(HopSpec::new(SimDuration::from_millis(10), 400.0))
+                .build();
+            // Short horizon: interpreting every bodied batch task is
+            // the dominant (debug-build) cost of this test, and the
+            // burst gate arms within the first few MAPE rounds.
+            let horizon = SimTime::from_millis(1_000);
+            let (mix, lib) = programs::bodied_region_mix(7, 2, horizon, 0, 4.0);
+            fed.sim_mut().set_vm(VmConfig::new(lib));
+            let apps = mix
+                .into_iter()
+                .map(|(app, r)| (app, RegionId::from_raw(r), SimTime::ZERO))
+                .collect();
+            OrchestrationEngine::new(
+                Box::new(GreedyBestFit::new()),
+                EngineConfig {
+                    obs: ObsConfig::on(),
+                    seed: 7,
+                    // No autoscaler: the burst gate arms immediately.
+                    federation: Some(FederationConfig {
+                        burst_queue: 8.0,
+                        release_queue: 4.0,
+                        escalation_rounds: 1,
+                        min_headroom_mc_per_s: 2_000.0,
+                        ..FederationConfig::default()
+                    }),
+                    migration,
+                    ..EngineConfig::default()
+                },
+            )
+            .run_federated(&mut fed, apps, SimTime::from_millis(1_400))
+            .expect("placeable")
+        };
+        let off = run(MigrationMode::Off);
+        assert!(off.bursts > 0, "the hot region escalates");
+        assert_eq!(off.tasks_migrated, 0, "Off keeps the PR-8 route-only behaviour");
+        assert_eq!(off.obs.counter_value("task_migrations", ""), 0);
+
+        let live = run(MigrationMode::Live);
+        assert!(live.tasks_migrated > 0, "a burst award drains resident backlog");
+        assert_eq!(
+            live.obs.counter_value("task_migrations", ""),
+            live.tasks_migrated,
+            "proxy tally matches the typed counter"
+        );
+        let moved_live = live.obs.counter_value("task_migrations_live", "");
+        let moved_cold = live.obs.counter_value("task_migrations_cold", "");
+        assert_eq!(
+            moved_live + moved_cold,
+            live.tasks_migrated,
+            "every drain is either a checkpoint/resume or a cold restart"
+        );
+        assert!(
+            moved_live > 0,
+            "bodied batch tasks migrate live ({moved_live} live / {moved_cold} cold)"
+        );
     }
 
     #[test]

@@ -72,7 +72,8 @@ pub use agent::{auction, layer_agents, AuctionPlacement, Bid, MirtoAgent, Offloa
 pub use api::{ApiDaemon, ApiError, ApiRequest, ApiResponse, Operation};
 pub use deployer::DeploymentProxy;
 pub use engine::{
-    run_orchestration, EngineConfig, ManagerTuning, OrchestrationEngine, OrchestrationReport,
+    run_orchestration, EngineConfig, ManagerTuning, MigrationMode, OrchestrationEngine,
+    OrchestrationReport,
 };
 pub use images::{ImageRegistry, ScanResult};
 pub use managers::federation::{BurstLink, FederationConfig, FederationManager};

@@ -37,6 +37,7 @@ pub use myrtus_kb as kb;
 pub use myrtus_mirto as mirto;
 pub use myrtus_obs as obs;
 pub use myrtus_security as security;
+pub use myrtus_vm as vm;
 pub use myrtus_workload as workload;
 
 pub mod inventory;

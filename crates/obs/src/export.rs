@@ -39,8 +39,12 @@ pub fn trace_event_json(e: &TraceEvent) -> String {
         | TraceKind::TaskLost { node, task }
         | TraceKind::TaskTimeout { node, task }
         | TraceKind::TaskCancelled { node, task }
-        | TraceKind::TaskAdmitted { node, task } => {
+        | TraceKind::TaskAdmitted { node, task }
+        | TraceKind::TaskResume { node, task } => {
             format!(",\"node\":{node},\"task\":{task}}}")
+        }
+        TraceKind::TaskCheckpoint { node, task, bytes } => {
+            format!(",\"node\":{node},\"task\":{task},\"bytes\":{bytes}}}")
         }
         TraceKind::TaskShed { node, task, reason } => {
             format!(",\"node\":{node},\"task\":{task},\"reason\":\"{}\"}}", esc(reason))
@@ -283,6 +287,12 @@ pub fn parse_trace_jsonl(s: &str) -> Vec<TraceEvent> {
                     to: json_u32(line, "to")?,
                 },
                 "task_admitted" => TraceKind::TaskAdmitted { node: node()?, task: task()? },
+                "task_checkpoint" => TraceKind::TaskCheckpoint {
+                    node: node()?,
+                    task: task()?,
+                    bytes: json_u64(line, "bytes")?,
+                },
+                "task_resume" => TraceKind::TaskResume { node: node()?, task: task()? },
                 "task_shed" => TraceKind::TaskShed {
                     node: node()?,
                     task: task()?,
@@ -453,6 +463,8 @@ mod tests {
         buf.push(110, TraceKind::Migrate { app: 1, component: 2, from: 3, to: 4 });
         buf.push(120, TraceKind::TaskAdmitted { node: 1, task: 11 });
         buf.push(125, TraceKind::TaskShed { node: 1, task: 12, reason: "rate_limit" });
+        buf.push(130, TraceKind::TaskCheckpoint { node: 3, task: 13, bytes: 146 });
+        buf.push(140, TraceKind::TaskResume { node: 4, task: 13 });
         let events = buf.events();
         let parsed = parse_trace_jsonl(&trace_jsonl(&events));
         assert_eq!(parsed, events);

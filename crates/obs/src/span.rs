@@ -248,6 +248,26 @@ pub fn reconstruct(events: &[TraceEvent]) -> SpanSet {
                 s.node = node;
                 s.outcome = SpanOutcome::Shed;
             }
+            TraceKind::TaskCheckpoint { node, task, .. } => {
+                // A live migration leaves the source: archive the
+                // source attempt (not lost — its execution state rides
+                // the checkpoint) and let the follow-up dispatch /
+                // arrive / resume events refill the top-level
+                // timestamps. The logical span stays one task.
+                let s = map.entry(task).or_insert_with(|| blank(task, node));
+                s.attempts.push(AttemptSpan {
+                    node: s.node,
+                    dispatched_at_us: s.dispatched_at_us,
+                    arrived_at_us: s.arrived_at_us,
+                    started_at_us: s.started_at_us,
+                    ended_at_us: Some(e.at_us),
+                    lost: false,
+                });
+                s.arrived_at_us = None;
+                s.started_at_us = None;
+                s.ended_at_us = None;
+                s.outcome = SpanOutcome::InFlight;
+            }
             _ => {}
         }
     }
@@ -449,6 +469,38 @@ mod tests {
         assert_eq!(s.outcome, SpanOutcome::Shed);
         assert!(s.started_at_us.is_none());
         assert_eq!(s.ended_at_us, Some(10));
+    }
+
+    #[test]
+    fn live_migration_folds_into_one_span() {
+        let events = [
+            // Runs on node 1, checkpointed mid-flight…
+            ev(0, 0, TraceKind::TaskDispatch { node: 1, task: 7 }),
+            ev(1, 10, TraceKind::TaskArrive { node: 1, task: 7 }),
+            ev(2, 20, TraceKind::TaskStart { node: 1, task: 7 }),
+            ev(3, 50, TraceKind::TaskCheckpoint { node: 1, task: 7, bytes: 146 }),
+            // …migrates to node 2 and resumes there.
+            ev(4, 50, TraceKind::TaskDispatch { node: 2, task: 7 }),
+            ev(5, 80, TraceKind::TaskArrive { node: 2, task: 7 }),
+            ev(6, 80, TraceKind::TaskResume { node: 2, task: 7 }),
+            ev(7, 85, TraceKind::TaskStart { node: 2, task: 7 }),
+            ev(8, 120, TraceKind::TaskComplete { node: 2, task: 7, deadline_met: true }),
+        ];
+        let set = reconstruct(&events);
+        assert_eq!(set.spans.len(), 1);
+        let s = &set.spans[0];
+        // One logical task: the migration archived the source attempt
+        // without marking it lost, and conservation still holds.
+        assert_eq!(s.outcome, SpanOutcome::Completed { deadline_met: true });
+        assert_eq!(s.node, 2);
+        assert_eq!(s.attempt_count(), 2);
+        assert!(!s.attempts[0].lost);
+        assert_eq!(s.attempts[0].node, 1);
+        assert_eq!(s.attempts[0].ended_at_us, Some(50));
+        assert_eq!(s.logical_total_us(), Some(120));
+        assert_eq!(set.dispatched, 1);
+        assert_eq!(set.completed, 1);
+        assert!(set.is_conserved());
     }
 
     #[test]

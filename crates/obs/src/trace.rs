@@ -151,6 +151,28 @@ pub enum TraceKind {
         /// Why: `"queue_full"`, `"rate_limit"`, or `"slo_hopeless"`.
         reason: &'static str,
     },
+    /// A running task body was checkpointed at its source node for a
+    /// live migration (schema v5). The execution state travels with
+    /// the checkpoint, so span reconstruction archives the source
+    /// attempt without counting it as lost work: checkpoint →
+    /// re-dispatch → resume is one logical span.
+    TaskCheckpoint {
+        /// Source node being vacated (raw id).
+        node: u32,
+        /// Task id.
+        task: u64,
+        /// Canonical checkpoint size in bytes (the payload that
+        /// crosses the network instead of the task's input).
+        bytes: u64,
+    },
+    /// A checkpointed task body resumed execution at its destination
+    /// node (schema v5); paired with the preceding `task_checkpoint`.
+    TaskResume {
+        /// Destination node (raw id).
+        node: u32,
+        /// Task id.
+        task: u64,
+    },
 }
 
 impl TraceKind {
@@ -182,6 +204,13 @@ impl TraceKind {
     /// catalogue is `ALL_TYPES ∪ ELASTIC_TYPES`.
     pub const ELASTIC_TYPES: &'static [&'static str] = &["task_admitted", "task_shed"];
 
+    /// Schema-v5 extension tags (portable task bodies). A live
+    /// migration emits `task_checkpoint` at the source and
+    /// `task_resume` at the destination; both are absent from
+    /// VM-free traces, so older golden-coverage tests stay valid. The
+    /// full catalogue is `ALL_TYPES ∪ ELASTIC_TYPES ∪ VM_TYPES`.
+    pub const VM_TYPES: &'static [&'static str] = &["task_checkpoint", "task_resume"];
+
     /// The `"type"` tag this payload serializes under.
     pub const fn type_name(&self) -> &'static str {
         match self {
@@ -203,6 +232,8 @@ impl TraceKind {
             TraceKind::Migrate { .. } => "migrate",
             TraceKind::TaskAdmitted { .. } => "task_admitted",
             TraceKind::TaskShed { .. } => "task_shed",
+            TraceKind::TaskCheckpoint { .. } => "task_checkpoint",
+            TraceKind::TaskResume { .. } => "task_resume",
         }
     }
 }
@@ -319,10 +350,16 @@ mod tests {
             TraceKind::Migrate { app: 0, component: 0, from: 0, to: 1 },
             TraceKind::TaskAdmitted { node: 0, task: 0 },
             TraceKind::TaskShed { node: 0, task: 0, reason: "queue_full" },
+            TraceKind::TaskCheckpoint { node: 0, task: 0, bytes: 64 },
+            TraceKind::TaskResume { node: 1, task: 0 },
         ];
         let names: Vec<&str> = samples.iter().map(|k| k.type_name()).collect();
-        let catalogue: Vec<&str> =
-            TraceKind::ALL_TYPES.iter().chain(TraceKind::ELASTIC_TYPES).copied().collect();
+        let catalogue: Vec<&str> = TraceKind::ALL_TYPES
+            .iter()
+            .chain(TraceKind::ELASTIC_TYPES)
+            .chain(TraceKind::VM_TYPES)
+            .copied()
+            .collect();
         assert_eq!(names, catalogue);
     }
 }

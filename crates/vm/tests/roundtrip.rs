@@ -1,0 +1,136 @@
+//! Property battery: a program interrupted at *any* slice boundary,
+//! checkpointed through the canonical byte image and resumed —
+//! possibly on a different ISA's cost table — finishes with
+//! bit-identical machine state, step count and output digest to an
+//! uninterrupted run.
+
+use myrtus_vm::{Checkpoint, CostTable, IsaClass, Op, Program, SliceResult, VmState};
+use proptest::prelude::*;
+
+/// A small random-but-valid program: a bounded loop whose body mixes
+/// every op class, parameterized by iteration count and immediates.
+fn gen_program(iters: i64, imm: i64, shift: i64, io_heavy: bool) -> Program {
+    let mut ops = vec![Op::Push(iters), Op::Store(0)];
+    let head = ops.len() as u16 + 1; // first op after the Jmp below
+    ops.push(Op::Jmp(head));
+    ops.extend([
+        Op::Input,
+        Op::Push(imm),
+        Op::Add,
+        Op::Mix,
+        Op::Push(shift),
+        Op::Shr,
+        Op::Load(1),
+        Op::Xor,
+        Op::Store(1),
+    ]);
+    if io_heavy {
+        ops.extend([Op::Input, Op::Out]);
+    } else {
+        ops.extend([Op::Dup, Op::Mul, Op::Pop]);
+    }
+    ops.push(Op::Load(1));
+    ops.push(Op::Out);
+    ops.push(Op::LoopDec(0, head));
+    ops.push(Op::Halt);
+    Program::new(ops, 2).expect("generated program validates")
+}
+
+fn isa(pick: u8) -> CostTable {
+    match pick % 3 {
+        0 => CostTable::for_isa(IsaClass::Arm, 1.0),
+        1 => CostTable::for_isa(IsaClass::Riscv, 0.5),
+        _ => CostTable::for_isa(IsaClass::Server, 1.2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Interrupt at an arbitrary cycle boundary, round-trip through
+    /// bytes, resume on the same table: final state, consumed cost and
+    /// digest match the uninterrupted run exactly.
+    #[test]
+    fn interrupt_resume_is_bit_identical(
+        iters in 1i64..40,
+        imm in -1000i64..1000,
+        shift in 0i64..64,
+        io_heavy in any::<bool>(),
+        seed in any::<u64>(),
+        cut in 1u64..60_000,
+        pick in any::<u8>(),
+    ) {
+        let p = gen_program(iters, imm, shift, io_heavy);
+        let t = isa(pick);
+        let mut whole = VmState::new(&p, seed);
+        whole.run_to_halt(&p, &t);
+
+        let mut head = VmState::new(&p, seed);
+        head.advance_to(&p, &t, cut);
+        let image = head.checkpoint(&p).to_bytes();
+        let cp = Checkpoint::from_bytes(&image).expect("canonical image decodes");
+        let mut tail = VmState::from_checkpoint(&cp, &p).expect("fingerprint matches");
+        tail.run_to_halt(&p, &t);
+
+        prop_assert_eq!(&tail, &whole);
+        prop_assert_eq!(tail.consumed_cycles(), whole.consumed_cycles());
+        prop_assert_eq!(tail.out_digest(), whole.out_digest());
+    }
+
+    /// Chop the run into many slices of arbitrary stride (a harsher
+    /// schedule than one interruption): still bit-identical.
+    #[test]
+    fn many_slices_match_one_shot(
+        iters in 1i64..30,
+        imm in -50i64..50,
+        seed in any::<u64>(),
+        stride in 200u64..5_000,
+        pick in any::<u8>(),
+    ) {
+        let p = gen_program(iters, imm, 7, false);
+        let t = isa(pick);
+        let mut whole = VmState::new(&p, seed);
+        whole.run_to_halt(&p, &t);
+
+        let mut sliced = VmState::new(&p, seed);
+        let mut target = sliced.consumed_cycles() + stride;
+        while sliced.advance_to(&p, &t, target) == SliceResult::BudgetExhausted {
+            // Round-trip every boundary through the byte image.
+            let cp = Checkpoint::from_bytes(&sliced.checkpoint(&p).to_bytes())
+                .expect("canonical image decodes");
+            sliced = VmState::from_checkpoint(&cp, &p).expect("fingerprint matches");
+            target += stride;
+        }
+        prop_assert_eq!(&sliced, &whole);
+    }
+
+    /// Migration across ISA classes: steps (the portable work measure)
+    /// and the output digest are conserved exactly; the cycle ledger
+    /// stays monotone.
+    #[test]
+    fn cross_isa_resume_conserves_steps(
+        iters in 1i64..30,
+        seed in any::<u64>(),
+        cut in 1u64..40_000,
+        src in any::<u8>(),
+        dst in any::<u8>(),
+    ) {
+        let p = gen_program(iters, 13, 5, true);
+        let (ts, tt) = (isa(src), isa(dst));
+        let mut reference = VmState::new(&p, seed);
+        reference.run_to_halt(&p, &ts);
+
+        let mut vm = VmState::new(&p, seed);
+        vm.advance_to(&p, &ts, cut);
+        let snap_steps = vm.steps();
+        let snap_cycles = vm.consumed_cycles();
+        let cp = Checkpoint::from_bytes(&vm.checkpoint(&p).to_bytes()).expect("decodes");
+        let mut resumed = VmState::from_checkpoint(&cp, &p).expect("fingerprint matches");
+        prop_assert_eq!(resumed.steps(), snap_steps, "no step re-executed at resume");
+        resumed.run_to_halt(&p, &tt);
+
+        prop_assert_eq!(resumed.steps(), reference.steps());
+        prop_assert_eq!(resumed.out_digest(), reference.out_digest());
+        prop_assert!(resumed.consumed_cycles() >= snap_cycles, "cost ledger is monotone");
+    }
+}

@@ -71,6 +71,8 @@ pub struct CompiledStage {
     pub max_latency: Option<SimDuration>,
     /// Minimum security tier.
     pub security: SecurityTier,
+    /// Portable task body: VM program library index, if any.
+    pub program: Option<u32>,
     /// Indices (into `stages`) of upstream stages.
     pub preds: Vec<usize>,
     /// Correlation tag.
@@ -163,6 +165,7 @@ pub fn compile_requests(
                 output_bytes: (output as f64 * bytes_scale) as u64,
                 max_latency: comp.requirements.max_latency,
                 security: comp.requirements.security,
+                program: comp.requirements.program,
                 preds: n.preds.iter().map(|&p| pos_in_topo[p]).collect(),
                 tag: Tag { app: app_id, request: 0, stage: 0 },
             }

@@ -15,6 +15,7 @@ use crate::arrival::ArrivalSpec;
 use crate::tosca::{Application, Component, ComponentKind, SecurityTier};
 
 pub mod federation;
+pub mod programs;
 pub mod surge;
 
 /// Accelerator configuration ids used by the scenario kernels, shared

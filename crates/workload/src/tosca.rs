@@ -111,6 +111,10 @@ pub struct Requirements {
     pub preferred_layer: Option<Layer>,
     /// Whether at-rest data must be stored encrypted.
     pub encrypted_storage: bool,
+    /// Portable task body: index into the deployment's VM program
+    /// library. Stages with a program run on the task VM (and can be
+    /// checkpointed and live-migrated); stages without stay scalar.
+    pub program: Option<u32>,
 }
 
 impl Default for Requirements {
@@ -123,6 +127,7 @@ impl Default for Requirements {
             max_latency: None,
             preferred_layer: None,
             encrypted_storage: false,
+            program: None,
         }
     }
 }
@@ -177,6 +182,12 @@ impl Component {
     /// Sets the preferred layer hint.
     pub fn with_preferred_layer(mut self, layer: Layer) -> Self {
         self.requirements.preferred_layer = Some(layer);
+        self
+    }
+
+    /// Sets the portable task body (VM program library index).
+    pub fn with_program(mut self, program: u32) -> Self {
+        self.requirements.program = Some(program);
         self
     }
 }
@@ -358,6 +369,9 @@ impl Application {
             if r.encrypted_storage {
                 out.push_str(" encrypted_storage=true");
             }
+            if let Some(p) = r.program {
+                out.push_str(&format!(" program={p}"));
+            }
             out.push('\n');
         }
         for conn in &self.connections {
@@ -471,6 +485,11 @@ fn parse_profile(text: &str) -> Result<Application, ParseProfileError> {
                         "encrypted_storage" => {
                             comp.requirements.encrypted_storage = v == "true";
                         }
+                        "program" => {
+                            comp.requirements.program = Some(
+                                v.parse().map_err(|_| err(lineno, format!("bad program {v:?}")))?,
+                            );
+                        }
                         _ => return Err(err(lineno, format!("unknown key {k:?}"))),
                     }
                 }
@@ -534,7 +553,8 @@ mod tests {
                     .with_work_mc(8.0)
                     .with_accel(3)
                     .with_security(SecurityTier::Medium)
-                    .with_max_latency(SimDuration::from_millis(50)),
+                    .with_max_latency(SimDuration::from_millis(50))
+                    .with_program(2),
             )
             .with_component(Component::new("store", ComponentKind::Storage).with_work_mc(0.2))
             .with_connection("cam", "pose", 64_000, Protocol::Mqtt)
